@@ -1,0 +1,413 @@
+package mcost
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// bench runs the corresponding experiment end to end (dataset
+// generation, tree construction, F̂ estimation, model fitting, measured
+// workload, prediction) at a reduced default scale so the whole harness
+// finishes in minutes; `go run ./cmd/mcost-exp -n 10000 -queries 1000`
+// reproduces the paper-scale numbers and EXPERIMENTS.md records them.
+//
+// Alongside wall-clock time, key model-vs-measurement figures are
+// attached via b.ReportMetric so regressions in *accuracy* show up in
+// benchmark diffs, not only speed.
+
+import (
+	"io"
+	"math"
+	"testing"
+
+	"mcost/internal/experiments"
+)
+
+func benchCfg() experiments.Config {
+	return experiments.Config{N: 2000, Queries: 30, PageSize: 2048, Seed: 42}
+}
+
+func meanAbs(errs []float64) float64 {
+	var s float64
+	for _, e := range errs {
+		s += math.Abs(e)
+	}
+	return s / float64(len(errs))
+}
+
+// BenchmarkTable1Datasets regenerates Table 1: dataset construction and
+// distance-distribution summaries for every family.
+func BenchmarkTable1Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunTable1(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) != 11 {
+			b.Fatalf("got %d rows", len(r.Rows))
+		}
+	}
+}
+
+// BenchmarkHVIndex regenerates the Section 2.1 homogeneity measurements
+// (HV > 0.98 claim) plus the Example 1 closed form.
+func BenchmarkHVIndex(b *testing.B) {
+	var minHV float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunHV(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		minHV = 1
+		for _, row := range r.Rows {
+			if row.HV < minHV {
+				minHV = row.HV
+			}
+		}
+	}
+	b.ReportMetric(minHV, "minHV")
+}
+
+// BenchmarkFig1RangeCosts regenerates Figure 1: range-query cost
+// validation across dimensionality (panels a, b, c).
+func BenchmarkFig1RangeCosts(b *testing.B) {
+	var nmcmErr, lmcmErr float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig1(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ne, le []float64
+		for _, row := range r.Rows {
+			ne = append(ne, (row.NMCMDists-row.ActualDists)/row.ActualDists)
+			le = append(le, (row.LMCMDists-row.ActualDists)/row.ActualDists)
+		}
+		nmcmErr, lmcmErr = meanAbs(ne), meanAbs(le)
+	}
+	b.ReportMetric(nmcmErr*100, "nmcm-err-%")
+	b.ReportMetric(lmcmErr*100, "lmcm-err-%")
+}
+
+// BenchmarkFig2NNCosts regenerates Figure 2: NN(Q,1) cost validation and
+// the three NN estimators (panels a, b, c).
+func BenchmarkFig2NNCosts(b *testing.B) {
+	var nnDistErr float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig2(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var errs []float64
+		for _, row := range r.Rows {
+			errs = append(errs, (row.EstNNDist-row.ActualNNDist)/row.ActualNNDist)
+		}
+		nnDistErr = meanAbs(errs)
+	}
+	b.ReportMetric(nnDistErr*100, "Enn-err-%")
+}
+
+// BenchmarkFig3TextRange regenerates Figure 3: edit-distance range
+// queries over the five text vocabularies (panels a, b).
+func BenchmarkFig3TextRange(b *testing.B) {
+	var nmcmErr float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig3(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var errs []float64
+		for _, row := range r.Rows {
+			errs = append(errs, (row.NMCMDists-row.ActualDists)/row.ActualDists)
+		}
+		nmcmErr = meanAbs(errs)
+	}
+	b.ReportMetric(nmcmErr*100, "nmcm-err-%")
+}
+
+// BenchmarkFig4RadiusSweep regenerates Figure 4: costs versus query
+// volume on clustered D=20 (panels a, b).
+func BenchmarkFig4RadiusSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig4(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) != len(experiments.Fig4Volumes) {
+			b.Fatal("row count")
+		}
+	}
+}
+
+// BenchmarkFig5Tuning regenerates Figure 5: the node-size sweep and the
+// combined-cost optimum (panels a, b).
+func BenchmarkFig5Tuning(b *testing.B) {
+	cfg := benchCfg()
+	cfg.N = 4000
+	var bestKB float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bestKB = r.BestKB
+	}
+	b.ReportMetric(bestKB, "bestKB")
+}
+
+// BenchmarkVPTreeModel regenerates the Section 5 vp-tree cost-model
+// validation.
+func BenchmarkVPTreeModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunVP(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkAblationPruning measures the parent-distance optimization's
+// savings against the model's unoptimized prediction.
+func BenchmarkAblationPruning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationPruning(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBins sweeps histogram resolution.
+func BenchmarkAblationBins(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationBins(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSampling sweeps the F̂ pair-sample size.
+func BenchmarkAblationSampling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationSampling(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBuild compares bulk loading with incremental
+// insertion under both promotion policies.
+func BenchmarkAblationBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationBuild(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAllSmoke exercises the full experiment registry once per
+// iteration at a tiny scale — the end-to-end path of cmd/mcost-exp.
+func BenchmarkRunAllSmoke(b *testing.B) {
+	cfg := experiments.Config{N: 800, Queries: 10, PageSize: 1024, Seed: 7}
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunAll(cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNNKSweep regenerates the general-k NN validation (the paper
+// derives arbitrary k, evaluates k=1; this covers k up to 50).
+func BenchmarkNNKSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunNNK(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkComplexQueries regenerates the §6 complex-query extension
+// validation (conjunctions/disjunctions of range predicates).
+func BenchmarkComplexQueries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunComplex(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiViewModel regenerates the §6 multi-viewpoint extension
+// validation on a non-homogeneous space.
+func BenchmarkMultiViewModel(b *testing.B) {
+	var improvement float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunMultiView(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		improvement = r.GlobalErr / math.Max(r.MultiErr, 1e-9)
+	}
+	b.ReportMetric(improvement, "err-ratio")
+}
+
+// BenchmarkFractalDimension regenerates the fractal-dimension extension.
+func BenchmarkFractalDimension(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFractal(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimilarityJoin regenerates the self-join extension
+// validation (pruned traversal + node-pair cost model vs nested loop).
+func BenchmarkSimilarityJoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunJoin(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBias measures how Assumption 1 (the biased query
+// model) earns its keep: prediction error under matched vs mismatched
+// query distributions.
+func BenchmarkAblationBias(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunAblationBias(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = 0
+		for _, row := range r.Rows {
+			gap += (row.MismatchErr - row.BiasedErr) * 100
+		}
+		gap /= float64(len(r.Rows))
+	}
+	b.ReportMetric(gap, "mismatch-gap-pp")
+}
+
+// BenchmarkHMCM regenerates the statistics-size vs accuracy comparison
+// (N-MCM / H-MCM / L-MCM), answering the paper's closing question about
+// models with less tree statistics.
+func BenchmarkHMCM(b *testing.B) {
+	var h8RangeErr float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunHMCM(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		h8RangeErr = r.Rows[3].RangeErr * 100
+	}
+	b.ReportMetric(h8RangeErr, "h8-range-err-%")
+}
+
+// BenchmarkStatsFree regenerates the zero-statistics model validation
+// (the paper's first open question).
+func BenchmarkStatsFree(b *testing.B) {
+	var worstErr float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunStatsFree(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstErr = 0
+		for _, row := range r.Rows {
+			if e := math.Abs(row.SFDists-row.ActDists) / row.ActDists * 100; e > worstErr {
+				worstErr = e
+			}
+		}
+	}
+	b.ReportMetric(worstErr, "worst-err-%")
+}
+
+// BenchmarkHVErrorCorrelation regenerates the HV-as-indicator sweep:
+// homogeneity falling, global-model error rising.
+func BenchmarkHVErrorCorrelation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunHVErr(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNNApprox measures the approximate-NN trade: recall and cost
+// savings at 95% confidence relative to exact k-NN.
+func BenchmarkNNApprox(b *testing.B) {
+	space := VectorSpace("Linf", 8)
+	objs := make([]Object, 4000)
+	rng := newBenchRand(33)
+	for i := range objs {
+		v := make(Vector, 8)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		objs[i] = v
+	}
+	ix, err := Build(space, objs, Options{Seed: 33})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]Object, 30)
+	for i := range queries {
+		v := make(Vector, 8)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		queries[i] = v
+	}
+	var saving float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.ResetCosts()
+		for _, q := range queries {
+			if _, err := ix.NN(q, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+		_, exact := ix.Costs()
+		ix.ResetCosts()
+		for _, q := range queries {
+			if _, err := ix.NNApprox(q, 10, 0.95); err != nil {
+				b.Fatal(err)
+			}
+		}
+		_, approx := ix.Costs()
+		saving = 100 * (1 - float64(approx)/float64(exact))
+	}
+	b.ReportMetric(saving, "dist-saving-%")
+}
+
+func newBenchRand(seed int64) *benchRand {
+	return &benchRand{state: uint64(seed)*2862933555777941757 + 3037000493}
+}
+
+// benchRand is a tiny splitmix64, avoiding a math/rand import solely for
+// benchmark fixtures.
+type benchRand struct{ state uint64 }
+
+func (r *benchRand) Float64() float64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// BenchmarkBufferPool regenerates the logical-vs-physical I/O sweep: the
+// model predicts logical node accesses; an LRU buffer pool absorbs
+// re-references.
+func BenchmarkBufferPool(b *testing.B) {
+	var hitRate float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunCache(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		hitRate = r.Rows[len(r.Rows)-1].HitRate * 100
+	}
+	b.ReportMetric(hitRate, "max-hit-%")
+}

@@ -1,0 +1,104 @@
+// Command mcost-dataset generates the paper's dataset families and
+// writes them in the library's text format, for use with the -file flag
+// of mcost-hv and mcost-query (or any external tool — the format is one
+// object per line).
+//
+// Usage:
+//
+//	mcost-dataset -dataset clustered -n 10000 -dim 20 -out clustered.ds
+//	mcost-dataset -dataset words -n 12000 -out vocab.ds
+//	mcost-dataset -dataset text -code DC -out commedia.ds   # Table 1 stand-in
+//	mcost-dataset -stats -file vocab.ds                     # summarize an existing file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcost/internal/dataset"
+	"mcost/internal/distdist"
+)
+
+func main() {
+	var (
+		kind  = flag.String("dataset", "clustered", "clustered | uniform | words | text")
+		code  = flag.String("code", "D", "text dataset code: D | DC | GL | OF | PS")
+		n     = flag.Int("n", 10_000, "dataset size (ignored for -dataset text)")
+		dim   = flag.Int("dim", 20, "dimensionality (vector datasets)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		out   = flag.String("out", "", "output path (required unless -stats)")
+		file  = flag.String("file", "", "with -stats: existing dataset to summarize")
+		stats = flag.Bool("stats", false, "print distance-distribution statistics instead of generating")
+	)
+	flag.Parse()
+
+	if *stats {
+		path := *file
+		if path == "" {
+			path = *out
+		}
+		if path == "" {
+			fail(fmt.Errorf("-stats needs -file"))
+		}
+		d, err := dataset.LoadFile(path)
+		if err != nil {
+			fail(err)
+		}
+		printStats(d)
+		return
+	}
+
+	var d *dataset.Dataset
+	switch *kind {
+	case "clustered":
+		d = dataset.PaperClustered(*n, *dim, *seed)
+	case "uniform":
+		d = dataset.Uniform(*n, *dim, *seed)
+	case "words":
+		d = dataset.Words(*n, *seed)
+	case "text":
+		found := false
+		for _, td := range dataset.PaperTextDatasets() {
+			if td.Code == *code {
+				d = td.Build()
+				found = true
+				break
+			}
+		}
+		if !found {
+			fail(fmt.Errorf("unknown text code %q (want D, DC, GL, OF, PS)", *code))
+		}
+	default:
+		fail(fmt.Errorf("unknown dataset kind %q", *kind))
+	}
+	if *out == "" {
+		fail(fmt.Errorf("-out is required"))
+	}
+	if err := dataset.SaveFile(*out, d); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s: %d objects, metric %s, d+ = %g\n", *out, d.N(), d.Space.Name, d.Space.Bound)
+}
+
+func printStats(d *dataset.Dataset) {
+	f, err := distdist.Estimate(d, distdist.Options{Seed: 1})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("dataset    %s\n", d.Name)
+	fmt.Printf("objects    %d\n", d.N())
+	fmt.Printf("metric     %s (d+ = %g)\n", d.Space.Name, d.Space.Bound)
+	fmt.Printf("mean dist  %.4f\n", f.Mean())
+	for _, p := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		fmt.Printf("F^-1(%.2f)  %.4f\n", p, f.Quantile(p))
+	}
+	if d2, err := distdist.CorrelationDimension(f, 0, 0); err == nil {
+		fmt.Printf("corr dim   %.2f\n", d2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mcost-dataset:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Command mcost-exp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mcost-exp -exp all                         # every experiment, default scale
+//	mcost-exp -exp fig1 -n 10000 -queries 1000 # Figure 1 at the paper's scale
+//	mcost-exp -exp fig5 -n 100000              # node-size tuning, larger dataset
+//	mcost-exp -list                            # list experiment names
+//
+// Experiments (see DESIGN.md for the experiment index): table1, hv,
+// fig1, fig2, fig3, fig4, fig5, vptree, ablation-pruning, ablation-bins,
+// ablation-sampling, ablation-build.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mcost/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment name or 'all'")
+		n        = flag.Int("n", 10_000, "dataset size")
+		queries  = flag.Int("queries", 1000, "queries averaged per measurement (paper: 1000)")
+		pageSize = flag.Int("pagesize", 4096, "M-tree node size in bytes")
+		seed     = flag.Int64("seed", 42, "random seed")
+		list     = flag.Bool("list", false, "list experiment names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+	cfg := experiments.Config{
+		N:        *n,
+		Queries:  *queries,
+		PageSize: *pageSize,
+		Seed:     *seed,
+	}
+	if *exp == "all" {
+		if err := experiments.RunAll(cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "mcost-exp:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	runner, ok := experiments.Registry()[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mcost-exp: unknown experiment %q; available: %s\n",
+			*exp, strings.Join(experiments.Names(), ", "))
+		os.Exit(2)
+	}
+	if err := runner(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mcost-exp:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,165 @@
+// Command mcost-query builds an M-tree over a generated or loaded
+// dataset, runs a similarity query, and prints the results alongside the
+// cost model's predictions and the actually measured costs — a direct
+// demonstration of the paper's claim that costs are predictable from the
+// distance distribution alone.
+//
+// Usage:
+//
+//	mcost-query -dataset words -n 10000 -query tempesta -nn 10
+//	mcost-query -dataset clustered -dim 10 -qvec 0.5,0.5,... -range 0.2
+//	mcost-query -file vocab.ds -query castello -range 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mcost"
+	"mcost/internal/dataset"
+	"mcost/internal/metric"
+)
+
+func main() {
+	var (
+		kind     = flag.String("dataset", "words", "clustered | uniform | words")
+		file     = flag.String("file", "", "load dataset from file instead of generating")
+		n        = flag.Int("n", 10_000, "dataset size")
+		dim      = flag.Int("dim", 10, "dimensionality (vector datasets)")
+		pageSize = flag.Int("pagesize", 4096, "node size in bytes")
+		seed     = flag.Int64("seed", 1, "random seed")
+		queryStr = flag.String("query", "", "query word (string datasets)")
+		queryVec = flag.String("qvec", "", "query vector, comma-separated (vector datasets)")
+		radius   = flag.Float64("range", -1, "range query radius")
+		k        = flag.Int("nn", 0, "k for a k-NN query")
+		show     = flag.Int("show", 10, "max results to print")
+		explain  = flag.Bool("explain", false, "print a per-level prediction-vs-measurement breakdown (range queries)")
+	)
+	flag.Parse()
+
+	d, err := loadDataset(*kind, *file, *n, *dim, *seed)
+	if err != nil {
+		fail(err)
+	}
+	q, err := parseQuery(d, *queryStr, *queryVec)
+	if err != nil {
+		fail(err)
+	}
+	if *radius < 0 && *k <= 0 {
+		fail(fmt.Errorf("specify -range R or -nn K"))
+	}
+
+	fmt.Printf("building M-tree over %s (n=%d, node size %d B)...\n", d.Name, d.N(), *pageSize)
+	ix, err := mcost.Build(d.Space, d.Objects, mcost.Options{PageSize: *pageSize, Seed: *seed})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("tree: %d nodes, height %d\n\n", ix.NumNodes(), ix.Height())
+
+	if *explain && *radius >= 0 {
+		matches, levels, err := ix.ExplainRange(q, *radius)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("explain range(Q, %g) — L-MCM prediction vs measurement (no pruning):\n", *radius)
+		fmt.Printf("%6s %22s %22s\n", "level", "pred nodes/dists", "actual nodes/dists")
+		for _, l := range levels {
+			fmt.Printf("%6d %10.1f / %-10.1f %10d / %-10d\n",
+				l.Level, l.PredNodes, l.PredDists, l.ActNodes, l.ActDists)
+		}
+		fmt.Printf("\n%d results\n", len(matches))
+		return
+	}
+
+	var matches []mcost.Match
+	var predicted mcost.CostEstimate
+	if *radius >= 0 {
+		predicted = ix.PredictRange(*radius)
+		fmt.Printf("range(Q, %g): predicted %.1f node reads, %.1f distance computations, ~%.1f results\n",
+			*radius, predicted.Nodes, predicted.Dists, ix.PredictSelectivity(*radius))
+		ix.ResetCosts()
+		matches, err = ix.Range(q, *radius)
+	} else {
+		predicted = ix.PredictNN(*k)
+		fmt.Printf("NN(Q, %d): predicted %.1f node reads, %.1f distance computations, E[nn_k] = %.3f\n",
+			*k, predicted.Nodes, predicted.Dists, ix.ExpectedNNDistance(*k))
+		ix.ResetCosts()
+		matches, err = ix.NN(q, *k)
+	}
+	if err != nil {
+		fail(err)
+	}
+	nodes, dists := ix.Costs()
+	fmt.Printf("measured: %d node reads, %d distance computations (parent-distance pruning ON)\n\n", nodes, dists)
+
+	fmt.Printf("%d results", len(matches))
+	if len(matches) > *show {
+		fmt.Printf(" (showing %d)", *show)
+	}
+	fmt.Println(":")
+	for i, m := range matches {
+		if i >= *show {
+			break
+		}
+		fmt.Printf("  %2d. d=%-8.3f %v\n", i+1, m.Distance, m.Object)
+	}
+}
+
+func loadDataset(kind, file string, n, dim int, seed int64) (*dataset.Dataset, error) {
+	if file != "" {
+		return dataset.LoadFile(file)
+	}
+	switch kind {
+	case "clustered":
+		return dataset.PaperClustered(n, dim, seed), nil
+	case "uniform":
+		return dataset.Uniform(n, dim, seed), nil
+	case "words":
+		return dataset.Words(n, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset kind %q", kind)
+	}
+}
+
+func parseQuery(d *dataset.Dataset, queryStr, queryVec string) (metric.Object, error) {
+	switch d.Objects[0].(type) {
+	case string:
+		if queryStr == "" {
+			return nil, fmt.Errorf("string dataset: pass -query WORD")
+		}
+		return queryStr, nil
+	case metric.Vector:
+		dim := len(d.Objects[0].(metric.Vector))
+		if queryVec == "" {
+			// Default: the hypercube center.
+			v := make(metric.Vector, dim)
+			for i := range v {
+				v[i] = 0.5
+			}
+			return v, nil
+		}
+		parts := strings.Split(queryVec, ",")
+		if len(parts) != dim {
+			return nil, fmt.Errorf("query vector has %d coordinates, dataset is %d-dimensional", len(parts), dim)
+		}
+		v := make(metric.Vector, dim)
+		for i, p := range parts {
+			x, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("coordinate %d: %w", i, err)
+			}
+			v[i] = x
+		}
+		return v, nil
+	default:
+		return nil, fmt.Errorf("unsupported object type %T", d.Objects[0])
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mcost-query:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Capacity planning: size a similarity-search service before deploying
+// it. Given an expected query mix (mostly nearest-neighbor lookups, some
+// discovery scans), the cost model projects per-query I/O, CPU, and
+// milliseconds — then the same mix is executed and the projection
+// checked. The paper's pitch, end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mcost"
+)
+
+func main() {
+	const (
+		dim = 10
+		n   = 25_000
+	)
+	space := mcost.VectorSpace("Linf", dim)
+	rng := rand.New(rand.NewSource(41))
+	centers := make([]mcost.Vector, 10)
+	for i := range centers {
+		centers[i] = point(rng, dim)
+	}
+	draw := func() mcost.Vector {
+		c := centers[rng.Intn(len(centers))]
+		v := make(mcost.Vector, dim)
+		for j := range v {
+			v[j] = clamp(c[j] + rng.NormFloat64()*0.1)
+		}
+		return v
+	}
+	objects := make([]mcost.Object, n)
+	for i := range objects {
+		objects[i] = draw()
+	}
+	pool := make([]mcost.Object, 500)
+	for i := range pool {
+		pool[i] = draw()
+	}
+
+	idx, err := mcost.Build(space, objects, mcost.Options{Seed: 41})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The service's expected mix.
+	mix := &mcost.Workload{Classes: []mcost.QueryClass{
+		{Name: "nn-lookup", Weight: 70, K: 1},
+		{Name: "similar-20", Weight: 25, K: 20},
+		{Name: "discovery", Weight: 5, Radius: 0.3},
+	}}
+
+	rep, err := idx.RunWorkload(mix, pool, mcost.WorkloadOptions{Queries: 400, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("capacity plan for %d objects, %d-node M-tree\n\n", idx.Size(), idx.NumNodes())
+	fmt.Printf("%-12s %4s %6s  %22s %22s %9s\n", "class", "wt", "ran", "predicted (IO/dists)", "measured (IO/dists)", "avg hits")
+	for _, cr := range rep.Classes {
+		fmt.Printf("%-12s %4.0f %6d  %10.1f / %-10.1f %10.1f / %-10.1f %8.1f\n",
+			cr.Class.Name, cr.Class.Weight, cr.Queries,
+			cr.Pred.Nodes, cr.Pred.Dists,
+			cr.Measured.Nodes, cr.Measured.Dists,
+			cr.Results)
+	}
+	fmt.Printf("\nper query, weighted over the mix:\n")
+	fmt.Printf("  predicted: %6.1f page reads, %8.1f distances, %8.1f ms (paper's disk)\n",
+		rep.PredPerQuery.Nodes, rep.PredPerQuery.Dists, rep.PredMSPerQuery)
+	fmt.Printf("  measured:  %6.1f page reads, %8.1f distances, %8.1f ms\n",
+		rep.MeasuredPerQuery.Nodes, rep.MeasuredPerQuery.Dists, rep.MeasuredMSPerQuery)
+	qps := 1000 / rep.PredMSPerQuery
+	fmt.Printf("\n=> one 1998-vintage disk+CPU sustains ~%.2f queries/second on this mix;\n", qps)
+	fmt.Printf("   provisioning for 50 qps needs ~%.0f such units (or one modern SSD).\n", 50/qps+1)
+}
+
+func point(rng *rand.Rand, dim int) mcost.Vector {
+	v := make(mcost.Vector, dim)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	return v
+}
+
+func clamp(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,82 @@
+// Tuning: choose the M-tree node size that minimizes a combined
+// CPU + I/O cost, reproducing Section 4.1 of the paper. Larger nodes
+// mean fewer (but bigger) page reads and more distance computations per
+// accessed node; when a distance costs milliseconds the optimum is an
+// interior node size, which the cost model finds without running a
+// single query.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"mcost"
+)
+
+func main() {
+	const (
+		dim = 5
+		n   = 50_000
+	)
+	space := mcost.VectorSpace("Linf", dim)
+	rng := rand.New(rand.NewSource(11))
+	centers := make([]mcost.Vector, 10)
+	for i := range centers {
+		centers[i] = randPoint(rng, dim)
+	}
+	objects := make([]mcost.Object, n)
+	for i := range objects {
+		c := centers[rng.Intn(len(centers))]
+		v := make(mcost.Vector, dim)
+		for j := range v {
+			v[j] = clamp01(c[j] + rng.NormFloat64()*0.1)
+		}
+		objects[i] = v
+	}
+
+	// The paper's Figure 5 setup: range queries whose ball covers 1% of
+	// the hypercube volume, disk with 10ms positioning + 1ms/KB
+	// transfer, 5ms per distance computation.
+	radius := math.Pow(0.01, 1.0/dim) / 2
+	disk := mcost.PaperDiskParams()
+	sizes := []int{512, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
+
+	fmt.Printf("tuning node size for %d clustered %d-d objects, range radius %.3f\n", n, dim, radius)
+	fmt.Printf("disk: %.0fms positioning + %.0fms/KB transfer; %.0fms per distance\n\n",
+		disk.PosMS, disk.TransMSPerKB, disk.DistMS)
+
+	best, points, err := mcost.TuneNodeSize(space, objects, sizes, radius, disk, mcost.Options{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%8s  %12s  %12s  %12s\n", "NS (KB)", "pred reads", "pred dists", "total (ms)")
+	for _, p := range points {
+		marker := " "
+		if p.NodeSize == best {
+			marker = "*"
+		}
+		fmt.Printf("%7.1f%s  %12.1f  %12.1f  %12.1f\n",
+			float64(p.NodeSize)/1024, marker, p.Est.Nodes, p.Est.Dists, p.TotalMS)
+	}
+	fmt.Printf("\npredicted optimum: %.1f KB nodes (the paper finds 8 KB at n=10^6)\n", float64(best)/1024)
+}
+
+func randPoint(rng *rand.Rand, dim int) mcost.Vector {
+	v := make(mcost.Vector, dim)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	return v
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,3 @@
+module mcost
+
+go 1.22

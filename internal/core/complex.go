@@ -1,0 +1,69 @@
+package core
+
+// Complex-query cost estimation — the paper's §6 extension (its
+// reference [11]). Under the homogeneity assumption, each predicate
+// independently intersects a node of radius r with probability
+// F(r + rq_i); treating the predicates' query objects as independent
+// random points gives:
+//
+//	conjunction: Pr{access} = Π_i F(r + rq_i)
+//	disjunction: Pr{access} = 1 − Π_i (1 − F(r + rq_i))
+//
+// Independence is an approximation (two predicates over correlated query
+// objects access correlated node sets); it is exact when the query
+// objects are drawn independently from S, which is how the experiment
+// harness validates it.
+
+// RangeAndN predicts conjunctive-query costs node-wise. The CPU estimate
+// counts one distance per predicate per accessed node entry, matching a
+// non-short-circuiting evaluation (the implementation short-circuits, so
+// measured CPU falls at or below this, exactly like footnote 2's pruning).
+func (m *MTreeModel) RangeAndN(radii []float64) CostEstimate {
+	var est CostEstimate
+	k := float64(len(radii))
+	for _, ns := range m.stats.Nodes {
+		p := 1.0
+		for _, rq := range radii {
+			p *= m.f.CDF(ns.Radius + rq)
+		}
+		est.Nodes += p
+		est.Dists += k * float64(ns.Entries) * p
+	}
+	return est
+}
+
+// RangeOrN predicts disjunctive-query costs node-wise.
+func (m *MTreeModel) RangeOrN(radii []float64) CostEstimate {
+	var est CostEstimate
+	k := float64(len(radii))
+	for _, ns := range m.stats.Nodes {
+		q := 1.0
+		for _, rq := range radii {
+			q *= 1 - m.f.CDF(ns.Radius+rq)
+		}
+		p := 1 - q
+		est.Nodes += p
+		est.Dists += k * float64(ns.Entries) * p
+	}
+	return est
+}
+
+// RangeAndObjects predicts the conjunction's result cardinality:
+// n · Π F(rq_i) under predicate independence.
+func (m *MTreeModel) RangeAndObjects(radii []float64) float64 {
+	p := 1.0
+	for _, rq := range radii {
+		p *= m.f.CDF(rq)
+	}
+	return float64(m.stats.Size) * p
+}
+
+// RangeOrObjects predicts the disjunction's result cardinality:
+// n · (1 − Π (1 − F(rq_i))).
+func (m *MTreeModel) RangeOrObjects(radii []float64) float64 {
+	q := 1.0
+	for _, rq := range radii {
+		q *= 1 - m.f.CDF(rq)
+	}
+	return float64(m.stats.Size) * (1 - q)
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mcost/internal/dataset"
+	"mcost/internal/mtree"
+)
+
+// complexFixture builds a clustered dataset and its model, plus
+// independent predicate workloads.
+func complexFixture(t *testing.T) (*fixture, [][]mtree.Pred) {
+	t.Helper()
+	d := dataset.PaperClustered(3000, 8, 901)
+	fx := newFixture(t, d, 2048)
+	// Two independent predicate streams drawn from the SAME data
+	// distribution (the biased query model applies to every predicate).
+	qs := dataset.PaperClusteredQueries(120, 8, 901).Queries
+	qa, qb := qs[:60], qs[60:]
+	workload := make([][]mtree.Pred, len(qa))
+	for i := range qa {
+		workload[i] = []mtree.Pred{
+			{Q: qa[i], Radius: 0.3},
+			{Q: qb[i], Radius: 0.35},
+		}
+	}
+	return fx, workload
+}
+
+func TestRangeAndModelTracksMeasurement(t *testing.T) {
+	fx, workload := complexFixture(t)
+	fx.tr.ResetCounters()
+	var totalResults int
+	for _, preds := range workload {
+		ms, err := fx.tr.RangeAnd(preds, mtree.QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalResults += len(ms)
+	}
+	nq := float64(len(workload))
+	actNodes := float64(fx.tr.NodeReads()) / nq
+	actObjs := float64(totalResults) / nq
+
+	radii := []float64{0.3, 0.35}
+	est := fx.model.RangeAndN(radii)
+	if e := relErr(est.Nodes, actNodes); e > 0.35 {
+		t.Errorf("AND nodes err %.0f%% (est %.1f act %.1f)", e*100, est.Nodes, actNodes)
+	}
+	// Predicted cardinality under independence.
+	if actObjs > 0 {
+		if e := relErr(fx.model.RangeAndObjects(radii), actObjs); e > 0.5 {
+			t.Errorf("AND objects err %.0f%% (est %.1f act %.1f)",
+				e*100, fx.model.RangeAndObjects(radii), actObjs)
+		}
+	}
+	// CPU: the implementation short-circuits, so the non-short-circuit
+	// model upper-bounds it.
+	fx.tr.ResetCounters()
+	for _, preds := range workload {
+		if _, err := fx.tr.RangeAnd(preds, mtree.QueryOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	actDists := float64(fx.tr.DistanceCount()) / nq
+	if est.Dists < actDists*0.98 {
+		t.Errorf("AND model dists %.1f below measured %.1f", est.Dists, actDists)
+	}
+}
+
+func TestRangeOrModelTracksMeasurement(t *testing.T) {
+	fx, workload := complexFixture(t)
+	fx.tr.ResetCounters()
+	var totalResults int
+	for _, preds := range workload {
+		ms, err := fx.tr.RangeOr(preds, mtree.QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalResults += len(ms)
+	}
+	nq := float64(len(workload))
+	actNodes := float64(fx.tr.NodeReads()) / nq
+	actObjs := float64(totalResults) / nq
+	radii := []float64{0.3, 0.35}
+	est := fx.model.RangeOrN(radii)
+	if e := relErr(est.Nodes, actNodes); e > 0.35 {
+		t.Errorf("OR nodes err %.0f%% (est %.1f act %.1f)", e*100, est.Nodes, actNodes)
+	}
+	if e := relErr(fx.model.RangeOrObjects(radii), actObjs); e > 0.5 {
+		t.Errorf("OR objects err %.0f%% (est %.1f act %.1f)",
+			e*100, fx.model.RangeOrObjects(radii), actObjs)
+	}
+}
+
+func TestComplexModelAlgebra(t *testing.T) {
+	d := dataset.Uniform(2000, 6, 903)
+	fx := newFixture(t, d, 2048)
+	r := []float64{0.25, 0.3}
+
+	and := fx.model.RangeAndN(r)
+	or := fx.model.RangeOrN(r)
+	a := fx.model.RangeN(r[0])
+	b := fx.model.RangeN(r[1])
+
+	// AND accesses no more nodes than either single predicate; OR no
+	// fewer than the max and no more than the sum.
+	if and.Nodes > math.Min(a.Nodes, b.Nodes)+1e-9 {
+		t.Fatalf("AND nodes %.2f above min single %.2f", and.Nodes, math.Min(a.Nodes, b.Nodes))
+	}
+	if or.Nodes < math.Max(a.Nodes, b.Nodes)-1e-9 || or.Nodes > a.Nodes+b.Nodes+1e-9 {
+		t.Fatalf("OR nodes %.2f outside [max, sum] = [%.2f, %.2f]",
+			or.Nodes, math.Max(a.Nodes, b.Nodes), a.Nodes+b.Nodes)
+	}
+	// Inclusion-exclusion on cardinalities: |A| + |B| = |A∪B| + |A∩B|.
+	sum := fx.model.RangeObjects(r[0]) + fx.model.RangeObjects(r[1])
+	ie := fx.model.RangeOrObjects(r) + fx.model.RangeAndObjects(r)
+	if math.Abs(sum-ie) > 1e-6 {
+		t.Fatalf("inclusion-exclusion broken: %.4f vs %.4f", sum, ie)
+	}
+	// Single-predicate degenerates to the plain model.
+	single := fx.model.RangeAndN(r[:1])
+	if math.Abs(single.Nodes-a.Nodes) > 1e-9 {
+		t.Fatalf("single-predicate AND %.4f != RangeN %.4f", single.Nodes, a.Nodes)
+	}
+	if d1 := fx.model.RangeAndObjects(r[:1]); math.Abs(d1-fx.model.RangeObjects(r[0])) > 1e-9 {
+		t.Fatalf("single-predicate cardinality %.4f", d1)
+	}
+}
+
+func TestJoinModelTracksMeasurement(t *testing.T) {
+	d := dataset.PaperClustered(1500, 6, 905)
+	fx := newFixture(t, d, 1024)
+	const eps = 0.08
+	fx.tr.ResetCounters()
+	pairs, err := fx.tr.SimilarityJoin(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actDists := float64(fx.tr.DistanceCount())
+	est := fx.model.JoinN(eps)
+
+	// Result-size estimate: C(n,2)·F(eps).
+	if e := relErr(est.Pairs, float64(len(pairs))); e > 0.25 {
+		t.Errorf("join pairs: est %.0f, actual %d (%.0f%%)", est.Pairs, len(pairs), e*100)
+	}
+	// Distance computations within a factor band (node-pair independence
+	// is cruder than the single-query model).
+	if est.Dists < actDists/3 || est.Dists > actDists*3 {
+		t.Errorf("join dists: est %.0f, actual %.0f", est.Dists, actDists)
+	}
+	// Monotone in eps.
+	if tight := fx.model.JoinN(0.01); tight.Dists > est.Dists || tight.Pairs > est.Pairs {
+		t.Error("join estimate not monotone in eps")
+	}
+	// Full-bound joins everything: C(n,2) pairs.
+	n := float64(d.N())
+	full := fx.model.JoinN(d.Space.Bound)
+	if math.Abs(full.Pairs-n*(n-1)/2) > 1 {
+		t.Errorf("full join pairs %.0f, want %.0f", full.Pairs, n*(n-1)/2)
+	}
+}

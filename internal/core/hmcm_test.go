@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mcost/internal/dataset"
+	"mcost/internal/mtree"
+)
+
+func TestCompressStatsValidation(t *testing.T) {
+	if _, err := CompressStats(nil, 4); err == nil {
+		t.Error("nil stats accepted")
+	}
+	if _, err := CompressStats(&mtree.Stats{}, 4); err == nil {
+		t.Error("empty stats accepted")
+	}
+	d := dataset.Uniform(500, 3, 1201)
+	fx := newFixture(t, d, 1024)
+	if _, err := fx.model.Compress(0); err == nil {
+		t.Error("buckets=0 accepted")
+	}
+}
+
+func TestCompressedModelAccuracySandwich(t *testing.T) {
+	// H-MCM with enough buckets should land between L-MCM and N-MCM in
+	// accuracy, converging to N-MCM as buckets grow.
+	d := dataset.PaperClustered(4000, 12, 1202)
+	fx := newFixture(t, d, 2048)
+	queries := make([]interface{}, 0, 150)
+	for _, q := range dataset.PaperClusteredQueries(150, 12, 1202).Queries {
+		queries = append(queries, q)
+	}
+	const radius = 0.25
+	_, actDists := fx.measureRange(t, queries, radius)
+
+	nErr := relErr(fx.model.RangeN(radius).Dists, actDists)
+	lErr := relErr(fx.model.RangeL(radius).Dists, actDists)
+
+	cm8, err := fx.model.Compress(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hErr := relErr(cm8.Range(radius).Dists, actDists)
+
+	// H-MCM must not be worse than L-MCM (with slack for noise), and
+	// with many buckets converges to N-MCM exactly.
+	if hErr > lErr+0.05 {
+		t.Errorf("H-MCM err %.1f%% above L-MCM %.1f%%", hErr*100, lErr*100)
+	}
+	if hErr > nErr+0.1 {
+		t.Errorf("H-MCM err %.1f%% far above N-MCM %.1f%%", hErr*100, nErr*100)
+	}
+
+	// Space: far below N-MCM's 2 floats per node.
+	st, err := fx.tr.CollectStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nFloats := 2 * len(st.Nodes)
+	if cm8.FloatsStored() >= nFloats/2 {
+		t.Errorf("H-MCM stores %d floats, N-MCM %d — no compression", cm8.FloatsStored(), nFloats)
+	}
+}
+
+func TestCompressedConvergesToNodeModel(t *testing.T) {
+	d := dataset.Uniform(3000, 6, 1203)
+	fx := newFixture(t, d, 1024)
+	// With one bucket per level H-MCM has the granularity of L-MCM;
+	// with a huge bucket count every node gets its own bucket and the
+	// prediction differs from N-MCM only through per-bucket radius
+	// averaging of identical radii (exact).
+	cmBig, err := fx.model.Compress(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []float64{0.1, 0.3, 0.6} {
+		nEst := fx.model.RangeN(r)
+		hEst := cmBig.Range(r)
+		if math.Abs(nEst.Dists-hEst.Dists)/nEst.Dists > 0.01 {
+			t.Fatalf("r=%g: fine-bucketed H-MCM %.1f differs from N-MCM %.1f", r, hEst.Dists, nEst.Dists)
+		}
+	}
+	// NN variant produces sane, positive estimates bounded by the tree.
+	nn := cmBig.NN(1)
+	if nn.Nodes <= 0 || nn.Dists <= 0 {
+		t.Fatalf("H-MCM NN estimate %+v", nn)
+	}
+	ref := fx.model.NNN(1)
+	if math.Abs(nn.Nodes-ref.Nodes)/ref.Nodes > 0.1 {
+		t.Fatalf("H-MCM NN nodes %.1f far from N-MCM %.1f", nn.Nodes, ref.Nodes)
+	}
+}
+
+func TestCompressedMonotoneInRadius(t *testing.T) {
+	d := dataset.Uniform(1500, 4, 1204)
+	fx := newFixture(t, d, 1024)
+	cm, err := fx.model.Compress(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := CostEstimate{}
+	for _, r := range []float64{0.05, 0.1, 0.2, 0.5, 1.0} {
+		est := cm.Range(r)
+		if est.Nodes < prev.Nodes || est.Dists < prev.Dists {
+			t.Fatalf("not monotone at r=%g", r)
+		}
+		prev = est
+	}
+}

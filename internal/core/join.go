@@ -1,0 +1,60 @@
+package core
+
+// Similarity-join cost estimation, extending the node-access argument of
+// Eq. 5 to node *pairs*: subtrees rooted at nodes with covering radii
+// r_i and r_j must be compared iff d(O_i, O_j) <= r_i + r_j + eps, which
+// under the homogeneity assumption happens with probability
+// F(r_i + r_j + eps). Summing over same-level node pairs estimates the
+// pair visits; leaf pairs contribute e_i·e_j object comparisons each.
+// The result-set estimate needs no tree at all: every one of the
+// C(n,2) object pairs qualifies with probability F(eps) — the literal
+// meaning of the paper's distance distribution.
+
+// JoinEstimate is a predicted self-join cost.
+type JoinEstimate struct {
+	// LeafPairVisits is the expected number of leaf pairs compared.
+	LeafPairVisits float64
+	// Dists is the expected number of distance computations (internal
+	// routing comparisons plus leaf object pairs).
+	Dists float64
+	// Pairs is the expected result size: C(n,2) · F(eps).
+	Pairs float64
+}
+
+// JoinN predicts the cost of SimilarityJoin(eps) from the node
+// statistics. Complexity is O(M_l²) per level; the paper's 4 KB trees
+// keep M comfortably small.
+func (m *MTreeModel) JoinN(eps float64) JoinEstimate {
+	n := float64(m.stats.Size)
+	est := JoinEstimate{
+		Pairs: n * (n - 1) / 2 * m.f.CDF(eps),
+	}
+	// Group nodes by level.
+	byLevel := make([][]int, m.stats.Height+1)
+	for idx, ns := range m.stats.Nodes {
+		byLevel[ns.Level] = append(byLevel[ns.Level], idx)
+	}
+	for level := 1; level <= m.stats.Height; level++ {
+		nodes := byLevel[level]
+		for x := 0; x < len(nodes); x++ {
+			ni := m.stats.Nodes[nodes[x]]
+			for y := x; y < len(nodes); y++ {
+				nj := m.stats.Nodes[nodes[y]]
+				p := m.f.CDF(ni.Radius + nj.Radius + eps)
+				// Each compared node pair computes all cross-entry
+				// distances (e_i·e_j, halved on the diagonal like the
+				// traversal itself).
+				cross := float64(ni.Entries) * float64(nj.Entries)
+				if x == y {
+					cross = float64(ni.Entries) * float64(ni.Entries-1) / 2
+					p = 1 // the diagonal pair is always processed
+				}
+				if ni.Leaf {
+					est.LeafPairVisits += p
+				}
+				est.Dists += p * cross
+			}
+		}
+	}
+	return est
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mcost/internal/histogram"
+	"mcost/internal/metric"
+	"mcost/internal/mtree"
+)
+
+// MultiViewModel implements the extension sketched in the paper's
+// conclusions for spaces with low homogeneity (HV << 1): instead of the
+// single global distance distribution F, it keeps the relative distance
+// distributions of several "viewpoint" objects and predicts query costs
+// from a query-specific distribution F_Q, estimated as the
+// inverse-distance-weighted mixture of the viewpoints' RDDs. For highly
+// homogeneous spaces it reduces to the global model (all RDDs agree);
+// for non-homogeneous ones it adapts the estimate to the query's
+// position.
+type MultiViewModel struct {
+	space  *metric.Space
+	pivots []metric.Object
+	rdds   []*histogram.Histogram
+	stats  *mtree.Stats
+	steps  int
+}
+
+// NewMultiViewModel builds the model from viewpoint objects and their
+// RDD histograms (as produced by distdist.RDD), plus the tree stats.
+func NewMultiViewModel(space *metric.Space, pivots []metric.Object, rdds []*histogram.Histogram, stats *mtree.Stats) (*MultiViewModel, error) {
+	if space == nil {
+		return nil, errors.New("core: nil space")
+	}
+	if len(pivots) == 0 || len(pivots) != len(rdds) {
+		return nil, fmt.Errorf("core: %d pivots, %d RDDs", len(pivots), len(rdds))
+	}
+	for i, h := range rdds {
+		if h == nil {
+			return nil, fmt.Errorf("core: nil RDD at %d", i)
+		}
+		if h.Bound() != rdds[0].Bound() {
+			return nil, fmt.Errorf("core: RDD %d bound %g differs from %g", i, h.Bound(), rdds[0].Bound())
+		}
+	}
+	if stats == nil || stats.Size <= 0 {
+		return nil, errors.New("core: invalid tree stats")
+	}
+	return &MultiViewModel{space: space, pivots: pivots, rdds: rdds, stats: stats, steps: 2000}, nil
+}
+
+// queryWeights computes the mixture weights for query q: inverse
+// distance to each viewpoint, normalized. A query coinciding with a
+// viewpoint gets that viewpoint's RDD exactly.
+func (m *MultiViewModel) queryWeights(q metric.Object) []float64 {
+	w := make([]float64, len(m.pivots))
+	const eps = 1e-9
+	var sum float64
+	for i, p := range m.pivots {
+		d := m.space.Distance(q, p)
+		if d < eps {
+			// Exact hit: degenerate weights.
+			for j := range w {
+				w[j] = 0
+			}
+			w[i] = 1
+			return w
+		}
+		w[i] = 1 / d
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// QueryCDF returns the query-specific distance distribution estimate
+// F_Q(x) = Σ w_i F_{P_i}(x).
+func (m *MultiViewModel) QueryCDF(q metric.Object) func(x float64) float64 {
+	w := m.queryWeights(q)
+	return func(x float64) float64 {
+		var s float64
+		for i, h := range m.rdds {
+			if w[i] > 0 {
+				s += w[i] * h.CDF(x)
+			}
+		}
+		return s
+	}
+}
+
+// RangeObjects predicts the result cardinality of range(q, rq) with the
+// query-sensitive distribution: n · F_Q(rq).
+func (m *MultiViewModel) RangeObjects(q metric.Object, rq float64) float64 {
+	return float64(m.stats.Size) * m.QueryCDF(q)(rq)
+}
+
+// RangeN predicts range(q, rq) costs node-wise with F_Q in place of the
+// global F in Eq. 6-7.
+func (m *MultiViewModel) RangeN(q metric.Object, rq float64) CostEstimate {
+	cdf := m.QueryCDF(q)
+	var est CostEstimate
+	for _, ns := range m.stats.Nodes {
+		p := cdf(ns.Radius + rq)
+		est.Nodes += p
+		est.Dists += float64(ns.Entries) * p
+	}
+	return est
+}
+
+// RangeL predicts range(q, rq) costs level-wise with F_Q.
+func (m *MultiViewModel) RangeL(q metric.Object, rq float64) CostEstimate {
+	cdf := m.QueryCDF(q)
+	var est CostEstimate
+	for li, ls := range m.stats.Levels {
+		p := cdf(ls.AvgRadius + rq)
+		est.Nodes += float64(ls.Nodes) * p
+		below := m.stats.Size
+		if li+1 < len(m.stats.Levels) {
+			below = m.stats.Levels[li+1].Nodes
+		}
+		est.Dists += float64(below) * p
+	}
+	return est
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"mcost/internal/histogram"
+	"mcost/internal/mtree"
+)
+
+// The fitted model is just data — a histogram and a statistics snapshot —
+// so it serializes to JSON and can live inside a query optimizer's
+// catalog, far from the index itself. This is how the paper imagines the
+// model being used ("apply optimizers' technology to metric query
+// processing").
+
+type modelJSON struct {
+	Version int                  `json:"version"`
+	F       *histogram.Histogram `json:"distance_distribution"`
+	Stats   *mtree.Stats         `json:"tree_stats"`
+}
+
+// Save writes the model (distance distribution + tree statistics) as
+// JSON.
+func (m *MTreeModel) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(modelJSON{Version: 1, F: m.f, Stats: m.stats})
+}
+
+// LoadModel reads a model previously written by Save. The returned model
+// predicts costs without any access to the tree or the data.
+func LoadModel(r io.Reader) (*MTreeModel, error) {
+	var j modelJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&j); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if j.Version != 1 {
+		return nil, fmt.Errorf("core: unsupported model version %d", j.Version)
+	}
+	if j.F == nil || j.Stats == nil {
+		return nil, errors.New("core: model missing distribution or stats")
+	}
+	return NewMTreeModel(j.F, j.Stats)
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"mcost/internal/dataset"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	d := dataset.PaperClustered(2000, 8, 1001)
+	fx := newFixture(t, d, 2048)
+	var buf bytes.Buffer
+	if err := fx.model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []float64{0.05, 0.2, 0.5} {
+		a, b := fx.model.RangeN(r), loaded.RangeN(r)
+		if math.Abs(a.Nodes-b.Nodes) > 1e-9 || math.Abs(a.Dists-b.Dists) > 1e-9 {
+			t.Fatalf("r=%g: %+v != %+v", r, a, b)
+		}
+		la, lb := fx.model.RangeL(r), loaded.RangeL(r)
+		if math.Abs(la.Nodes-lb.Nodes) > 1e-9 {
+			t.Fatalf("r=%g level: %+v != %+v", r, la, lb)
+		}
+	}
+	if a, b := fx.model.ExpectedNNDist(5), loaded.ExpectedNNDist(5); math.Abs(a-b) > 1e-9 {
+		t.Fatalf("E[nn5]: %g != %g", a, b)
+	}
+	if fx.model.N() != loaded.N() {
+		t.Fatalf("N: %d != %d", fx.model.N(), loaded.N())
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"{",
+		"{}",
+		`{"version":2,"distance_distribution":null,"tree_stats":null}`,
+		`{"version":1,"distance_distribution":null,"tree_stats":null}`,
+		`{"version":1,"distance_distribution":{"bound":1,"cum":[0.5,1]},"tree_stats":{"Size":0}}`,
+		`{"version":1,"distance_distribution":{"bound":1,"cum":[0.9,0.5,1]},"tree_stats":{"Size":5,"Height":0}}`,
+		`{"version":1,"distance_distribution":{"bound":1,"cum":[0.5,0.9]},"tree_stats":{"Size":5,"Height":0}}`,
+		`{"version":1,"distance_distribution":{"bound":-1,"cum":[1]},"tree_stats":{"Size":5,"Height":0}}`,
+	}
+	for i, c := range cases {
+		if _, err := LoadModel(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

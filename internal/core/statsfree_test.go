@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mcost/internal/dataset"
+	"mcost/internal/distdist"
+	"mcost/internal/mtree"
+)
+
+func TestNewStatsFreeModelValidation(t *testing.T) {
+	d := dataset.Uniform(200, 3, 1301)
+	f, _ := distdist.Estimate(d, distdist.Options{Seed: 1})
+	if _, err := NewStatsFreeModel(nil, StatsFreeConfig{N: 100, LeafCapacity: 10, InternalCapacity: 10}); err == nil {
+		t.Error("nil F accepted")
+	}
+	if _, err := NewStatsFreeModel(f, StatsFreeConfig{N: 1, LeafCapacity: 10, InternalCapacity: 10}); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := NewStatsFreeModel(f, StatsFreeConfig{N: 100, LeafCapacity: 1, InternalCapacity: 10}); err == nil {
+		t.Error("capacity 1 accepted")
+	}
+	if _, err := NewStatsFreeModel(f, StatsFreeConfig{N: 100, LeafCapacity: 10, InternalCapacity: 10, Utilization: 1.5}); err == nil {
+		t.Error("utilization > 1 accepted")
+	}
+}
+
+// capacities computes the actual entry capacities of a 2 KB page for
+// D-dimensional vectors, matching the mtree entry layout.
+func vectorCapacities(pageSize, dim int) (leaf, internal int) {
+	leafEntry := 8 + 8 + 2 + 8*dim
+	internalEntry := 8 + 8 + 4 + 2 + 8*dim
+	return (pageSize - 3) / leafEntry, (pageSize - 3) / internalEntry
+}
+
+func TestStatsFreePredictsShapeAndRadii(t *testing.T) {
+	const (
+		dim      = 8
+		n        = 8000
+		pageSize = 2048
+	)
+	d := dataset.PaperClustered(n, dim, 1302)
+	f, err := distdist.Estimate(d, distdist.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, ic := vectorCapacities(pageSize, dim)
+	sf, err := NewStatsFreeModel(f, StatsFreeConfig{N: n, LeafCapacity: lc, InternalCapacity: ic})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build the real tree and compare.
+	tr, err := mtree.New(mtree.Options{Space: d.Space, PageSize: pageSize, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad(d.Objects); err != nil {
+		t.Fatal(err)
+	}
+	st, err := tr.CollectStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Height() != st.Height {
+		t.Errorf("predicted height %d, actual %d", sf.Height(), st.Height)
+	}
+	if pn, an := sf.PredictedNodes(), tr.NumNodes(); math.Abs(float64(pn-an))/float64(an) > 0.5 {
+		t.Errorf("predicted %d nodes, actual %d", pn, an)
+	}
+	// Leaf-level radius prediction: within a factor band of the actual
+	// average (the open-question quantity).
+	if sf.Height() == st.Height {
+		predLeafR := sf.PredictedLevelRadius(sf.Height())
+		actLeafR := st.Levels[st.Height-1].AvgRadius
+		if predLeafR < actLeafR/3 || predLeafR > actLeafR*3 {
+			t.Errorf("leaf radius predicted %.3f, actual %.3f", predLeafR, actLeafR)
+		}
+	}
+}
+
+func TestStatsFreeCostAccuracy(t *testing.T) {
+	const (
+		dim      = 8
+		n        = 5000
+		pageSize = 2048
+	)
+	d := dataset.PaperClustered(n, dim, 1303)
+	fx := newFixture(t, d, pageSize)
+	f, err := distdist.Estimate(d, distdist.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, ic := vectorCapacities(pageSize, dim)
+	sf, err := NewStatsFreeModel(f, StatsFreeConfig{N: n, LeafCapacity: lc, InternalCapacity: ic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]interface{}, 0, 100)
+	for _, q := range dataset.PaperClusteredQueries(100, dim, 1303).Queries {
+		queries = append(queries, q)
+	}
+	const radius = 0.25
+	_, actDists := fx.measureRange(t, queries, radius)
+	est := sf.Range(radius)
+	// Stats-free predictions are the roughest model in the family; the
+	// open question only asks for usable estimates. Accept 2x.
+	if est.Dists < actDists/2 || est.Dists > actDists*2 {
+		t.Errorf("stats-free dists %.1f vs actual %.1f", est.Dists, actDists)
+	}
+	// Monotone in radius; NN below full range.
+	if sf.Range(0.1).Dists > sf.Range(0.3).Dists {
+		t.Error("not monotone in radius")
+	}
+	nn := sf.NN(1)
+	if nn.Dists <= 0 || nn.Dists >= sf.Range(f.Bound()).Dists {
+		t.Errorf("NN estimate %+v out of range", nn)
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import "fmt"
+
+// DiskParams models the disk of Section 4.1: a node read costs
+// t_pos + NS·t_trans where NS is the node size in KB. The paper's
+// example uses t_pos = 10 ms, t_trans = 1 ms/KB, and 5 ms per distance
+// computation.
+type DiskParams struct {
+	// PosMS is the positioning (seek + rotation) time in milliseconds.
+	PosMS float64
+	// TransMSPerKB is the transfer time per kilobyte in milliseconds.
+	TransMSPerKB float64
+	// DistMS is the cost of one distance computation in milliseconds.
+	DistMS float64
+}
+
+// PaperDiskParams returns the parameters of Figure 5(b).
+func PaperDiskParams() DiskParams {
+	return DiskParams{PosMS: 10, TransMSPerKB: 1, DistMS: 5}
+}
+
+// IOCostMS returns the cost of one node read for the given node size in
+// bytes.
+func (p DiskParams) IOCostMS(nodeSizeBytes int) float64 {
+	return p.PosMS + p.TransMSPerKB*float64(nodeSizeBytes)/1024
+}
+
+// TotalMS combines a cost estimate into milliseconds:
+// c_CPU · dists + c_IO(NS) · nodes.
+func (p DiskParams) TotalMS(est CostEstimate, nodeSizeBytes int) float64 {
+	return p.DistMS*est.Dists + p.IOCostMS(nodeSizeBytes)*est.Nodes
+}
+
+// TuningPoint is one node-size candidate in a tuning sweep.
+type TuningPoint struct {
+	// NodeSize is the node size in bytes.
+	NodeSize int
+	// Est is the predicted query cost at this node size.
+	Est CostEstimate
+	// TotalMS is the combined predicted cost under the disk parameters.
+	TotalMS float64
+}
+
+// BestNodeSize returns the sweep point minimizing TotalMS. The sweep
+// points are produced by the caller (one cost model per candidate tree);
+// this helper exists so examples and experiments share the selection
+// rule.
+func BestNodeSize(points []TuningPoint) (TuningPoint, error) {
+	if len(points) == 0 {
+		return TuningPoint{}, fmt.Errorf("core: empty tuning sweep")
+	}
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.TotalMS < best.TotalMS {
+			best = p
+		}
+	}
+	return best, nil
+}

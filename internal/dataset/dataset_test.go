@@ -1,0 +1,264 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mcost/internal/metric"
+)
+
+func TestUniformDeterministic(t *testing.T) {
+	a := Uniform(100, 5, 42)
+	b := Uniform(100, 5, 42)
+	for i := range a.Objects {
+		va := a.Objects[i].(metric.Vector)
+		vb := b.Objects[i].(metric.Vector)
+		for j := range va {
+			if va[j] != vb[j] {
+				t.Fatalf("object %d coordinate %d differs", i, j)
+			}
+		}
+	}
+	c := Uniform(100, 5, 43)
+	if c.Objects[0].(metric.Vector)[0] == a.Objects[0].(metric.Vector)[0] {
+		t.Fatal("different seeds produced identical first coordinate")
+	}
+}
+
+func TestUniformInUnitCube(t *testing.T) {
+	d := Uniform(500, 8, 1)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range d.Objects {
+		for _, x := range o.(metric.Vector) {
+			if x < 0 || x >= 1 {
+				t.Fatalf("coordinate %g outside [0,1)", x)
+			}
+		}
+	}
+	if d.N() != 500 {
+		t.Fatalf("N = %d", d.N())
+	}
+}
+
+func TestClusteredShape(t *testing.T) {
+	d := PaperClustered(2000, 10, 7)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Clamped into the unit cube.
+	for _, o := range d.Objects {
+		for _, x := range o.(metric.Vector) {
+			if x < 0 || x > 1 {
+				t.Fatalf("coordinate %g outside [0,1]", x)
+			}
+		}
+	}
+	// Clustering: the mean nearest-neighbor distance should be far below
+	// that of a uniform set of the same size (points concentrate).
+	u := Uniform(2000, 10, 7)
+	rng := rand.New(rand.NewSource(1))
+	nnMean := func(ds *Dataset) float64 {
+		var sum float64
+		const probes = 50
+		for i := 0; i < probes; i++ {
+			q := ds.Objects[rng.Intn(ds.N())]
+			best := math.Inf(1)
+			for _, o := range ds.Objects {
+				if &o == &q {
+					continue
+				}
+				dd := ds.Space.Distance(q, o)
+				if dd > 0 && dd < best {
+					best = dd
+				}
+			}
+			sum += best
+		}
+		return sum / probes
+	}
+	if c, un := nnMean(d), nnMean(u); c >= un {
+		t.Fatalf("clustered NN mean %g not below uniform %g", c, un)
+	}
+}
+
+func TestClusteredPanicsOnBadClusters(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("clusters=0 should panic")
+		}
+	}()
+	Clustered(10, 2, 0, 0.1, 1)
+}
+
+func TestHypercubeMidpoint(t *testing.T) {
+	d := HypercubeMidpoint(4)
+	if d.N() != 17 { // 2^4 + 1
+		t.Fatalf("N = %d, want 17", d.N())
+	}
+	// Any two distinct cube vertices are at L∞ distance exactly 1; the
+	// midpoint is at 0.5 from every vertex.
+	mid := d.Objects[d.N()-1].(metric.Vector)
+	for _, x := range mid {
+		if x != 0.5 {
+			t.Fatalf("last object is not the midpoint: %v", mid)
+		}
+	}
+	for i := 0; i < d.N()-1; i++ {
+		if got := d.Space.Distance(d.Objects[i], mid); got != 0.5 {
+			t.Fatalf("d(vertex, midpoint) = %g, want 0.5", got)
+		}
+		for j := i + 1; j < d.N()-1; j++ {
+			if got := d.Space.Distance(d.Objects[i], d.Objects[j]); got != 1 {
+				t.Fatalf("d(vertex %d, vertex %d) = %g, want 1", i, j, got)
+			}
+		}
+	}
+}
+
+func TestHypercubeMidpointPanics(t *testing.T) {
+	for _, dim := range []int{0, -1, 21} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("dim=%d should panic", dim)
+				}
+			}()
+			HypercubeMidpoint(dim)
+		}()
+	}
+}
+
+func TestSample(t *testing.T) {
+	d := Uniform(50, 3, 2)
+	rng := rand.New(rand.NewSource(3))
+	s := d.Sample(rng, 10)
+	if len(s) != 10 {
+		t.Fatalf("sample size %d", len(s))
+	}
+	s2 := d.Sample(rng, 100)
+	if len(s2) != 50 {
+		t.Fatalf("oversized sample returned %d, want all 50", len(s2))
+	}
+	// Without replacement: all distinct pointers within one draw.
+	seen := map[*float64]bool{}
+	for _, o := range s2 {
+		v := o.(metric.Vector)
+		if seen[&v[0]] {
+			t.Fatal("duplicate object in sample")
+		}
+		seen[&v[0]] = true
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	d := &Dataset{Name: "x"}
+	if err := d.Validate(); err == nil {
+		t.Error("nil space accepted")
+	}
+	d.Space = metric.VectorSpace("L2", 2)
+	if err := d.Validate(); err == nil {
+		t.Error("empty objects accepted")
+	}
+}
+
+func TestQueriesDisjointFromDataset(t *testing.T) {
+	d := PaperClustered(1000, 5, 11)
+	q := PaperClusteredQueries(100, 5, 11)
+	set := make(map[string]bool, d.N())
+	key := func(o metric.Object) string {
+		v := o.(metric.Vector)
+		b := make([]byte, 0, len(v)*8)
+		for _, x := range v {
+			b = append(b, byte(math.Float64bits(x)), byte(math.Float64bits(x)>>8))
+		}
+		return string(b)
+	}
+	for _, o := range d.Objects {
+		set[key(o)] = true
+	}
+	for _, o := range q.Queries {
+		if set[key(o)] {
+			t.Fatal("query object coincides with an indexed object")
+		}
+	}
+}
+
+func TestClusteredQueriesShareCenters(t *testing.T) {
+	// Queries drawn with the dataset's seed should be close to the data;
+	// with a different center seed they should be farther on average.
+	dim := 20
+	d := PaperClustered(2000, dim, 5)
+	same := PaperClusteredQueries(50, dim, 5)
+	other := PaperClusteredQueries(50, dim, 99)
+	nn := func(q metric.Object) float64 {
+		best := math.Inf(1)
+		for _, o := range d.Objects {
+			if dd := d.Space.Distance(q, o); dd < best {
+				best = dd
+			}
+		}
+		return best
+	}
+	var sumSame, sumOther float64
+	for i := range same.Queries {
+		sumSame += nn(same.Queries[i])
+		sumOther += nn(other.Queries[i])
+	}
+	if sumSame >= sumOther {
+		t.Fatalf("same-center queries are not closer: %g vs %g", sumSame, sumOther)
+	}
+}
+
+func TestUniformQueries(t *testing.T) {
+	q := UniformQueries(25, 4, 9)
+	if len(q.Queries) != 25 {
+		t.Fatalf("got %d queries", len(q.Queries))
+	}
+}
+
+func TestRingGeometry(t *testing.T) {
+	d := Ring(1000, 0.01, 51)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All points close to radius 0.4 from the center.
+	for _, o := range d.Objects {
+		v := o.(metric.Vector)
+		dx, dy := v[0]-0.5, v[1]-0.5
+		r := math.Sqrt(dx*dx + dy*dy)
+		if r < 0.3 || r > 0.5 {
+			t.Fatalf("point at radius %g off the ring", r)
+		}
+	}
+}
+
+func TestSierpinskiSelfSimilar(t *testing.T) {
+	d := Sierpinski(5000, 52)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every point lies in the bounding triangle, and the central hole
+	// (the removed middle triangle) is empty: points in the middle
+	// quarter-triangle region around the centroid of the three midpoints
+	// must be rare.
+	hole := 0
+	for _, o := range d.Objects {
+		v := o.(metric.Vector)
+		x, y := v[0], v[1]
+		if y < -1e-9 || y > math.Sqrt(3)/2+1e-9 || x < -1e-9 || x > 1+1e-9 {
+			t.Fatalf("point (%g,%g) outside the triangle", x, y)
+		}
+		// The removed central triangle has vertices (0.25, sqrt3/4),
+		// (0.75, sqrt3/4), (0.5, 0): test a disc inside it.
+		cx, cy := 0.5, math.Sqrt(3)/6
+		if (x-cx)*(x-cx)+(y-cy)*(y-cy) < 0.01 {
+			hole++
+		}
+	}
+	if hole > 0 {
+		t.Fatalf("%d points inside the Sierpinski hole", hole)
+	}
+}

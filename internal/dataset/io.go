@@ -1,0 +1,198 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"mcost/internal/metric"
+)
+
+// Datasets are saved in a small line-oriented text format so they can be
+// inspected and diffed:
+//
+//	mcost-dataset v1
+//	name <name>
+//	space <vector|edit> <param>
+//	n <count>
+//	<one object per line>
+//
+// Vector objects are space-separated floats; string objects are raw
+// lines. The format round-trips every dataset this package generates.
+
+// Save writes the dataset to w.
+func Save(w io.Writer, d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	var kind, param string
+	switch d.Objects[0].(type) {
+	case metric.Vector:
+		kind = "vector"
+		switch d.Space.Name {
+		case "L1", "L2", "Linf":
+			param = fmt.Sprintf("%s %d", d.Space.Name, len(d.Objects[0].(metric.Vector)))
+		default:
+			return fmt.Errorf("dataset: cannot save vector space %q", d.Space.Name)
+		}
+	case string:
+		kind = "edit"
+		param = strconv.Itoa(int(d.Space.Bound))
+	default:
+		return fmt.Errorf("dataset: cannot save object type %T", d.Objects[0])
+	}
+	fmt.Fprintln(bw, "mcost-dataset v1")
+	fmt.Fprintf(bw, "name %s\n", d.Name)
+	fmt.Fprintf(bw, "space %s %s\n", kind, param)
+	fmt.Fprintf(bw, "n %d\n", len(d.Objects))
+	for _, o := range d.Objects {
+		switch v := o.(type) {
+		case metric.Vector:
+			for i, x := range v {
+				if i > 0 {
+					bw.WriteByte(' ')
+				}
+				bw.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+			}
+			bw.WriteByte('\n')
+		case string:
+			if strings.ContainsAny(v, "\n\r") {
+				return fmt.Errorf("dataset: string object contains newline: %q", v)
+			}
+			bw.WriteString(v)
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the dataset to the named file.
+func SaveFile(path string, d *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a dataset previously written by Save.
+func Load(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	readLine := func() (string, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return "", err
+			}
+			return "", io.ErrUnexpectedEOF
+		}
+		return sc.Text(), nil
+	}
+	header, err := readLine()
+	if err != nil {
+		return nil, err
+	}
+	if header != "mcost-dataset v1" {
+		return nil, fmt.Errorf("dataset: bad header %q", header)
+	}
+	nameLine, err := readLine()
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasPrefix(nameLine, "name ") {
+		return nil, fmt.Errorf("dataset: bad name line %q", nameLine)
+	}
+	name := strings.TrimPrefix(nameLine, "name ")
+
+	spaceLine, err := readLine()
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(spaceLine)
+	if len(fields) < 3 || fields[0] != "space" {
+		return nil, fmt.Errorf("dataset: bad space line %q", spaceLine)
+	}
+	var space *metric.Space
+	var parseVec bool
+	var dim int
+	switch fields[1] {
+	case "vector":
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("dataset: bad vector space line %q", spaceLine)
+		}
+		dim, err = strconv.Atoi(fields[3])
+		if err != nil || dim <= 0 {
+			return nil, fmt.Errorf("dataset: bad dimension in %q", spaceLine)
+		}
+		switch fields[2] {
+		case "L1", "L2", "Linf":
+		default:
+			return nil, fmt.Errorf("dataset: unknown vector metric %q", fields[2])
+		}
+		space = metric.VectorSpace(fields[2], dim)
+		parseVec = true
+	case "edit":
+		maxLen, err := strconv.Atoi(fields[2])
+		if err != nil || maxLen <= 0 {
+			return nil, fmt.Errorf("dataset: bad edit bound in %q", spaceLine)
+		}
+		space = metric.EditSpace(maxLen)
+	default:
+		return nil, fmt.Errorf("dataset: unknown space kind %q", fields[1])
+	}
+
+	nLine, err := readLine()
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasPrefix(nLine, "n ") {
+		return nil, fmt.Errorf("dataset: bad count line %q", nLine)
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(nLine, "n "))
+	if err != nil || n <= 0 {
+		return nil, fmt.Errorf("dataset: bad count in %q", nLine)
+	}
+
+	objs := make([]metric.Object, 0, n)
+	for i := 0; i < n; i++ {
+		line, err := readLine()
+		if err != nil {
+			return nil, fmt.Errorf("dataset: object %d: %w", i, err)
+		}
+		if parseVec {
+			parts := strings.Fields(line)
+			if len(parts) != dim {
+				return nil, fmt.Errorf("dataset: object %d has %d coordinates, want %d", i, len(parts), dim)
+			}
+			v := make(metric.Vector, dim)
+			for j, p := range parts {
+				v[j], err = strconv.ParseFloat(p, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: object %d coordinate %d: %w", i, j, err)
+				}
+			}
+			objs = append(objs, v)
+		} else {
+			objs = append(objs, line)
+		}
+	}
+	return &Dataset{Name: name, Space: space, Objects: objs}, nil
+}
+
+// LoadFile reads a dataset from the named file.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

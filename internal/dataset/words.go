@@ -1,0 +1,166 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"mcost/internal/metric"
+)
+
+// The paper's five text datasets are the keyword vocabularies of Italian
+// literary masterpieces (Decamerone, Divina Commedia, Gerusalemme
+// Liberata, Orlando Furioso, Promessi Sposi), 11,973-19,846 unique words
+// compared with the edit distance, maximum observed distance 25.
+//
+// Those corpora are not available offline, so Words synthesizes
+// vocabularies with the same statistical profile: Italian-like syllabic
+// morphology (consonant-vowel structure, common digraphs, vowel endings),
+// a length distribution concentrated between 4 and 14 characters with a
+// thin tail up to ~24, and uniqueness. The M-tree and cost model only
+// interact with the *distance distribution* these words induce, which the
+// generator reproduces: unimodal, roughly bell-shaped over 1..~20 with a
+// bounded support matching a 25-bin histogram.
+
+var (
+	wordOnsets = []string{
+		"b", "c", "d", "f", "g", "l", "m", "n", "p", "r", "s", "t", "v", "z",
+		"br", "cr", "dr", "fr", "gr", "pr", "tr", "bl", "cl", "fl", "gl", "pl",
+		"sc", "sp", "st", "sv", "sb", "ch", "gh", "gn", "qu", "str", "spr", "scr",
+	}
+	wordVowels = []string{
+		"a", "e", "i", "o", "u", "a", "e", "i", "o", // weight plain vowels
+		"ia", "io", "ie", "uo", "ai", "au", "ea",
+	}
+	wordCodas = []string{"", "", "", "", "n", "r", "l", "s", "m"}
+	// Italian words overwhelmingly end in a vowel.
+	wordEndings = []string{"a", "e", "i", "o", "a", "e", "o", "ia", "io", "one", "ione", "ezza", "mente", "are", "ere", "ire", "ato", "uto", "ita"}
+)
+
+func synthWord(rng *rand.Rand, syllables int) string {
+	var sb strings.Builder
+	for s := 0; s < syllables; s++ {
+		sb.WriteString(wordOnsets[rng.Intn(len(wordOnsets))])
+		sb.WriteString(wordVowels[rng.Intn(len(wordVowels))])
+		if rng.Float64() < 0.15 {
+			sb.WriteString(wordCodas[rng.Intn(len(wordCodas))])
+		}
+	}
+	sb.WriteString(wordEndings[rng.Intn(len(wordEndings))])
+	return sb.String()
+}
+
+// syllableCount draws the number of stem syllables: a mixture peaking at
+// 2-3 syllables (total word length ~6-10) with a thin long tail.
+func syllableCount(rng *rand.Rand) int {
+	u := rng.Float64()
+	switch {
+	case u < 0.18:
+		return 1
+	case u < 0.55:
+		return 2
+	case u < 0.85:
+		return 3
+	case u < 0.96:
+		return 4
+	case u < 0.995:
+		return 5
+	default:
+		return 6 + rng.Intn(3)
+	}
+}
+
+// maxWordLen caps generated words so the maximum edit distance stays at
+// the paper's observed bound of 25.
+const maxWordLen = 25
+
+// Words generates a deterministic vocabulary of n unique synthetic
+// keywords under the edit metric with d+ = 25, the substitute for the
+// paper's Italian text datasets.
+func Words(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool, n)
+	objs := make([]metric.Object, 0, n)
+	for len(objs) < n {
+		w := synthWord(rng, syllableCount(rng))
+		if len(w) > maxWordLen {
+			w = w[:maxWordLen]
+		}
+		if len(w) < 2 || seen[w] {
+			continue
+		}
+		seen[w] = true
+		objs = append(objs, w)
+	}
+	return &Dataset{
+		Name:    fmt.Sprintf("words-n%d", n),
+		Space:   metric.EditSpace(maxWordLen),
+		Objects: objs,
+	}
+}
+
+// TextDataset describes one of the paper's Table 1 vocabularies by name
+// and size; Build synthesizes its stand-in.
+type TextDataset struct {
+	Code string // paper's abbreviation: D, DC, GL, OF, PS
+	Name string // source work
+	Size int    // unique keywords in the original
+}
+
+// PaperTextDatasets lists the five Table 1 vocabularies with their
+// original sizes.
+func PaperTextDatasets() []TextDataset {
+	return []TextDataset{
+		{Code: "D", Name: "Decamerone", Size: 17936},
+		{Code: "DC", Name: "Divina Commedia", Size: 12701},
+		{Code: "GL", Name: "Gerusalemme Liberata", Size: 11973},
+		{Code: "OF", Name: "Orlando Furioso", Size: 18719},
+		{Code: "PS", Name: "Promessi Sposi", Size: 19846},
+	}
+}
+
+// Build synthesizes the stand-in vocabulary for this text dataset. Each
+// code maps to a distinct deterministic seed so the five vocabularies
+// differ, as the originals do.
+func (td TextDataset) Build() *Dataset {
+	var seed int64
+	for _, c := range td.Code {
+		seed = seed*131 + int64(c)
+	}
+	d := Words(td.Size, seed)
+	d.Name = fmt.Sprintf("text-%s-n%d", td.Code, td.Size)
+	return d
+}
+
+// WordQueries draws nq query words from the same generator but a
+// different stream, so they rarely belong to the vocabulary (biased query
+// model).
+func WordQueries(nq int, seed int64) *QueryWorkload {
+	d := Words(nq, seed+7717)
+	return &QueryWorkload{Name: "word-queries", Queries: d.Objects}
+}
+
+// LengthHistogram reports how many words have each byte length; useful in
+// tests and dataset diagnostics.
+func LengthHistogram(d *Dataset) map[int]int {
+	out := make(map[int]int)
+	for _, o := range d.Objects {
+		w, ok := o.(string)
+		if !ok {
+			return nil
+		}
+		out[len(w)]++
+	}
+	return out
+}
+
+// SortedLengths returns the distinct word lengths in increasing order.
+func SortedLengths(h map[int]int) []int {
+	out := make([]int, 0, len(h))
+	for k := range h {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

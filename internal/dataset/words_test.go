@@ -1,0 +1,228 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"mcost/internal/metric"
+)
+
+func TestWordsUniqueAndBounded(t *testing.T) {
+	d := Words(3000, 1)
+	if d.N() != 3000 {
+		t.Fatalf("N = %d", d.N())
+	}
+	seen := map[string]bool{}
+	for _, o := range d.Objects {
+		w := o.(string)
+		if seen[w] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		seen[w] = true
+		if len(w) < 2 || len(w) > maxWordLen {
+			t.Fatalf("word %q length %d outside [2,%d]", w, len(w), maxWordLen)
+		}
+	}
+}
+
+func TestWordsDeterministic(t *testing.T) {
+	a := Words(500, 7)
+	b := Words(500, 7)
+	for i := range a.Objects {
+		if a.Objects[i] != b.Objects[i] {
+			t.Fatalf("word %d differs between equal seeds", i)
+		}
+	}
+	c := Words(500, 8)
+	diff := 0
+	for i := range a.Objects {
+		if a.Objects[i] != c.Objects[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical vocabulary")
+	}
+}
+
+func TestWordsLengthProfile(t *testing.T) {
+	d := Words(5000, 2)
+	h := LengthHistogram(d)
+	// Bulk between 4 and 14 characters, like natural vocabularies.
+	bulk := 0
+	for l, c := range h {
+		if l >= 4 && l <= 14 {
+			bulk += c
+		}
+	}
+	if frac := float64(bulk) / 5000; frac < 0.8 {
+		t.Fatalf("only %.0f%% of words in the 4-14 char bulk", frac*100)
+	}
+	lengths := SortedLengths(h)
+	if lengths[len(lengths)-1] > maxWordLen {
+		t.Fatalf("max length %d exceeds %d", lengths[len(lengths)-1], maxWordLen)
+	}
+}
+
+func TestWordsDistanceDistributionShape(t *testing.T) {
+	// Pairwise edit distances should be unimodal-ish with a mode well
+	// inside (0, 25) — distances concentrated neither at 0 nor at the cap.
+	d := Words(300, 3)
+	counts := make([]int, maxWordLen+1)
+	for i := 0; i < d.N(); i++ {
+		for j := i + 1; j < d.N(); j++ {
+			dd := int(d.Space.Distance(d.Objects[i], d.Objects[j]))
+			counts[dd]++
+		}
+	}
+	mode, best := 0, 0
+	total := 0
+	for v, c := range counts {
+		total += c
+		if c > best {
+			best, mode = c, v
+		}
+	}
+	if mode < 3 || mode > 15 {
+		t.Fatalf("mode of edit distances = %d, want within [3,15]", mode)
+	}
+	if counts[0] != 0 {
+		t.Fatalf("%d duplicate pairs at distance 0", counts[0])
+	}
+	if counts[maxWordLen] > total/100 {
+		t.Fatalf("too much mass at the distance cap: %d of %d", counts[maxWordLen], total)
+	}
+}
+
+func TestPaperTextDatasets(t *testing.T) {
+	tds := PaperTextDatasets()
+	if len(tds) != 5 {
+		t.Fatalf("got %d text datasets", len(tds))
+	}
+	wantSizes := map[string]int{"D": 17936, "DC": 12701, "GL": 11973, "OF": 18719, "PS": 19846}
+	for _, td := range tds {
+		if wantSizes[td.Code] != td.Size {
+			t.Errorf("%s: size %d, want %d", td.Code, td.Size, wantSizes[td.Code])
+		}
+	}
+	// Build a scaled-down check that Build produces distinct vocabularies.
+	a := TextDataset{Code: "D", Size: 200}.Build()
+	b := TextDataset{Code: "DC", Size: 200}.Build()
+	if a.Objects[0] == b.Objects[0] && a.Objects[1] == b.Objects[1] {
+		t.Error("different codes produced identical vocabularies")
+	}
+	if a.Space.Bound != maxWordLen {
+		t.Errorf("bound = %g, want %d", a.Space.Bound, maxWordLen)
+	}
+}
+
+func TestWordQueriesMostlyOutsideVocabulary(t *testing.T) {
+	d := Words(2000, 5)
+	q := WordQueries(200, 5)
+	vocab := map[string]bool{}
+	for _, o := range d.Objects {
+		vocab[o.(string)] = true
+	}
+	in := 0
+	for _, o := range q.Queries {
+		if vocab[o.(string)] {
+			in++
+		}
+	}
+	if in > len(q.Queries)/4 {
+		t.Fatalf("%d of %d queries belong to the vocabulary", in, len(q.Queries))
+	}
+}
+
+func TestSaveLoadRoundTripVectors(t *testing.T) {
+	d := Uniform(50, 4, 12)
+	var buf bytes.Buffer
+	if err := Save(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != d.Name || got.N() != d.N() {
+		t.Fatalf("round trip changed name/N: %q/%d", got.Name, got.N())
+	}
+	if got.Space.Name != "Linf" {
+		t.Fatalf("space = %q", got.Space.Name)
+	}
+	for i := range d.Objects {
+		a := d.Objects[i].(metric.Vector)
+		b := got.Objects[i].(metric.Vector)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("object %d coordinate %d: %g != %g", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestSaveLoadRoundTripWords(t *testing.T) {
+	d := Words(100, 4)
+	var buf bytes.Buffer
+	if err := Save(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Space.Bound != d.Space.Bound || !got.Space.Discrete {
+		t.Fatalf("space mismatch after round trip")
+	}
+	for i := range d.Objects {
+		if d.Objects[i] != got.Objects[i] {
+			t.Fatalf("word %d differs", i)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ds.txt")
+	d := Uniform(10, 2, 1)
+	if err := SaveFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 10 {
+		t.Fatalf("N = %d", got.N())
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong header\n",
+		"mcost-dataset v1\nname x\nspace vector L9 3\nn 1\n0 0 0\n",
+		"mcost-dataset v1\nname x\nspace vector Linf 3\nn 2\n0 0 0\n", // truncated
+		"mcost-dataset v1\nname x\nspace vector Linf 3\nn 1\n0 0\n",   // wrong dim
+		"mcost-dataset v1\nname x\nspace edit 0\nn 1\nabc\n",          // bad bound
+		"mcost-dataset v1\nname x\nspace alien 1\nn 1\nabc\n",
+		"mcost-dataset v1\nname x\nspace edit 25\nn 0\n",
+	}
+	for i, c := range cases {
+		if _, err := Load(bytes.NewReader([]byte(c))); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestSaveRejectsUnknownTypes(t *testing.T) {
+	d := &Dataset{
+		Name:    "bad",
+		Space:   metric.VectorSpace("L2", 2),
+		Objects: []metric.Object{42},
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, d); err == nil {
+		t.Fatal("int object accepted")
+	}
+}

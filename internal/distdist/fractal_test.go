@@ -1,0 +1,99 @@
+package distdist
+
+import (
+	"math"
+	"testing"
+
+	"mcost/internal/dataset"
+)
+
+func TestCorrelationDimensionUniform(t *testing.T) {
+	// Uniform data in D dimensions under L∞ has correlation dimension D
+	// (small-radius balls are cubes with volume (2r)^D).
+	for _, dim := range []int{2, 4} {
+		d := dataset.Uniform(6000, dim, int64(600+dim))
+		f, err := Estimate(d, Options{Bins: 200, MaxPairs: 400000, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := CorrelationDimension(f, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(d2-float64(dim)) > 0.8 {
+			t.Errorf("D=%d: correlation dimension %.2f", dim, d2)
+		}
+	}
+}
+
+func TestCorrelationDimensionClusteredBelowUniform(t *testing.T) {
+	// Clustered data has lower intrinsic dimensionality than uniform in
+	// the same embedding dimension.
+	dim := 10
+	u := dataset.Uniform(4000, dim, 610)
+	c := dataset.PaperClustered(4000, dim, 610)
+	fu, err := Estimate(u, Options{Bins: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := Estimate(c, Options{Bins: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	du, err := CorrelationDimension(fu, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := CorrelationDimension(fc, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc >= du {
+		t.Fatalf("clustered D2 %.2f not below uniform %.2f", dc, du)
+	}
+}
+
+func TestCorrelationDimensionErrors(t *testing.T) {
+	if _, err := CorrelationDimension(nil, 0, 0); err == nil {
+		t.Error("nil histogram accepted")
+	}
+	d := dataset.Uniform(500, 3, 620)
+	f, _ := Estimate(d, Options{Seed: 1})
+	if _, err := CorrelationDimension(f, 0.5, 0.1); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := CorrelationDimension(f, 0.1, 99); err == nil {
+		t.Error("range beyond bound accepted")
+	}
+}
+
+func TestCorrelationDimensionIntrinsic(t *testing.T) {
+	// The estimator must recover INTRINSIC dimension: a ring embedded in
+	// 2-D has D2 ≈ 1; the Sierpinski triangle has D2 = log3/log2 ≈ 1.585.
+	ring := dataset.Ring(6000, 0.005, 61)
+	fr, err := Estimate(ring, Options{Bins: 400, MaxPairs: 400000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := CorrelationDimension(fr, 0.01, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d2-1) > 0.25 {
+		t.Errorf("ring D2 = %.2f, want ≈ 1", d2)
+	}
+
+	sier := dataset.Sierpinski(6000, 62)
+	fs, err := Estimate(sier, Options{Bins: 400, MaxPairs: 400000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(3) / math.Log(2) // 1.585
+	d2s, err := CorrelationDimension(fs, 0.01, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d2s-want) > 0.25 {
+		t.Errorf("Sierpinski D2 = %.2f, want ≈ %.3f", d2s, want)
+	}
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"mcost/internal/core"
+	"mcost/internal/dataset"
+	"mcost/internal/distdist"
+	"mcost/internal/mtree"
+	"mcost/internal/pager"
+)
+
+// CacheRow is one buffer-pool size in the logical-vs-physical sweep.
+type CacheRow struct {
+	CachePages    int
+	HitRate       float64
+	PhysicalReads float64 // per query
+}
+
+// CacheResult relates the cost model's logical I/O prediction to the
+// physical reads of a buffered system: the model predicts every node
+// access (cold buffer pool); an LRU of C pages absorbs re-references —
+// the upper tree levels first — so physical I/O falls toward the leaf
+// accesses as the cache grows.
+type CacheResult struct {
+	TreePages    int
+	LogicalModel float64 // N-MCM predicted node accesses per query
+	LogicalAct   float64 // measured logical accesses per query
+	Rows         []CacheRow
+}
+
+// RunCache builds one paged tree, snapshots it, and replays the same
+// workload through LRU caches of increasing size.
+func RunCache(cfg Config) (*CacheResult, error) {
+	cfg = cfg.withDefaults()
+	const dim = 8
+	d := dataset.PaperClustered(cfg.N, dim, cfg.Seed)
+	queries := dataset.PaperClusteredQueries(cfg.Queries, dim, cfg.Seed).Queries
+	radius := 0.25
+
+	base, err := pager.NewMem(cfg.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	codec := mtree.VectorCodec{Dim: dim}
+	tr, err := mtree.New(mtree.Options{
+		Space: d.Space, PageSize: cfg.PageSize, Pager: base, Codec: codec, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := tr.BulkLoad(d.Objects); err != nil {
+		return nil, err
+	}
+	var snap bytes.Buffer
+	if err := tr.Snapshot(&snap); err != nil {
+		return nil, err
+	}
+	stats, err := tr.CollectStats()
+	if err != nil {
+		return nil, err
+	}
+	f, err := distdist.Estimate(d, distdist.Options{Seed: cfg.Seed + 1})
+	if err != nil {
+		return nil, err
+	}
+	model, err := core.NewMTreeModel(f, stats)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &CacheResult{
+		TreePages:    tr.NumNodes(),
+		LogicalModel: model.RangeN(radius).Nodes,
+	}
+	nq := float64(len(queries))
+
+	// Logical baseline: the uncached tree.
+	base.ResetStats()
+	tr.ResetCounters()
+	for _, q := range queries {
+		if _, err := tr.Range(q, radius, mtree.QueryOptions{}); err != nil {
+			return nil, err
+		}
+	}
+	res.LogicalAct = float64(tr.NodeReads()) / nq
+
+	for _, cachePages := range []int{4, 16, 64, 256} {
+		cache, err := pager.NewCache(base, cachePages)
+		if err != nil {
+			return nil, err
+		}
+		cached, err := mtree.Restore(bytes.NewReader(snap.Bytes()), mtree.Options{
+			Space: d.Space, Pager: cache, Codec: codec, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		base.ResetStats()
+		cache.ResetCacheStats()
+		for _, q := range queries {
+			if _, err := cached.Range(q, radius, mtree.QueryOptions{}); err != nil {
+				return nil, err
+			}
+		}
+		cs := cache.CacheStats()
+		res.Rows = append(res.Rows, CacheRow{
+			CachePages:    cachePages,
+			HitRate:       cs.HitRate(),
+			PhysicalReads: float64(base.Stats().Reads) / nq,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r *CacheResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Buffer pool vs the model's logical I/O (tree of %d pages; model predicts %.1f logical reads/query, measured %.1f)",
+			r.TreePages, r.LogicalModel, r.LogicalAct),
+		Columns: []string{"cache pages", "hit rate", "physical reads/query"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", row.CachePages),
+			fmt.Sprintf("%.0f%%", row.HitRate*100),
+			f1(row.PhysicalReads),
+		})
+	}
+	return t
+}

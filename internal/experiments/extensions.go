@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mcost/internal/dataset"
+	"mcost/internal/mtree"
+)
+
+// NNKRow is one k point of the general-k nearest-neighbor validation.
+// The paper derives the k-NN distance distribution for arbitrary k
+// (Eq. 9-11) but only evaluates k=1 (Figure 2); this experiment
+// validates the full generalization.
+type NNKRow struct {
+	K int
+
+	ActualDists float64
+	LMCMDists   float64
+	ActualNodes float64
+	LMCMNodes   float64
+
+	ActualKDist float64
+	EstKDist    float64
+}
+
+// NNKResult extends Figure 2 to a sweep over k.
+type NNKResult struct {
+	Dim  int
+	Rows []NNKRow
+}
+
+// NNKs is the k sweep.
+var NNKs = []int{1, 2, 5, 10, 20, 50}
+
+// RunNNK validates the general-k model on clustered D=10 data.
+func RunNNK(cfg Config) (*NNKResult, error) {
+	cfg = cfg.withDefaults()
+	const dim = 10
+	res := &NNKResult{Dim: dim}
+	d := dataset.PaperClustered(cfg.N, dim, cfg.Seed)
+	b, err := buildFor(d, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("nnk: %w", err)
+	}
+	queries := dataset.PaperClusteredQueries(cfg.Queries, dim, cfg.Seed).Queries
+	for _, k := range NNKs {
+		if k >= cfg.N {
+			continue
+		}
+		actNodes, actDists, actKDist, err := b.measureNN(queries, k)
+		if err != nil {
+			return nil, err
+		}
+		est := b.model.NNL(k)
+		res.Rows = append(res.Rows, NNKRow{
+			K:           k,
+			ActualDists: actDists, LMCMDists: est.Dists,
+			ActualNodes: actNodes, LMCMNodes: est.Nodes,
+			ActualKDist: actKDist, EstKDist: b.model.ExpectedNNDist(k),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the k sweep.
+func (r *NNKResult) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Extension: NN(Q,k) for general k (clustered D=%d; the paper evaluates k=1 only)", r.Dim),
+		Columns: []string{"k", "act dists", "L-MCM", "err", "act nodes", "L-MCM", "err", "act nn_k", "E[nn_k]", "err"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", row.K),
+			f1(row.ActualDists), f1(row.LMCMDists), pct(row.LMCMDists, row.ActualDists),
+			f1(row.ActualNodes), f1(row.LMCMNodes), pct(row.LMCMNodes, row.ActualNodes),
+			f3(row.ActualKDist), f3(row.EstKDist), pct(row.EstKDist, row.ActualKDist),
+		})
+	}
+	return t
+}
+
+// ComplexRow is one radius pair of the complex-query validation (the
+// paper's §6 extension: conjunctions and disjunctions of range
+// predicates).
+type ComplexRow struct {
+	R1, R2 float64
+
+	AndActNodes  float64
+	AndPredNodes float64
+	AndActObjs   float64
+	AndPredObjs  float64
+
+	OrActNodes  float64
+	OrPredNodes float64
+	OrActObjs   float64
+	OrPredObjs  float64
+}
+
+// ComplexResult validates the complex-query cost model.
+type ComplexResult struct {
+	Dim  int
+	Rows []ComplexRow
+}
+
+// RunComplex measures two-predicate conjunctions and disjunctions with
+// independent query objects drawn from the data distribution, against
+// the independence-based model.
+func RunComplex(cfg Config) (*ComplexResult, error) {
+	cfg = cfg.withDefaults()
+	const dim = 8
+	res := &ComplexResult{Dim: dim}
+	d := dataset.PaperClustered(cfg.N, dim, cfg.Seed)
+	b, err := buildFor(d, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("complex: %w", err)
+	}
+	qs := dataset.PaperClusteredQueries(2*cfg.Queries, dim, cfg.Seed).Queries
+	qa, qb := qs[:cfg.Queries], qs[cfg.Queries:]
+	for _, radii := range [][2]float64{{0.2, 0.25}, {0.3, 0.35}, {0.4, 0.4}} {
+		row := ComplexRow{R1: radii[0], R2: radii[1]}
+		preds := func(i int) []mtree.Pred {
+			return []mtree.Pred{
+				{Q: qa[i], Radius: radii[0]},
+				{Q: qb[i], Radius: radii[1]},
+			}
+		}
+		b.tr.ResetCounters()
+		var objs int
+		for i := range qa {
+			ms, err := b.tr.RangeAnd(preds(i), mtree.QueryOptions{})
+			if err != nil {
+				return nil, err
+			}
+			objs += len(ms)
+		}
+		nq := float64(len(qa))
+		row.AndActNodes = float64(b.tr.NodeReads()) / nq
+		row.AndActObjs = float64(objs) / nq
+
+		b.tr.ResetCounters()
+		objs = 0
+		for i := range qa {
+			ms, err := b.tr.RangeOr(preds(i), mtree.QueryOptions{})
+			if err != nil {
+				return nil, err
+			}
+			objs += len(ms)
+		}
+		row.OrActNodes = float64(b.tr.NodeReads()) / nq
+		row.OrActObjs = float64(objs) / nq
+
+		rr := []float64{radii[0], radii[1]}
+		row.AndPredNodes = b.model.RangeAndN(rr).Nodes
+		row.AndPredObjs = b.model.RangeAndObjects(rr)
+		row.OrPredNodes = b.model.RangeOrN(rr).Nodes
+		row.OrPredObjs = b.model.RangeOrObjects(rr)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the complex-query validation.
+func (r *ComplexResult) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Extension: complex queries, 2 independent predicates (clustered D=%d)", r.Dim),
+		Columns: []string{"r1", "r2", "AND nodes act/pred", "err", "AND objs act/pred", "OR nodes act/pred", "err", "OR objs act/pred"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			f2(row.R1), f2(row.R2),
+			f1(row.AndActNodes) + "/" + f1(row.AndPredNodes), pct(row.AndPredNodes, row.AndActNodes),
+			f1(row.AndActObjs) + "/" + f1(row.AndPredObjs),
+			f1(row.OrActNodes) + "/" + f1(row.OrPredNodes), pct(row.OrPredNodes, row.OrActNodes),
+			f1(row.OrActObjs) + "/" + f1(row.OrPredObjs),
+		})
+	}
+	return t
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"mcost/internal/dataset"
+)
+
+// Fig1Row is one dimensionality point of Figure 1: measured and
+// predicted range-query costs on the clustered datasets, with query
+// radius ᴰ√0.01 / 2 (a radius whose L∞ ball covers 1% of the unit
+// hypercube's volume).
+type Fig1Row struct {
+	Dim float64
+
+	ActualDists float64 // Figure 1(a): CPU cost
+	NMCMDists   float64
+	LMCMDists   float64
+
+	ActualNodes float64 // Figure 1(b): I/O cost
+	NMCMNodes   float64
+	LMCMNodes   float64
+
+	ActualObjs float64 // Figure 1(c): result cardinality
+	EstObjs    float64
+}
+
+// Fig1Result regenerates Figure 1.
+type Fig1Result struct {
+	Radius func(dim int) float64
+	Rows   []Fig1Row
+}
+
+// Fig1Dims is the dimensionality sweep of Figures 1 and 2.
+var Fig1Dims = []int{5, 10, 20, 30, 50}
+
+// RunFig1 builds one clustered dataset and tree per dimensionality,
+// measures 'Queries' range queries, and compares with the N-MCM and
+// L-MCM predictions.
+func RunFig1(cfg Config) (*Fig1Result, error) {
+	cfg = cfg.withDefaults()
+	radius := func(dim int) float64 { return math.Pow(0.01, 1/float64(dim)) / 2 }
+	res := &Fig1Result{Radius: radius}
+	for _, dim := range Fig1Dims {
+		d := dataset.PaperClustered(cfg.N, dim, cfg.Seed+int64(dim))
+		b, err := buildFor(d, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig1 D=%d: %w", dim, err)
+		}
+		queries := dataset.PaperClusteredQueries(cfg.Queries, dim, cfg.Seed+int64(dim)).Queries
+		rq := radius(dim)
+		actNodes, actDists, actObjs, err := b.measureRange(queries, rq)
+		if err != nil {
+			return nil, err
+		}
+		estN := b.model.RangeN(rq)
+		estL := b.model.RangeL(rq)
+		res.Rows = append(res.Rows, Fig1Row{
+			Dim:         float64(dim),
+			ActualDists: actDists, NMCMDists: estN.Dists, LMCMDists: estL.Dists,
+			ActualNodes: actNodes, NMCMNodes: estN.Nodes, LMCMNodes: estL.Nodes,
+			ActualObjs: actObjs, EstObjs: b.model.RangeObjects(rq),
+		})
+	}
+	return res, nil
+}
+
+// Tables renders the three panels of Figure 1.
+func (r *Fig1Result) Tables() []*Table {
+	a := &Table{
+		Title:   "Figure 1(a): CPU cost (distance computations) for range(Q, D-th root of 0.01 / 2)",
+		Columns: []string{"D", "actual", "N-MCM", "err", "L-MCM", "err"},
+	}
+	b := &Table{
+		Title:   "Figure 1(b): I/O cost (node reads)",
+		Columns: []string{"D", "actual", "N-MCM", "err", "L-MCM", "err"},
+	}
+	c := &Table{
+		Title:   "Figure 1(c): result cardinality",
+		Columns: []string{"D", "actual", "n*F(rq)", "err"},
+	}
+	for _, row := range r.Rows {
+		dcol := fmt.Sprintf("%.0f", row.Dim)
+		a.Rows = append(a.Rows, []string{dcol,
+			f1(row.ActualDists), f1(row.NMCMDists), pct(row.NMCMDists, row.ActualDists),
+			f1(row.LMCMDists), pct(row.LMCMDists, row.ActualDists)})
+		b.Rows = append(b.Rows, []string{dcol,
+			f1(row.ActualNodes), f1(row.NMCMNodes), pct(row.NMCMNodes, row.ActualNodes),
+			f1(row.LMCMNodes), pct(row.LMCMNodes, row.ActualNodes)})
+		c.Rows = append(c.Rows, []string{dcol,
+			f1(row.ActualObjs), f1(row.EstObjs), pct(row.EstObjs, row.ActualObjs)})
+	}
+	return []*Table{a, b, c}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mcost/internal/dataset"
+)
+
+// Fig2Row is one dimensionality point of Figure 2: measured NN(Q,1)
+// costs versus the three estimators the paper compares:
+//
+//  1. L-MCM — the full integral (Eq. 17-18);
+//  2. range(Q, E[nn]) — a range query at the expected NN distance;
+//  3. range(Q, r(1)) — a range query at the radius whose expected
+//     result cardinality is 1.
+type Fig2Row struct {
+	Dim float64
+
+	ActualDists float64 // Figure 2(a)
+	LMCMDists   float64
+	ENNDists    float64
+	R1Dists     float64
+
+	ActualNodes float64 // Figure 2(b)
+	LMCMNodes   float64
+	ENNNodes    float64
+	R1Nodes     float64
+
+	ActualNNDist float64 // Figure 2(c)
+	EstNNDist    float64 // E[nn_{Q,1}] (Eq. 14)
+	R1Dist       float64 // r(1)
+}
+
+// Fig2Result regenerates Figure 2.
+type Fig2Result struct {
+	Rows []Fig2Row
+}
+
+// RunFig2 sweeps dimensionality for NN(Q,1) queries on the clustered
+// datasets.
+func RunFig2(cfg Config) (*Fig2Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Fig2Result{}
+	for _, dim := range Fig1Dims {
+		d := dataset.PaperClustered(cfg.N, dim, cfg.Seed+int64(dim))
+		b, err := buildFor(d, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig2 D=%d: %w", dim, err)
+		}
+		queries := dataset.PaperClusteredQueries(cfg.Queries, dim, cfg.Seed+int64(dim)).Queries
+		actNodes, actDists, actNN, err := b.measureNN(queries, 1)
+		if err != nil {
+			return nil, err
+		}
+		lmcm := b.model.NNL(1)
+		enn := b.model.NNViaExpectedDist(1)
+		r1 := b.model.NNViaR1(1)
+		res.Rows = append(res.Rows, Fig2Row{
+			Dim:         float64(dim),
+			ActualDists: actDists, LMCMDists: lmcm.Dists, ENNDists: enn.Dists, R1Dists: r1.Dists,
+			ActualNodes: actNodes, LMCMNodes: lmcm.Nodes, ENNNodes: enn.Nodes, R1Nodes: r1.Nodes,
+			ActualNNDist: actNN,
+			EstNNDist:    b.model.ExpectedNNDist(1),
+			R1Dist:       b.model.RadiusForExpectedObjects(1),
+		})
+	}
+	return res, nil
+}
+
+// Tables renders the three panels of Figure 2.
+func (r *Fig2Result) Tables() []*Table {
+	a := &Table{
+		Title:   "Figure 2(a): CPU cost for NN(Q,1)",
+		Columns: []string{"D", "actual", "L-MCM", "err", "range(E[nn])", "err", "range(r(1))", "err"},
+	}
+	b := &Table{
+		Title:   "Figure 2(b): I/O cost for NN(Q,1)",
+		Columns: []string{"D", "actual", "L-MCM", "err", "range(E[nn])", "err", "range(r(1))", "err"},
+	}
+	c := &Table{
+		Title:   "Figure 2(c): nearest-neighbor distance",
+		Columns: []string{"D", "actual", "E[nn]", "err", "r(1)", "err"},
+	}
+	for _, row := range r.Rows {
+		dcol := fmt.Sprintf("%.0f", row.Dim)
+		a.Rows = append(a.Rows, []string{dcol,
+			f1(row.ActualDists),
+			f1(row.LMCMDists), pct(row.LMCMDists, row.ActualDists),
+			f1(row.ENNDists), pct(row.ENNDists, row.ActualDists),
+			f1(row.R1Dists), pct(row.R1Dists, row.ActualDists)})
+		b.Rows = append(b.Rows, []string{dcol,
+			f1(row.ActualNodes),
+			f1(row.LMCMNodes), pct(row.LMCMNodes, row.ActualNodes),
+			f1(row.ENNNodes), pct(row.ENNNodes, row.ActualNodes),
+			f1(row.R1Nodes), pct(row.R1Nodes, row.ActualNodes)})
+		c.Rows = append(c.Rows, []string{dcol,
+			f3(row.ActualNNDist),
+			f3(row.EstNNDist), pct(row.EstNNDist, row.ActualNNDist),
+			f3(row.R1Dist), pct(row.R1Dist, row.ActualNNDist)})
+	}
+	return []*Table{a, b, c}
+}

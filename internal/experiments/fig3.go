@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mcost/internal/dataset"
+)
+
+// Fig3Row is one text vocabulary of Figure 3: measured versus predicted
+// range-query costs at radius 3 under the edit distance, 25-bin
+// histogram.
+type Fig3Row struct {
+	Code string
+	Size int
+
+	ActualDists float64 // Figure 3(a)
+	NMCMDists   float64
+	LMCMDists   float64
+
+	ActualNodes float64 // Figure 3(b)
+	NMCMNodes   float64
+	LMCMNodes   float64
+}
+
+// Fig3Result regenerates Figure 3.
+type Fig3Result struct {
+	Radius float64
+	Rows   []Fig3Row
+}
+
+// RunFig3 runs range(Q, 3) over the five synthesized text vocabularies.
+// With cfg.N below 10,000 the vocabularies are shrunk proportionally so
+// quick runs stay quick.
+func RunFig3(cfg Config) (*Fig3Result, error) {
+	cfg = cfg.withDefaults()
+	const radius = 3
+	res := &Fig3Result{Radius: radius}
+	for _, td := range dataset.PaperTextDatasets() {
+		size := td.Size
+		if cfg.N < 10_000 {
+			size = td.Size * cfg.N / 20_000
+			if size < 200 {
+				size = 200
+			}
+		}
+		d := dataset.TextDataset{Code: td.Code, Size: size}.Build()
+		b, err := buildFor(d, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 %s: %w", td.Code, err)
+		}
+		queries := dataset.WordQueries(cfg.Queries, cfg.Seed+int64(len(td.Code))).Queries
+		actNodes, actDists, _, err := b.measureRange(queries, radius)
+		if err != nil {
+			return nil, err
+		}
+		estN := b.model.RangeN(radius)
+		estL := b.model.RangeL(radius)
+		res.Rows = append(res.Rows, Fig3Row{
+			Code: td.Code, Size: size,
+			ActualDists: actDists, NMCMDists: estN.Dists, LMCMDists: estL.Dists,
+			ActualNodes: actNodes, NMCMNodes: estN.Nodes, LMCMNodes: estL.Nodes,
+		})
+	}
+	return res, nil
+}
+
+// Tables renders the two panels of Figure 3.
+func (r *Fig3Result) Tables() []*Table {
+	a := &Table{
+		Title:   "Figure 3(a): CPU cost for range(Q, 3) on text vocabularies (synthetic stand-ins)",
+		Columns: []string{"dataset", "size", "actual", "N-MCM", "err", "L-MCM", "err"},
+	}
+	b := &Table{
+		Title:   "Figure 3(b): I/O cost",
+		Columns: []string{"dataset", "size", "actual", "N-MCM", "err", "L-MCM", "err"},
+	}
+	for _, row := range r.Rows {
+		size := fmt.Sprintf("%d", row.Size)
+		a.Rows = append(a.Rows, []string{row.Code, size,
+			f1(row.ActualDists), f1(row.NMCMDists), pct(row.NMCMDists, row.ActualDists),
+			f1(row.LMCMDists), pct(row.LMCMDists, row.ActualDists)})
+		b.Rows = append(b.Rows, []string{row.Code, size,
+			f1(row.ActualNodes), f1(row.NMCMNodes), pct(row.NMCMNodes, row.ActualNodes),
+			f1(row.LMCMNodes), pct(row.LMCMNodes, row.ActualNodes)})
+	}
+	return []*Table{a, b}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"mcost/internal/dataset"
+)
+
+// Fig4Row is one radius point of Figure 4: measured versus predicted
+// range-query costs on the clustered D=20 dataset as the query volume
+// grows.
+type Fig4Row struct {
+	Volume float64 // fraction of the unit hypercube the query ball covers
+	Radius float64
+
+	ActualDists float64 // Figure 4(a)
+	NMCMDists   float64
+	LMCMDists   float64
+
+	ActualNodes float64 // Figure 4(b)
+	NMCMNodes   float64
+	LMCMNodes   float64
+}
+
+// Fig4Result regenerates Figure 4.
+type Fig4Result struct {
+	Dim  int
+	Rows []Fig4Row
+}
+
+// Fig4Volumes is the query-volume sweep (the paper plots costs against
+// query volume on the clustered D=20 dataset).
+var Fig4Volumes = []float64{1e-4, 1e-3, 1e-2, 5e-2, 1e-1, 2e-1}
+
+// RunFig4 sweeps the query radius on clustered D=20 data.
+func RunFig4(cfg Config) (*Fig4Result, error) {
+	cfg = cfg.withDefaults()
+	const dim = 20
+	res := &Fig4Result{Dim: dim}
+	d := dataset.PaperClustered(cfg.N, dim, cfg.Seed)
+	b, err := buildFor(d, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig4: %w", err)
+	}
+	queries := dataset.PaperClusteredQueries(cfg.Queries, dim, cfg.Seed).Queries
+	for _, vol := range Fig4Volumes {
+		rq := math.Pow(vol, 1/float64(dim)) / 2
+		actNodes, actDists, _, err := b.measureRange(queries, rq)
+		if err != nil {
+			return nil, err
+		}
+		estN := b.model.RangeN(rq)
+		estL := b.model.RangeL(rq)
+		res.Rows = append(res.Rows, Fig4Row{
+			Volume: vol, Radius: rq,
+			ActualDists: actDists, NMCMDists: estN.Dists, LMCMDists: estL.Dists,
+			ActualNodes: actNodes, NMCMNodes: estN.Nodes, LMCMNodes: estL.Nodes,
+		})
+	}
+	return res, nil
+}
+
+// Tables renders the two panels of Figure 4.
+func (r *Fig4Result) Tables() []*Table {
+	a := &Table{
+		Title:   fmt.Sprintf("Figure 4(a): CPU cost vs query volume (clustered, D=%d)", r.Dim),
+		Columns: []string{"volume", "radius", "actual", "N-MCM", "err", "L-MCM", "err"},
+	}
+	b := &Table{
+		Title:   "Figure 4(b): I/O cost vs query volume",
+		Columns: []string{"volume", "radius", "actual", "N-MCM", "err", "L-MCM", "err"},
+	}
+	for _, row := range r.Rows {
+		vol := fmt.Sprintf("%g", row.Volume)
+		rad := f3(row.Radius)
+		a.Rows = append(a.Rows, []string{vol, rad,
+			f1(row.ActualDists), f1(row.NMCMDists), pct(row.NMCMDists, row.ActualDists),
+			f1(row.LMCMDists), pct(row.LMCMDists, row.ActualDists)})
+		b.Rows = append(b.Rows, []string{vol, rad,
+			f1(row.ActualNodes), f1(row.NMCMNodes), pct(row.NMCMNodes, row.ActualNodes),
+			f1(row.LMCMNodes), pct(row.LMCMNodes, row.ActualNodes)})
+	}
+	return []*Table{a, b}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"mcost/internal/core"
+	"mcost/internal/dataset"
+)
+
+// Fig5Row is one node-size point of Figure 5: predicted and measured
+// range-query costs on the 5-dimensional clustered dataset, plus the
+// combined cost in milliseconds under the paper's disk parameters.
+type Fig5Row struct {
+	NodeSizeKB float64
+
+	PredNodes float64 // Figure 5(a): N-MCM predictions
+	PredDists float64
+
+	ActNodes float64 // measured, for 5(b)'s "real" series
+	ActDists float64
+
+	PredTotalMS float64 // Figure 5(b)
+	ActTotalMS  float64
+}
+
+// Fig5Result regenerates Figure 5.
+type Fig5Result struct {
+	N       int
+	Rows    []Fig5Row
+	BestKB  float64 // node size minimizing the predicted combined cost
+	Disk    core.DiskParams
+	Radius  float64
+	PaperN  int // the paper's dataset size (10^6)
+	Queries int
+}
+
+// Fig5NodeSizes is the node-size sweep in bytes: 0.5 KB to 64 KB as in
+// the paper.
+var Fig5NodeSizes = []int{512, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
+
+// RunFig5 sweeps the M-tree node size on the 5-dimensional clustered
+// dataset. The paper uses 10^6 objects; cfg.N (default 10^4, typically
+// raised to 10^5 by the driver) scales the experiment down — the shape
+// (I/O falling, CPU with an interior minimum, a combined-cost optimum at
+// a moderate node size) is preserved.
+func RunFig5(cfg Config) (*Fig5Result, error) {
+	cfg = cfg.withDefaults()
+	const dim = 5
+	disk := core.PaperDiskParams()
+	radius := math.Pow(0.01, 1/float64(dim)) / 2
+	res := &Fig5Result{N: cfg.N, Disk: disk, Radius: radius, PaperN: 1_000_000, Queries: cfg.Queries}
+	d := dataset.PaperClustered(cfg.N, dim, cfg.Seed)
+	queries := dataset.PaperClusteredQueries(cfg.Queries, dim, cfg.Seed).Queries
+
+	var points []core.TuningPoint
+	for _, ns := range Fig5NodeSizes {
+		c := cfg
+		c.PageSize = ns
+		b, err := buildFor(d, c)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 NS=%d: %w", ns, err)
+		}
+		actNodes, actDists, _, err := b.measureRange(queries, radius)
+		if err != nil {
+			return nil, err
+		}
+		est := b.model.RangeN(radius)
+		row := Fig5Row{
+			NodeSizeKB: float64(ns) / 1024,
+			PredNodes:  est.Nodes, PredDists: est.Dists,
+			ActNodes: actNodes, ActDists: actDists,
+			PredTotalMS: disk.TotalMS(est, ns),
+			ActTotalMS:  disk.TotalMS(core.CostEstimate{Nodes: actNodes, Dists: actDists}, ns),
+		}
+		res.Rows = append(res.Rows, row)
+		points = append(points, core.TuningPoint{NodeSize: ns, Est: est, TotalMS: row.PredTotalMS})
+	}
+	best, err := core.BestNodeSize(points)
+	if err != nil {
+		return nil, err
+	}
+	res.BestKB = float64(best.NodeSize) / 1024
+	return res, nil
+}
+
+// Tables renders the two panels of Figure 5.
+func (r *Fig5Result) Tables() []*Table {
+	a := &Table{
+		Title: fmt.Sprintf("Figure 5(a): predicted I/O and CPU costs vs node size (clustered D=5, n=%d; paper uses n=%d)",
+			r.N, r.PaperN),
+		Columns: []string{"NS (KB)", "pred nodes", "pred dists", "act nodes", "act dists"},
+	}
+	b := &Table{
+		Title: fmt.Sprintf("Figure 5(b): combined cost, c_IO=(10+NS)ms, c_CPU=5ms — predicted optimum %.1f KB",
+			r.BestKB),
+		Columns: []string{"NS (KB)", "pred total (ms)", "act total (ms)"},
+	}
+	for _, row := range r.Rows {
+		ns := fmt.Sprintf("%g", row.NodeSizeKB)
+		a.Rows = append(a.Rows, []string{ns,
+			f1(row.PredNodes), f1(row.PredDists), f1(row.ActNodes), f1(row.ActDists)})
+		b.Rows = append(b.Rows, []string{ns, f1(row.PredTotalMS), f1(row.ActTotalMS)})
+	}
+	return []*Table{a, b}
+}

@@ -1,0 +1,196 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4): dataset inventory (Table 1), homogeneity
+// indices (Section 2.1), range-query cost validation versus
+// dimensionality (Figure 1), nearest-neighbor cost validation (Figure
+// 2), text-dataset validation (Figure 3), radius sweeps (Figure 4), and
+// node-size tuning (Figure 5); plus the Section 5 vp-tree model
+// validation and ablations of design choices. Each experiment returns
+// machine-readable rows and renders an aligned text table, so the same
+// code backs the command-line driver, the benchmark harness, and the
+// tests.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mcost/internal/core"
+	"mcost/internal/dataset"
+	"mcost/internal/distdist"
+	"mcost/internal/histogram"
+	"mcost/internal/metric"
+	"mcost/internal/mtree"
+)
+
+// Config holds the shared experiment parameters. Zero values select the
+// paper's setup scaled to laptop runtimes; the command-line driver can
+// raise N and Queries to the paper's exact numbers.
+type Config struct {
+	// N is the dataset size (default 10,000 — the paper's lower bound).
+	N int
+	// Queries is the number of query objects averaged per measurement
+	// (default 200; the paper uses 1000).
+	Queries int
+	// PageSize is the M-tree node size in bytes (default 4096, as in
+	// the paper).
+	PageSize int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.N == 0 {
+		c.N = 10_000
+	}
+	if c.Queries == 0 {
+		c.Queries = 200
+	}
+	if c.PageSize == 0 {
+		c.PageSize = 4096
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		return err
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	total := len(t.Columns) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+func pct(est, actual float64) string {
+	if actual == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(est-actual)/actual)
+}
+
+// built bundles a dataset with its bulk-loaded tree, estimated distance
+// distribution, and fitted cost model — the per-dataset setup every
+// experiment repeats.
+type built struct {
+	d     *dataset.Dataset
+	tr    *mtree.Tree
+	f     *histogram.Histogram
+	stats *mtree.Stats
+	model *core.MTreeModel
+}
+
+// buildFor indexes the dataset per the paper's setup: BulkLoading, the
+// configured node size, F̂ from sampled pairs with the default bin
+// count (100 continuous / 25 edit).
+func buildFor(d *dataset.Dataset, cfg Config) (*built, error) {
+	tr, err := mtree.New(mtree.Options{
+		Space:    d.Space,
+		PageSize: cfg.PageSize,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := tr.BulkLoad(d.Objects); err != nil {
+		return nil, err
+	}
+	stats, err := tr.CollectStats()
+	if err != nil {
+		return nil, err
+	}
+	f, err := distdist.Estimate(d, distdist.Options{Seed: cfg.Seed + 1})
+	if err != nil {
+		return nil, err
+	}
+	model, err := core.NewMTreeModel(f, stats)
+	if err != nil {
+		return nil, err
+	}
+	return &built{d: d, tr: tr, f: f, stats: stats, model: model}, nil
+}
+
+// measureRange runs the workload without the parent-distance
+// optimization (which the cost model deliberately ignores, footnote 2)
+// and returns average node reads and distance computations per query.
+func (b *built) measureRange(queries []metric.Object, radius float64) (nodes, dists, objs float64, err error) {
+	b.tr.ResetCounters()
+	var totalObjs int
+	for _, q := range queries {
+		ms, err := b.tr.Range(q, radius, mtree.QueryOptions{})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		totalObjs += len(ms)
+	}
+	nq := float64(len(queries))
+	return float64(b.tr.NodeReads()) / nq,
+		float64(b.tr.DistanceCount()) / nq,
+		float64(totalObjs) / nq, nil
+}
+
+// measureNN runs the k-NN workload, returning average node reads,
+// distance computations, and k-th neighbor distance per query.
+func (b *built) measureNN(queries []metric.Object, k int) (nodes, dists, nnDist float64, err error) {
+	b.tr.ResetCounters()
+	var distSum float64
+	for _, q := range queries {
+		ms, err := b.tr.NN(q, k, mtree.QueryOptions{})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if len(ms) == k {
+			distSum += ms[k-1].Distance
+		}
+	}
+	nq := float64(len(queries))
+	return float64(b.tr.NodeReads()) / nq,
+		float64(b.tr.DistanceCount()) / nq,
+		distSum / nq, nil
+}

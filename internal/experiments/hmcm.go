@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mcost/internal/dataset"
+)
+
+// HMCMRow is one model variant in the space/accuracy comparison.
+type HMCMRow struct {
+	Model       string
+	Floats      int
+	RangeErr    float64
+	NNErr       float64
+	RangeActual float64
+	NNActual    float64
+}
+
+// HMCMResult compares N-MCM, H-MCM at several bucket counts, and L-MCM
+// on statistics size versus prediction accuracy — the paper's closing
+// question about models with less tree statistics.
+type HMCMResult struct {
+	Rows []HMCMRow
+}
+
+// RunHMCM measures range and NN(Q,1) CPU-prediction error for each
+// model variant on clustered D=12 data.
+func RunHMCM(cfg Config) (*HMCMResult, error) {
+	cfg = cfg.withDefaults()
+	const dim = 12
+	d := dataset.PaperClustered(cfg.N, dim, cfg.Seed)
+	b, err := buildFor(d, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("hmcm: %w", err)
+	}
+	queries := dataset.PaperClusteredQueries(cfg.Queries, dim, cfg.Seed).Queries
+	const radius = 0.25
+	_, actRange, _, err := b.measureRange(queries, radius)
+	if err != nil {
+		return nil, err
+	}
+	_, actNN, _, err := b.measureNN(queries, 1)
+	if err != nil {
+		return nil, err
+	}
+	res := &HMCMResult{}
+	relErr := func(est, act float64) float64 {
+		return absFloat(est-act) / act
+	}
+	add := func(name string, floats int, rangeEst, nnEst float64) {
+		res.Rows = append(res.Rows, HMCMRow{
+			Model: name, Floats: floats,
+			RangeErr: relErr(rangeEst, actRange), NNErr: relErr(nnEst, actNN),
+			RangeActual: actRange, NNActual: actNN,
+		})
+	}
+	add("N-MCM", 2*len(b.stats.Nodes), b.model.RangeN(radius).Dists, b.model.NNN(1).Dists)
+	for _, buckets := range []int{2, 4, 8, 16} {
+		cm, err := b.model.Compress(buckets)
+		if err != nil {
+			return nil, err
+		}
+		add(fmt.Sprintf("H-MCM/%d", buckets), cm.FloatsStored(), cm.Range(radius).Dists, cm.NN(1).Dists)
+	}
+	add("L-MCM", 2*len(b.stats.Levels), b.model.RangeL(radius).Dists, b.model.NNL(1).Dists)
+	return res, nil
+}
+
+// Table renders the comparison.
+func (r *HMCMResult) Table() *Table {
+	t := &Table{
+		Title:   "Extension: statistics size vs prediction accuracy (clustered D=12, range r=0.25 and NN(Q,1) CPU)",
+		Columns: []string{"model", "floats stored", "range err", "NN err"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Model,
+			fmt.Sprintf("%d", row.Floats),
+			fmt.Sprintf("%.1f%%", row.RangeErr*100),
+			fmt.Sprintf("%.1f%%", row.NNErr*100),
+		})
+	}
+	return t
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcost/internal/dataset"
+	"mcost/internal/distdist"
+	"mcost/internal/metric"
+	"mcost/internal/mtree"
+)
+
+// HVErrRow is one homogeneity setting: the measured HV index next to
+// the global model's selectivity error on island-local queries.
+type HVErrRow struct {
+	Separation float64
+	HV         float64
+	MeanAbsErr float64 // mean |predicted - actual| / n over probe queries
+}
+
+// HVErrResult tests the implicit claim of Section 2: HV is a usefulness
+// indicator for the cost model. A family of two-island datasets with
+// growing separation drives HV down; the global-F selectivity error on
+// position-specific queries should grow as HV falls.
+type HVErrResult struct {
+	Rows []HVErrRow
+}
+
+// RunHVErr sweeps the island separation.
+func RunHVErr(cfg Config) (*HVErrResult, error) {
+	cfg = cfg.withDefaults()
+	res := &HVErrResult{}
+	for _, sep := range []float64{0, 0.2, 0.4, 0.8} {
+		d := twoIslandsSep(cfg.N, sep, cfg.Seed)
+		hv, err := distdist.HV(d, distdist.HVOptions{Viewpoints: 16, RDDSample: 800, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		b, err := buildFor(d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Island-local probes at both island centers.
+		const radius = 0.15
+		probes := []metric.Vector{
+			{0.5 - sep/2, 0.5}, {0.5 - sep/2 + 0.02, 0.48},
+			{0.5 + sep/2, 0.5}, {0.5 + sep/2 - 0.02, 0.52},
+		}
+		var errSum float64
+		for _, q := range probes {
+			actual := float64(len(mtree.LinearScanRange(d.Objects, d.Space, q, radius)))
+			pred := b.model.RangeObjects(radius)
+			errSum += absFloat(pred-actual) / float64(cfg.N)
+		}
+		res.Rows = append(res.Rows, HVErrRow{
+			Separation: sep,
+			HV:         hv.HV,
+			MeanAbsErr: errSum / float64(len(probes)),
+		})
+	}
+	return res, nil
+}
+
+// twoIslandsSep places two Gaussian islands (75%/25% mass) `sep` apart
+// around the center of the unit square. sep = 0 merges them into one
+// homogeneous blob.
+func twoIslandsSep(n int, sep float64, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	clamp := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	}
+	objs := make([]metric.Object, n)
+	for i := range objs {
+		cx := 0.5 - sep/2
+		if i%4 == 0 {
+			cx = 0.5 + sep/2
+		}
+		objs[i] = metric.Vector{
+			clamp(cx + rng.NormFloat64()*0.04),
+			clamp(0.5 + rng.NormFloat64()*0.04),
+		}
+	}
+	return &dataset.Dataset{
+		Name:    fmt.Sprintf("islands-sep%.1f", sep),
+		Space:   metric.VectorSpace("Linf", 2),
+		Objects: objs,
+	}
+}
+
+// Table renders the sweep.
+func (r *HVErrResult) Table() *Table {
+	t := &Table{
+		Title:   "HV as a model-usefulness indicator: homogeneity vs global-model selectivity error",
+		Columns: []string{"island separation", "HV", "mean |selectivity err| (fraction of n)"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			f2(row.Separation), f4(row.HV), f4(row.MeanAbsErr),
+		})
+	}
+	return t
+}

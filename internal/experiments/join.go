@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mcost/internal/dataset"
+)
+
+// JoinRow is one eps point of the similarity-join validation.
+type JoinRow struct {
+	Eps float64
+
+	ActPairs  float64
+	PredPairs float64
+
+	ActDists   float64
+	PredDists  float64
+	NestedLoop float64 // the baseline's distance count, C(n,2)
+}
+
+// JoinResult validates the similarity-join extension: the pruned
+// tree-vs-tree traversal against the nested-loop baseline, and the
+// node-pair cost model against both.
+type JoinResult struct {
+	Dim  int
+	Rows []JoinRow
+}
+
+// RunJoin sweeps the join radius on clustered data.
+func RunJoin(cfg Config) (*JoinResult, error) {
+	cfg = cfg.withDefaults()
+	const dim = 6
+	res := &JoinResult{Dim: dim}
+	d := dataset.PaperClustered(cfg.N, dim, cfg.Seed)
+	b, err := buildFor(d, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("join: %w", err)
+	}
+	n := float64(d.N())
+	for _, eps := range []float64{0.02, 0.05, 0.1} {
+		b.tr.ResetCounters()
+		pairs, err := b.tr.SimilarityJoin(eps)
+		if err != nil {
+			return nil, err
+		}
+		est := b.model.JoinN(eps)
+		res.Rows = append(res.Rows, JoinRow{
+			Eps:        eps,
+			ActPairs:   float64(len(pairs)),
+			PredPairs:  est.Pairs,
+			ActDists:   float64(b.tr.DistanceCount()),
+			PredDists:  est.Dists,
+			NestedLoop: n * (n - 1) / 2,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the validation.
+func (r *JoinResult) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Extension: similarity self-join (clustered D=%d)", r.Dim),
+		Columns: []string{"eps", "act pairs", "pred pairs", "err", "act dists", "pred dists", "err", "nested-loop dists"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			f2(row.Eps),
+			f1(row.ActPairs), f1(row.PredPairs), pct(row.PredPairs, row.ActPairs),
+			f1(row.ActDists), f1(row.PredDists), pct(row.PredDists, row.ActDists),
+			f1(row.NestedLoop),
+		})
+	}
+	return t
+}
+
+// BiasRow compares prediction error under matched versus mismatched
+// query distributions.
+type BiasRow struct {
+	Dim          int
+	BiasedErr    float64 // |est-act|/act for data-distributed queries
+	MismatchErr  float64 // same, uniform queries on clustered data
+	BiasedActual float64
+	MismActual   float64
+	Est          float64
+}
+
+// BiasResult is the Assumption-1 violation ablation: the cost model
+// assumes queries follow the data distribution (the biased query
+// model); this quantifies what breaks when they do not.
+type BiasResult struct {
+	Rows []BiasRow
+}
+
+// RunAblationBias measures range-query CPU prediction error with biased
+// (clustered) versus mismatched (uniform) query workloads over clustered
+// data.
+func RunAblationBias(cfg Config) (*BiasResult, error) {
+	cfg = cfg.withDefaults()
+	res := &BiasResult{}
+	for _, dim := range []int{5, 20} {
+		d := dataset.PaperClustered(cfg.N, dim, cfg.Seed+int64(dim))
+		b, err := buildFor(d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		radius := 0.3
+		biased := dataset.PaperClusteredQueries(cfg.Queries, dim, cfg.Seed+int64(dim)).Queries
+		uniform := dataset.UniformQueries(cfg.Queries, dim, cfg.Seed+999).Queries
+		_, bDists, _, err := b.measureRange(biased, radius)
+		if err != nil {
+			return nil, err
+		}
+		_, uDists, _, err := b.measureRange(uniform, radius)
+		if err != nil {
+			return nil, err
+		}
+		est := b.model.RangeN(radius).Dists
+		res.Rows = append(res.Rows, BiasRow{
+			Dim:          dim,
+			BiasedErr:    absFloat(est-bDists) / bDists,
+			MismatchErr:  absFloat(est-uDists) / uDists,
+			BiasedActual: bDists,
+			MismActual:   uDists,
+			Est:          est,
+		})
+	}
+	return res, nil
+}
+
+func absFloat(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Table renders the ablation.
+func (r *BiasResult) Table() *Table {
+	t := &Table{
+		Title:   "Ablation: biased query model (Assumption 1) — prediction error when queries do not follow the data distribution",
+		Columns: []string{"D", "model est", "biased actual", "err", "uniform actual", "err"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", row.Dim),
+			f1(row.Est),
+			f1(row.BiasedActual), fmt.Sprintf("%.0f%%", row.BiasedErr*100),
+			f1(row.MismActual), fmt.Sprintf("%.0f%%", row.MismatchErr*100),
+		})
+	}
+	return t
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner executes one named experiment and writes its tables.
+type Runner func(cfg Config, w io.Writer) error
+
+// Registry maps experiment names (as used by `mcost-exp -exp`) to
+// runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"table1": func(cfg Config, w io.Writer) error {
+			r, err := RunTable1(cfg)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(w)
+		},
+		"hverr": func(cfg Config, w io.Writer) error {
+			r, err := RunHVErr(cfg)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(w)
+		},
+		"hv": func(cfg Config, w io.Writer) error {
+			r, err := RunHV(cfg)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(w)
+		},
+		"fig1": func(cfg Config, w io.Writer) error {
+			r, err := RunFig1(cfg)
+			if err != nil {
+				return err
+			}
+			return renderAll(w, r.Tables())
+		},
+		"fig2": func(cfg Config, w io.Writer) error {
+			r, err := RunFig2(cfg)
+			if err != nil {
+				return err
+			}
+			return renderAll(w, r.Tables())
+		},
+		"fig3": func(cfg Config, w io.Writer) error {
+			r, err := RunFig3(cfg)
+			if err != nil {
+				return err
+			}
+			return renderAll(w, r.Tables())
+		},
+		"fig4": func(cfg Config, w io.Writer) error {
+			r, err := RunFig4(cfg)
+			if err != nil {
+				return err
+			}
+			return renderAll(w, r.Tables())
+		},
+		"fig5": func(cfg Config, w io.Writer) error {
+			r, err := RunFig5(cfg)
+			if err != nil {
+				return err
+			}
+			return renderAll(w, r.Tables())
+		},
+		"vptree": func(cfg Config, w io.Writer) error {
+			r, err := RunVP(cfg)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(w)
+		},
+		"nnk": func(cfg Config, w io.Writer) error {
+			r, err := RunNNK(cfg)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(w)
+		},
+		"complex": func(cfg Config, w io.Writer) error {
+			r, err := RunComplex(cfg)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(w)
+		},
+		"multiview": func(cfg Config, w io.Writer) error {
+			r, err := RunMultiView(cfg)
+			if err != nil {
+				return err
+			}
+			return r.T.Render(w)
+		},
+		"fractal": func(cfg Config, w io.Writer) error {
+			r, err := RunFractal(cfg)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(w)
+		},
+		"cache": func(cfg Config, w io.Writer) error {
+			r, err := RunCache(cfg)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(w)
+		},
+		"statsfree": func(cfg Config, w io.Writer) error {
+			r, err := RunStatsFree(cfg)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(w)
+		},
+		"hmcm": func(cfg Config, w io.Writer) error {
+			r, err := RunHMCM(cfg)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(w)
+		},
+		"join": func(cfg Config, w io.Writer) error {
+			r, err := RunJoin(cfg)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(w)
+		},
+		"ablation-bias": func(cfg Config, w io.Writer) error {
+			r, err := RunAblationBias(cfg)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(w)
+		},
+		"ablation-pruning": func(cfg Config, w io.Writer) error {
+			r, err := RunAblationPruning(cfg)
+			if err != nil {
+				return err
+			}
+			return r.T.Render(w)
+		},
+		"ablation-bins": func(cfg Config, w io.Writer) error {
+			r, err := RunAblationBins(cfg)
+			if err != nil {
+				return err
+			}
+			return r.T.Render(w)
+		},
+		"ablation-sampling": func(cfg Config, w io.Writer) error {
+			r, err := RunAblationSampling(cfg)
+			if err != nil {
+				return err
+			}
+			return r.T.Render(w)
+		},
+		"ablation-build": func(cfg Config, w io.Writer) error {
+			r, err := RunAblationBuild(cfg)
+			if err != nil {
+				return err
+			}
+			return r.T.Render(w)
+		},
+	}
+}
+
+// Names lists the registered experiments in stable order, "all"-ready.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, 0, len(reg))
+	for name := range reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunAll executes every experiment in order.
+func RunAll(cfg Config, w io.Writer) error {
+	reg := Registry()
+	for _, name := range Names() {
+		if _, err := fmt.Fprintf(w, "\n=== %s ===\n\n", name); err != nil {
+			return err
+		}
+		if err := reg[name](cfg, w); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func renderAll(w io.Writer, tables []*Table) error {
+	for i, t := range tables {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

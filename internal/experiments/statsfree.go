@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mcost/internal/core"
+	"mcost/internal/dataset"
+	"mcost/internal/metric"
+)
+
+// StatsFreeRow compares the zero-statistics model (S-MCM) with the
+// fitted models and the measured costs on one dataset.
+type StatsFreeRow struct {
+	Name string
+
+	PredHeight int
+	ActHeight  int
+	PredNodes  int
+	ActNodes   int
+
+	ActDists float64 // measured range CPU
+	SFDists  float64 // stats-free prediction
+	NDists   float64 // fitted N-MCM, for reference
+}
+
+// StatsFreeResult validates the answer to the paper's first open
+// question: costs predicted from the dataset alone, before the tree
+// exists.
+type StatsFreeResult struct {
+	Rows []StatsFreeRow
+}
+
+// RunStatsFree plans an index for each dataset from its distance
+// distribution, then builds the real tree and compares structure and
+// range-query costs.
+func RunStatsFree(cfg Config) (*StatsFreeResult, error) {
+	cfg = cfg.withDefaults()
+	res := &StatsFreeResult{}
+	type tc struct {
+		d       *dataset.Dataset
+		queries []metric.Object
+		radius  float64
+		objSz   int
+	}
+	cases := []tc{
+		{
+			d:       dataset.Uniform(cfg.N, 6, cfg.Seed),
+			queries: dataset.UniformQueries(cfg.Queries, 6, cfg.Seed+10).Queries,
+			radius:  0.2,
+			objSz:   8 * 6,
+		},
+		{
+			d:       dataset.PaperClustered(cfg.N, 8, cfg.Seed+1),
+			queries: dataset.PaperClusteredQueries(cfg.Queries, 8, cfg.Seed+1).Queries,
+			radius:  0.25,
+			objSz:   8 * 8,
+		},
+		{
+			d:       dataset.PaperClustered(cfg.N, 20, cfg.Seed+2),
+			queries: dataset.PaperClusteredQueries(cfg.Queries, 20, cfg.Seed+2).Queries,
+			radius:  0.35,
+			objSz:   8 * 20,
+		},
+	}
+	for _, c := range cases {
+		b, err := buildFor(c.d, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("statsfree %s: %w", c.d.Name, err)
+		}
+		leafCap := (cfg.PageSize - 3) / (8 + 8 + 2 + c.objSz)
+		internalCap := (cfg.PageSize - 3) / (8 + 8 + 4 + 2 + c.objSz)
+		sf, err := core.NewStatsFreeModel(b.f, core.StatsFreeConfig{
+			N: c.d.N(), LeafCapacity: leafCap, InternalCapacity: internalCap,
+		})
+		if err != nil {
+			return nil, err
+		}
+		_, actDists, _, err := b.measureRange(c.queries, c.radius)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, StatsFreeRow{
+			Name:       c.d.Name,
+			PredHeight: sf.Height(),
+			ActHeight:  b.tr.Height(),
+			PredNodes:  sf.PredictedNodes(),
+			ActNodes:   b.tr.NumNodes(),
+			ActDists:   actDists,
+			SFDists:    sf.Range(c.radius).Dists,
+			NDists:     b.model.RangeN(c.radius).Dists,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the comparison.
+func (r *StatsFreeResult) Table() *Table {
+	t := &Table{
+		Title:   "Extension: stats-free model S-MCM — costs predicted before the tree exists (range CPU)",
+		Columns: []string{"dataset", "height pred/act", "nodes pred/act", "actual", "S-MCM", "err", "N-MCM", "err"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Name,
+			fmt.Sprintf("%d/%d", row.PredHeight, row.ActHeight),
+			fmt.Sprintf("%d/%d", row.PredNodes, row.ActNodes),
+			f1(row.ActDists),
+			f1(row.SFDists), pct(row.SFDists, row.ActDists),
+			f1(row.NDists), pct(row.NDists, row.ActDists),
+		})
+	}
+	return t
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mcost/internal/dataset"
+	"mcost/internal/distdist"
+)
+
+// Table1Row describes one evaluation dataset (paper Table 1) together
+// with summary statistics of its estimated distance distribution.
+type Table1Row struct {
+	Name        string
+	Description string
+	Size        int
+	Dim         int // 0 for text datasets
+	Metric      string
+	MeanDist    float64
+	MedianDist  float64
+}
+
+// Table1Result is the regenerated dataset inventory.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// RunTable1 regenerates Table 1: the clustered and uniform vector
+// dataset families plus the five (synthesized) text vocabularies. The
+// vector families are instantiated at N objects for the listed
+// dimensions; text sizes follow the paper exactly.
+func RunTable1(cfg Config) (*Table1Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Table1Result{}
+	add := func(d *dataset.Dataset, desc string, dim int) error {
+		f, err := distdist.Estimate(d, distdist.Options{Seed: cfg.Seed, MaxPairs: 50_000})
+		if err != nil {
+			return err
+		}
+		res.Rows = append(res.Rows, Table1Row{
+			Name:        d.Name,
+			Description: desc,
+			Size:        d.N(),
+			Dim:         dim,
+			Metric:      d.Space.Name,
+			MeanDist:    f.Mean(),
+			MedianDist:  f.Quantile(0.5),
+		})
+		return nil
+	}
+	for _, dim := range []int{5, 20, 50} {
+		if err := add(dataset.PaperClustered(cfg.N, dim, cfg.Seed),
+			"clustered distr. points on [0,1]^D", dim); err != nil {
+			return nil, err
+		}
+		if err := add(dataset.Uniform(cfg.N, dim, cfg.Seed+1),
+			"uniform distr. points on [0,1]^D", dim); err != nil {
+			return nil, err
+		}
+	}
+	for _, td := range dataset.PaperTextDatasets() {
+		size := td.Size
+		if cfg.N < 10_000 {
+			// Scaled-down runs shrink the vocabularies proportionally.
+			size = td.Size * cfg.N / 20_000
+			if size < 100 {
+				size = 100
+			}
+		}
+		d := dataset.TextDataset{Code: td.Code, Size: size}.Build()
+		if err := add(d, td.Name+" (synthetic stand-in)", 0); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *Table1Result) Table() *Table {
+	t := &Table{
+		Title:   "Table 1: datasets (text vocabularies are synthetic stand-ins; see DESIGN.md)",
+		Columns: []string{"name", "description", "size", "dim", "metric", "mean(d)", "median(d)"},
+	}
+	for _, row := range r.Rows {
+		dim := "-"
+		if row.Dim > 0 {
+			dim = fmt.Sprintf("%d", row.Dim)
+		}
+		t.Rows = append(t.Rows, []string{
+			row.Name, row.Description, fmt.Sprintf("%d", row.Size), dim,
+			row.Metric, f3(row.MeanDist), f3(row.MedianDist),
+		})
+	}
+	return t
+}

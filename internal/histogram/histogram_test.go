@@ -1,0 +1,409 @@
+package histogram
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustFromSamples(t *testing.T, samples []float64, bins int, bound float64, discrete bool) *Histogram {
+	t.Helper()
+	h, err := FromSamples(samples, bins, bound, discrete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1, false); err == nil {
+		t.Error("bins=0 accepted")
+	}
+	if _, err := New(10, 0, false); err == nil {
+		t.Error("bound=0 accepted")
+	}
+	if _, err := New(10, math.Inf(1), false); err == nil {
+		t.Error("bound=inf accepted")
+	}
+	if _, err := New(10, math.NaN(), false); err == nil {
+		t.Error("bound=NaN accepted")
+	}
+	if _, err := FromSamples(nil, 10, 1, false); err == nil {
+		t.Error("empty samples accepted")
+	}
+}
+
+func TestCDFEndpoints(t *testing.T) {
+	h := mustFromSamples(t, []float64{0.1, 0.5, 0.9}, 10, 1, false)
+	if got := h.CDF(-0.5); got != 0 {
+		t.Errorf("CDF(-0.5) = %g, want 0", got)
+	}
+	if got := h.CDF(0); got != 0 {
+		t.Errorf("CDF(0) = %g, want 0", got)
+	}
+	if got := h.CDF(1); got != 1 {
+		t.Errorf("CDF(1) = %g, want 1", got)
+	}
+	if got := h.CDF(2); got != 1 {
+		t.Errorf("CDF(2) = %g, want 1", got)
+	}
+}
+
+func TestCDFUniformSamples(t *testing.T) {
+	// 1000 uniform samples: CDF should approximate identity.
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]float64, 1000)
+	for i := range samples {
+		samples[i] = rng.Float64()
+	}
+	h := mustFromSamples(t, samples, 100, 1, false)
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		if got := h.CDF(x); math.Abs(got-x) > 0.05 {
+			t.Errorf("CDF(%g) = %g, want ~%g", x, got, x)
+		}
+	}
+}
+
+func TestCDFMonotoneQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	samples := make([]float64, 500)
+	for i := range samples {
+		samples[i] = rng.Float64() * 3
+	}
+	h := mustFromSamples(t, samples, 60, 3, false)
+	f := func(a, b float64) bool {
+		x := math.Abs(math.Mod(a, 3))
+		y := math.Abs(math.Mod(b, 3))
+		if x > y {
+			x, y = y, x
+		}
+		return h.CDF(x) <= h.CDF(y)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileInvertsCDFQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]float64, 2000)
+	for i := range samples {
+		samples[i] = rng.ExpFloat64()
+		if samples[i] > 5 {
+			samples[i] = 5
+		}
+	}
+	h := mustFromSamples(t, samples, 100, 5, false)
+	f := func(p float64) bool {
+		p = math.Abs(math.Mod(p, 1))
+		x := h.Quantile(p)
+		// F(F^-1(p)) >= p with tolerance, and F^-1 is a quantile: F just
+		// below x is <= p.
+		return h.CDF(x) >= p-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileEndpoints(t *testing.T) {
+	h := mustFromSamples(t, []float64{0.2, 0.6}, 10, 1, false)
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %g", got)
+	}
+	if got := h.Quantile(1); got != 1 {
+		t.Errorf("Quantile(1) = %g, want bound", got)
+	}
+	if got := h.Quantile(-0.1); got != 0 {
+		t.Errorf("Quantile(-0.1) = %g", got)
+	}
+	if got := h.Quantile(1.5); got != 1 {
+		t.Errorf("Quantile(1.5) = %g", got)
+	}
+}
+
+func TestDiscreteCDFSteps(t *testing.T) {
+	// Edit-like distances: integers 1..5 with known multiplicity.
+	samples := []float64{1, 1, 2, 3, 3, 3, 4, 5, 5, 5}
+	h := mustFromSamples(t, samples, 5, 5, true)
+	// F(1)=0.2, F(2)=0.3, F(3)=0.6, F(4)=0.7, F(5)=1.
+	want := map[float64]float64{1: 0.2, 2: 0.3, 3: 0.6, 4: 0.7, 5: 1}
+	for x, w := range want {
+		if got := h.CDF(x); math.Abs(got-w) > 1e-12 {
+			t.Errorf("discrete CDF(%g) = %g, want %g", x, got, w)
+		}
+	}
+	// Between integers the step function holds its value.
+	if got := h.CDF(2.7); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("discrete CDF(2.7) = %g, want 0.3", got)
+	}
+	if got := h.CDF(0.5); got != 0 {
+		t.Errorf("discrete CDF(0.5) = %g, want 0", got)
+	}
+}
+
+func TestDiscreteQuantile(t *testing.T) {
+	samples := []float64{1, 1, 2, 3, 3, 3, 4, 5, 5, 5}
+	h := mustFromSamples(t, samples, 5, 5, true)
+	if got := h.Quantile(0.2); got != 1 {
+		t.Errorf("Quantile(0.2) = %g, want 1", got)
+	}
+	if got := h.Quantile(0.5); got != 3 {
+		t.Errorf("Quantile(0.5) = %g, want 3", got)
+	}
+	if got := h.Quantile(0.95); got != 5 {
+		t.Errorf("Quantile(0.95) = %g, want 5", got)
+	}
+}
+
+func TestPDFIntegratesToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	samples := make([]float64, 1000)
+	for i := range samples {
+		samples[i] = rng.Float64() * rng.Float64() * 2
+	}
+	h := mustFromSamples(t, samples, 40, 2, false)
+	var integral float64
+	steps := 4000
+	dx := h.Bound() / float64(steps)
+	for i := 0; i < steps; i++ {
+		integral += h.PDF((float64(i)+0.5)*dx) * dx
+	}
+	if math.Abs(integral-1) > 1e-6 {
+		t.Fatalf("PDF integrates to %g, want 1", integral)
+	}
+}
+
+func TestMeanMatchesSampleMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	samples := make([]float64, 5000)
+	var sum float64
+	for i := range samples {
+		samples[i] = rng.Float64()
+		sum += samples[i]
+	}
+	h := mustFromSamples(t, samples, 100, 1, false)
+	want := sum / float64(len(samples))
+	if got := h.Mean(); math.Abs(got-want) > 0.01 {
+		t.Fatalf("Mean = %g, want ~%g", got, want)
+	}
+}
+
+func TestMeanDiscrete(t *testing.T) {
+	samples := []float64{1, 2, 3, 4} // mean 2.5
+	h := mustFromSamples(t, samples, 4, 4, true)
+	if got := h.Mean(); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("discrete Mean = %g, want 2.5", got)
+	}
+}
+
+func TestAccumulatorMatchesFromSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	samples := make([]float64, 1000)
+	acc, err := NewAccumulator(50, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range samples {
+		samples[i] = rng.Float64()
+		acc.Add(samples[i])
+	}
+	if acc.N() != 1000 {
+		t.Fatalf("N = %d", acc.N())
+	}
+	ha, err := acc.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := mustFromSamples(t, samples, 50, 1, false)
+	for i := 0; i < 50; i++ {
+		if ha.CumAt(i) != hs.CumAt(i) {
+			t.Fatalf("bin %d: accumulator %g != batch %g", i, ha.CumAt(i), hs.CumAt(i))
+		}
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	acc, err := NewAccumulator(10, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc.Histogram(); err == nil {
+		t.Fatal("empty accumulator produced a histogram")
+	}
+}
+
+func TestClampOutOfRangeSamples(t *testing.T) {
+	h := mustFromSamples(t, []float64{-0.1, 1.2, 0.5}, 10, 1, false)
+	if got := h.CDF(1); got != 1 {
+		t.Fatalf("CDF(bound) = %g after clamped samples", got)
+	}
+	// The negative sample lands in bin 0, so F at the first edge is 1/3;
+	// halfway through the bin the interpolated CDF is 1/6.
+	if got := h.CDF(0.1); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("negative sample not clamped into first bin: CDF(0.1)=%g, want 1/3", got)
+	}
+}
+
+func TestRebinned(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]float64, 2000)
+	for i := range samples {
+		samples[i] = rng.Float64()
+	}
+	h := mustFromSamples(t, samples, 100, 1, false)
+	r, err := h.Rebinned(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bins() != 10 {
+		t.Fatalf("Bins = %d", r.Bins())
+	}
+	for _, x := range []float64{0.1, 0.3, 0.7} {
+		if diff := math.Abs(r.CDF(x) - h.CDF(x)); diff > 0.02 {
+			t.Errorf("rebinned CDF(%g) differs by %g", x, diff)
+		}
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	samples := make([]float64, 2000)
+	for i := range samples {
+		samples[i] = rng.Float64() * 2
+	}
+	h := mustFromSamples(t, samples, 100, 2, false)
+	tr, err := h.Truncated(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Bound() != 1 {
+		t.Fatalf("truncated bound = %g", tr.Bound())
+	}
+	denom := h.CDF(1)
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		want := h.CDF(x) / denom
+		if got := tr.CDF(x); math.Abs(got-want) > 0.02 {
+			t.Errorf("Truncated CDF(%g) = %g, want %g", x, got, want)
+		}
+	}
+	if got := tr.CDF(1); got != 1 {
+		t.Errorf("Truncated CDF at cap = %g, want 1", got)
+	}
+}
+
+func TestTruncatedBadCap(t *testing.T) {
+	h := mustFromSamples(t, []float64{0.5}, 10, 1, false)
+	if _, err := h.Truncated(0); err == nil {
+		t.Error("cap=0 accepted")
+	}
+	if _, err := h.Truncated(1.5); err == nil {
+		t.Error("cap>bound accepted")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	h := mustFromSamples(t, []float64{0.2, 0.8}, 4, 1, false)
+	c := h.Clone()
+	if c.CDF(0.5) != h.CDF(0.5) {
+		t.Fatal("clone CDF differs")
+	}
+	c.cum[0] = 0.99
+	if h.cum[0] == 0.99 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestEdgeValuesFallInLowerBin(t *testing.T) {
+	// Sample exactly on a bin edge must not inflate the upper bin.
+	h := mustFromSamples(t, []float64{0.5, 0.5}, 2, 1, false)
+	if got := h.CDF(0.5); got != 1 {
+		t.Fatalf("CDF(0.5) = %g, want 1 (edge samples belong to lower bin)", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	samples := make([]float64, 2000)
+	for i := range samples {
+		samples[i] = rng.Float64() * 3
+	}
+	h := mustFromSamples(t, samples, 60, 3, false)
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Histogram
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Bins() != h.Bins() || got.Bound() != h.Bound() || got.N() != h.N() || got.Discrete() != h.Discrete() {
+		t.Fatalf("shape changed: %d/%g/%d", got.Bins(), got.Bound(), got.N())
+	}
+	for _, x := range []float64{0.1, 0.7, 1.5, 2.9} {
+		if got.CDF(x) != h.CDF(x) {
+			t.Fatalf("CDF(%g) changed: %g vs %g", x, got.CDF(x), h.CDF(x))
+		}
+	}
+	// Discrete flavor too.
+	hd := mustFromSamples(t, []float64{1, 2, 2, 3}, 3, 3, true)
+	data, _ = json.Marshal(hd)
+	var gd Histogram
+	if err := json.Unmarshal(data, &gd); err != nil {
+		t.Fatal(err)
+	}
+	if !gd.Discrete() || gd.CDF(2) != hd.CDF(2) {
+		t.Fatal("discrete histogram corrupted")
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{"bound":1,"cum":[]}`,
+		`{"bound":0,"cum":[1]}`,
+		`{"bound":1,"cum":[0.9,0.5,1]}`,
+		`{"bound":1,"cum":[0.5,0.9]}`,
+		`{"bound":1,"cum":[0.5,1.5]}`,
+		`not json`,
+	}
+	for i, c := range cases {
+		var h Histogram
+		if err := json.Unmarshal([]byte(c), &h); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestJSONQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = rng.Float64() * 2
+		}
+		h, err := FromSamples(samples, 1+rng.Intn(50), 2, false)
+		if err != nil {
+			return false
+		}
+		data, err := json.Marshal(h)
+		if err != nil {
+			return false
+		}
+		var got Histogram
+		if err := json.Unmarshal(data, &got); err != nil {
+			return false
+		}
+		for x := 0.0; x <= 2; x += 0.21 {
+			if math.Abs(got.CDF(x)-h.CDF(x)) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+package histogram
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// histogramJSON is the stable wire format: the cumulative fractions at
+// the bin edges plus the shape parameters.
+type histogramJSON struct {
+	Bound    float64   `json:"bound"`
+	Discrete bool      `json:"discrete"`
+	N        int64     `json:"n"`
+	Cum      []float64 `json:"cum"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{
+		Bound:    h.bound,
+		Discrete: h.discrete,
+		N:        h.total,
+		Cum:      h.cum,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, validating the payload: the
+// cumulative sequence must be non-decreasing within [0,1] and end at 1.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var j histogramJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if len(j.Cum) == 0 {
+		return errors.New("histogram: empty cum array")
+	}
+	if !(j.Bound > 0) {
+		return fmt.Errorf("histogram: invalid bound %v", j.Bound)
+	}
+	prev := 0.0
+	for i, c := range j.Cum {
+		if c < prev-1e-12 || c < 0 || c > 1+1e-12 {
+			return fmt.Errorf("histogram: cum[%d]=%v breaks monotonicity", i, c)
+		}
+		prev = c
+	}
+	if last := j.Cum[len(j.Cum)-1]; last < 1-1e-9 || last > 1+1e-9 {
+		return fmt.Errorf("histogram: cum must end at 1, got %v", j.Cum[len(j.Cum)-1])
+	}
+	h.bound = j.Bound
+	h.discrete = j.Discrete
+	h.total = j.N
+	h.width = j.Bound / float64(len(j.Cum))
+	h.cum = append([]float64(nil), j.Cum...)
+	h.cum[len(h.cum)-1] = 1
+	return nil
+}

@@ -1,0 +1,184 @@
+package metric
+
+import "fmt"
+
+// Levenshtein computes the edit distance between two strings: the minimal
+// number of single-character insertions, deletions, and substitutions
+// transforming one into the other. It is the metric the paper uses for
+// its text-keyword datasets. The implementation uses two rolling rows,
+// O(len(a)*len(b)) time and O(min) space, operating on bytes (the
+// synthetic vocabularies are ASCII).
+func Levenshtein(a, b Object) float64 {
+	sa, ok := a.(string)
+	if !ok {
+		panic(fmt.Sprintf("metric: expected string, got %T", a))
+	}
+	sb, ok := b.(string)
+	if !ok {
+		panic(fmt.Sprintf("metric: expected string, got %T", b))
+	}
+	return float64(levenshteinBytes(sa, sb))
+}
+
+func levenshteinBytes(a, b string) int {
+	if a == b {
+		return 0
+	}
+	// Keep b the shorter string so the rows are as small as possible.
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		ca := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if ca == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost        // substitution (or match)
+			if d := prev[j] + 1; d < m { // deletion
+				m = d
+			}
+			if ins := cur[j-1] + 1; ins < m { // insertion
+				m = ins
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// LevenshteinBounded computes min(edit distance, limit+1) using a banded
+// dynamic program: only cells within the diagonal band of width 2*limit+1
+// are evaluated, giving O(limit * min(len)) time. Query processing uses it
+// when an upper bound on the interesting distance is known (e.g. a range
+// query radius), without changing any result: the return value is exact
+// whenever it is <= limit.
+func LevenshteinBounded(a, b string, limit int) int {
+	if limit < 0 {
+		panic("metric: negative limit")
+	}
+	if a == b {
+		return 0
+	}
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(a)-len(b) > limit {
+		return limit + 1
+	}
+	if len(b) == 0 {
+		return len(a) // <= limit by the check above
+	}
+	const inf = int(^uint(0) >> 2)
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		if j <= limit {
+			prev[j] = j
+		} else {
+			prev[j] = inf
+		}
+	}
+	for i := 1; i <= len(a); i++ {
+		lo := i - limit
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + limit
+		if hi > len(b) {
+			hi = len(b)
+		}
+		if lo > hi {
+			return limit + 1
+		}
+		if lo == 1 {
+			cur[0] = i
+		} else {
+			cur[lo-1] = inf
+		}
+		ca := a[i-1]
+		rowMin := inf
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if ca == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost
+			if prev[j]+1 < m {
+				m = prev[j] + 1
+			}
+			if cur[j-1]+1 < m {
+				m = cur[j-1] + 1
+			}
+			cur[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if hi < len(b) {
+			cur[hi+1] = inf // sentinel just past the band
+		}
+		if rowMin > limit {
+			return limit + 1
+		}
+		prev, cur = cur, prev
+	}
+	if d := prev[len(b)]; d <= limit {
+		return d
+	}
+	return limit + 1
+}
+
+// Hamming counts differing positions between two equal-length strings.
+// It is used by the binary-hypercube space of the paper's Example 1 when
+// objects are encoded as bit strings.
+func Hamming(a, b Object) float64 {
+	sa, ok := a.(string)
+	if !ok {
+		panic(fmt.Sprintf("metric: expected string, got %T", a))
+	}
+	sb, ok := b.(string)
+	if !ok {
+		panic(fmt.Sprintf("metric: expected string, got %T", b))
+	}
+	if len(sa) != len(sb) {
+		panic(fmt.Sprintf("metric: Hamming length mismatch %d vs %d", len(sa), len(sb)))
+	}
+	n := 0
+	for i := 0; i < len(sa); i++ {
+		if sa[i] != sb[i] {
+			n++
+		}
+	}
+	return float64(n)
+}
+
+// EditSpace returns the BRM space of strings of length up to maxLen under
+// the Levenshtein metric; d+ = maxLen, matching the paper's (Sigma^m,
+// L_edit, m, S) example.
+func EditSpace(maxLen int) *Space {
+	if maxLen <= 0 {
+		panic("metric: EditSpace needs maxLen > 0")
+	}
+	return &Space{Name: "edit", Distance: Levenshtein, Bound: float64(maxLen), Discrete: true}
+}
+
+// HammingSpace returns the BRM space of length-dim bit strings under the
+// Hamming metric, d+ = dim.
+func HammingSpace(dim int) *Space {
+	if dim <= 0 {
+		panic("metric: HammingSpace needs dim > 0")
+	}
+	return &Space{Name: "hamming", Distance: Hamming, Bound: float64(dim), Discrete: true}
+}

@@ -1,0 +1,226 @@
+package metric
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"gumbo", "gambol", 2},
+		{"saturday", "sunday", 3},
+		{"same", "same", 0},
+		{"abc", "cba", 2},
+		{"aaaa", "bbbb", 4},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %g, want %g", c.a, c.b, got, c.want)
+		}
+		if got := Levenshtein(c.b, c.a); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %g, want %g (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+// naive reference implementation: full DP matrix.
+func naiveLevenshtein(a, b string) int {
+	m, n := len(a), len(b)
+	d := make([][]int, m+1)
+	for i := range d {
+		d[i] = make([]int, n+1)
+		d[i][0] = i
+	}
+	for j := 0; j <= n; j++ {
+		d[0][j] = j
+	}
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= n; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := d[i-1][j-1] + cost
+			if d[i-1][j]+1 < best {
+				best = d[i-1][j] + 1
+			}
+			if d[i][j-1]+1 < best {
+				best = d[i][j-1] + 1
+			}
+			d[i][j] = best
+		}
+	}
+	return d[m][n]
+}
+
+func randWord(rng *rand.Rand, maxLen int) string {
+	n := rng.Intn(maxLen + 1)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(byte('a' + rng.Intn(4))) // small alphabet => frequent matches
+	}
+	return sb.String()
+}
+
+func TestLevenshteinMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		a, b := randWord(rng, 12), randWord(rng, 12)
+		want := naiveLevenshtein(a, b)
+		if got := int(Levenshtein(a, b)); got != want {
+			t.Fatalf("Levenshtein(%q,%q) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestLevenshteinBoundedExactWithinLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		a, b := randWord(rng, 12), randWord(rng, 12)
+		exact := naiveLevenshtein(a, b)
+		for _, limit := range []int{0, 1, 2, 3, 5, 12} {
+			got := LevenshteinBounded(a, b, limit)
+			if exact <= limit {
+				if got != exact {
+					t.Fatalf("LevenshteinBounded(%q,%q,%d) = %d, want exact %d", a, b, limit, got, exact)
+				}
+			} else if got != limit+1 {
+				t.Fatalf("LevenshteinBounded(%q,%q,%d) = %d, want limit+1=%d (exact %d)",
+					a, b, limit, got, limit+1, exact)
+			}
+		}
+	}
+}
+
+func TestLevenshteinBoundedNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative limit should panic")
+		}
+	}()
+	LevenshteinBounded("a", "b", -1)
+}
+
+// Property: edit distance satisfies the triangle inequality.
+func TestLevenshteinTriangleQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		a, b, c := randWord(r, 10), randWord(r, 10), randWord(r, 10)
+		dab := Levenshtein(a, b)
+		dac := Levenshtein(a, c)
+		dcb := Levenshtein(c, b)
+		return dab <= dac+dcb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: |len(a)-len(b)| <= d(a,b) <= max(len(a),len(b)).
+func TestLevenshteinLengthBoundsQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		a, b := randWord(r, 15), randWord(r, 15)
+		d := int(Levenshtein(a, b))
+		lo := len(a) - len(b)
+		if lo < 0 {
+			lo = -lo
+		}
+		hi := len(a)
+		if len(b) > hi {
+			hi = len(b)
+		}
+		return d >= lo && d <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHamming(t *testing.T) {
+	if got := Hamming("0000", "0000"); got != 0 {
+		t.Errorf("Hamming same = %g", got)
+	}
+	if got := Hamming("0101", "1010"); got != 4 {
+		t.Errorf("Hamming opposite = %g, want 4", got)
+	}
+	if got := Hamming("0101", "0111"); got != 1 {
+		t.Errorf("Hamming = %g, want 1", got)
+	}
+}
+
+func TestHammingLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths should panic")
+		}
+	}()
+	Hamming("01", "011")
+}
+
+func TestEditSpaceIsMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s := EditSpace(10)
+	sample := make([]Object, 10)
+	for i := range sample {
+		sample[i] = randWord(rng, 10)
+	}
+	if err := CheckAxioms(s, sample); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHammingSpaceIsMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := HammingSpace(8)
+	sample := make([]Object, 10)
+	for i := range sample {
+		var sb strings.Builder
+		for j := 0; j < 8; j++ {
+			sb.WriteByte(byte('0' + rng.Intn(2)))
+		}
+		sample[i] = sb.String()
+	}
+	if err := CheckAxioms(s, sample); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEditSpacePanicsOnBadLen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EditSpace(0) should panic")
+		}
+	}()
+	EditSpace(0)
+}
+
+func BenchmarkLevenshtein12(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	a, c := randWord(rng, 12), randWord(rng, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Levenshtein(a, c)
+	}
+}
+
+func BenchmarkLevenshteinBounded3(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	a, c := randWord(rng, 12), randWord(rng, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LevenshteinBounded(a, c, 3)
+	}
+}

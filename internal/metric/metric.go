@@ -1,0 +1,157 @@
+// Package metric defines the metric-space abstractions the rest of the
+// library is built on: distance functions, bounded random metric (BRM)
+// space descriptors, and instrumentation for counting distance
+// computations.
+//
+// A metric space M = (U, d) pairs a value domain U with a distance
+// function d that is non-negative, symmetric, satisfies the triangle
+// inequality, and is zero only for identical objects (identity of
+// indiscernibles is relaxed to pseudo-metrics where noted). The paper
+// works with *bounded* random metric spaces M = (U, d, d+, S) where d+ is
+// a finite upper bound on distances; every Space in this package carries
+// its d+ bound because the cost model integrates over [0, d+].
+package metric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Object is any value a metric can compare. Concrete spaces use Vector or
+// String objects; the empty interface keeps the tree and cost-model code
+// agnostic to the domain, exactly as the paper requires.
+type Object interface{}
+
+// DistanceFunc measures the dissimilarity of two objects. Implementations
+// must be non-negative, symmetric, and satisfy the triangle inequality.
+type DistanceFunc func(a, b Object) float64
+
+// Space describes a bounded metric space: a named distance function
+// together with its finite distance bound d+ (Bound). Objects handed to
+// Distance must come from the space's domain; the library never checks
+// domain membership at runtime for speed, but CheckAxioms can validate a
+// sample.
+type Space struct {
+	// Name identifies the space in diagnostics ("L2", "edit", ...).
+	Name string
+	// Distance is the metric d.
+	Distance DistanceFunc
+	// Bound is d+, a finite upper bound on any distance value in the
+	// space. The cost model integrates distance distributions over
+	// [0, Bound].
+	Bound float64
+	// Discrete reports whether the metric only takes integer values
+	// (e.g. edit or Hamming distance). Histogram construction uses this
+	// to align bin edges with integers.
+	Discrete bool
+}
+
+// Validate reports whether the space descriptor is usable.
+func (s *Space) Validate() error {
+	if s.Distance == nil {
+		return errors.New("metric: space has nil distance function")
+	}
+	if !(s.Bound > 0) || math.IsInf(s.Bound, 0) || math.IsNaN(s.Bound) {
+		return fmt.Errorf("metric: space %q has invalid bound %v", s.Name, s.Bound)
+	}
+	return nil
+}
+
+// Counter wraps a Space and counts the number of distance computations
+// performed through it. It is safe for concurrent use. Query processing
+// in the M-tree and vp-tree measures CPU cost as the number of distance
+// computations, matching the paper's definition of CPU cost.
+type Counter struct {
+	space *Space
+	n     atomic.Int64
+}
+
+// NewCounter returns a counting view over space.
+func NewCounter(space *Space) *Counter {
+	return &Counter{space: space}
+}
+
+// Distance computes d(a,b) and increments the counter.
+func (c *Counter) Distance(a, b Object) float64 {
+	c.n.Add(1)
+	return c.space.Distance(a, b)
+}
+
+// Count returns the number of distances computed so far.
+func (c *Counter) Count() int64 { return c.n.Load() }
+
+// Reset zeroes the counter and returns the previous value.
+func (c *Counter) Reset() int64 { return c.n.Swap(0) }
+
+// Space returns the wrapped space descriptor.
+func (c *Counter) Space() *Space { return c.space }
+
+// Bound returns the wrapped space's d+.
+func (c *Counter) Bound() float64 { return c.space.Bound }
+
+// AxiomViolation describes a failed metric-axiom check on a concrete
+// triple of objects.
+type AxiomViolation struct {
+	Axiom   string // "non-negativity", "symmetry", "triangle", "identity"
+	A, B, C Object // C is only set for triangle violations
+	Detail  string
+}
+
+func (v AxiomViolation) Error() string {
+	return fmt.Sprintf("metric axiom %s violated: %s", v.Axiom, v.Detail)
+}
+
+// CheckAxioms exhaustively validates the metric axioms on the given
+// sample of objects: non-negativity and symmetry on all pairs, the
+// triangle inequality on all ordered triples, and d(x,x)=0 on all
+// objects. It returns the first violation found, or nil. Cost is
+// O(len(sample)^3) distance computations; keep samples small.
+func CheckAxioms(s *Space, sample []Object) error {
+	const eps = 1e-9
+	for _, a := range sample {
+		if d := s.Distance(a, a); d > eps {
+			return AxiomViolation{Axiom: "identity", A: a, B: a,
+				Detail: fmt.Sprintf("d(x,x)=%g != 0", d)}
+		}
+	}
+	n := len(sample)
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			dist[i][j] = s.Distance(sample[i], sample[j])
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d := dist[i][j]
+			if d < 0 || math.IsNaN(d) {
+				return AxiomViolation{Axiom: "non-negativity", A: sample[i], B: sample[j],
+					Detail: fmt.Sprintf("d=%g", d)}
+			}
+			if d > s.Bound+eps {
+				return AxiomViolation{Axiom: "bound", A: sample[i], B: sample[j],
+					Detail: fmt.Sprintf("d=%g exceeds d+=%g", d, s.Bound)}
+			}
+			if diff := math.Abs(d - dist[j][i]); diff > eps {
+				return AxiomViolation{Axiom: "symmetry", A: sample[i], B: sample[j],
+					Detail: fmt.Sprintf("|d(a,b)-d(b,a)|=%g", diff)}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if dist[i][j] > dist[i][k]+dist[k][j]+eps {
+					return AxiomViolation{Axiom: "triangle",
+						A: sample[i], B: sample[j], C: sample[k],
+						Detail: fmt.Sprintf("d(a,b)=%g > d(a,c)+d(c,b)=%g",
+							dist[i][j], dist[i][k]+dist[k][j])}
+				}
+			}
+		}
+	}
+	return nil
+}

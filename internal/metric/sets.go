@@ -1,0 +1,62 @@
+package metric
+
+import (
+	"fmt"
+	"sort"
+)
+
+// StringSet is a set of string tokens, stored sorted and de-duplicated,
+// for comparison with the Jaccard distance — a common metric for
+// keyword bags, shingled documents, and categorical records.
+type StringSet []string
+
+// NewStringSet builds a normalized (sorted, unique) set.
+func NewStringSet(items ...string) StringSet {
+	s := append([]string(nil), items...)
+	sort.Strings(s)
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return StringSet(out)
+}
+
+// Jaccard is the Jaccard distance 1 − |A∩B| / |A∪B|, a true metric on
+// finite sets with d(∅,∅) = 0 and bound 1.
+func Jaccard(a, b Object) float64 {
+	sa, ok := a.(StringSet)
+	if !ok {
+		panic(fmt.Sprintf("metric: expected StringSet, got %T", a))
+	}
+	sb, ok := b.(StringSet)
+	if !ok {
+		panic(fmt.Sprintf("metric: expected StringSet, got %T", b))
+	}
+	if len(sa) == 0 && len(sb) == 0 {
+		return 0
+	}
+	// Merge-count over the sorted slices.
+	i, j, inter := 0, 0, 0
+	for i < len(sa) && j < len(sb) {
+		switch {
+		case sa[i] == sb[j]:
+			inter++
+			i++
+			j++
+		case sa[i] < sb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	return 1 - float64(inter)/float64(union)
+}
+
+// JaccardSpace returns the BRM space of token sets under the Jaccard
+// distance, d+ = 1.
+func JaccardSpace() *Space {
+	return &Space{Name: "jaccard", Distance: Jaccard, Bound: 1}
+}

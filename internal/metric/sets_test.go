@@ -1,0 +1,92 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewStringSetNormalizes(t *testing.T) {
+	s := NewStringSet("b", "a", "b", "c", "a")
+	if len(s) != 3 || s[0] != "a" || s[1] != "b" || s[2] != "c" {
+		t.Fatalf("got %v", s)
+	}
+	if len(NewStringSet()) != 0 {
+		t.Fatal("empty set not empty")
+	}
+}
+
+func TestJaccardKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b StringSet
+		want float64
+	}{
+		{NewStringSet(), NewStringSet(), 0},
+		{NewStringSet("x"), NewStringSet("x"), 0},
+		{NewStringSet("x"), NewStringSet("y"), 1},
+		{NewStringSet("a", "b"), NewStringSet("b", "c"), 1 - 1.0/3},
+		{NewStringSet("a", "b", "c"), NewStringSet("a", "b", "c", "d"), 1 - 3.0/4},
+		{NewStringSet("a"), NewStringSet(), 1},
+	}
+	for _, c := range cases {
+		if got := Jaccard(c.a, c.b); math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("Jaccard(%v,%v) = %g, want %g", c.a, c.b, got, c.want)
+		}
+		if got := Jaccard(c.b, c.a); math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("symmetry: Jaccard(%v,%v) = %g, want %g", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func randSet(rng *rand.Rand) StringSet {
+	vocab := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	var items []string
+	for _, v := range vocab {
+		if rng.Float64() < 0.4 {
+			items = append(items, v)
+		}
+	}
+	return NewStringSet(items...)
+}
+
+func TestJaccardIsMetricQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		a, b, c := randSet(r), randSet(r), randSet(r)
+		dab := Jaccard(a, b)
+		dac := Jaccard(a, c)
+		dcb := Jaccard(c, b)
+		if dab < 0 || dab > 1 {
+			return false
+		}
+		if Jaccard(a, a) != 0 {
+			return false
+		}
+		return dab <= dac+dcb+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJaccardSpaceAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	sample := make([]Object, 10)
+	for i := range sample {
+		sample[i] = randSet(rng)
+	}
+	if err := CheckAxioms(JaccardSpace(), sample); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJaccardTypePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong type should panic")
+		}
+	}()
+	Jaccard("not a set", NewStringSet("a"))
+}

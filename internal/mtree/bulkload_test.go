@@ -1,0 +1,193 @@
+package mtree
+
+import (
+	"testing"
+
+	"mcost/internal/dataset"
+	"mcost/internal/metric"
+	"mcost/internal/pager"
+)
+
+func bulkTree(t *testing.T, d *dataset.Dataset, opt Options) *Tree {
+	t.Helper()
+	opt.Space = d.Space
+	tr, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad(d.Objects); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBulkLoadSmallFitsRoot(t *testing.T) {
+	d := dataset.Uniform(5, 2, 1)
+	tr := bulkTree(t, d, Options{PageSize: 4096})
+	if tr.Height() != 1 || tr.NumNodes() != 1 {
+		t.Fatalf("height %d nodes %d, want single-leaf tree", tr.Height(), tr.NumNodes())
+	}
+	if tr.Size() != 5 {
+		t.Fatalf("size %d", tr.Size())
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr, _ := New(Options{Space: metric.VectorSpace("L2", 2)})
+	if err := tr.BulkLoad(nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 0 || tr.Height() != 0 {
+		t.Fatal("empty bulk load changed the tree")
+	}
+}
+
+func TestBulkLoadRejectsNonEmptyTree(t *testing.T) {
+	d := dataset.Uniform(10, 2, 1)
+	tr := buildTree(t, d, Options{})
+	if err := tr.BulkLoad(d.Objects); err == nil {
+		t.Fatal("bulk load into non-empty tree accepted")
+	}
+}
+
+func TestBulkLoadRejectsBadObjects(t *testing.T) {
+	tr, _ := New(Options{Space: metric.VectorSpace("L2", 2)})
+	if err := tr.BulkLoad([]metric.Object{metric.Vector{0, 0}, nil}); err == nil {
+		t.Fatal("nil object accepted")
+	}
+}
+
+func TestBulkLoadQueriesMatchLinearScan(t *testing.T) {
+	d := dataset.PaperClustered(2500, 6, 21)
+	tr := bulkTree(t, d, Options{PageSize: 1024, Seed: 2})
+	queries := dataset.PaperClusteredQueries(10, 6, 21).Queries
+	for _, q := range queries {
+		got, err := tr.Range(q, 0.12, QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := LinearScanRange(d.Objects, d.Space, q, 0.12)
+		if !sameOIDs(got, want) {
+			t.Fatalf("range: %d vs %d results", len(got), len(want))
+		}
+		nn, err := tr.NN(q, 4, QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantNN := LinearScanNN(d.Objects, d.Space, q, 4)
+		for i := range nn {
+			if nn[i].Distance != wantNN[i].Distance {
+				t.Fatalf("NN rank %d: %g vs %g", i, nn[i].Distance, wantNN[i].Distance)
+			}
+		}
+	}
+}
+
+func TestBulkLoadWords(t *testing.T) {
+	d := dataset.Words(1500, 22)
+	tr := bulkTree(t, d, Options{PageSize: 512, Seed: 3})
+	q := "morabito"
+	got, err := tr.Range(q, 4, QueryOptions{UseParentDist: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := LinearScanRange(d.Objects, d.Space, q, 4)
+	if !sameOIDs(got, want) {
+		t.Fatalf("range over words: %d vs %d", len(got), len(want))
+	}
+}
+
+func TestBulkLoadBetterThanInsertOnBuildCost(t *testing.T) {
+	d := dataset.PaperClustered(3000, 8, 23)
+
+	ins, err := New(Options{Space: d.Space, PageSize: 2048, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.InsertAll(d.Objects); err != nil {
+		t.Fatal(err)
+	}
+	insertDists := ins.DistanceCount()
+
+	bl, err := New(Options{Space: d.Space, PageSize: 2048, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bl.BulkLoad(d.Objects); err != nil {
+		t.Fatal(err)
+	}
+	bulkDists := bl.DistanceCount()
+
+	if bulkDists >= insertDists {
+		t.Fatalf("bulk load used %d distances, insert %d — expected fewer", bulkDists, insertDists)
+	}
+}
+
+func TestBulkLoadUtilization(t *testing.T) {
+	d := dataset.Uniform(4000, 4, 24)
+	tr := bulkTree(t, d, Options{PageSize: 1024, Seed: 4})
+	st, err := tr.CollectStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leaf capacity: entry = 8+8+2+32 = 50 bytes -> ~20 per 1KB page.
+	// Minimum utilization 30% => at least 6 entries in most leaves.
+	minEntries := int(0.3 * float64((1024-nodeHeaderSize)/50))
+	under := 0
+	leaves := 0
+	for _, ns := range st.Nodes {
+		if !ns.Leaf {
+			continue
+		}
+		leaves++
+		if ns.Entries < minEntries {
+			under++
+		}
+	}
+	if leaves == 0 {
+		t.Fatal("no leaves")
+	}
+	if frac := float64(under) / float64(leaves); frac > 0.1 {
+		t.Fatalf("%.0f%% of leaves under the 30%% utilization floor", frac*100)
+	}
+}
+
+func TestBulkLoadHeightScales(t *testing.T) {
+	small := bulkTree(t, dataset.Uniform(100, 3, 25), Options{PageSize: 512})
+	large := bulkTree(t, dataset.Uniform(5000, 3, 25), Options{PageSize: 512})
+	if large.Height() <= small.Height() {
+		t.Fatalf("5000-object tree height %d not above 100-object height %d",
+			large.Height(), small.Height())
+	}
+	if large.Height() > 8 {
+		t.Fatalf("suspiciously tall tree: height %d", large.Height())
+	}
+}
+
+func TestBulkLoadPagedMode(t *testing.T) {
+	d := dataset.Uniform(800, 3, 26)
+	pg := newTestPager(t, 1024)
+	opt := Options{PageSize: 1024, Pager: pg, Codec: VectorCodec{Dim: 3}, Seed: 5}
+	tr := bulkTree(t, d, opt)
+	q := metric.Vector{0.5, 0.5, 0.5}
+	got, err := tr.Range(q, 0.2, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := LinearScanRange(d.Objects, d.Space, q, 0.2)
+	if !sameOIDs(got, want) {
+		t.Fatal("paged bulk-loaded tree returned wrong results")
+	}
+}
+
+func newTestPager(t *testing.T, pageSize int) pager.Pager {
+	t.Helper()
+	p, err := pager.NewMem(pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

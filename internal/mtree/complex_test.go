@@ -1,0 +1,163 @@
+package mtree
+
+import (
+	"math"
+	"testing"
+
+	"mcost/internal/dataset"
+	"mcost/internal/metric"
+)
+
+func scanAnd(d *dataset.Dataset, preds []Pred) map[uint64]bool {
+	out := map[uint64]bool{}
+	for i, o := range d.Objects {
+		ok := true
+		for _, p := range preds {
+			if d.Space.Distance(p.Q, o) > p.Radius {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out[uint64(i)] = true
+		}
+	}
+	return out
+}
+
+func scanOr(d *dataset.Dataset, preds []Pred) map[uint64]bool {
+	out := map[uint64]bool{}
+	for i, o := range d.Objects {
+		for _, p := range preds {
+			if d.Space.Distance(p.Q, o) <= p.Radius {
+				out[uint64(i)] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+func sameSet(t *testing.T, got []Match, want map[uint64]bool, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, scan found %d", label, len(got), len(want))
+	}
+	for _, m := range got {
+		if !want[m.OID] {
+			t.Fatalf("%s: unexpected OID %d", label, m.OID)
+		}
+	}
+}
+
+func complexFixture(t *testing.T) (*dataset.Dataset, *Tree, []Pred) {
+	t.Helper()
+	d := dataset.PaperClustered(1200, 6, 71)
+	tr := buildTree(t, d, Options{PageSize: 1024, Seed: 1})
+	qs := dataset.PaperClusteredQueries(2, 6, 71).Queries
+	preds := []Pred{
+		{Q: qs[0], Radius: 0.35},
+		{Q: qs[1], Radius: 0.4},
+	}
+	return d, tr, preds
+}
+
+func TestRangeAndMatchesScan(t *testing.T) {
+	d, tr, preds := complexFixture(t)
+	for _, prune := range []bool{false, true} {
+		got, err := tr.RangeAnd(preds, QueryOptions{UseParentDist: prune})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSet(t, got, scanAnd(d, preds), "AND")
+	}
+}
+
+func TestRangeOrMatchesScan(t *testing.T) {
+	d, tr, preds := complexFixture(t)
+	for _, prune := range []bool{false, true} {
+		got, err := tr.RangeOr(preds, QueryOptions{UseParentDist: prune})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSet(t, got, scanOr(d, preds), "OR")
+	}
+}
+
+func TestComplexSinglePredicateEqualsRange(t *testing.T) {
+	d, tr, preds := complexFixture(t)
+	_ = d
+	single := preds[:1]
+	and, err := tr.RangeAnd(single, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, err := tr.RangeOr(single, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := tr.Range(single[0].Q, single[0].Radius, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameOIDs(and, plain) || !sameOIDs(or, plain) {
+		t.Fatal("single-predicate complex queries disagree with Range")
+	}
+}
+
+func TestComplexValidation(t *testing.T) {
+	_, tr, preds := complexFixture(t)
+	if _, err := tr.RangeAnd(nil, QueryOptions{}); err == nil {
+		t.Error("empty predicates accepted")
+	}
+	bad := []Pred{{Q: nil, Radius: 1}}
+	if _, err := tr.RangeAnd(bad, QueryOptions{}); err == nil {
+		t.Error("nil predicate query accepted")
+	}
+	bad2 := []Pred{{Q: preds[0].Q, Radius: -1}}
+	if _, err := tr.RangeOr(bad2, QueryOptions{}); err == nil {
+		t.Error("negative predicate radius accepted")
+	}
+}
+
+func TestComplexEmptyTree(t *testing.T) {
+	tr, _ := New(Options{Space: metric.VectorSpace("L2", 2)})
+	preds := []Pred{{Q: metric.Vector{0, 0}, Radius: 1}}
+	if got, err := tr.RangeAnd(preds, QueryOptions{}); err != nil || got != nil {
+		t.Fatalf("AND on empty tree: %v %v", got, err)
+	}
+	if got, err := tr.RangeOr(preds, QueryOptions{}); err != nil || got != nil {
+		t.Fatalf("OR on empty tree: %v %v", got, err)
+	}
+}
+
+func TestConjunctionCheaperThanDisjunction(t *testing.T) {
+	_, tr, preds := complexFixture(t)
+	tr.ResetCounters()
+	if _, err := tr.RangeAnd(preds, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	andReads := tr.NodeReads()
+	tr.ResetCounters()
+	if _, err := tr.RangeOr(preds, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	orReads := tr.NodeReads()
+	if andReads > orReads {
+		t.Fatalf("conjunction read %d nodes, disjunction %d — AND must prune at least as hard", andReads, orReads)
+	}
+}
+
+func TestComplexDistancesFinite(t *testing.T) {
+	d, tr, preds := complexFixture(t)
+	_ = d
+	got, err := tr.RangeOr(preds, QueryOptions{UseParentDist: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range got {
+		if math.IsNaN(m.Distance) || math.IsInf(m.Distance, 0) {
+			t.Fatalf("OID %d has distance %v", m.OID, m.Distance)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package mtree
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"mcost/internal/dataset"
+	"mcost/internal/metric"
+)
+
+func TestDeleteBasic(t *testing.T) {
+	d := dataset.Uniform(300, 3, 91)
+	tr := buildTree(t, d, Options{PageSize: 512})
+	// Delete a third of the objects.
+	for oid := 0; oid < 100; oid++ {
+		if err := tr.Delete(d.Objects[oid], uint64(oid)); err != nil {
+			t.Fatalf("delete %d: %v", oid, err)
+		}
+	}
+	if tr.Size() != 200 {
+		t.Fatalf("size %d, want 200", tr.Size())
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Deleted objects are gone; the rest remain findable.
+	got, err := tr.Range(d.Objects[50], 0, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range got {
+		if m.OID == 50 {
+			t.Fatal("deleted object still returned")
+		}
+	}
+	keep, err := tr.Range(d.Objects[150], 0, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range keep {
+		if m.OID == 150 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("surviving object lost")
+	}
+}
+
+func TestDeleteErrors(t *testing.T) {
+	d := dataset.Uniform(50, 2, 92)
+	tr := buildTree(t, d, Options{PageSize: 512})
+	if err := tr.Delete(nil, 0); err == nil {
+		t.Error("nil object accepted")
+	}
+	if err := tr.Delete(metric.Vector{9, 9}, 99999); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing object: %v", err)
+	}
+	// Right OID, wrong object value: either routing never reaches the
+	// leaf (not found) or the leaf detects the mismatch — an error
+	// either way, and the object must survive.
+	if err := tr.Delete(metric.Vector{9, 9}, 0); err == nil {
+		t.Error("OID/object mismatch accepted")
+	}
+	if tr.Size() != 50 {
+		t.Fatalf("size changed to %d after failed deletes", tr.Size())
+	}
+	empty, _ := New(Options{Space: metric.VectorSpace("L2", 2)})
+	if err := empty.Delete(metric.Vector{0, 0}, 0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("delete from empty tree: %v", err)
+	}
+}
+
+func TestDeleteEverything(t *testing.T) {
+	d := dataset.Words(150, 93)
+	tr := buildTree(t, d, Options{PageSize: 512})
+	for oid, o := range d.Objects {
+		if err := tr.Delete(o, uint64(oid)); err != nil {
+			t.Fatalf("delete %d: %v", oid, err)
+		}
+	}
+	if tr.Size() != 0 || tr.Height() != 0 {
+		t.Fatalf("emptied tree: size %d height %d", tr.Size(), tr.Height())
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// And it accepts new objects again.
+	if err := tr.Insert("rinato"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteShrinksRoot(t *testing.T) {
+	d := dataset.Uniform(400, 2, 94)
+	tr := buildTree(t, d, Options{PageSize: 512})
+	h0 := tr.Height()
+	if h0 < 3 {
+		t.Fatalf("fixture too shallow: height %d", h0)
+	}
+	// Delete all but one object: every sibling branch empties out, so
+	// the root chain collapses onto the surviving leaf.
+	for oid := 0; oid < 399; oid++ {
+		if err := tr.Delete(d.Objects[oid], uint64(oid)); err != nil {
+			t.Fatalf("delete %d: %v", oid, err)
+		}
+	}
+	if tr.Height() != 1 {
+		t.Fatalf("height %d after deleting down to one object, want 1", tr.Height())
+	}
+	if tr.Size() != 1 {
+		t.Fatalf("size %d", tr.Size())
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertDeleteChurnKeepsInvariants(t *testing.T) {
+	// Property-style churn: random interleaved inserts and deletes with
+	// the invariant verifier run at checkpoints, and results always
+	// matching a shadow map.
+	space := metric.VectorSpace("Linf", 3)
+	tr, err := New(Options{Space: space, PageSize: 512, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(95))
+	type rec struct {
+		obj metric.Object
+		oid uint64
+	}
+	var live []rec
+	nextOID := uint64(0)
+	for step := 0; step < 800; step++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			v := metric.Vector{rng.Float64(), rng.Float64(), rng.Float64()}
+			if err := tr.Insert(v); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, rec{obj: v, oid: nextOID})
+			nextOID++
+		} else {
+			i := rng.Intn(len(live))
+			r := live[i]
+			if err := tr.Delete(r.obj, r.oid); err != nil {
+				t.Fatalf("step %d delete oid %d: %v", step, r.oid, err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+		if step%100 == 99 {
+			if err := tr.Verify(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			if tr.Size() != len(live) {
+				t.Fatalf("step %d: size %d, shadow %d", step, tr.Size(), len(live))
+			}
+		}
+	}
+	// Final: a full-radius range returns exactly the live set.
+	got, err := tr.Range(metric.Vector{0.5, 0.5, 0.5}, space.Bound, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(live) {
+		t.Fatalf("full range returned %d, live %d", len(got), len(live))
+	}
+	want := map[uint64]bool{}
+	for _, r := range live {
+		want[r.oid] = true
+	}
+	for _, m := range got {
+		if !want[m.OID] {
+			t.Fatalf("phantom OID %d", m.OID)
+		}
+	}
+}
+
+func TestDeleteFreesAndReusesNodes(t *testing.T) {
+	d := dataset.Uniform(400, 3, 96)
+	tr := buildTree(t, d, Options{PageSize: 512})
+	grown := tr.NumNodes()
+	for oid, o := range d.Objects {
+		if err := tr.Delete(o, uint64(oid)); err != nil {
+			t.Fatalf("delete %d: %v", oid, err)
+		}
+	}
+	if tr.NumNodes() != 0 {
+		t.Fatalf("%d nodes leaked after deleting everything", tr.NumNodes())
+	}
+	// Re-inserting the same data reuses freed node slots instead of
+	// growing the store without bound.
+	for _, o := range d.Objects {
+		if err := tr.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() > grown*2 {
+		t.Fatalf("store grew to %d nodes after churn (was %d)", tr.NumNodes(), grown)
+	}
+}
+
+func TestDeletePagedMode(t *testing.T) {
+	d := dataset.Words(300, 97)
+	pg := newTestPager(t, 512)
+	opt := Options{Space: d.Space, PageSize: 512, Pager: pg, Codec: StringCodec{}, Seed: 9}
+	tr, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad(d.Objects); err != nil {
+		t.Fatal(err)
+	}
+	for oid := 0; oid < 150; oid++ {
+		if err := tr.Delete(d.Objects[oid], uint64(oid)); err != nil {
+			t.Fatalf("delete %d: %v", oid, err)
+		}
+	}
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 150 {
+		t.Fatalf("size %d", tr.Size())
+	}
+	// Survivors all findable through the paged path.
+	got, err := tr.Range(d.Objects[200], 0, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range got {
+		if m.OID == 200 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("survivor lost after paged deletes")
+	}
+}

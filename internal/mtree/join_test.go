@@ -1,0 +1,111 @@
+package mtree
+
+import (
+	"fmt"
+	"testing"
+
+	"mcost/internal/dataset"
+	"mcost/internal/metric"
+)
+
+func pairKey(p JoinPair) string {
+	return fmt.Sprintf("%d-%d", p.A.OID, p.B.OID)
+}
+
+func TestSimilarityJoinMatchesNestedLoop(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		d    *dataset.Dataset
+		eps  float64
+	}{
+		{"clustered", dataset.PaperClustered(500, 4, 111), 0.08},
+		{"uniform", dataset.Uniform(400, 3, 112), 0.1},
+		{"words", dataset.Words(300, 113), 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := buildTree(t, tc.d, Options{PageSize: 1024, Seed: 1})
+			got, err := tr.SimilarityJoin(tc.eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := NestedLoopJoin(tc.d.Objects, tc.d.Space, tc.eps)
+			if len(got) != len(want) {
+				t.Fatalf("join found %d pairs, baseline %d", len(got), len(want))
+			}
+			seen := map[string]bool{}
+			for _, p := range got {
+				if p.A.OID >= p.B.OID {
+					t.Fatalf("unnormalized pair %d-%d", p.A.OID, p.B.OID)
+				}
+				k := pairKey(p)
+				if seen[k] {
+					t.Fatalf("duplicate pair %s", k)
+				}
+				seen[k] = true
+			}
+			for _, p := range want {
+				if !seen[pairKey(p)] {
+					t.Fatalf("missing pair %s (distance %g)", pairKey(p), p.Distance)
+				}
+			}
+		})
+	}
+}
+
+func TestSimilarityJoinBulkLoaded(t *testing.T) {
+	d := dataset.PaperClustered(600, 5, 114)
+	tr := bulkTree(t, d, Options{PageSize: 1024, Seed: 2})
+	got, err := tr.SimilarityJoin(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NestedLoopJoin(d.Objects, d.Space, 0.1)
+	if len(got) != len(want) {
+		t.Fatalf("bulk-loaded join: %d vs %d pairs", len(got), len(want))
+	}
+}
+
+func TestSimilarityJoinPrunes(t *testing.T) {
+	d := dataset.PaperClustered(1500, 6, 115)
+	tr := bulkTree(t, d, Options{PageSize: 1024, Seed: 3})
+	tr.ResetCounters()
+	if _, err := tr.SimilarityJoin(0.05); err != nil {
+		t.Fatal(err)
+	}
+	joinDists := tr.DistanceCount()
+	nested := int64(d.N()) * int64(d.N()-1) / 2
+	if joinDists >= nested {
+		t.Fatalf("join computed %d distances, nested loop needs %d — no pruning", joinDists, nested)
+	}
+	if joinDists > nested/2 {
+		t.Fatalf("join computed %d distances, expected well under half of %d on clustered data", joinDists, nested)
+	}
+}
+
+func TestSimilarityJoinEdgeCases(t *testing.T) {
+	empty, _ := New(Options{Space: metric.VectorSpace("L2", 2)})
+	if pairs, err := empty.SimilarityJoin(1); err != nil || pairs != nil {
+		t.Fatalf("empty tree join: %v %v", pairs, err)
+	}
+	d := dataset.Uniform(50, 2, 116)
+	tr := buildTree(t, d, Options{PageSize: 512})
+	if _, err := tr.SimilarityJoin(-1); err == nil {
+		t.Fatal("negative eps accepted")
+	}
+	// eps = 0 with distinct objects: no pairs.
+	pairs, err := tr.SimilarityJoin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 0 {
+		t.Fatalf("eps=0 found %d pairs", len(pairs))
+	}
+	// eps = bound: all pairs.
+	all, err := tr.SimilarityJoin(d.Space.Bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 50*49/2 {
+		t.Fatalf("full join found %d pairs, want %d", len(all), 50*49/2)
+	}
+}

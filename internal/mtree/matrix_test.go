@@ -1,0 +1,101 @@
+package mtree
+
+import (
+	"fmt"
+	"testing"
+
+	"mcost/internal/dataset"
+	"mcost/internal/pager"
+)
+
+// TestOptionMatrix exercises every combination of page size, promotion
+// policy, partition policy, construction method, and storage mode on
+// both vector and string datasets, verifying the structural invariants
+// and query correctness for each. This is the broad-coverage complement
+// to the targeted tests: any interaction bug between options fails here.
+func TestOptionMatrix(t *testing.T) {
+	datasets := []*dataset.Dataset{
+		dataset.PaperClustered(400, 4, 2001),
+		dataset.Words(300, 2002),
+	}
+	for _, d := range datasets {
+		for _, pageSize := range []int{512, 2048} {
+			for _, promote := range []PromotePolicy{PromoteMinMaxRadius, PromoteRandom} {
+				for _, part := range []PartitionPolicy{PartitionBalanced, PartitionHyperplane} {
+					for _, bulk := range []bool{false, true} {
+						for _, paged := range []bool{false, true} {
+							name := fmt.Sprintf("%s/ps%d/%v/%v/bulk=%v/paged=%v",
+								d.Name, pageSize, promote, part, bulk, paged)
+							t.Run(name, func(t *testing.T) {
+								opt := Options{
+									Space:     d.Space,
+									PageSize:  pageSize,
+									Promote:   promote,
+									Partition: part,
+									Seed:      3,
+								}
+								if paged {
+									pg, err := pager.NewMem(pageSize)
+									if err != nil {
+										t.Fatal(err)
+									}
+									opt.Pager = pg
+									codec, err := CodecFor(d.Objects[0])
+									if err != nil {
+										t.Fatal(err)
+									}
+									opt.Codec = codec
+								}
+								tr, err := New(opt)
+								if err != nil {
+									t.Fatal(err)
+								}
+								if bulk {
+									err = tr.BulkLoad(d.Objects)
+								} else {
+									err = tr.InsertAll(d.Objects)
+								}
+								if err != nil {
+									t.Fatal(err)
+								}
+								if err := tr.Verify(); err != nil {
+									t.Fatal(err)
+								}
+								// One range and one NN check against the scan.
+								q := d.Objects[7]
+								radius := 0.15 * d.Space.Bound
+								got, err := tr.Range(q, radius, QueryOptions{UseParentDist: true})
+								if err != nil {
+									t.Fatal(err)
+								}
+								want := LinearScanRange(d.Objects, d.Space, q, radius)
+								if !sameOIDs(got, want) {
+									t.Fatalf("range: %d vs %d results", len(got), len(want))
+								}
+								nn, err := tr.NN(q, 5, QueryOptions{})
+								if err != nil {
+									t.Fatal(err)
+								}
+								wantNN := LinearScanNN(d.Objects, d.Space, q, 5)
+								for i := range nn {
+									if nn[i].Distance != wantNN[i].Distance {
+										t.Fatalf("NN rank %d: %g vs %g", i, nn[i].Distance, wantNN[i].Distance)
+									}
+								}
+								// A quarter of the objects leave; invariants must hold.
+								for oid := 0; oid < d.N()/4; oid++ {
+									if err := tr.Delete(d.Objects[oid], uint64(oid)); err != nil {
+										t.Fatalf("delete %d: %v", oid, err)
+									}
+								}
+								if err := tr.Verify(); err != nil {
+									t.Fatalf("after deletes: %v", err)
+								}
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+}

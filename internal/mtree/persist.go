@@ -1,0 +1,115 @@
+package mtree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"mcost/internal/metric"
+	"mcost/internal/pager"
+)
+
+// Persistence: a paged tree's nodes already live in its pager (a file,
+// for pager.File); the only state outside the pages is the small header
+// Snapshot writes — root page, height, object count, page size — so a
+// tree survives process restarts as one pager file plus one header blob.
+
+// snapshotMagic identifies the header format.
+const snapshotMagic = "mcost-mtree-v1\n"
+
+// Snapshot serializes the tree header. Only meaningful for paged trees
+// (Options.Pager set): memory-mode trees keep their nodes in RAM, so a
+// header alone cannot restore them.
+func (t *Tree) Snapshot(w io.Writer) error {
+	if _, isPaged := t.store.(*pagedStore); !isPaged {
+		return errors.New("mtree: Snapshot requires a paged tree (Options.Pager)")
+	}
+	buf := make([]byte, 0, len(snapshotMagic)+4+8+8+8+8)
+	buf = append(buf, snapshotMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.root))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.height))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.size))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.opt.PageSize))
+	buf = binary.LittleEndian.AppendUint64(buf, t.nextOID)
+	_, err := w.Write(buf)
+	return err
+}
+
+// Restore reopens a tree over an existing pager from a Snapshot header.
+// space and codec must match the ones the tree was built with; the
+// restored tree answers queries immediately (and can keep inserting).
+func Restore(r io.Reader, opt Options) (*Tree, error) {
+	if opt.Pager == nil || opt.Codec == nil {
+		return nil, errors.New("mtree: Restore requires Options.Pager and Options.Codec")
+	}
+	header := make([]byte, len(snapshotMagic)+4+8+8+8+8)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("mtree: reading snapshot: %w", err)
+	}
+	if string(header[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, errors.New("mtree: bad snapshot magic")
+	}
+	p := header[len(snapshotMagic):]
+	root := pager.PageID(binary.LittleEndian.Uint32(p))
+	height := int(binary.LittleEndian.Uint64(p[4:]))
+	size := int(binary.LittleEndian.Uint64(p[12:]))
+	pageSize := int(binary.LittleEndian.Uint64(p[20:]))
+	nextOID := binary.LittleEndian.Uint64(p[28:])
+	if opt.PageSize == 0 {
+		opt.PageSize = pageSize
+	}
+	if opt.PageSize != pageSize {
+		return nil, fmt.Errorf("mtree: snapshot page size %d != options %d", pageSize, opt.PageSize)
+	}
+	t, err := New(opt)
+	if err != nil {
+		return nil, err
+	}
+	if size > 0 {
+		if root == pager.InvalidPage || int(root) >= opt.Pager.NumPages() {
+			return nil, fmt.Errorf("mtree: snapshot root %d outside pager (%d pages)", root, opt.Pager.NumPages())
+		}
+		if height <= 0 {
+			return nil, fmt.Errorf("mtree: snapshot height %d with %d objects", height, size)
+		}
+	}
+	t.root = root
+	t.height = height
+	t.size = size
+	t.nextOID = nextOID
+	return t, nil
+}
+
+// objectForOID finds the object with the given OID by scanning the
+// leaves (uncounted). It exists for tests and tooling; O(n).
+func (t *Tree) objectForOID(oid uint64) (metric.Object, bool) {
+	if t.root == pager.InvalidPage {
+		return nil, false
+	}
+	var found metric.Object
+	var walk func(id pager.PageID) bool
+	walk = func(id pager.PageID) bool {
+		n, err := t.store.peek(id)
+		if err != nil {
+			return false
+		}
+		for _, e := range n.entries {
+			if n.leaf {
+				if e.OID == oid {
+					found = e.Object
+					return true
+				}
+				continue
+			}
+			if walk(e.Child) {
+				return true
+			}
+		}
+		return false
+	}
+	if walk(t.root) {
+		return found, true
+	}
+	return nil, false
+}

@@ -1,0 +1,155 @@
+package mtree
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mcost/internal/dataset"
+	"mcost/internal/metric"
+	"mcost/internal/pager"
+)
+
+func TestSnapshotRequiresPagedTree(t *testing.T) {
+	d := dataset.Uniform(50, 2, 1)
+	tr := buildTree(t, d, Options{})
+	var buf bytes.Buffer
+	if err := tr.Snapshot(&buf); err == nil {
+		t.Fatal("memory-mode snapshot accepted")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d := dataset.Words(500, 81)
+	pg, err := pager.NewFile(filepath.Join(dir, "tree.pages"), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Space: d.Space, PageSize: 512, Pager: pg, Codec: StringCodec{}, Seed: 2}
+	tr, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad(d.Objects); err != nil {
+		t.Fatal(err)
+	}
+	want, err := tr.NN("morante", 5, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snapPath := filepath.Join(dir, "tree.meta")
+	sf, err := os.Create(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Snapshot(sf); err != nil {
+		t.Fatal(err)
+	}
+	if err := sf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen the page file read-write without truncation.
+	f, err := os.OpenFile(filepath.Join(dir, "tree.pages"), os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg2, err := pager.FromFile(f, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pg2.Close()
+	sf2, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf2.Close()
+	restored, err := Restore(sf2, Options{Space: d.Space, Pager: pg2, Codec: StringCodec{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Size() != tr.Size() || restored.Height() != tr.Height() {
+		t.Fatalf("restored size %d height %d, want %d/%d",
+			restored.Size(), restored.Height(), tr.Size(), tr.Height())
+	}
+	if err := restored.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.NN("morante", 5, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].Distance != want[i].Distance || got[i].OID != want[i].OID {
+			t.Fatalf("rank %d: restored %v, original %v", i, got[i], want[i])
+		}
+	}
+	// The restored tree stays mutable.
+	if err := restored.Insert("brandnewword"); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	sp := metric.VectorSpace("L2", 2)
+	pg, _ := pager.NewMem(512)
+	good := Options{Space: sp, Pager: pg, Codec: VectorCodec{Dim: 2}}
+	if _, err := Restore(bytes.NewReader(nil), Options{Space: sp}); err == nil {
+		t.Error("missing pager/codec accepted")
+	}
+	if _, err := Restore(bytes.NewReader([]byte("garbage header not long")), good); err == nil {
+		t.Error("short/garbage header accepted")
+	}
+	// Valid-length but wrong magic.
+	bad := make([]byte, len(snapshotMagic)+4+8+8+8+8)
+	copy(bad, "wrong-magic-----")
+	if _, err := Restore(bytes.NewReader(bad), good); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestRestorePageSizeMismatch(t *testing.T) {
+	d := dataset.Uniform(100, 2, 5)
+	pg, _ := pager.NewMem(512)
+	opt := Options{Space: d.Space, PageSize: 512, Pager: pg, Codec: VectorCodec{Dim: 2}}
+	tr, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad(d.Objects); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pg2, _ := pager.NewMem(1024)
+	if _, err := Restore(bytes.NewReader(buf.Bytes()),
+		Options{Space: d.Space, PageSize: 1024, Pager: pg2, Codec: VectorCodec{Dim: 2}}); err == nil {
+		t.Fatal("page-size mismatch accepted")
+	}
+}
+
+func TestObjectForOID(t *testing.T) {
+	d := dataset.Words(200, 82)
+	tr := buildTree(t, d, Options{PageSize: 512})
+	obj, ok := tr.objectForOID(7)
+	if !ok {
+		t.Fatal("OID 7 not found")
+	}
+	if obj.(string) != d.Objects[7].(string) {
+		t.Fatalf("OID 7 = %q, want %q", obj, d.Objects[7])
+	}
+	if _, ok := tr.objectForOID(99999); ok {
+		t.Fatal("phantom OID found")
+	}
+}

@@ -1,0 +1,80 @@
+package mtree
+
+import (
+	"errors"
+	"fmt"
+
+	"mcost/internal/metric"
+	"mcost/internal/pager"
+)
+
+// LevelProfile is one level's share of a query's cost.
+type LevelProfile struct {
+	Level int
+	// Nodes is the number of nodes accessed at this level.
+	Nodes int
+	// Dists is the number of distance computations performed while
+	// processing this level's nodes.
+	Dists int
+}
+
+// RangeProfile executes range(q, radius) like Range (without the
+// parent-distance optimization, matching the cost model) and returns the
+// matches together with a per-level cost breakdown — the "explain" view
+// that lines up one-to-one with L-MCM's per-level predictions
+// (Eq. 15-16).
+func (t *Tree) RangeProfile(q metric.Object, radius float64) ([]Match, []LevelProfile, error) {
+	if q == nil {
+		return nil, nil, errors.New("mtree: nil query object")
+	}
+	if radius < 0 {
+		return nil, nil, fmt.Errorf("mtree: negative radius %g", radius)
+	}
+	if t.root == pager.InvalidPage {
+		return nil, nil, nil
+	}
+	profile := make([]LevelProfile, t.height)
+	for i := range profile {
+		profile[i].Level = i + 1
+	}
+	var out []Match
+	var walk func(id pager.PageID, level int) error
+	walk = func(id pager.PageID, level int) error {
+		n, err := t.store.fetch(id)
+		if err != nil {
+			return err
+		}
+		p := &profile[level-1]
+		p.Nodes++
+		for i := range n.entries {
+			e := &n.entries[i]
+			d := t.dist(q, e.Object)
+			p.Dists++
+			if n.leaf {
+				if d <= radius {
+					out = append(out, Match{Object: e.Object, OID: e.OID, Distance: d})
+				}
+				continue
+			}
+			if d <= radius+e.Radius {
+				if err := walk(e.Child, level+1); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 1); err != nil {
+		return nil, nil, err
+	}
+	return out, profile, nil
+}
+
+// ProfileTotals sums a profile into overall node reads and distances.
+func ProfileTotals(profile []LevelProfile) (nodes, dists int) {
+	for _, p := range profile {
+		nodes += p.Nodes
+		dists += p.Dists
+	}
+	return
+}

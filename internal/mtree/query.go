@@ -1,0 +1,294 @@
+package mtree
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"mcost/internal/metric"
+	"mcost/internal/pager"
+)
+
+// QueryOptions tunes query execution.
+type QueryOptions struct {
+	// UseParentDist enables the M-tree's triangle-inequality
+	// optimization: an entry whose parent distance proves it cannot
+	// qualify is skipped without computing its distance. The 1998 cost
+	// model deliberately ignores this optimization (footnote 2), so
+	// model-validation experiments run with it off; real workloads want
+	// it on.
+	UseParentDist bool
+}
+
+// Match is one query result.
+type Match struct {
+	Object   metric.Object
+	OID      uint64
+	Distance float64
+}
+
+// Range returns all objects within radius of q, in unspecified order.
+func (t *Tree) Range(q metric.Object, radius float64, opt QueryOptions) ([]Match, error) {
+	if q == nil {
+		return nil, errors.New("mtree: nil query object")
+	}
+	if radius < 0 {
+		return nil, fmt.Errorf("mtree: negative radius %g", radius)
+	}
+	if t.root == pager.InvalidPage {
+		return nil, nil
+	}
+	var out []Match
+	err := t.rangeAt(t.root, q, radius, math.NaN(), opt, &out)
+	return out, err
+}
+
+// rangeAt recursively collects matches under node id. distQP is
+// d(q, routing object of this node) — NaN at the root.
+func (t *Tree) rangeAt(id pager.PageID, q metric.Object, radius, distQP float64, opt QueryOptions, out *[]Match) error {
+	n, err := t.store.fetch(id)
+	if err != nil {
+		return err
+	}
+	for i := range n.entries {
+		e := &n.entries[i]
+		bound := radius
+		if !n.leaf {
+			bound += e.Radius
+		}
+		// Parent-distance pruning: |d(q,parent) - d(object,parent)| is a
+		// lower bound on d(q,object); if it already exceeds the bound the
+		// entry cannot qualify and the distance computation is saved.
+		if opt.UseParentDist && !math.IsNaN(distQP) && !math.IsNaN(e.ParentDist) {
+			if math.Abs(distQP-e.ParentDist) > bound {
+				continue
+			}
+		}
+		d := t.dist(q, e.Object)
+		if d > bound {
+			continue
+		}
+		if n.leaf {
+			*out = append(*out, Match{Object: e.Object, OID: e.OID, Distance: d})
+		} else if err := t.rangeAt(e.Child, q, radius, d, opt, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nnQueueItem is a pending subtree in the k-NN search, ordered by dMin,
+// the lower bound on the distance from q to any object in the subtree.
+type nnQueueItem struct {
+	id    pager.PageID
+	dMin  float64
+	distQ float64 // d(q, routing object of the subtree); NaN for the root
+}
+
+type nnQueue []nnQueueItem
+
+func (h nnQueue) Len() int            { return len(h) }
+func (h nnQueue) Less(i, j int) bool  { return h[i].dMin < h[j].dMin }
+func (h nnQueue) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnQueue) Push(x interface{}) { *h = append(*h, x.(nnQueueItem)) }
+func (h *nnQueue) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// resultHeap keeps the k best matches seen so far, max-distance on top.
+type resultHeap []Match
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Distance > h[j].Distance }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Match)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// NN returns the k nearest neighbors of q ordered by increasing
+// distance, using the optimal best-first branch-and-bound algorithm: a
+// priority queue of subtrees ordered by their distance lower bound, with
+// the dynamic search radius set by the k-th best match so far. It
+// accesses only nodes whose region intersects the final NN(q,k) ball.
+func (t *Tree) NN(q metric.Object, k int, opt QueryOptions) ([]Match, error) {
+	if q == nil {
+		return nil, errors.New("mtree: nil query object")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("mtree: k = %d", k)
+	}
+	if t.root == pager.InvalidPage {
+		return nil, nil
+	}
+	pq := &nnQueue{{id: t.root, dMin: 0, distQ: math.NaN()}}
+	best := &resultHeap{}
+	rk := func() float64 {
+		if best.Len() < k {
+			return t.opt.Space.Bound
+		}
+		return (*best)[0].Distance
+	}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(nnQueueItem)
+		if item.dMin > rk() {
+			break
+		}
+		n, err := t.store.fetch(item.id)
+		if err != nil {
+			return nil, err
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			bound := rk()
+			if !n.leaf {
+				bound += e.Radius
+			}
+			if opt.UseParentDist && !math.IsNaN(item.distQ) && !math.IsNaN(e.ParentDist) {
+				if math.Abs(item.distQ-e.ParentDist) > bound {
+					continue
+				}
+			}
+			d := t.dist(q, e.Object)
+			if n.leaf {
+				if d <= rk() {
+					heap.Push(best, Match{Object: e.Object, OID: e.OID, Distance: d})
+					if best.Len() > k {
+						heap.Pop(best)
+					}
+				}
+				continue
+			}
+			dMin := d - e.Radius
+			if dMin < 0 {
+				dMin = 0
+			}
+			if dMin <= rk() {
+				heap.Push(pq, nnQueueItem{id: e.Child, dMin: dMin, distQ: d})
+			}
+		}
+	}
+	// Drain the heap into increasing order.
+	out := make([]Match, best.Len())
+	for i := best.Len() - 1; i >= 0; i-- {
+		out[i] = heap.Pop(best).(Match)
+	}
+	return out, nil
+}
+
+// LinearScanRange is the baseline: scan all objects, computing every
+// distance. It reports matches plus the distances computed (= n) and the
+// page reads a sequential scan of packed leaves would cost.
+func LinearScanRange(objs []metric.Object, space *metric.Space, q metric.Object, radius float64) []Match {
+	var out []Match
+	for i, o := range objs {
+		if d := space.Distance(q, o); d <= radius {
+			out = append(out, Match{Object: o, OID: uint64(i), Distance: d})
+		}
+	}
+	return out
+}
+
+// LinearScanNN is the k-NN baseline over a plain object slice.
+func LinearScanNN(objs []metric.Object, space *metric.Space, q metric.Object, k int) []Match {
+	best := &resultHeap{}
+	for i, o := range objs {
+		d := space.Distance(q, o)
+		if best.Len() < k {
+			heap.Push(best, Match{Object: o, OID: uint64(i), Distance: d})
+		} else if d < (*best)[0].Distance {
+			heap.Pop(best)
+			heap.Push(best, Match{Object: o, OID: uint64(i), Distance: d})
+		}
+	}
+	out := make([]Match, best.Len())
+	for i := best.Len() - 1; i >= 0; i-- {
+		out[i] = heap.Pop(best).(Match)
+	}
+	return out
+}
+
+// NNWithStop is NN with an additional stop radius: subtrees whose
+// distance lower bound exceeds stopRadius are never expanded, even if
+// the current k-th candidate is farther. With stopRadius = d+ it is
+// exactly NN; with a stopRadius derived from the cost model's k-NN
+// distance quantile (see core.MTreeModel.NNDistQuantile) it implements
+// probably-approximately-correct NN: the true neighbors are missed only
+// in the low-probability tail where nn_k exceeds the chosen quantile.
+func (t *Tree) NNWithStop(q metric.Object, k int, stopRadius float64, opt QueryOptions) ([]Match, error) {
+	if q == nil {
+		return nil, errors.New("mtree: nil query object")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("mtree: k = %d", k)
+	}
+	if stopRadius < 0 {
+		return nil, fmt.Errorf("mtree: negative stop radius %g", stopRadius)
+	}
+	if t.root == pager.InvalidPage {
+		return nil, nil
+	}
+	pq := &nnQueue{{id: t.root, dMin: 0, distQ: math.NaN()}}
+	best := &resultHeap{}
+	rk := func() float64 {
+		r := t.opt.Space.Bound
+		if best.Len() >= k {
+			r = (*best)[0].Distance
+		}
+		if stopRadius < r {
+			return stopRadius
+		}
+		return r
+	}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(nnQueueItem)
+		if item.dMin > rk() {
+			break
+		}
+		n, err := t.store.fetch(item.id)
+		if err != nil {
+			return nil, err
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			bound := rk()
+			if !n.leaf {
+				bound += e.Radius
+			}
+			if opt.UseParentDist && !math.IsNaN(item.distQ) && !math.IsNaN(e.ParentDist) {
+				if math.Abs(item.distQ-e.ParentDist) > bound {
+					continue
+				}
+			}
+			d := t.dist(q, e.Object)
+			if n.leaf {
+				if d <= rk() {
+					heap.Push(best, Match{Object: e.Object, OID: e.OID, Distance: d})
+					if best.Len() > k {
+						heap.Pop(best)
+					}
+				}
+				continue
+			}
+			dMin := d - e.Radius
+			if dMin < 0 {
+				dMin = 0
+			}
+			if dMin <= rk() {
+				heap.Push(pq, nnQueueItem{id: e.Child, dMin: dMin, distQ: d})
+			}
+		}
+	}
+	out := make([]Match, best.Len())
+	for i := best.Len() - 1; i >= 0; i-- {
+		out[i] = heap.Pop(best).(Match)
+	}
+	return out, nil
+}

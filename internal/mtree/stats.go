@@ -1,0 +1,94 @@
+package mtree
+
+import (
+	"fmt"
+
+	"mcost/internal/pager"
+)
+
+// NodeStat describes one node for the node-based cost model (N-MCM):
+// its level (root = 1, leaves = height), covering radius, and entry
+// count. The root's radius is d+ by the paper's convention, since its
+// region has no routing object.
+type NodeStat struct {
+	Level   int
+	Radius  float64
+	Entries int
+	Leaf    bool
+}
+
+// LevelStat aggregates one level for the level-based cost model (L-MCM):
+// the number of nodes M_l and the average covering radius r̄_l.
+type LevelStat struct {
+	Level     int
+	Nodes     int
+	AvgRadius float64
+}
+
+// Stats is the full statistics snapshot the cost models consume.
+type Stats struct {
+	// Nodes lists every node (N-MCM input). Order is unspecified.
+	Nodes []NodeStat
+	// Levels lists per-level aggregates indexed by Level-1 (L-MCM
+	// input).
+	Levels []LevelStat
+	// Height is the number of levels L.
+	Height int
+	// Size is the number of indexed objects n.
+	Size int
+	// LeafEntries is the total number of leaf entries (= Size).
+	LeafEntries int
+}
+
+// CollectStats walks the tree and gathers the statistics both cost
+// models need. The walk uses uncounted node accesses, so it does not
+// disturb the query cost counters.
+func (t *Tree) CollectStats() (*Stats, error) {
+	st := &Stats{Height: t.height, Size: t.size}
+	if t.root == pager.InvalidPage {
+		return st, nil
+	}
+	st.Levels = make([]LevelStat, t.height)
+	for i := range st.Levels {
+		st.Levels[i].Level = i + 1
+	}
+	var walk func(id pager.PageID, level int, radius float64) error
+	walk = func(id pager.PageID, level int, radius float64) error {
+		n, err := t.store.peek(id)
+		if err != nil {
+			return err
+		}
+		if level > t.height {
+			return fmt.Errorf("mtree: node %d at level %d exceeds height %d", id, level, t.height)
+		}
+		st.Nodes = append(st.Nodes, NodeStat{
+			Level:   level,
+			Radius:  radius,
+			Entries: len(n.entries),
+			Leaf:    n.leaf,
+		})
+		ls := &st.Levels[level-1]
+		ls.Nodes++
+		ls.AvgRadius += radius
+		if n.leaf {
+			st.LeafEntries += len(n.entries)
+			return nil
+		}
+		for _, e := range n.entries {
+			if err := walk(e.Child, level+1, e.Radius); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// The root has no routing object: the paper assigns it radius d+.
+	if err := walk(t.root, 1, t.opt.Space.Bound); err != nil {
+		return nil, err
+	}
+	for i := range st.Levels {
+		if st.Levels[i].Nodes > 0 {
+			st.Levels[i].AvgRadius /= float64(st.Levels[i].Nodes)
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,161 @@
+package mtree
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"mcost/internal/pager"
+)
+
+// nodeStore abstracts node storage so the tree logic is identical in
+// memory and paged modes. fetch counts as one node read (the I/O cost
+// unit of the paper); store persists a node after modification.
+type nodeStore interface {
+	alloc(leaf bool) (*node, error)
+	fetch(id pager.PageID) (*node, error)
+	// peek is fetch without counting: used by statistics collection and
+	// the invariant verifier, which are bookkeeping, not query I/O.
+	peek(id pager.PageID) (*node, error)
+	store(n *node) error
+	// free releases a node unlinked by deletion; its ID may be reused by
+	// a later alloc.
+	free(id pager.PageID)
+	// reads returns the number of fetches since the last resetReads.
+	reads() int64
+	resetReads()
+	// numNodes returns the number of allocated nodes.
+	numNodes() int
+}
+
+// memStore keeps authoritative nodes in a map; fetches hand out the live
+// node. It is the default, fastest mode.
+type memStore struct {
+	nodes    map[pager.PageID]*node
+	next     pager.PageID
+	freelist []pager.PageID
+	r        atomic.Int64
+}
+
+func newMemStore() *memStore {
+	return &memStore{nodes: make(map[pager.PageID]*node)}
+}
+
+func (s *memStore) alloc(leaf bool) (*node, error) {
+	var id pager.PageID
+	if k := len(s.freelist); k > 0 {
+		id = s.freelist[k-1]
+		s.freelist = s.freelist[:k-1]
+	} else {
+		id = s.next
+		s.next++
+	}
+	n := &node{id: id, leaf: leaf}
+	s.nodes[n.id] = n
+	return n, nil
+}
+
+func (s *memStore) fetch(id pager.PageID) (*node, error) {
+	n, ok := s.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("mtree: unknown node %d", id)
+	}
+	s.r.Add(1)
+	return n, nil
+}
+
+func (s *memStore) peek(id pager.PageID) (*node, error) {
+	n, ok := s.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("mtree: unknown node %d", id)
+	}
+	return n, nil
+}
+
+func (s *memStore) store(*node) error { return nil }
+
+func (s *memStore) free(id pager.PageID) {
+	if _, ok := s.nodes[id]; ok {
+		delete(s.nodes, id)
+		s.freelist = append(s.freelist, id)
+	}
+}
+
+func (s *memStore) reads() int64 { return s.r.Load() }
+
+func (s *memStore) resetReads() { s.r.Store(0) }
+
+func (s *memStore) numNodes() int { return len(s.nodes) }
+
+// pagedStore round-trips every node through a pager: fetch reads and
+// decodes the page, store encodes and writes it. Every access pays the
+// serialization cost, exercising the on-page format for real.
+type pagedStore struct {
+	p        pager.Pager
+	codec    ObjectCodec
+	freelist []pager.PageID
+	r        atomic.Int64
+}
+
+func newPagedStore(p pager.Pager, codec ObjectCodec) *pagedStore {
+	return &pagedStore{p: p, codec: codec}
+}
+
+func (s *pagedStore) alloc(leaf bool) (*node, error) {
+	var id pager.PageID
+	if k := len(s.freelist); k > 0 {
+		id = s.freelist[k-1]
+		s.freelist = s.freelist[:k-1]
+	} else {
+		var err error
+		id, err = s.p.Alloc()
+		if err != nil {
+			return nil, err
+		}
+	}
+	n := &node{id: id, leaf: leaf}
+	if err := s.store(n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func (s *pagedStore) fetch(id pager.PageID) (*node, error) {
+	buf, err := s.p.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	s.r.Add(1)
+	return decodeNode(id, buf, s.codec)
+}
+
+func (s *pagedStore) peek(id pager.PageID) (*node, error) {
+	buf, err := s.p.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	return decodeNode(id, buf, s.codec)
+}
+
+func (s *pagedStore) store(n *node) error {
+	buf, err := n.encode(s.codec)
+	if err != nil {
+		return err
+	}
+	if len(buf) > s.p.PageSize() {
+		return fmt.Errorf("mtree: node %d needs %d bytes, page size %d", n.id, len(buf), s.p.PageSize())
+	}
+	return s.p.Write(n.id, buf)
+}
+
+// free recycles the page for a later alloc. The freelist lives in
+// memory only: after Restore, previously-freed pages are simply not
+// reused — wasted space, never corruption.
+func (s *pagedStore) free(id pager.PageID) {
+	s.freelist = append(s.freelist, id)
+}
+
+func (s *pagedStore) reads() int64 { return s.r.Load() }
+
+func (s *pagedStore) resetReads() { s.r.Store(0) }
+
+func (s *pagedStore) numNodes() int { return s.p.NumPages() - len(s.freelist) }

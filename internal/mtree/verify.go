@@ -1,0 +1,135 @@
+package mtree
+
+import (
+	"fmt"
+	"math"
+
+	"mcost/internal/metric"
+	"mcost/internal/pager"
+)
+
+// Verify exhaustively checks the M-tree invariants and returns the first
+// violation:
+//
+//   - every leaf sits at depth Height (the tree is balanced);
+//   - every node's serialized size fits the page;
+//   - every entry's ParentDist equals its distance to the node's routing
+//     object (NaN in the root);
+//   - every object in a subtree lies within the subtree entry's covering
+//     radius of its routing object;
+//   - OIDs are unique and below the insertion counter.
+//
+// Distance computations use the raw space function, not the counted
+// path, so Verify does not disturb cost measurements. Cost is
+// O(n * height) distances.
+func (t *Tree) Verify() error {
+	if t.root == pager.InvalidPage {
+		if t.size != 0 || t.height != 0 {
+			return fmt.Errorf("mtree: empty tree with size %d height %d", t.size, t.height)
+		}
+		return nil
+	}
+	seen := make(map[uint64]bool, t.size)
+	d := t.opt.Space.Distance
+
+	// checkSubtree returns the objects' maximum distance to `from`
+	// while validating the subtree rooted at id.
+	var checkSubtree func(id pager.PageID, level int, routing metric.Object, from metric.Object) (float64, error)
+	checkSubtree = func(id pager.PageID, level int, routing metric.Object, from metric.Object) (float64, error) {
+		n, err := t.store.peek(id)
+		if err != nil {
+			return 0, err
+		}
+		if len(n.entries) == 0 {
+			return 0, fmt.Errorf("mtree: node %d is empty", id)
+		}
+		if size := n.bytes(t.opt.Codec); size > t.opt.PageSize {
+			return 0, fmt.Errorf("mtree: node %d serializes to %d bytes > page size %d", id, size, t.opt.PageSize)
+		}
+		if n.leaf != (level == t.height) {
+			return 0, fmt.Errorf("mtree: node %d at level %d: leaf=%v, height=%d (unbalanced)", id, level, n.leaf, t.height)
+		}
+		const eps = 1e-9
+		var maxFrom float64
+		for i := range n.entries {
+			e := &n.entries[i]
+			// ParentDist invariant.
+			if routing == nil {
+				if !math.IsNaN(e.ParentDist) {
+					return 0, fmt.Errorf("mtree: root node %d entry %d has ParentDist %g, want NaN", id, i, e.ParentDist)
+				}
+			} else {
+				want := d(e.Object, routing)
+				if math.IsNaN(e.ParentDist) || math.Abs(e.ParentDist-want) > eps {
+					return 0, fmt.Errorf("mtree: node %d entry %d ParentDist %g != actual %g", id, i, e.ParentDist, want)
+				}
+			}
+			if n.leaf {
+				if seen[e.OID] {
+					return 0, fmt.Errorf("mtree: duplicate OID %d", e.OID)
+				}
+				if e.OID >= t.nextOID {
+					return 0, fmt.Errorf("mtree: OID %d out of range (next OID %d)", e.OID, t.nextOID)
+				}
+				seen[e.OID] = true
+				if from != nil {
+					if df := d(e.Object, from); df > maxFrom {
+						maxFrom = df
+					}
+				}
+				continue
+			}
+			if e.Radius < 0 {
+				return 0, fmt.Errorf("mtree: node %d entry %d has negative radius %g", id, i, e.Radius)
+			}
+			// The covering radius must bound every object in the child's
+			// subtree. Measure the true maximum from this routing object.
+			maxDist, err := checkSubtree(e.Child, level+1, e.Object, e.Object)
+			if err != nil {
+				return 0, err
+			}
+			if maxDist > e.Radius+eps {
+				return 0, fmt.Errorf("mtree: node %d entry %d covering radius %g < actual max distance %g",
+					id, i, e.Radius, maxDist)
+			}
+			// Propagate the max distance to the caller's reference object.
+			if from != nil {
+				_, err := subtreeMaxDist(t, e.Child, from, &maxFrom)
+				if err != nil {
+					return 0, err
+				}
+			}
+		}
+		return maxFrom, nil
+	}
+	if _, err := checkSubtree(t.root, 1, nil, nil); err != nil {
+		return err
+	}
+	if len(seen) != t.size {
+		return fmt.Errorf("mtree: found %d objects, size says %d", len(seen), t.size)
+	}
+	return nil
+}
+
+// subtreeMaxDist folds the maximum distance from `from` to any object in
+// the subtree into acc.
+func subtreeMaxDist(t *Tree, id pager.PageID, from metric.Object, acc *float64) (float64, error) {
+	n, err := t.store.peek(id)
+	if err != nil {
+		return 0, err
+	}
+	d := t.opt.Space.Distance
+	for i := range n.entries {
+		e := &n.entries[i]
+		if n.leaf {
+			if df := d(e.Object, from); df > *acc {
+				*acc = df
+			}
+			continue
+		}
+		if _, err := subtreeMaxDist(t, e.Child, from, acc); err != nil {
+			return 0, err
+		}
+	}
+	return *acc, nil
+}

@@ -1,0 +1,129 @@
+// Package numeric provides the numerical routines the cost model needs:
+// log-space binomial tail probabilities (Eq. 9 of the paper must survive
+// n = 10^6) and simple quadrature helpers.
+package numeric
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogChoose returns ln C(n, k) computed via lgamma, exact enough for the
+// probability sums in the cost model. It panics on invalid arguments,
+// which are always programming errors here.
+func LogChoose(n, k int) float64 {
+	if k < 0 || n < 0 || k > n {
+		panic(fmt.Sprintf("numeric: LogChoose(%d, %d) out of domain", n, k))
+	}
+	if k == 0 || k == n {
+		return 0
+	}
+	ln1, _ := math.Lgamma(float64(n) + 1)
+	lk, _ := math.Lgamma(float64(k) + 1)
+	lnk, _ := math.Lgamma(float64(n-k) + 1)
+	return ln1 - lk - lnk
+}
+
+// BinomialTail returns Pr{X >= k} for X ~ Binomial(n, p), computed in log
+// space term by term. This is exactly P_{Q,k}(r) of the paper (Eq. 9)
+// with p = F(r): the probability that at least k of n objects fall inside
+// the query ball. The lower-tail sum has at most k terms, so the function
+// is fast for the small k of nearest-neighbor queries; for large k it
+// switches to summing the upper tail (n-k+1 terms) when that is shorter.
+func BinomialTail(n, k int, p float64) float64 {
+	switch {
+	case k <= 0:
+		return 1
+	case k > n:
+		return 0
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return 1
+	}
+	logP := math.Log(p)
+	logQ := math.Log1p(-p)
+	if k <= n-k+1 {
+		// Pr{X >= k} = 1 - sum_{i=0}^{k-1} C(n,i) p^i q^(n-i)
+		var lower float64
+		for i := 0; i < k; i++ {
+			lower += math.Exp(LogChoose(n, i) + float64(i)*logP + float64(n-i)*logQ)
+		}
+		if lower > 1 {
+			lower = 1
+		}
+		return 1 - lower
+	}
+	// Sum the upper tail directly.
+	var upper float64
+	for i := k; i <= n; i++ {
+		upper += math.Exp(LogChoose(n, i) + float64(i)*logP + float64(n-i)*logQ)
+	}
+	if upper > 1 {
+		upper = 1
+	}
+	return upper
+}
+
+// Trapezoid integrates f over [a, b] with the given number of equal steps
+// using the composite trapezoid rule.
+func Trapezoid(f func(float64) float64, a, b float64, steps int) float64 {
+	if steps <= 0 {
+		panic(fmt.Sprintf("numeric: Trapezoid steps = %d", steps))
+	}
+	if a == b {
+		return 0
+	}
+	h := (b - a) / float64(steps)
+	sum := (f(a) + f(b)) / 2
+	for i := 1; i < steps; i++ {
+		sum += f(a + float64(i)*h)
+	}
+	return sum * h
+}
+
+// Stieltjes integrates g with respect to the increasing weight function W
+// over [a, b]: it returns sum over the grid of g(midpoint) * (W(next) -
+// W(cur)). The cost model uses it for integrals of the form
+// ∫ g(r) p(r) dr where p = dP/dr would be numerically fragile to evaluate
+// directly; using increments of P is exact for the histogram CDFs.
+func Stieltjes(g, w func(float64) float64, a, b float64, steps int) float64 {
+	if steps <= 0 {
+		panic(fmt.Sprintf("numeric: Stieltjes steps = %d", steps))
+	}
+	if a == b {
+		return 0
+	}
+	h := (b - a) / float64(steps)
+	var sum float64
+	wPrev := w(a)
+	for i := 0; i < steps; i++ {
+		x0 := a + float64(i)*h
+		x1 := x0 + h
+		wNext := w(x1)
+		sum += g(x0+h/2) * (wNext - wPrev)
+		wPrev = wNext
+	}
+	return sum
+}
+
+// Bisect finds x in [lo, hi] with f(x) ~ target for a nondecreasing f,
+// to within xtol. It returns the smallest x found with f(x) >= target;
+// if f(hi) < target it returns hi.
+func Bisect(f func(float64) float64, target, lo, hi, xtol float64) float64 {
+	if f(hi) < target {
+		return hi
+	}
+	if f(lo) >= target {
+		return lo
+	}
+	for hi-lo > xtol {
+		mid := (lo + hi) / 2
+		if f(mid) >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}

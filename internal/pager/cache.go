@@ -1,0 +1,145 @@
+package pager
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Cache is a write-through LRU page cache wrapped around any Pager. The
+// cost model predicts *logical* node reads (every access, as if the
+// buffer pool were cold); a cache of C pages turns some of them into
+// hits — upper tree levels are re-referenced by every query and stay
+// resident. CacheStats separates the two so experiments can show the
+// model's logical predictions next to the physical reads a buffered
+// system performs.
+type Cache struct {
+	base Pager
+	cap  int
+
+	mu      sync.Mutex
+	entries map[PageID]*list.Element
+	lru     *list.List // front = most recent; values are *cacheEntry
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	id   PageID
+	data []byte
+}
+
+// CacheStats reports hit/miss counts since the last ResetCacheStats.
+type CacheStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// HitRate returns hits / (hits + misses), 0 when empty.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// NewCache wraps base with an LRU cache of capacity pages.
+func NewCache(base Pager, capacity int) (*Cache, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("pager: cache capacity %d", capacity)
+	}
+	return &Cache{
+		base:    base,
+		cap:     capacity,
+		entries: make(map[PageID]*list.Element, capacity),
+		lru:     list.New(),
+	}, nil
+}
+
+// PageSize implements Pager.
+func (c *Cache) PageSize() int { return c.base.PageSize() }
+
+// Alloc implements Pager.
+func (c *Cache) Alloc() (PageID, error) { return c.base.Alloc() }
+
+// Read implements Pager: cache hits never touch the base pager.
+func (c *Cache) Read(id PageID) ([]byte, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[id]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		out := make([]byte, len(el.Value.(*cacheEntry).data))
+		copy(out, el.Value.(*cacheEntry).data)
+		c.mu.Unlock()
+		return out, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	data, err := c.base.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.insert(id, data)
+	c.mu.Unlock()
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// insert assumes c.mu is held and data is not retained by the caller
+// aliasing concerns (Read already owns its slice).
+func (c *Cache) insert(id PageID, data []byte) {
+	if el, ok := c.entries[id]; ok {
+		el.Value.(*cacheEntry).data = data
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.cap {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.entries, tail.Value.(*cacheEntry).id)
+	}
+	c.entries[id] = c.lru.PushFront(&cacheEntry{id: id, data: data})
+}
+
+// Write implements Pager: write-through, updating the cached copy.
+func (c *Cache) Write(id PageID, data []byte) error {
+	if err := c.base.Write(id, data); err != nil {
+		return err
+	}
+	// Cache the padded page exactly as a future base read would return it.
+	page := make([]byte, c.base.PageSize())
+	copy(page, data)
+	c.mu.Lock()
+	c.insert(id, page)
+	c.mu.Unlock()
+	return nil
+}
+
+// NumPages implements Pager.
+func (c *Cache) NumPages() int { return c.base.NumPages() }
+
+// Stats implements Pager, reporting the base pager's counters: these are
+// the PHYSICAL operations. Logical reads = physical + hits.
+func (c *Cache) Stats() Stats { return c.base.Stats() }
+
+// ResetStats implements Pager.
+func (c *Cache) ResetStats() { c.base.ResetStats() }
+
+// CacheStats returns hit/miss counters.
+func (c *Cache) CacheStats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses}
+}
+
+// ResetCacheStats zeroes the hit/miss counters (contents stay cached).
+func (c *Cache) ResetCacheStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits = 0
+	c.misses = 0
+}

@@ -1,0 +1,155 @@
+package pager
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCacheBasics(t *testing.T) {
+	base, _ := NewMem(128)
+	c, err := NewCache(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCache(base, 0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	// Pager-contract checks, minus the physical-read-count assertions of
+	// testPagerBasics (a cache exists precisely to absorb those).
+	if c.PageSize() != 128 {
+		t.Fatalf("PageSize = %d", c.PageSize())
+	}
+	id, err := c.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(id, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, []byte("payload")) || got[7] != 0 {
+		t.Fatalf("round trip: %q", got[:8])
+	}
+	if _, err := c.Read(PageID(99)); err == nil {
+		t.Fatal("unallocated read accepted")
+	}
+	if err := c.Write(PageID(99), []byte("x")); err == nil {
+		t.Fatal("unallocated write accepted")
+	}
+	if err := c.Write(id, make([]byte, 129)); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+	if c.NumPages() != 1 {
+		t.Fatalf("NumPages = %d", c.NumPages())
+	}
+	c.ResetStats()
+	if st := c.Stats(); st.Reads != 0 {
+		t.Fatalf("stats after reset: %+v", st)
+	}
+}
+
+func TestCacheHitsAvoidBaseReads(t *testing.T) {
+	base, _ := NewMem(128)
+	c, _ := NewCache(base, 4)
+	ids := make([]PageID, 3)
+	for i := range ids {
+		ids[i], _ = c.Alloc()
+		if err := c.Write(ids[i], []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base.ResetStats()
+	c.ResetCacheStats()
+	// All three pages were just written (and cached): re-reads hit.
+	for round := 0; round < 5; round++ {
+		for _, id := range ids {
+			data, err := c.Read(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = data
+		}
+	}
+	if got := base.Stats().Reads; got != 0 {
+		t.Fatalf("base saw %d physical reads, want 0 (all hits)", got)
+	}
+	cs := c.CacheStats()
+	if cs.Hits != 15 || cs.Misses != 0 {
+		t.Fatalf("cache stats %+v", cs)
+	}
+	if cs.HitRate() != 1 {
+		t.Fatalf("hit rate %g", cs.HitRate())
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	base, _ := NewMem(128)
+	c, _ := NewCache(base, 2)
+	ids := make([]PageID, 3)
+	for i := range ids {
+		ids[i], _ = c.Alloc()
+		c.Write(ids[i], []byte{byte(i + 1)})
+	}
+	// Writes cached 3 pages into capacity 2: page 0 evicted.
+	base.ResetStats()
+	c.ResetCacheStats()
+	if _, err := c.Read(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats().Reads != 1 {
+		t.Fatalf("evicted page read did not hit the base (%d)", base.Stats().Reads)
+	}
+	// Reading page 0 evicted page 1 (LRU); page 2 still resident.
+	if _, err := c.Read(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats().Reads != 1 {
+		t.Fatal("resident page caused a physical read")
+	}
+	cs := c.CacheStats()
+	if cs.Hits != 1 || cs.Misses != 1 {
+		t.Fatalf("stats %+v", cs)
+	}
+}
+
+func TestCacheWriteThroughConsistency(t *testing.T) {
+	base, _ := NewMem(128)
+	c, _ := NewCache(base, 2)
+	id, _ := c.Alloc()
+	c.Write(id, []byte("first"))
+	c.Write(id, []byte("second!"))
+	// Cached copy matches the base exactly (including zero padding).
+	fromCache, err := c.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBase, err := base.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromCache, fromBase) {
+		t.Fatal("cache and base diverged after overwrite")
+	}
+	if !bytes.HasPrefix(fromCache, []byte("second!")) {
+		t.Fatalf("stale data: %q", fromCache[:8])
+	}
+	if fromCache[7] != 0 {
+		t.Fatal("cached page missing zero padding")
+	}
+}
+
+func TestCacheReadIsolation(t *testing.T) {
+	base, _ := NewMem(128)
+	c, _ := NewCache(base, 2)
+	id, _ := c.Alloc()
+	c.Write(id, []byte{42})
+	data, _ := c.Read(id)
+	data[0] = 99
+	again, _ := c.Read(id)
+	if again[0] != 42 {
+		t.Fatal("cache handed out aliased storage")
+	}
+}

@@ -1,0 +1,253 @@
+// Package pager provides the paged storage layer under the M-tree: fixed
+// size pages identified by dense IDs, with read/write accounting. The
+// paper measures I/O cost as the number of node (page) reads; the
+// in-memory implementation simulates the disk the authors used, while
+// the file-backed implementation persists pages for real. Both share the
+// Pager interface so the tree code cannot tell them apart.
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// PageID identifies a page. IDs are dense, starting at 0, in allocation
+// order. InvalidPage is never allocated.
+type PageID uint32
+
+// InvalidPage is the nil page reference.
+const InvalidPage = PageID(^uint32(0))
+
+// Stats counts page operations since the last Reset.
+type Stats struct {
+	Reads  int64
+	Writes int64
+	Allocs int64
+}
+
+// Pager is fixed-size page storage.
+type Pager interface {
+	// PageSize returns the page size in bytes. All pages have this size.
+	PageSize() int
+	// Alloc reserves a new zeroed page and returns its ID.
+	Alloc() (PageID, error)
+	// Read returns the contents of the page. The returned slice has
+	// PageSize bytes and must not be retained across calls.
+	Read(id PageID) ([]byte, error)
+	// Write replaces the contents of the page. data must be at most
+	// PageSize bytes; shorter data is zero-padded.
+	Write(id PageID, data []byte) error
+	// NumPages returns the number of allocated pages.
+	NumPages() int
+	// Stats returns the operation counters.
+	Stats() Stats
+	// ResetStats zeroes the counters.
+	ResetStats()
+}
+
+// ErrBadPage reports access to an unallocated page.
+var ErrBadPage = errors.New("pager: page not allocated")
+
+type counters struct {
+	reads  atomic.Int64
+	writes atomic.Int64
+	allocs atomic.Int64
+}
+
+func (c *counters) stats() Stats {
+	return Stats{Reads: c.reads.Load(), Writes: c.writes.Load(), Allocs: c.allocs.Load()}
+}
+
+func (c *counters) reset() {
+	c.reads.Store(0)
+	c.writes.Store(0)
+	c.allocs.Store(0)
+}
+
+// Mem is an in-memory pager: the simulated disk. Safe for concurrent use.
+type Mem struct {
+	pageSize int
+	mu       sync.RWMutex
+	pages    [][]byte
+	counters
+}
+
+// NewMem returns an in-memory pager with the given page size.
+func NewMem(pageSize int) (*Mem, error) {
+	if pageSize < 64 {
+		return nil, fmt.Errorf("pager: page size %d too small (min 64)", pageSize)
+	}
+	return &Mem{pageSize: pageSize}, nil
+}
+
+// PageSize implements Pager.
+func (m *Mem) PageSize() int { return m.pageSize }
+
+// Alloc implements Pager.
+func (m *Mem) Alloc() (PageID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := PageID(len(m.pages))
+	if id == InvalidPage {
+		return InvalidPage, errors.New("pager: out of page IDs")
+	}
+	m.pages = append(m.pages, make([]byte, m.pageSize))
+	m.allocs.Add(1)
+	return id, nil
+}
+
+// Read implements Pager.
+func (m *Mem) Read(id PageID) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if int(id) >= len(m.pages) {
+		return nil, fmt.Errorf("%w: %d", ErrBadPage, id)
+	}
+	m.reads.Add(1)
+	out := make([]byte, m.pageSize)
+	copy(out, m.pages[id])
+	return out, nil
+}
+
+// Write implements Pager.
+func (m *Mem) Write(id PageID, data []byte) error {
+	if len(data) > m.pageSize {
+		return fmt.Errorf("pager: write of %d bytes exceeds page size %d", len(data), m.pageSize)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(id) >= len(m.pages) {
+		return fmt.Errorf("%w: %d", ErrBadPage, id)
+	}
+	p := m.pages[id]
+	copy(p, data)
+	for i := len(data); i < m.pageSize; i++ {
+		p[i] = 0
+	}
+	m.writes.Add(1)
+	return nil
+}
+
+// NumPages implements Pager.
+func (m *Mem) NumPages() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.pages)
+}
+
+// Stats implements Pager.
+func (m *Mem) Stats() Stats { return m.stats() }
+
+// ResetStats implements Pager.
+func (m *Mem) ResetStats() { m.reset() }
+
+// File is a file-backed pager. Page i lives at byte offset i*PageSize.
+// Safe for concurrent use.
+type File struct {
+	pageSize int
+	mu       sync.Mutex
+	f        *os.File
+	n        int
+	counters
+}
+
+// NewFile creates (truncating) a file-backed pager at path.
+func NewFile(path string, pageSize int) (*File, error) {
+	if pageSize < 64 {
+		return nil, fmt.Errorf("pager: page size %d too small (min 64)", pageSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &File{pageSize: pageSize, f: f}, nil
+}
+
+// FromFile adopts an existing page file (e.g. one written by an earlier
+// NewFile session) without truncating it: the allocated page count is
+// derived from the file size, which must be a whole number of pages.
+// The pager takes ownership of f.
+func FromFile(f *os.File, pageSize int) (*File, error) {
+	if pageSize < 64 {
+		return nil, fmt.Errorf("pager: page size %d too small (min 64)", pageSize)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if info.Size()%int64(pageSize) != 0 {
+		return nil, fmt.Errorf("pager: file size %d is not a multiple of page size %d", info.Size(), pageSize)
+	}
+	return &File{pageSize: pageSize, f: f, n: int(info.Size() / int64(pageSize))}, nil
+}
+
+// PageSize implements Pager.
+func (p *File) PageSize() int { return p.pageSize }
+
+// Alloc implements Pager.
+func (p *File) Alloc() (PageID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := PageID(p.n)
+	zero := make([]byte, p.pageSize)
+	if _, err := p.f.WriteAt(zero, int64(p.n)*int64(p.pageSize)); err != nil {
+		return InvalidPage, err
+	}
+	p.n++
+	p.allocs.Add(1)
+	return id, nil
+}
+
+// Read implements Pager.
+func (p *File) Read(id PageID) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(id) >= p.n {
+		return nil, fmt.Errorf("%w: %d", ErrBadPage, id)
+	}
+	out := make([]byte, p.pageSize)
+	if _, err := p.f.ReadAt(out, int64(id)*int64(p.pageSize)); err != nil && err != io.EOF {
+		return nil, err
+	}
+	p.reads.Add(1)
+	return out, nil
+}
+
+// Write implements Pager.
+func (p *File) Write(id PageID, data []byte) error {
+	if len(data) > p.pageSize {
+		return fmt.Errorf("pager: write of %d bytes exceeds page size %d", len(data), p.pageSize)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(id) >= p.n {
+		return fmt.Errorf("%w: %d", ErrBadPage, id)
+	}
+	buf := make([]byte, p.pageSize)
+	copy(buf, data)
+	if _, err := p.f.WriteAt(buf, int64(id)*int64(p.pageSize)); err != nil {
+		return err
+	}
+	p.writes.Add(1)
+	return nil
+}
+
+// NumPages implements Pager.
+func (p *File) NumPages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}
+
+// Stats implements Pager.
+func (p *File) Stats() Stats { return p.stats() }
+
+// ResetStats implements Pager.
+func (p *File) ResetStats() { p.reset() }
+
+// Close releases the underlying file.
+func (p *File) Close() error { return p.f.Close() }

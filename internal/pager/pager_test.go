@@ -1,0 +1,203 @@
+package pager
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func testPagerBasics(t *testing.T, p Pager) {
+	t.Helper()
+	if p.NumPages() != 0 {
+		t.Fatalf("fresh pager has %d pages", p.NumPages())
+	}
+	id0, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id0 == id1 {
+		t.Fatal("duplicate page IDs")
+	}
+	if p.NumPages() != 2 {
+		t.Fatalf("NumPages = %d, want 2", p.NumPages())
+	}
+
+	// Fresh pages read back zeroed.
+	data, err := p.Read(id0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != p.PageSize() {
+		t.Fatalf("read %d bytes, want %d", len(data), p.PageSize())
+	}
+	for _, b := range data {
+		if b != 0 {
+			t.Fatal("fresh page not zeroed")
+		}
+	}
+
+	// Round trip with padding.
+	payload := []byte("hello metric trees")
+	if err := p.Write(id1, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Read(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(payload)], payload) {
+		t.Fatalf("round trip mismatch: %q", got[:len(payload)])
+	}
+	for _, b := range got[len(payload):] {
+		if b != 0 {
+			t.Fatal("page tail not zero-padded")
+		}
+	}
+
+	// Overwrite shrinks: stale tail must be cleared.
+	if err := p.Write(id1, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = p.Read(id1)
+	if got[2] != 0 || !bytes.Equal(got[:2], []byte("hi")) {
+		t.Fatal("overwrite left stale bytes")
+	}
+
+	// Bad page access.
+	if _, err := p.Read(PageID(99)); !errors.Is(err, ErrBadPage) {
+		t.Fatalf("read of unallocated page: %v", err)
+	}
+	if err := p.Write(PageID(99), payload); !errors.Is(err, ErrBadPage) {
+		t.Fatalf("write of unallocated page: %v", err)
+	}
+
+	// Oversized write.
+	big := make([]byte, p.PageSize()+1)
+	if err := p.Write(id0, big); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+
+	// Stats.
+	st := p.Stats()
+	if st.Allocs != 2 || st.Reads < 3 || st.Writes < 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	p.ResetStats()
+	if st := p.Stats(); st.Reads != 0 || st.Writes != 0 || st.Allocs != 0 {
+		t.Fatalf("stats after reset = %+v", st)
+	}
+}
+
+func TestMemPager(t *testing.T) {
+	p, err := NewMem(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testPagerBasics(t, p)
+}
+
+func TestFilePager(t *testing.T) {
+	p, err := NewFile(filepath.Join(t.TempDir(), "pages.db"), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	testPagerBasics(t, p)
+}
+
+func TestPageSizeValidation(t *testing.T) {
+	if _, err := NewMem(10); err == nil {
+		t.Error("tiny mem page accepted")
+	}
+	if _, err := NewFile(filepath.Join(t.TempDir(), "x"), 10); err == nil {
+		t.Error("tiny file page accepted")
+	}
+}
+
+func TestMemPagerReadIsolation(t *testing.T) {
+	p, _ := NewMem(64)
+	id, _ := p.Alloc()
+	p.Write(id, []byte{1, 2, 3})
+	data, _ := p.Read(id)
+	data[0] = 99 // must not corrupt the stored page
+	again, _ := p.Read(id)
+	if again[0] != 1 {
+		t.Fatal("Read returned aliased storage")
+	}
+}
+
+func TestMemPagerConcurrent(t *testing.T) {
+	p, _ := NewMem(64)
+	const pages = 32
+	ids := make([]PageID, pages)
+	for i := range ids {
+		id, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := []byte{byte(w)}
+			for i := 0; i < 200; i++ {
+				id := ids[(w*31+i)%pages]
+				if err := p.Write(id, buf); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := p.Read(id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Reads != 8*200 || st.Writes != 8*200 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFilePagerPersistsAcrossHandles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	p, err := NewFile(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := p.Alloc()
+	if err := p.Write(id, []byte("persistent")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// NewFile truncates, so verify the raw bytes before reopening.
+	// (The pager is a cache-less store; durability is the file's.)
+	raw, err := readFileBytes(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte("persistent")) {
+		t.Fatal("written page not present in file")
+	}
+}
+
+func readFileBytes(path string) ([]byte, error) {
+	p, err := filepath.Abs(path)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadFile(p)
+}

@@ -1,0 +1,174 @@
+// Package workload runs mixed similarity-query workloads against an
+// M-tree and scores the cost model's predictions — the capacity-planning
+// use the paper motivates: estimate a workload's resource consumption
+// from the model before provisioning, then verify against execution.
+//
+// A Workload is a list of weighted query classes (range radii and k-NN
+// ks). The runner executes a sampled query stream, accumulates measured
+// node reads and distance computations, and compares with the model's
+// expectation for the same mix, including a wall-clock projection under
+// configurable disk parameters.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"mcost/internal/core"
+	"mcost/internal/metric"
+	"mcost/internal/mtree"
+)
+
+// QueryClass is one component of the mix.
+type QueryClass struct {
+	// Name labels the class in reports ("lookup", "discovery", ...).
+	Name string
+	// Weight is the relative frequency of the class (any positive
+	// scale; weights are normalized).
+	Weight float64
+	// Radius is the range-query radius; used when K == 0.
+	Radius float64
+	// K, when positive, makes this a k-NN class and Radius is ignored.
+	K int
+}
+
+// Workload is a weighted mix of query classes.
+type Workload struct {
+	Classes []QueryClass
+}
+
+// Validate checks the mix.
+func (w *Workload) Validate() error {
+	if len(w.Classes) == 0 {
+		return errors.New("workload: no query classes")
+	}
+	var total float64
+	for i, c := range w.Classes {
+		if c.Weight <= 0 {
+			return fmt.Errorf("workload: class %d (%s) has weight %g", i, c.Name, c.Weight)
+		}
+		if c.K < 0 {
+			return fmt.Errorf("workload: class %d (%s) has k = %d", i, c.Name, c.K)
+		}
+		if c.K == 0 && c.Radius < 0 {
+			return fmt.Errorf("workload: class %d (%s) has radius %g", i, c.Name, c.Radius)
+		}
+		total += c.Weight
+	}
+	if total <= 0 {
+		return errors.New("workload: zero total weight")
+	}
+	return nil
+}
+
+// ClassReport compares prediction and measurement for one class.
+type ClassReport struct {
+	Class    QueryClass
+	Queries  int
+	Pred     core.CostEstimate
+	Measured core.CostEstimate // averages per query
+	Results  float64           // average result-set size
+}
+
+// Report is the workload summary.
+type Report struct {
+	Classes []ClassReport
+	// PredPerQuery and MeasuredPerQuery are the weight-averaged costs.
+	PredPerQuery     core.CostEstimate
+	MeasuredPerQuery core.CostEstimate
+	// PredMSPerQuery / MeasuredMSPerQuery apply the disk parameters.
+	PredMSPerQuery     float64
+	MeasuredMSPerQuery float64
+}
+
+// Options configures a run.
+type Options struct {
+	// Queries is the number of executed queries (default 200),
+	// apportioned to classes by weight.
+	Queries int
+	// Disk prices the combined cost (default core.PaperDiskParams).
+	Disk core.DiskParams
+	// Seed drives query sampling.
+	Seed int64
+	// UseParentDist runs the measured queries with the M-tree's
+	// triangle-inequality optimization (default false, matching what
+	// the model predicts; see the paper's footnote 2).
+	UseParentDist bool
+}
+
+// Run executes the workload against the tree using queries drawn from
+// queryPool (objects following the data distribution, per the biased
+// query model) and scores the model's predictions.
+func Run(tr *mtree.Tree, model *core.MTreeModel, w *Workload, queryPool []metric.Object, opt Options) (*Report, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if len(queryPool) == 0 {
+		return nil, errors.New("workload: empty query pool")
+	}
+	if opt.Queries == 0 {
+		opt.Queries = 200
+	}
+	if opt.Disk == (core.DiskParams{}) {
+		opt.Disk = core.PaperDiskParams()
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	var totalWeight float64
+	for _, c := range w.Classes {
+		totalWeight += c.Weight
+	}
+
+	rep := &Report{}
+	qopt := mtree.QueryOptions{UseParentDist: opt.UseParentDist}
+	for _, c := range w.Classes {
+		nq := int(float64(opt.Queries)*c.Weight/totalWeight + 0.5)
+		if nq == 0 {
+			nq = 1
+		}
+		var pred core.CostEstimate
+		if c.K > 0 {
+			pred = model.NNN(c.K)
+		} else {
+			pred = model.RangeN(c.Radius)
+		}
+		tr.ResetCounters()
+		var results int
+		for i := 0; i < nq; i++ {
+			q := queryPool[rng.Intn(len(queryPool))]
+			var (
+				ms  []mtree.Match
+				err error
+			)
+			if c.K > 0 {
+				ms, err = tr.NN(q, c.K, qopt)
+			} else {
+				ms, err = tr.Range(q, c.Radius, qopt)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("workload: class %s: %w", c.Name, err)
+			}
+			results += len(ms)
+		}
+		measured := core.CostEstimate{
+			Nodes: float64(tr.NodeReads()) / float64(nq),
+			Dists: float64(tr.DistanceCount()) / float64(nq),
+		}
+		rep.Classes = append(rep.Classes, ClassReport{
+			Class:    c,
+			Queries:  nq,
+			Pred:     pred,
+			Measured: measured,
+			Results:  float64(results) / float64(nq),
+		})
+		frac := c.Weight / totalWeight
+		rep.PredPerQuery.Nodes += frac * pred.Nodes
+		rep.PredPerQuery.Dists += frac * pred.Dists
+		rep.MeasuredPerQuery.Nodes += frac * measured.Nodes
+		rep.MeasuredPerQuery.Dists += frac * measured.Dists
+	}
+	rep.PredMSPerQuery = opt.Disk.TotalMS(rep.PredPerQuery, tr.PageSize())
+	rep.MeasuredMSPerQuery = opt.Disk.TotalMS(rep.MeasuredPerQuery, tr.PageSize())
+	return rep, nil
+}

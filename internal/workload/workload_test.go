@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"mcost/internal/core"
+	"mcost/internal/dataset"
+	"mcost/internal/distdist"
+	"mcost/internal/mtree"
+)
+
+func fixture(t *testing.T) (*mtree.Tree, *core.MTreeModel, *dataset.Dataset) {
+	t.Helper()
+	d := dataset.PaperClustered(3000, 8, 1101)
+	tr, err := mtree.New(mtree.Options{Space: d.Space, PageSize: 2048, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad(d.Objects); err != nil {
+		t.Fatal(err)
+	}
+	st, err := tr.CollectStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := distdist.Estimate(d, distdist.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := core.NewMTreeModel(f, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, model, d
+}
+
+func testMix() *Workload {
+	return &Workload{Classes: []QueryClass{
+		{Name: "lookup", Weight: 6, K: 1},
+		{Name: "similar-10", Weight: 3, K: 10},
+		{Name: "discovery", Weight: 1, Radius: 0.25},
+	}}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (&Workload{}).Validate(); err == nil {
+		t.Error("empty workload accepted")
+	}
+	bad := &Workload{Classes: []QueryClass{{Name: "x", Weight: 0, Radius: 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero weight accepted")
+	}
+	bad2 := &Workload{Classes: []QueryClass{{Name: "x", Weight: 1, K: -1}}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("negative k accepted")
+	}
+	bad3 := &Workload{Classes: []QueryClass{{Name: "x", Weight: 1, Radius: -2}}}
+	if err := bad3.Validate(); err == nil {
+		t.Error("negative radius accepted")
+	}
+	if err := testMix().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPredictionsTrackMeasurement(t *testing.T) {
+	tr, model, _ := fixture(t)
+	pool := dataset.PaperClusteredQueries(300, 8, 1101).Queries
+	rep, err := Run(tr, model, testMix(), pool, Options{Queries: 240, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Classes) != 3 {
+		t.Fatalf("got %d class reports", len(rep.Classes))
+	}
+	total := 0
+	for _, cr := range rep.Classes {
+		total += cr.Queries
+		if cr.Measured.Nodes <= 0 || cr.Measured.Dists <= 0 {
+			t.Fatalf("%s: empty measurement", cr.Class.Name)
+		}
+		if cr.Pred.Nodes <= 0 {
+			t.Fatalf("%s: empty prediction", cr.Class.Name)
+		}
+	}
+	if total < 230 || total > 250 {
+		t.Fatalf("executed %d queries, want ~240", total)
+	}
+	// The weighted prediction tracks the measurement (no pruning, so
+	// dists should agree well).
+	if e := math.Abs(rep.PredPerQuery.Dists-rep.MeasuredPerQuery.Dists) / rep.MeasuredPerQuery.Dists; e > 0.35 {
+		t.Fatalf("per-query dists: pred %.1f vs measured %.1f (%.0f%%)",
+			rep.PredPerQuery.Dists, rep.MeasuredPerQuery.Dists, e*100)
+	}
+	if e := math.Abs(rep.PredPerQuery.Nodes-rep.MeasuredPerQuery.Nodes) / rep.MeasuredPerQuery.Nodes; e > 0.35 {
+		t.Fatalf("per-query nodes: pred %.1f vs measured %.1f", rep.PredPerQuery.Nodes, rep.MeasuredPerQuery.Nodes)
+	}
+	if rep.PredMSPerQuery <= 0 || rep.MeasuredMSPerQuery <= 0 {
+		t.Fatal("zero millisecond projections")
+	}
+}
+
+func TestRunWithPruningMeasuresBelowPrediction(t *testing.T) {
+	tr, model, _ := fixture(t)
+	pool := dataset.PaperClusteredQueries(300, 8, 1101).Queries
+	rep, err := Run(tr, model, testMix(), pool, Options{Queries: 120, Seed: 4, UseParentDist: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeasuredPerQuery.Dists >= rep.PredPerQuery.Dists {
+		t.Fatalf("pruned measurement %.1f not below prediction %.1f",
+			rep.MeasuredPerQuery.Dists, rep.PredPerQuery.Dists)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tr, model, _ := fixture(t)
+	pool := dataset.PaperClusteredQueries(10, 8, 1101).Queries
+	if _, err := Run(tr, model, &Workload{}, pool, Options{}); err == nil {
+		t.Error("invalid workload accepted")
+	}
+	if _, err := Run(tr, model, testMix(), nil, Options{}); err == nil {
+		t.Error("empty query pool accepted")
+	}
+}

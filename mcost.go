@@ -1,0 +1,377 @@
+// Package mcost is a cost-model toolkit for similarity queries in metric
+// spaces, implementing Ciaccia, Patella & Zezula, "A Cost Model for
+// Similarity Queries in Metric Spaces" (PODS 1998).
+//
+// It bundles a full M-tree (paged, dynamic, balanced metric access
+// method with bulk loading and optimal k-NN search), a vantage-point
+// tree, distance-distribution estimation, and the paper's cost models:
+// given only the distance distribution F of a dataset and compact tree
+// statistics, the models predict the I/O (node reads) and CPU (distance
+// computations) costs of range and k-nearest-neighbor queries, usually
+// within ~10%.
+//
+// The five-line workflow:
+//
+//	space := mcost.VectorSpace("L2", 8)
+//	idx, _ := mcost.Build(space, objects, mcost.Options{})
+//	matches, _ := idx.NN(query, 10)
+//	predicted := idx.PredictNN(10)      // before running anything
+//	fmt.Println(predicted.Nodes, predicted.Dists)
+//
+// Everything deeper — promotion policies, paged storage, homogeneity
+// indices, the vp-tree model, node-size tuning — is exposed through the
+// same package; see the examples directory.
+package mcost
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"mcost/internal/core"
+	"mcost/internal/dataset"
+	"mcost/internal/distdist"
+	"mcost/internal/histogram"
+	"mcost/internal/metric"
+	"mcost/internal/mtree"
+)
+
+// Object is any value a metric space can compare (metric.Vector values
+// or strings for the built-in spaces).
+type Object = metric.Object
+
+// Vector is a point in a D-dimensional real space.
+type Vector = metric.Vector
+
+// Space describes a bounded metric space: a distance function plus its
+// finite distance bound d+.
+type Space = metric.Space
+
+// Match is one query result: the object, its insertion-order OID, and
+// its distance from the query.
+type Match = mtree.Match
+
+// CostEstimate is a predicted query cost: expected node reads (I/O) and
+// distance computations (CPU).
+type CostEstimate = core.CostEstimate
+
+// DiskParams models a disk for combined-cost tuning (Section 4.1 of the
+// paper): a node read costs PosMS + TransMSPerKB·NS, a distance DistMS.
+type DiskParams = core.DiskParams
+
+// VectorSpace returns a bounded metric space over the unit hypercube
+// [0,1]^dim for name "L1", "L2", or "Linf".
+func VectorSpace(name string, dim int) *Space { return metric.VectorSpace(name, dim) }
+
+// EditSpace returns the space of strings up to maxLen bytes under the
+// Levenshtein metric, d+ = maxLen.
+func EditSpace(maxLen int) *Space { return metric.EditSpace(maxLen) }
+
+// Options configures Build.
+type Options struct {
+	// PageSize is the M-tree node size in bytes (default 4096, as in
+	// the paper's evaluation).
+	PageSize int
+	// Incremental inserts objects one by one instead of bulk loading.
+	// Bulk loading (the default) matches the paper's setup and builds a
+	// better tree with fewer distance computations.
+	Incremental bool
+	// HistogramBins overrides the distance-distribution resolution
+	// (default: 100 bins, or one per integer distance for discrete
+	// metrics).
+	HistogramBins int
+	// SamplePairs caps the object pairs sampled to estimate F
+	// (default 200,000).
+	SamplePairs int
+	// Seed drives all sampling.
+	Seed int64
+}
+
+// Index is a built M-tree together with its fitted cost model.
+type Index struct {
+	space *Space
+	tree  *mtree.Tree
+	f     *histogram.Histogram
+	stats *mtree.Stats
+	model *core.MTreeModel
+}
+
+// Build indexes the objects and fits the cost model: it constructs the
+// M-tree (bulk-loaded unless Incremental), estimates the distance
+// distribution F̂ from sampled pairs, and collects the tree statistics
+// the models need. The returned Index answers both real queries and
+// cost predictions.
+func Build(space *Space, objects []Object, opt Options) (*Index, error) {
+	if space == nil {
+		return nil, errors.New("mcost: nil space")
+	}
+	if len(objects) < 2 {
+		return nil, fmt.Errorf("mcost: need at least 2 objects, got %d", len(objects))
+	}
+	tree, err := mtree.New(mtree.Options{
+		Space:    space,
+		PageSize: opt.PageSize,
+		Seed:     opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opt.Incremental {
+		err = tree.InsertAll(objects)
+	} else {
+		err = tree.BulkLoad(objects)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return finishIndex(space, tree, objects, opt)
+}
+
+func finishIndex(space *Space, tree *mtree.Tree, objects []Object, opt Options) (*Index, error) {
+	stats, err := tree.CollectStats()
+	if err != nil {
+		return nil, err
+	}
+	ds := &dataset.Dataset{Name: "indexed", Space: space, Objects: objects}
+	f, err := distdist.Estimate(ds, distdist.Options{
+		Bins:     opt.HistogramBins,
+		MaxPairs: opt.SamplePairs,
+		Seed:     opt.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	model, err := core.NewMTreeModel(f, stats)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{space: space, tree: tree, f: f, stats: stats, model: model}, nil
+}
+
+// Size returns the number of indexed objects.
+func (ix *Index) Size() int { return ix.tree.Size() }
+
+// Height returns the number of tree levels.
+func (ix *Index) Height() int { return ix.tree.Height() }
+
+// NumNodes returns the number of tree nodes (pages).
+func (ix *Index) NumNodes() int { return ix.tree.NumNodes() }
+
+// Range returns all objects within radius of q. The parent-distance
+// optimization is enabled: real queries should be as fast as possible.
+func (ix *Index) Range(q Object, radius float64) ([]Match, error) {
+	return ix.tree.Range(q, radius, mtree.QueryOptions{UseParentDist: true})
+}
+
+// NN returns the k nearest neighbors of q, closest first.
+func (ix *Index) NN(q Object, k int) ([]Match, error) {
+	return ix.tree.NN(q, k, mtree.QueryOptions{UseParentDist: true})
+}
+
+// Costs returns the node reads and distance computations accumulated
+// since the last ResetCosts — the two cost dimensions of the paper.
+func (ix *Index) Costs() (nodeReads, distances int64) {
+	return ix.tree.NodeReads(), ix.tree.DistanceCount()
+}
+
+// ResetCosts zeroes the cost counters (typically after Build, before a
+// measured workload).
+func (ix *Index) ResetCosts() { ix.tree.ResetCounters() }
+
+// PredictRange predicts range-query costs with the node-based model
+// N-MCM (Eq. 6-7 of the paper). The prediction models a search without
+// the parent-distance optimization, so it upper-bounds what Range
+// performs; see PredictRangeLevel for the cheaper level-based variant.
+func (ix *Index) PredictRange(radius float64) CostEstimate {
+	return ix.model.RangeN(radius)
+}
+
+// PredictRangeLevel predicts range-query costs with the level-based
+// model L-MCM (Eq. 15-16), which needs only per-level statistics.
+func (ix *Index) PredictRangeLevel(radius float64) CostEstimate {
+	return ix.model.RangeL(radius)
+}
+
+// PredictSelectivity predicts the number of objects a range query
+// returns: n·F(radius) (Eq. 8).
+func (ix *Index) PredictSelectivity(radius float64) float64 {
+	return ix.model.RangeObjects(radius)
+}
+
+// PredictNN predicts k-NN query costs with the node-based model by
+// integrating range costs over the k-th-neighbor distance distribution
+// (Eq. 9-14 generalized to any k).
+func (ix *Index) PredictNN(k int) CostEstimate { return ix.model.NNN(k) }
+
+// PredictNNLevel is the level-based variant (Eq. 17-18).
+func (ix *Index) PredictNNLevel(k int) CostEstimate { return ix.model.NNL(k) }
+
+// ExpectedNNDistance predicts the distance of the k-th nearest neighbor
+// of a random query (Eq. 11).
+func (ix *Index) ExpectedNNDistance(k int) float64 { return ix.model.ExpectedNNDist(k) }
+
+// DistanceDistribution exposes the estimated F̂: F(x) is the fraction of
+// object pairs within distance x.
+func (ix *Index) DistanceDistribution() func(x float64) float64 {
+	return ix.f.CDF
+}
+
+// PredictTotalMS combines a prediction into milliseconds under the disk
+// parameters, using this index's node size.
+func (ix *Index) PredictTotalMS(est CostEstimate, disk DiskParams) float64 {
+	return disk.TotalMS(est, ix.tree.PageSize())
+}
+
+// PaperDiskParams returns the disk parameters of the paper's Figure
+// 5(b): 10 ms positioning, 1 ms/KB transfer, 5 ms per distance.
+func PaperDiskParams() DiskParams { return core.PaperDiskParams() }
+
+// Delete removes an object by OID. The caller supplies the object value
+// (the tree routes by distance, not by key). After heavy churn the cost
+// model's statistics grow stale — covering radii are not tightened on
+// deletion — so call RefreshModel before relying on predictions again.
+func (ix *Index) Delete(obj Object, oid uint64) error {
+	return ix.tree.Delete(obj, oid)
+}
+
+// RefreshModel re-collects the tree statistics and refits the cost
+// model after structural churn (inserts/deletes since Build). The
+// distance distribution F̂ is kept: deletions and inserts drawn from the
+// same data distribution do not change it.
+func (ix *Index) RefreshModel() error {
+	stats, err := ix.tree.CollectStats()
+	if err != nil {
+		return err
+	}
+	model, err := core.NewMTreeModel(ix.f, stats)
+	if err != nil {
+		return err
+	}
+	ix.stats = stats
+	ix.model = model
+	return nil
+}
+
+// Insert adds one object after Build and returns its OID. Refresh the
+// model after bulk churn.
+func (ix *Index) Insert(obj Object) (uint64, error) {
+	oid := ix.tree.NextOID()
+	if err := ix.tree.Insert(obj); err != nil {
+		return 0, err
+	}
+	return oid, nil
+}
+
+// Model is a standalone fitted cost model: the JSON-serializable object
+// a query optimizer keeps in its catalog, predicting costs with no
+// access to the index or the data.
+type Model = core.MTreeModel
+
+// SaveModel writes the index's fitted cost model as JSON.
+func (ix *Index) SaveModel(w io.Writer) error { return ix.model.Save(w) }
+
+// LoadModel reads a model written by SaveModel.
+func LoadModel(r io.Reader) (*Model, error) { return core.LoadModel(r) }
+
+// HVResult reports a homogeneity-of-viewpoints estimate.
+type HVResult = distdist.HVResult
+
+// HV estimates the homogeneity-of-viewpoints index (Definition 2) of the
+// space underlying the objects: values near 1 (the paper reports > 0.98
+// for all its datasets) mean the cost model's Assumption 1 holds and
+// predictions are trustworthy; low values call for the multi-viewpoint
+// extension.
+func HV(space *Space, objects []Object, seed int64) (*HVResult, error) {
+	ds := &dataset.Dataset{Name: "hv", Space: space, Objects: objects}
+	return distdist.HV(ds, distdist.HVOptions{Seed: seed})
+}
+
+// TuneNodeSize builds one index per candidate node size and returns the
+// size minimizing the predicted combined cost for range queries of the
+// given radius under the disk parameters (Section 4.1). It returns the
+// chosen size in bytes and the per-candidate predictions.
+func TuneNodeSize(space *Space, objects []Object, sizes []int, radius float64, disk DiskParams, opt Options) (int, []core.TuningPoint, error) {
+	if len(sizes) == 0 {
+		return 0, nil, errors.New("mcost: no candidate node sizes")
+	}
+	points := make([]core.TuningPoint, 0, len(sizes))
+	for _, ns := range sizes {
+		o := opt
+		o.PageSize = ns
+		ix, err := Build(space, objects, o)
+		if err != nil {
+			return 0, nil, fmt.Errorf("mcost: node size %d: %w", ns, err)
+		}
+		est := ix.PredictRange(radius)
+		points = append(points, core.TuningPoint{
+			NodeSize: ns,
+			Est:      est,
+			TotalMS:  disk.TotalMS(est, ns),
+		})
+	}
+	best, err := core.BestNodeSize(points)
+	if err != nil {
+		return 0, nil, err
+	}
+	return best.NodeSize, points, nil
+}
+
+// NNApprox returns approximately the k nearest neighbors: the best-first
+// search stops at the confidence-quantile of the k-NN distance predicted
+// by the cost model (Eq. 9), so with probability >= confidence the true
+// k-th neighbor lies within the searched region. Lower confidence means
+// fewer node reads and distance computations; confidence >= 1 degrades
+// to the exact NN. This is the probably-approximately-correct use of the
+// model the paper's optimizer framing invites.
+func (ix *Index) NNApprox(q Object, k int, confidence float64) ([]Match, error) {
+	stop := ix.model.NNDistQuantile(k, confidence)
+	return ix.tree.NNWithStop(q, k, stop, mtree.QueryOptions{UseParentDist: true})
+}
+
+// IndexStats summarizes the built tree for observability and reporting.
+type IndexStats struct {
+	// Objects is the number of indexed objects.
+	Objects int
+	// Nodes is the number of pages; Height the number of levels.
+	Nodes  int
+	Height int
+	// LeafNodes and AvgLeafEntries describe the leaf level.
+	LeafNodes      int
+	AvgLeafEntries float64
+	// AvgLeafRadius and MaxLeafRadius describe leaf region sizes, the
+	// quantities the cost model derives access probabilities from.
+	AvgLeafRadius float64
+	MaxLeafRadius float64
+	// LevelNodes lists the node count per level, root first.
+	LevelNodes []int
+}
+
+// Stats reports the tree's structural statistics (from the snapshot
+// taken at Build or the last RefreshModel).
+func (ix *Index) Stats() IndexStats {
+	out := IndexStats{
+		Objects: ix.stats.Size,
+		Height:  ix.stats.Height,
+	}
+	for _, ls := range ix.stats.Levels {
+		out.LevelNodes = append(out.LevelNodes, ls.Nodes)
+		out.Nodes += ls.Nodes
+	}
+	var leafEntries int
+	for _, ns := range ix.stats.Nodes {
+		if !ns.Leaf {
+			continue
+		}
+		out.LeafNodes++
+		leafEntries += ns.Entries
+		out.AvgLeafRadius += ns.Radius
+		if ns.Radius > out.MaxLeafRadius {
+			out.MaxLeafRadius = ns.Radius
+		}
+	}
+	if out.LeafNodes > 0 {
+		out.AvgLeafEntries = float64(leafEntries) / float64(out.LeafNodes)
+		out.AvgLeafRadius /= float64(out.LeafNodes)
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package mcost
+
+import (
+	"errors"
+	"fmt"
+
+	"mcost/internal/core"
+	"mcost/internal/dataset"
+	"mcost/internal/distdist"
+	"mcost/internal/mtree"
+)
+
+// Plan predicts the shape and query costs of an M-tree that has NOT been
+// built, from a data sample alone — the paper's first open question
+// ("a cost model which does not use tree statistics at all"), answered
+// by deriving covering radii from the distance distribution: a node
+// covering c objects has radius ≈ E[nn_c].
+type Plan struct {
+	model *core.StatsFreeModel
+	n     int
+}
+
+// PlanIndex estimates the distance distribution from sample (a
+// representative subset of the data; a few thousand objects suffice) and
+// predicts the index that Build would produce over n objects with the
+// given page size. No tree is constructed.
+func PlanIndex(space *Space, sample []Object, n int, opt Options) (*Plan, error) {
+	if space == nil {
+		return nil, errors.New("mcost: nil space")
+	}
+	if len(sample) < 2 {
+		return nil, fmt.Errorf("mcost: sample of %d objects is too small", len(sample))
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("mcost: n = %d", n)
+	}
+	pageSize := opt.PageSize
+	if pageSize == 0 {
+		pageSize = 4096
+	}
+	codec, err := mtree.CodecFor(sample[0])
+	if err != nil {
+		return nil, err
+	}
+	// Capacities from the average encoded object size over the sample.
+	var totalBytes int
+	for _, o := range sample {
+		totalBytes += codec.Size(o)
+	}
+	avgObj := totalBytes / len(sample)
+	leafCap := (pageSize - 3) / (8 + 8 + 2 + avgObj)
+	internalCap := (pageSize - 3) / (8 + 8 + 4 + 2 + avgObj)
+	if leafCap < 2 || internalCap < 2 {
+		return nil, fmt.Errorf("mcost: page size %d too small for %d-byte objects", pageSize, avgObj)
+	}
+	ds := &dataset.Dataset{Name: "plan-sample", Space: space, Objects: sample}
+	f, err := distdist.Estimate(ds, distdist.Options{
+		Bins:     opt.HistogramBins,
+		MaxPairs: opt.SamplePairs,
+		Seed:     opt.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	model, err := core.NewStatsFreeModel(f, core.StatsFreeConfig{
+		N:                n,
+		LeafCapacity:     leafCap,
+		InternalCapacity: internalCap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{model: model, n: n}, nil
+}
+
+// Height returns the predicted tree height.
+func (p *Plan) Height() int { return p.model.Height() }
+
+// NumNodes returns the predicted node (page) count.
+func (p *Plan) NumNodes() int { return p.model.PredictedNodes() }
+
+// PredictRange predicts range-query costs for the unbuilt index.
+func (p *Plan) PredictRange(radius float64) CostEstimate { return p.model.Range(radius) }
+
+// PredictNN predicts k-NN costs for the unbuilt index.
+func (p *Plan) PredictNN(k int) CostEstimate { return p.model.NN(k) }
