@@ -12,10 +12,14 @@ package mcost
 // benchmark diffs, not only speed.
 
 import (
+	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"testing"
 
+	"mcost/internal/dataset"
+	"mcost/internal/distdist"
 	"mcost/internal/experiments"
 )
 
@@ -395,6 +399,46 @@ func (r *benchRand) Float64() float64 {
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	z ^= z >> 31
 	return float64(z>>11) / (1 << 53)
+}
+
+// BenchmarkParallelEstimate measures the worker-pool speedup on the two
+// statistics that dominate every experiment: F̂ estimation over the
+// default 200k sampled pairs and the HV index with default options
+// (30 viewpoints × 2000-distance RDDs plus the pairwise discrepancy
+// matrix). Sub-benchmarks pin the worker count, so the trajectory shows
+// the 1-worker baseline next to the NumCPU fan-out; the outputs are
+// bit-identical across worker counts (asserted by the distdist tests),
+// so any delta here is pure speed.
+func BenchmarkParallelEstimate(b *testing.B) {
+	d := dataset.PaperClustered(20_000, 20, 42)
+	workerCounts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("estimate-workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h, err := distdist.Estimate(d, distdist.Options{Seed: 42, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if h.N() != 200_000 {
+					b.Fatalf("sampled %d pairs", h.N())
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("hv-workers=%d", workers), func(b *testing.B) {
+			var hv float64
+			for i := 0; i < b.N; i++ {
+				res, err := distdist.HV(d, distdist.HVOptions{Seed: 42, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				hv = res.HV
+			}
+			b.ReportMetric(hv, "HV")
+		})
+	}
 }
 
 // BenchmarkBufferPool regenerates the logical-vs-physical I/O sweep: the

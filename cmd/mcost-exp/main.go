@@ -28,6 +28,7 @@ func main() {
 		queries  = flag.Int("queries", 1000, "queries averaged per measurement (paper: 1000)")
 		pageSize = flag.Int("pagesize", 4096, "M-tree node size in bytes")
 		seed     = flag.Int64("seed", 42, "random seed")
+		workers  = flag.Int("workers", 0, "worker goroutines for estimation and query batches (0 = all CPUs); results are identical at any count")
 		list     = flag.Bool("list", false, "list experiment names and exit")
 	)
 	flag.Parse()
@@ -41,6 +42,7 @@ func main() {
 		Queries:  *queries,
 		PageSize: *pageSize,
 		Seed:     *seed,
+		Workers:  *workers,
 	}
 	if *exp == "all" {
 		if err := experiments.RunAll(cfg, os.Stdout); err != nil {

@@ -29,6 +29,7 @@ func main() {
 		viewpoints = flag.Int("viewpoints", 30, "sampled viewpoint objects")
 		sample     = flag.Int("sample", 2000, "per-viewpoint RDD sample size")
 		seed       = flag.Int64("seed", 1, "random seed")
+		workers    = flag.Int("workers", 0, "worker goroutines (0 = all CPUs); results are identical at any count")
 	)
 	flag.Parse()
 
@@ -58,6 +59,7 @@ func main() {
 		Viewpoints: *viewpoints,
 		RDDSample:  *sample,
 		Seed:       *seed,
+		Workers:    *workers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcost-hv:", err)

@@ -31,6 +31,7 @@ func main() {
 		dim      = flag.Int("dim", 10, "dimensionality (vector datasets)")
 		pageSize = flag.Int("pagesize", 4096, "node size in bytes")
 		seed     = flag.Int64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 0, "worker goroutines for the F-hat estimate (0 = all CPUs); results are identical at any count")
 		queryStr = flag.String("query", "", "query word (string datasets)")
 		queryVec = flag.String("qvec", "", "query vector, comma-separated (vector datasets)")
 		radius   = flag.Float64("range", -1, "range query radius")
@@ -53,7 +54,7 @@ func main() {
 	}
 
 	fmt.Printf("building M-tree over %s (n=%d, node size %d B)...\n", d.Name, d.N(), *pageSize)
-	ix, err := mcost.Build(d.Space, d.Objects, mcost.Options{PageSize: *pageSize, Seed: *seed})
+	ix, err := mcost.Build(d.Space, d.Objects, mcost.Options{PageSize: *pageSize, Seed: *seed, Workers: *workers})
 	if err != nil {
 		fail(err)
 	}

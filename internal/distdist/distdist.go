@@ -9,10 +9,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"reflect"
 
 	"mcost/internal/dataset"
 	"mcost/internal/histogram"
 	"mcost/internal/metric"
+	"mcost/internal/parallel"
 )
 
 // Options controls distance-distribution estimation.
@@ -30,6 +32,11 @@ type Options struct {
 	MaxPairs int
 	// Seed drives pair sampling.
 	Seed int64
+	// Workers bounds the goroutines used for estimation: 0 selects
+	// runtime.NumCPU(). The result is bit-identical for any worker
+	// count — sampling is chunked with per-chunk seeds derived from
+	// Seed, and the per-worker histogram shards merge integer counts.
+	Workers int
 }
 
 func (o *Options) withDefaults(space *metric.Space, n int) Options {
@@ -47,10 +54,18 @@ func (o *Options) withDefaults(space *metric.Space, n int) Options {
 	return out
 }
 
+// estimateChunkPairs is the fixed number of sampled pairs per random
+// stream. Chunking is what makes sampled estimation worker-count
+// invariant: chunk c always draws its pairs from the stream seeded with
+// parallel.SplitSeed(Seed, c), whichever worker runs it.
+const estimateChunkPairs = 8192
+
 // Estimate builds the sampled distance distribution F̂ⁿ of the dataset:
 // the paper's basic statistic (Section 2.1). When the number of distinct
 // pairs fits within MaxPairs the full pairwise matrix is used; otherwise
-// MaxPairs random pairs are drawn.
+// MaxPairs random pairs are drawn. Work is spread over Options.Workers
+// goroutines, each filling its own histogram shard; the shards merge
+// into a result that is bit-identical at any worker count.
 func Estimate(d *dataset.Dataset, opts Options) (*histogram.Histogram, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -60,34 +75,75 @@ func Estimate(d *dataset.Dataset, opts Options) (*histogram.Histogram, error) {
 		return nil, errors.New("distdist: need at least 2 objects")
 	}
 	o := opts.withDefaults(d.Space, n)
-	acc, err := histogram.NewAccumulator(o.Bins, d.Space.Bound, d.Space.Discrete)
-	if err != nil {
-		return nil, err
-	}
 	totalPairs := n * (n - 1) / 2
+	items := n - 1 // exhaustive: one item per matrix row
+	if totalPairs > o.MaxPairs {
+		items = (o.MaxPairs + estimateChunkPairs - 1) / estimateChunkPairs
+	}
+	workers := parallel.Workers(o.Workers)
+	if workers > items {
+		workers = items
+	}
+	accs := make([]*histogram.Accumulator, workers)
+	for w := range accs {
+		acc, err := histogram.NewAccumulator(o.Bins, d.Space.Bound, d.Space.Discrete)
+		if err != nil {
+			return nil, err
+		}
+		accs[w] = acc
+	}
+	var err error
 	if totalPairs <= o.MaxPairs {
-		for i := 0; i < n; i++ {
+		err = parallel.ForWorker(workers, items, func(w, i int) error {
+			acc := accs[w]
 			for j := i + 1; j < n; j++ {
 				acc.Add(d.Space.Distance(d.Objects[i], d.Objects[j]))
 			}
-		}
+			return nil
+		})
 	} else {
-		rng := rand.New(rand.NewSource(o.Seed))
-		for p := 0; p < o.MaxPairs; p++ {
-			i := rng.Intn(n)
-			j := rng.Intn(n - 1)
-			if j >= i {
-				j++
+		err = parallel.ForWorker(workers, items, func(w, chunk int) error {
+			acc := accs[w]
+			rng := rand.New(rand.NewSource(parallel.SplitSeed(o.Seed, chunk)))
+			lo := chunk * estimateChunkPairs
+			hi := lo + estimateChunkPairs
+			if hi > o.MaxPairs {
+				hi = o.MaxPairs
 			}
-			acc.Add(d.Space.Distance(d.Objects[i], d.Objects[j]))
+			for p := lo; p < hi; p++ {
+				i := rng.Intn(n)
+				j := rng.Intn(n - 1)
+				if j >= i {
+					j++
+				}
+				acc.Add(d.Space.Distance(d.Objects[i], d.Objects[j]))
+			}
+			return nil
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	merged := accs[0]
+	for _, acc := range accs[1:] {
+		if err := merged.Merge(acc); err != nil {
+			return nil, err
 		}
 	}
-	return acc.Histogram()
+	return merged.Histogram()
 }
 
 // RDD estimates the relative distance distribution F_O of a single
 // viewpoint object against a sample of the dataset (Eq. 2 of the paper).
 // sampleSize 0 means the whole dataset.
+//
+// When the viewpoint o is itself among the targets — always the case in
+// HV, which draws viewpoints from the dataset — it is excluded, matching
+// Eq. 2's denominator of n−1: F_O averages over the *other* objects.
+// Including the self-pair would deposit d(o,o)=0 into the first bin,
+// biasing F_O mass at zero and slightly inflating every discrepancy.
+// The exclusion compares by identity (the same underlying object), not
+// by value, so distinct duplicate objects still count.
 func RDD(o metric.Object, d *dataset.Dataset, bins, sampleSize int, seed int64) (*histogram.Histogram, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -108,10 +164,33 @@ func RDD(o metric.Object, d *dataset.Dataset, bins, sampleSize int, seed int64) 
 		rng := rand.New(rand.NewSource(seed))
 		targets = d.Sample(rng, sampleSize)
 	}
+	skipped := false
 	for _, t := range targets {
+		if !skipped && sameObject(o, t) {
+			skipped = true
+			continue
+		}
 		acc.Add(d.Space.Distance(o, t))
 	}
 	return acc.Histogram()
+}
+
+// sameObject reports whether a and b are the identical object: the same
+// slice header for vector-like objects, value equality for comparable
+// kinds (strings are immutable, so value identity is object identity).
+func sameObject(a, b metric.Object) bool {
+	ta := reflect.TypeOf(a)
+	if ta != reflect.TypeOf(b) {
+		return false
+	}
+	if ta != nil && ta.Comparable() {
+		return a == b
+	}
+	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
+	if va.Kind() == reflect.Slice {
+		return va.Len() == vb.Len() && (va.Len() == 0 || va.Pointer() == vb.Pointer())
+	}
+	return false
 }
 
 // Discrepancy computes δ(F1, F2) = (1/d+) ∫ |F1 - F2| dx (Definition 1),
@@ -176,6 +255,12 @@ type HVOptions struct {
 	Bins int
 	// Seed drives all sampling.
 	Seed int64
+	// Workers bounds the goroutines used to build the viewpoint RDDs
+	// and the pairwise discrepancy matrix: 0 selects runtime.NumCPU().
+	// Per-viewpoint RDD seeds are drawn up front from Seed and the
+	// float reductions happen in a fixed pair order, so the result is
+	// bit-identical for any worker count.
+	Workers int
 }
 
 // HV estimates the homogeneity-of-viewpoints index of the dataset's
@@ -202,31 +287,63 @@ func HV(d *dataset.Dataset, opts HVOptions) (*HVResult, error) {
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	views := d.Sample(rng, v)
+	// Draw every per-viewpoint RDD seed up front, in viewpoint order, so
+	// the streams do not depend on which worker builds which RDD.
+	seeds := make([]int64, v)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	workers := parallel.Workers(opts.Workers)
 	rdds := make([]*histogram.Histogram, v)
-	for i, o := range views {
-		h, err := RDD(o, d, opts.Bins, sample, rng.Int63())
+	err := parallel.For(workers, v, func(i int) error {
+		h, err := RDD(views[i], d, opts.Bins, sample, seeds[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rdds[i] = h
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	res := &HVResult{Viewpoints: v}
-	for i := 0; i < v; i++ {
-		for j := i + 1; j < v; j++ {
-			delta, err := Discrepancy(rdds[i], rdds[j], 0)
-			if err != nil {
-				return nil, err
-			}
-			res.MeanDiscrepancy += delta
-			if delta > res.MaxDiscrepancy {
-				res.MaxDiscrepancy = delta
-			}
-			res.Pairs++
+	// The discrepancy matrix: all v*(v-1)/2 pairs concurrently, each
+	// delta written to its pair-index slot, then reduced sequentially in
+	// pair order so the float sum is worker-count invariant.
+	pairs := v * (v - 1) / 2
+	deltas := make([]float64, pairs)
+	err = parallel.For(workers, pairs, func(p int) error {
+		i, j := pairAt(p, v)
+		delta, err := Discrepancy(rdds[i], rdds[j], 0)
+		if err != nil {
+			return err
+		}
+		deltas[p] = delta
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &HVResult{Viewpoints: v, Pairs: pairs}
+	for _, delta := range deltas {
+		res.MeanDiscrepancy += delta
+		if delta > res.MaxDiscrepancy {
+			res.MaxDiscrepancy = delta
 		}
 	}
 	res.MeanDiscrepancy /= float64(res.Pairs)
 	res.HV = 1 - res.MeanDiscrepancy
 	return res, nil
+}
+
+// pairAt maps a linear index p in [0, v*(v-1)/2) to the p-th pair (i,j),
+// i < j, in the row-major order the sequential double loop visits.
+func pairAt(p, v int) (int, int) {
+	i := 0
+	for p >= v-1-i {
+		p -= v - 1 - i
+		i++
+	}
+	return i, i + 1 + p
 }
 
 // SelectViewpoints picks p well-spread viewpoint objects by greedy

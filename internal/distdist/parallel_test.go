@@ -1,0 +1,183 @@
+package distdist
+
+import (
+	"math"
+	"testing"
+
+	"mcost/internal/dataset"
+	"mcost/internal/metric"
+)
+
+// assertSameHistogram fails unless the two histograms are bit-identical.
+func assertSameHistogram(t *testing.T, name string, a, b interface {
+	Bins() int
+	N() int64
+	CumAt(int) float64
+}) {
+	t.Helper()
+	if a.Bins() != b.Bins() || a.N() != b.N() {
+		t.Fatalf("%s: shape/N differ: %d bins/%d samples vs %d bins/%d samples",
+			name, a.Bins(), a.N(), b.Bins(), b.N())
+	}
+	for i := 0; i < a.Bins(); i++ {
+		if a.CumAt(i) != b.CumAt(i) {
+			t.Fatalf("%s: bin %d: %v vs %v", name, i, a.CumAt(i), b.CumAt(i))
+		}
+	}
+}
+
+func TestEstimateWorkerCountInvariance(t *testing.T) {
+	d := dataset.Uniform(500, 4, 9)
+	// Sampled path: 500*499/2 = 124750 distinct pairs > MaxPairs.
+	sampled1, err := Estimate(d, Options{MaxPairs: 30_000, Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		h, err := Estimate(d, Options{MaxPairs: 30_000, Seed: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameHistogram(t, "sampled", sampled1, h)
+	}
+	// Exhaustive path: MaxPairs above the full matrix.
+	exact1, err := Estimate(d, Options{MaxPairs: 200_000, Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		h, err := Estimate(d, Options{MaxPairs: 200_000, Seed: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameHistogram(t, "exhaustive", exact1, h)
+	}
+}
+
+func TestHVWorkerCountInvariance(t *testing.T) {
+	for _, d := range []*dataset.Dataset{
+		dataset.Uniform(1200, 8, 3),
+		dataset.Words(800, 3),
+	} {
+		base, err := HV(d, HVOptions{Viewpoints: 12, RDDSample: 400, Seed: 4, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			res, err := HV(d, HVOptions{Viewpoints: 12, RDDSample: 400, Seed: 4, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *res != *base {
+				t.Fatalf("%s: HV result differs at %d workers: %+v vs %+v",
+					d.Name, workers, res, base)
+			}
+		}
+	}
+}
+
+func TestPairAtMatchesDoubleLoop(t *testing.T) {
+	for _, v := range []int{2, 3, 7, 30} {
+		p := 0
+		for i := 0; i < v; i++ {
+			for j := i + 1; j < v; j++ {
+				gi, gj := pairAt(p, v)
+				if gi != i || gj != j {
+					t.Fatalf("v=%d: pairAt(%d) = (%d,%d), want (%d,%d)", v, p, gi, gj, i, j)
+				}
+				p++
+			}
+		}
+		if gi, gj := pairAt(p-1, v); gi != v-2 || gj != v-1 {
+			t.Fatalf("v=%d: last pair (%d,%d)", v, gi, gj)
+		}
+	}
+}
+
+// TestRDDExcludesViewpointSelfDistance is the regression test for the
+// self-distance bias: when the viewpoint belongs to the target set, the
+// loop used to add d(o,o)=0 to the histogram, inflating F_O mass at
+// zero. The hand-computed expectations below exclude the viewpoint
+// (Eq. 2's n−1 denominator).
+func TestRDDExcludesViewpointSelfDistance(t *testing.T) {
+	// Discrete case: edit distances from "a" are 1, 2, 3 — the first
+	// stored cumulative value (which holds all mass up to distance 1,
+	// including any spurious distance-0 mass) must be exactly 1/3.
+	ed := &dataset.Dataset{
+		Name:    "edit4",
+		Space:   metric.EditSpace(4),
+		Objects: []metric.Object{"a", "ab", "abc", "abcd"},
+	}
+	h, err := RDD(ed.Objects[0], ed, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 3 {
+		t.Fatalf("edit RDD N = %d, want 3 (self excluded)", h.N())
+	}
+	if got := h.CumAt(0); got != 1.0/3 {
+		t.Fatalf("edit RDD first bin = %v, want exactly 1/3 (self-pair would make it 2/4)", got)
+	}
+	if got := h.CDF(1); got != 1.0/3 {
+		t.Fatalf("edit RDD CDF(1) = %v, want 1/3", got)
+	}
+
+	// Vector case (Example 1 geometry): a vertex of the D=4 hypercube
+	// plus midpoint sees 1 distance of 0.5 and 15 of 1.0. With 2 bins
+	// the first cumulative value is exactly 1/16; the self-pair would
+	// make it 2/17.
+	hc := dataset.HypercubeMidpoint(4)
+	vertex := hc.Objects[0]
+	hv, err := RDD(vertex, hc, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv.N() != 16 {
+		t.Fatalf("vertex RDD N = %d, want 16 (self excluded)", hv.N())
+	}
+	if got := hv.CumAt(0); got != 1.0/16 {
+		t.Fatalf("vertex RDD mass below 0.5 = %v, want exactly 1/16", got)
+	}
+	// Duplicate values are NOT the viewpoint: only identity excludes.
+	dup := &dataset.Dataset{
+		Name:    "dups",
+		Space:   metric.VectorSpace("Linf", 2),
+		Objects: []metric.Object{metric.Vector{0, 0}, metric.Vector{0, 0}, metric.Vector{1, 1}},
+	}
+	hd, err := RDD(dup.Objects[0], dup, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hd.N() != 2 {
+		t.Fatalf("dup RDD N = %d, want 2 (only the identical slice skipped)", hd.N())
+	}
+	if got := hd.CumAt(0); got != 0.5 {
+		t.Fatalf("dup RDD first bin = %v, want 0.5 (the equal-valued twin still counts)", got)
+	}
+}
+
+// TestHVMatchesHandComputed checks HV end to end on the fully enumerated
+// D=4 hypercube-plus-midpoint space with every point as a viewpoint.
+// With self-distances excluded: all 120 vertex/vertex pairs have
+// identical RDDs (δ=0); each of the 16 vertex/midpoint pairs has
+// δ = 15/32 exactly (piecewise-linear CDFs with 2 bins, midpoint-rule
+// integration is exact); so HV = 1 − 16·(15/32)/136 = 1 − 15/272.
+func TestHVMatchesHandComputed(t *testing.T) {
+	d := dataset.HypercubeMidpoint(4)
+	n := d.N() // 17
+	res, err := HV(d, HVOptions{Viewpoints: n, RDDSample: n, Bins: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs != n*(n-1)/2 {
+		t.Fatalf("Pairs = %d", res.Pairs)
+	}
+	wantMax := 15.0 / 32
+	if math.Abs(res.MaxDiscrepancy-wantMax) > 1e-12 {
+		t.Fatalf("max δ = %v, want %v", res.MaxDiscrepancy, wantMax)
+	}
+	wantHV := 1 - 15.0/272
+	if math.Abs(res.HV-wantHV) > 1e-12 {
+		t.Fatalf("HV = %v, want %v (self-pair bias would shift it)", res.HV, wantHV)
+	}
+}

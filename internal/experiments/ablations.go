@@ -78,7 +78,7 @@ func RunAblationBins(cfg Config) (*AblationResult, error) {
 		Title:   "Ablation: histogram bin count (clustered D=20)",
 		Columns: []string{"bins", "range dists err", "range nodes err", "E[nn] err", "r(1) err"},
 	}
-	fFine, err := distdist.Estimate(d, distdist.Options{Bins: 400, Seed: cfg.Seed + 1})
+	fFine, err := distdist.Estimate(d, distdist.Options{Bins: 400, Seed: cfg.Seed + 1, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -127,7 +127,7 @@ func RunAblationSampling(cfg Config) (*AblationResult, error) {
 		Columns: []string{"pairs", "range dists err", "range nodes err"},
 	}
 	for _, pairs := range []int{500, 2000, 10_000, 50_000, 200_000} {
-		f, err := distdist.Estimate(d, distdist.Options{MaxPairs: pairs, Seed: cfg.Seed + int64(pairs)})
+		f, err := distdist.Estimate(d, distdist.Options{MaxPairs: pairs, Seed: cfg.Seed + int64(pairs), Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}

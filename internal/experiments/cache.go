@@ -61,7 +61,7 @@ func RunCache(cfg Config) (*CacheResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	f, err := distdist.Estimate(d, distdist.Options{Seed: cfg.Seed + 1})
+	f, err := distdist.Estimate(d, distdist.Options{Seed: cfg.Seed + 1, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,9 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"mcost/internal/dataset"
+	"mcost/internal/metric"
 )
 
 // quickCfg keeps experiment tests fast while exercising the full paths.
@@ -465,4 +468,51 @@ func TestRunCache(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestMeasureWorkerCountInvariance asserts the parallel query batches in
+// measureRange/measureNN report exactly the same averages at any worker
+// count: tree traversal is read-only, counters are atomic, and per-query
+// reductions happen in query order.
+func TestMeasureWorkerCountInvariance(t *testing.T) {
+	cfg := quickCfg()
+	d := datasetFor(cfg)
+	queries := queriesFor(cfg)
+	type triple struct{ a, b, c float64 }
+	var baseRange, baseNN triple
+	for i, workers := range []int{1, 2, 8} {
+		c := cfg
+		c.Workers = workers
+		b, err := buildFor(d, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rn, rd, ro, err := b.measureRange(queries, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nn, nd, nk, err := b.measureNN(queries, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRange, gotNN := triple{rn, rd, ro}, triple{nn, nd, nk}
+		if i == 0 {
+			baseRange, baseNN = gotRange, gotNN
+			continue
+		}
+		if gotRange != baseRange {
+			t.Fatalf("workers=%d: range measurements %+v != %+v", workers, gotRange, baseRange)
+		}
+		if gotNN != baseNN {
+			t.Fatalf("workers=%d: NN measurements %+v != %+v", workers, gotNN, baseNN)
+		}
+	}
+}
+
+func datasetFor(cfg Config) *dataset.Dataset {
+	return dataset.PaperClustered(cfg.N, 10, cfg.Seed)
+}
+
+func queriesFor(cfg Config) []metric.Object {
+	return dataset.PaperClusteredQueries(cfg.Queries, 10, cfg.Seed).Queries
 }

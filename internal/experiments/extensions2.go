@@ -50,7 +50,7 @@ func RunMultiView(cfg Config) (*MultiViewResult, error) {
 	}
 	d := &dataset.Dataset{Name: "two-islands", Space: metric.VectorSpace("Linf", 2), Objects: objs}
 
-	hv, err := distdist.HV(d, distdist.HVOptions{Viewpoints: 16, RDDSample: 800, Seed: cfg.Seed})
+	hv, err := distdist.HV(d, distdist.HVOptions{Viewpoints: 16, RDDSample: 800, Seed: cfg.Seed, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -130,7 +130,7 @@ func RunFractal(cfg Config) (*FractalResult, error) {
 	cfg = cfg.withDefaults()
 	res := &FractalResult{}
 	add := func(d *dataset.Dataset, embed int, rMin, rMax float64) error {
-		f, err := distdist.Estimate(d, distdist.Options{Bins: 400, Seed: cfg.Seed})
+		f, err := distdist.Estimate(d, distdist.Options{Bins: 400, Seed: cfg.Seed, Workers: cfg.Workers})
 		if err != nil {
 			return err
 		}

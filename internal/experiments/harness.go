@@ -21,6 +21,7 @@ import (
 	"mcost/internal/histogram"
 	"mcost/internal/metric"
 	"mcost/internal/mtree"
+	"mcost/internal/parallel"
 )
 
 // Config holds the shared experiment parameters. Zero values select the
@@ -37,6 +38,12 @@ type Config struct {
 	PageSize int
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds the goroutines used for distance-distribution
+	// estimation and measured query batches (0 = runtime.NumCPU()).
+	// Results are identical at any worker count: estimation shards are
+	// merged as integer counts and per-query measurements reduce in
+	// query order.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -119,11 +126,12 @@ func pct(est, actual float64) string {
 // distribution, and fitted cost model — the per-dataset setup every
 // experiment repeats.
 type built struct {
-	d     *dataset.Dataset
-	tr    *mtree.Tree
-	f     *histogram.Histogram
-	stats *mtree.Stats
-	model *core.MTreeModel
+	d       *dataset.Dataset
+	tr      *mtree.Tree
+	f       *histogram.Histogram
+	stats   *mtree.Stats
+	model   *core.MTreeModel
+	workers int
 }
 
 // buildFor indexes the dataset per the paper's setup: BulkLoading, the
@@ -145,7 +153,7 @@ func buildFor(d *dataset.Dataset, cfg Config) (*built, error) {
 	if err != nil {
 		return nil, err
 	}
-	f, err := distdist.Estimate(d, distdist.Options{Seed: cfg.Seed + 1})
+	f, err := distdist.Estimate(d, distdist.Options{Seed: cfg.Seed + 1, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -153,21 +161,33 @@ func buildFor(d *dataset.Dataset, cfg Config) (*built, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &built{d: d, tr: tr, f: f, stats: stats, model: model}, nil
+	return &built{d: d, tr: tr, f: f, stats: stats, model: model, workers: cfg.Workers}, nil
 }
 
 // measureRange runs the workload without the parent-distance
 // optimization (which the cost model deliberately ignores, footnote 2)
 // and returns average node reads and distance computations per query.
+// Queries execute concurrently across Config.Workers goroutines —
+// read-only tree traversal is concurrency-safe and the counters are
+// atomic — with per-query result sizes reduced in query order so the
+// averages are identical at any worker count.
 func (b *built) measureRange(queries []metric.Object, radius float64) (nodes, dists, objs float64, err error) {
 	b.tr.ResetCounters()
-	var totalObjs int
-	for _, q := range queries {
-		ms, err := b.tr.Range(q, radius, mtree.QueryOptions{})
+	counts := make([]int, len(queries))
+	err = parallel.For(b.workers, len(queries), func(i int) error {
+		ms, err := b.tr.Range(queries[i], radius, mtree.QueryOptions{})
 		if err != nil {
-			return 0, 0, 0, err
+			return err
 		}
-		totalObjs += len(ms)
+		counts[i] = len(ms)
+		return nil
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var totalObjs int
+	for _, c := range counts {
+		totalObjs += c
 	}
 	nq := float64(len(queries))
 	return float64(b.tr.NodeReads()) / nq,
@@ -176,18 +196,28 @@ func (b *built) measureRange(queries []metric.Object, radius float64) (nodes, di
 }
 
 // measureNN runs the k-NN workload, returning average node reads,
-// distance computations, and k-th neighbor distance per query.
+// distance computations, and k-th neighbor distance per query. Like
+// measureRange it fans queries out across Config.Workers goroutines and
+// sums the k-th-neighbor distances in query order.
 func (b *built) measureNN(queries []metric.Object, k int) (nodes, dists, nnDist float64, err error) {
 	b.tr.ResetCounters()
-	var distSum float64
-	for _, q := range queries {
-		ms, err := b.tr.NN(q, k, mtree.QueryOptions{})
+	kth := make([]float64, len(queries))
+	err = parallel.For(b.workers, len(queries), func(i int) error {
+		ms, err := b.tr.NN(queries[i], k, mtree.QueryOptions{})
 		if err != nil {
-			return 0, 0, 0, err
+			return err
 		}
 		if len(ms) == k {
-			distSum += ms[k-1].Distance
+			kth[i] = ms[k-1].Distance
 		}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var distSum float64
+	for _, d := range kth {
+		distSum += d
 	}
 	nq := float64(len(queries))
 	return float64(b.tr.NodeReads()) / nq,

@@ -27,7 +27,7 @@ type HVResult struct {
 func RunHV(cfg Config) (*HVResult, error) {
 	cfg = cfg.withDefaults()
 	res := &HVResult{}
-	opts := distdist.HVOptions{Viewpoints: 25, RDDSample: 1500, Seed: cfg.Seed}
+	opts := distdist.HVOptions{Viewpoints: 25, RDDSample: 1500, Seed: cfg.Seed, Workers: cfg.Workers}
 
 	sets := []*dataset.Dataset{
 		dataset.PaperClustered(cfg.N, 5, cfg.Seed),
@@ -52,7 +52,7 @@ func RunHV(cfg Config) (*HVResult, error) {
 	}
 	// Example 1: binary hypercube + midpoint, analytic and Monte Carlo.
 	hc := dataset.HypercubeMidpoint(10)
-	hv, err := distdist.HV(hc, distdist.HVOptions{Viewpoints: 25, RDDSample: hc.N(), Seed: cfg.Seed})
+	hv, err := distdist.HV(hc, distdist.HVOptions{Viewpoints: 25, RDDSample: hc.N(), Seed: cfg.Seed, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}

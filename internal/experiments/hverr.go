@@ -32,7 +32,7 @@ func RunHVErr(cfg Config) (*HVErrResult, error) {
 	res := &HVErrResult{}
 	for _, sep := range []float64{0, 0.2, 0.4, 0.8} {
 		d := twoIslandsSep(cfg.N, sep, cfg.Seed)
-		hv, err := distdist.HV(d, distdist.HVOptions{Viewpoints: 16, RDDSample: 800, Seed: cfg.Seed})
+		hv, err := distdist.HV(d, distdist.HVOptions{Viewpoints: 16, RDDSample: 800, Seed: cfg.Seed, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}

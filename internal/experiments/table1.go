@@ -32,7 +32,7 @@ func RunTable1(cfg Config) (*Table1Result, error) {
 	cfg = cfg.withDefaults()
 	res := &Table1Result{}
 	add := func(d *dataset.Dataset, desc string, dim int) error {
-		f, err := distdist.Estimate(d, distdist.Options{Seed: cfg.Seed, MaxPairs: 50_000})
+		f, err := distdist.Estimate(d, distdist.Options{Seed: cfg.Seed, MaxPairs: 50_000, Workers: cfg.Workers})
 		if err != nil {
 			return err
 		}

@@ -34,7 +34,7 @@ func RunVP(cfg Config) (*VPResult, error) {
 	cfg = cfg.withDefaults()
 	const dim = 8
 	d := dataset.Uniform(cfg.N, dim, cfg.Seed)
-	f, err := distdist.Estimate(d, distdist.Options{Seed: cfg.Seed + 1})
+	f, err := distdist.Estimate(d, distdist.Options{Seed: cfg.Seed + 1, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}

@@ -92,6 +92,69 @@ func (a *Accumulator) Add(v float64) {
 // N returns the number of samples added so far.
 func (a *Accumulator) N() int64 { return a.n }
 
+// Merge adds every count of other into a, as if other's samples had been
+// Added to a directly. The two accumulators must share the same shape
+// (bins, bound, discreteness). Because counts are integers, merging a set
+// of accumulators yields the same result in any order — the property
+// that lets parallel estimation shard one accumulator per worker and
+// still produce bit-identical histograms at any worker count.
+func (a *Accumulator) Merge(other *Accumulator) error {
+	if err := sameShape(a.h, other.h); err != nil {
+		return err
+	}
+	for i, c := range other.counts {
+		a.counts[i] += c
+	}
+	a.n += other.n
+	return nil
+}
+
+func sameShape(a, b *Histogram) error {
+	if len(a.cum) != len(b.cum) || a.bound != b.bound || a.discrete != b.discrete {
+		return fmt.Errorf("histogram: shape mismatch: %d bins over [0,%g] discrete=%v vs %d bins over [0,%g] discrete=%v",
+			len(a.cum), a.bound, a.discrete, len(b.cum), b.bound, b.discrete)
+	}
+	return nil
+}
+
+// Merge combines finalized histograms of identical shape into one, as if
+// all their samples had been accumulated together. Each histogram's
+// integer bin counts are recovered from its cumulative fractions and
+// sample count, summed, and re-normalized.
+func Merge(hs ...*Histogram) (*Histogram, error) {
+	if len(hs) == 0 {
+		return nil, errors.New("histogram: nothing to merge")
+	}
+	first := hs[0]
+	counts := make([]int64, len(first.cum))
+	var total int64
+	for _, h := range hs {
+		if err := sameShape(first, h); err != nil {
+			return nil, err
+		}
+		var prev int64
+		for i := range h.cum {
+			// cum[i] was computed as float64(run)/float64(total); rounding
+			// run back from the product recovers the exact integer because
+			// the relative error of one division is far below 1/2 ULP of
+			// any representable count.
+			run := int64(math.Round(h.cum[i] * float64(h.total)))
+			counts[i] += run - prev
+			prev = run
+		}
+		total += h.total
+	}
+	if total == 0 {
+		return nil, errors.New("histogram: merging empty histograms")
+	}
+	out, err := New(len(first.cum), first.bound, first.discrete)
+	if err != nil {
+		return nil, err
+	}
+	out.setCounts(counts, total)
+	return out, nil
+}
+
 // Histogram finalizes and returns the histogram. The accumulator may keep
 // receiving samples; each call snapshots the current state.
 func (a *Accumulator) Histogram() (*Histogram, error) {

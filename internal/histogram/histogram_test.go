@@ -407,3 +407,103 @@ func TestJSONQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAccumulatorMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	samples := make([]float64, 10_000)
+	for i := range samples {
+		samples[i] = rng.Float64()
+	}
+	// One sequential accumulator vs four shards merged in a scrambled
+	// order: the histograms must be bit-identical.
+	whole, _ := NewAccumulator(50, 1, false)
+	shards := make([]*Accumulator, 4)
+	for i := range shards {
+		shards[i], _ = NewAccumulator(50, 1, false)
+	}
+	for i, v := range samples {
+		whole.Add(v)
+		shards[i%len(shards)].Add(v)
+	}
+	merged := shards[2]
+	for _, s := range []*Accumulator{shards[0], shards[3], shards[1]} {
+		if err := merged.Merge(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", merged.N(), whole.N())
+	}
+	hw, err := whole.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := merged.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < hw.Bins(); i++ {
+		if hw.CumAt(i) != hm.CumAt(i) {
+			t.Fatalf("bin %d: merged %v != sequential %v", i, hm.CumAt(i), hw.CumAt(i))
+		}
+	}
+}
+
+func TestAccumulatorMergeShapeMismatch(t *testing.T) {
+	a, _ := NewAccumulator(10, 1, false)
+	for _, bad := range []*Accumulator{
+		func() *Accumulator { x, _ := NewAccumulator(20, 1, false); return x }(),
+		func() *Accumulator { x, _ := NewAccumulator(10, 2, false); return x }(),
+		func() *Accumulator { x, _ := NewAccumulator(10, 1, true); return x }(),
+	} {
+		if err := a.Merge(bad); err == nil {
+			t.Fatal("shape mismatch accepted")
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var all []float64
+	var parts []*Histogram
+	for p := 0; p < 3; p++ {
+		n := 1000 + rng.Intn(2000)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = rng.Float64() * 3
+		}
+		all = append(all, samples...)
+		h, err := FromSamples(samples, 40, 3, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, h)
+	}
+	want, err := FromSamples(all, 40, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Merge(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != want.N() {
+		t.Fatalf("merged N = %d, want %d", got.N(), want.N())
+	}
+	for i := 0; i < want.Bins(); i++ {
+		if got.CumAt(i) != want.CumAt(i) {
+			t.Fatalf("bin %d: merged %v != direct %v", i, got.CumAt(i), want.CumAt(i))
+		}
+	}
+}
+
+func TestHistogramMergeErrors(t *testing.T) {
+	if _, err := Merge(); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+	a, _ := FromSamples([]float64{0.5}, 10, 1, false)
+	b, _ := FromSamples([]float64{0.5}, 10, 2, false)
+	if _, err := Merge(a, b); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}

@@ -3,6 +3,7 @@ package metric
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -270,5 +271,35 @@ func TestVectorClone(t *testing.T) {
 	c[0] = 99
 	if v[0] != 1 {
 		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	s := VectorSpace("L2", 2)
+	c := NewCounter(s)
+	a, b := Vector{0, 0}, Vector{3, 4}
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if d := c.Distance(a, b); d != 5 {
+					t.Errorf("d = %g", d)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Count(); got != goroutines*perG {
+		t.Fatalf("Count = %d, want %d (lost increments under concurrency)", got, goroutines*perG)
+	}
+	if prev := c.Reset(); prev != goroutines*perG {
+		t.Fatalf("Reset returned %d", prev)
+	}
+	if c.Count() != 0 {
+		t.Fatal("Count after Reset != 0")
 	}
 }

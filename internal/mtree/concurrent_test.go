@@ -1,0 +1,151 @@
+package mtree
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"mcost/internal/metric"
+	"mcost/internal/pager"
+)
+
+// TestConcurrentQueries runs the same query batch sequentially and then
+// concurrently — in memory mode and in paged mode behind a pager.Cache —
+// and requires identical matches and identical cost counters. Run under
+// -race this is the guard for the parallel experiment harness.
+func TestConcurrentQueries(t *testing.T) {
+	const dim, n, nq = 4, 1500, 40
+	rng := rand.New(rand.NewSource(21))
+	objs := make([]metric.Object, n)
+	for i := range objs {
+		v := make(metric.Vector, dim)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		objs[i] = v
+	}
+	queries := make([]metric.Object, nq)
+	for i := range queries {
+		v := make(metric.Vector, dim)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		queries[i] = v
+	}
+	space := metric.VectorSpace("Linf", dim)
+
+	build := func(p pager.Pager) *Tree {
+		opt := Options{Space: space, PageSize: 2048, Seed: 21}
+		if p != nil {
+			opt.Pager = p
+			opt.Codec = VectorCodec{Dim: dim}
+		}
+		tr, err := New(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.BulkLoad(objs); err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+
+	mem, err := pager.NewMem(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := pager.NewCache(mem, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		tr   *Tree
+	}{
+		{"memory", build(nil)},
+		{"paged-cached", build(cache)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const radius, k = 0.25, 5
+			type answer struct {
+				rangeOIDs []uint64
+				nnOIDs    []uint64
+			}
+			tc.tr.ResetCounters()
+			seq := make([]answer, nq)
+			for i, q := range queries {
+				ms, err := tc.tr.Range(q, radius, QueryOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				nn, err := tc.tr.NN(q, k, QueryOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				seq[i] = answer{oids(ms), oids(nn)}
+			}
+			seqReads, seqDists := tc.tr.NodeReads(), tc.tr.DistanceCount()
+
+			tc.tr.ResetCounters()
+			par := make([]answer, nq)
+			var wg sync.WaitGroup
+			errCh := make(chan error, nq)
+			for i := range queries {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					ms, err := tc.tr.Range(queries[i], radius, QueryOptions{})
+					if err != nil {
+						errCh <- err
+						return
+					}
+					nn, err := tc.tr.NN(queries[i], k, QueryOptions{})
+					if err != nil {
+						errCh <- err
+						return
+					}
+					par[i] = answer{oids(ms), oids(nn)}
+				}(i)
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Fatal(err)
+			}
+			for i := range seq {
+				if !equalOIDs(seq[i].rangeOIDs, par[i].rangeOIDs) {
+					t.Fatalf("query %d: range results differ under concurrency", i)
+				}
+				if !equalOIDs(seq[i].nnOIDs, par[i].nnOIDs) {
+					t.Fatalf("query %d: NN results differ under concurrency", i)
+				}
+			}
+			if r, d := tc.tr.NodeReads(), tc.tr.DistanceCount(); r != seqReads || d != seqDists {
+				t.Fatalf("counters differ: concurrent %d reads/%d dists, sequential %d/%d",
+					r, d, seqReads, seqDists)
+			}
+		})
+	}
+}
+
+func oids(ms []Match) []uint64 {
+	out := make([]uint64, len(ms))
+	for i, m := range ms {
+		out[i] = m.OID
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalOIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

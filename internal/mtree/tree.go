@@ -103,7 +103,11 @@ func (o Options) withDefaults() Options {
 }
 
 // Tree is an M-tree. It is not safe for concurrent mutation; concurrent
-// read-only queries are safe in memory mode.
+// read-only queries (Range, NN, NNWithStop) are safe in memory mode and
+// in paged mode whenever the Pager is safe for concurrent use (all
+// built-in pagers and the pager.Cache wrapper are). The distance and
+// node-read counters are atomic, so totals accumulated by a parallel
+// query batch match the sequential ones exactly.
 type Tree struct {
 	opt     Options
 	counter *metric.Counter

@@ -12,7 +12,8 @@ import (
 // hits — upper tree levels are re-referenced by every query and stay
 // resident. CacheStats separates the two so experiments can show the
 // model's logical predictions next to the physical reads a buffered
-// system performs.
+// system performs. Safe for concurrent use whenever the base pager is
+// (both built-in pagers are): parallel query workloads read through it.
 type Cache struct {
 	base Pager
 	cap  int
@@ -81,16 +82,19 @@ func (c *Cache) Read(id PageID) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Copy before caching: the Pager contract lets a base pager reuse an
+	// internal buffer across Reads, and the caller is free to mutate the
+	// slice we return — neither may corrupt the cached page.
+	page := make([]byte, len(data))
+	copy(page, data)
 	c.mu.Lock()
-	c.insert(id, data)
+	c.insert(id, page)
 	c.mu.Unlock()
-	out := make([]byte, len(data))
-	copy(out, data)
-	return out, nil
+	return data, nil
 }
 
-// insert assumes c.mu is held and data is not retained by the caller
-// aliasing concerns (Read already owns its slice).
+// insert assumes c.mu is held and takes ownership of data: callers must
+// pass a slice nothing else retains.
 func (c *Cache) insert(id PageID, data []byte) {
 	if el, ok := c.entries[id]; ok {
 		el.Value.(*cacheEntry).data = data

@@ -1,0 +1,160 @@
+package pager
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// reusingPager wraps Mem but returns every Read through one shared
+// internal buffer — the behavior the Pager contract explicitly permits
+// ("must not be retained across calls") and the regression case for the
+// cache aliasing bug: caching the returned slice without copying let the
+// next Read overwrite the cached page in place.
+type reusingPager struct {
+	*Mem
+	buf []byte
+}
+
+func newReusingPager(pageSize int) (*reusingPager, error) {
+	m, err := NewMem(pageSize)
+	if err != nil {
+		return nil, err
+	}
+	return &reusingPager{Mem: m, buf: make([]byte, pageSize)}, nil
+}
+
+func (p *reusingPager) Read(id PageID) ([]byte, error) {
+	data, err := p.Mem.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	copy(p.buf, data)
+	return p.buf, nil
+}
+
+func TestCacheMissCopiesBeforeInsert(t *testing.T) {
+	base, err := newReusingPager(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCache(base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := base.Alloc()
+	b, _ := base.Alloc()
+	if err := base.Mem.Write(a, []byte("page-A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Mem.Write(b, []byte("page-B")); err != nil {
+		t.Fatal(err)
+	}
+	// Miss on A caches it; the miss on B then recycles the base's buffer.
+	if _, err := c.Read(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(a) // hit: must still be page-A, not page-B
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, []byte("page-A")) {
+		t.Fatalf("cached page A corrupted by base buffer reuse: %q", got[:6])
+	}
+}
+
+func TestCacheCallerMutationDoesNotCorrupt(t *testing.T) {
+	base, _ := NewMem(64)
+	c, _ := NewCache(base, 4)
+	id, _ := c.Alloc()
+	if err := c.Write(id, []byte("original")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // miss path once, hit path once
+		got, err := c.Read(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(got, "CLOBBER!")
+	}
+	got, err := c.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, []byte("original")) {
+		t.Fatalf("cached page corrupted by caller mutation: %q", got[:8])
+	}
+}
+
+// TestCacheConcurrentReadWrite hammers a small cache with parallel reads
+// and writes of overlapping pages. Each page always holds one of its two
+// well-formed states; run under -race this is the concurrency guard for
+// the parallel query layer.
+func TestCacheConcurrentReadWrite(t *testing.T) {
+	const pages = 16
+	base, _ := NewMem(64)
+	c, _ := NewCache(base, 4) // smaller than the working set: constant eviction
+	valid := make(map[PageID][2][]byte, pages)
+	ids := make([]PageID, pages)
+	for i := range ids {
+		id, err := c.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		v0 := []byte(fmt.Sprintf("page-%02d-v0", i))
+		v1 := []byte(fmt.Sprintf("page-%02d-v1", i))
+		valid[id] = [2][]byte{pad(v0, 64), pad(v1, 64)}
+		if err := c.Write(id, v0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 200; round++ {
+				id := ids[(g*7+round)%pages]
+				if g%2 == 0 {
+					got, err := c.Read(id)
+					if err != nil {
+						errs <- err
+						return
+					}
+					states := valid[id]
+					if !bytes.Equal(got, states[0]) && !bytes.Equal(got, states[1]) {
+						errs <- fmt.Errorf("page %d: torn read %q", id, got[:10])
+						return
+					}
+				} else {
+					state := valid[id][round%2]
+					if err := c.Write(id, state); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	cs := c.CacheStats()
+	if cs.Hits+cs.Misses == 0 {
+		t.Fatal("no cache traffic recorded")
+	}
+}
+
+func pad(b []byte, size int) []byte {
+	out := make([]byte, size)
+	copy(out, b)
+	return out
+}

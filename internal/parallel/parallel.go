@@ -1,0 +1,121 @@
+// Package parallel provides the small worker-pool primitives the hot
+// paths of the cost model share: distance-distribution estimation, HV
+// (homogeneity of viewpoints) computation, and measured query workloads
+// all fan the same shape of work out — n independent items, results
+// keyed by item index — across a bounded number of goroutines.
+//
+// Determinism is the design constraint. Every primitive here either
+// writes results into caller-owned slots indexed by item (so assembly
+// order cannot depend on scheduling), or hands the caller a fixed
+// per-stream seed derived from a base seed (SplitSeed), so the random
+// streams a computation consumes are a function of the item index, never
+// of which worker ran it. Integer counters merged across workers are
+// order-independent by commutativity; float reductions must be performed
+// by the caller in index order over the result slots. Under these rules
+// results are bit-identical for any worker count, which the distdist
+// tests assert.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: n > 0 is used as given,
+// n <= 0 selects runtime.NumCPU(). This is the meaning of the Workers
+// field on Options structs throughout the module.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// For runs fn(i) for every i in [0, n) using at most `workers`
+// goroutines (resolved via Workers). Items are handed out in index
+// order from a shared cursor; fn must write any per-item result into a
+// caller-owned slot keyed by i so that output is independent of
+// scheduling. With workers <= 1 (after resolution) everything runs on
+// the calling goroutine.
+//
+// On error, no new items are started, all in-flight items finish, and
+// the lowest-indexed error among the items that ran is returned.
+func For(workers, n int, fn func(i int) error) error {
+	return ForWorker(workers, n, func(_, i int) error { return fn(i) })
+}
+
+// ForWorker is For with the worker's identity exposed: fn receives
+// (worker, i) with worker in [0, resolved count). It exists for sharded
+// accumulation — the caller allocates one shard per worker, each fn
+// invocation updates shard[worker] without locking, and the shards are
+// merged after ForWorker returns. Shard contents must be merged with an
+// order-independent operation (integer counts, max, ...) for the result
+// to stay worker-count invariant.
+func ForWorker(workers, n int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		cursor  atomic.Int64
+		mu      sync.Mutex
+		errIdx  = -1
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if errIdx < 0 || i < errIdx {
+			errIdx, firstEr = i, err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return errIdx >= 0
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n || failed() {
+					return
+				}
+				if err := fn(worker, i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return firstEr
+}
+
+// SplitSeed derives the seed of an independent random stream from a base
+// seed and a stream index, via a splitmix64 finalizer. Work split into
+// fixed chunks, each seeded with SplitSeed(seed, chunk), draws the same
+// random values no matter how chunks are assigned to workers — the
+// seed-splitting scheme that keeps sampled estimates reproducible at any
+// worker count.
+func SplitSeed(seed int64, stream int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(stream)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

@@ -1,0 +1,156 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.NumCPU() {
+		t.Fatalf("Workers(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Workers(-2); got != runtime.NumCPU() {
+		t.Fatalf("Workers(-2) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+}
+
+func TestForRunsEveryItemOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 33} {
+		const n = 1000
+		counts := make([]atomic.Int32, n)
+		err := For(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEmptyAndSingle(t *testing.T) {
+	if err := For(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	if err := For(4, 1, func(i int) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("single item not run")
+	}
+}
+
+func TestForDeterministicResultSlots(t *testing.T) {
+	const n = 500
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 7} {
+		got := make([]int, n)
+		if err := For(workers, n, func(i int) error {
+			got[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d", workers, i, got[i])
+			}
+		}
+	}
+}
+
+func TestForErrorPropagates(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := For(workers, 100, func(i int) error {
+			if i == 17 {
+				return sentinel
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+	}
+}
+
+func TestForErrorLowestIndexWins(t *testing.T) {
+	errLo, errHi := errors.New("lo"), errors.New("hi")
+	err := For(4, 200, func(i int) error {
+		switch i {
+		case 3:
+			return errLo
+		case 150:
+			return errHi
+		}
+		return nil
+	})
+	// Item 3 is always handed out before item 150, so the lower-indexed
+	// error must win.
+	if !errors.Is(err, errLo) {
+		t.Fatalf("err = %v, want lo", err)
+	}
+}
+
+func TestForWorkerShards(t *testing.T) {
+	const n, workers = 2048, 5
+	shards := make([]int64, workers)
+	err := ForWorker(workers, n, func(w, i int) error {
+		shards[w] += int64(i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	for _, s := range shards {
+		got += s
+	}
+	if want := int64(n) * (n - 1) / 2; got != want {
+		t.Fatalf("shard sum = %d, want %d", got, want)
+	}
+}
+
+func TestForWorkerIDsInRange(t *testing.T) {
+	const workers = 3
+	err := ForWorker(workers, 100, func(w, i int) error {
+		if w < 0 || w >= workers {
+			t.Errorf("worker id %d out of range", w)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitSeedStreamsDiffer(t *testing.T) {
+	seen := make(map[int64]int)
+	for stream := 0; stream < 1000; stream++ {
+		s := SplitSeed(42, stream)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("streams %d and %d collide on seed %d", prev, stream, s)
+		}
+		seen[s] = stream
+	}
+	if SplitSeed(1, 0) == SplitSeed(2, 0) {
+		t.Fatal("different base seeds give the same stream seed")
+	}
+	if SplitSeed(7, 3) != SplitSeed(7, 3) {
+		t.Fatal("SplitSeed not a pure function")
+	}
+}

@@ -85,6 +85,10 @@ type Options struct {
 	SamplePairs int
 	// Seed drives all sampling.
 	Seed int64
+	// Workers bounds the goroutines used to estimate F (0 =
+	// runtime.NumCPU()). The estimate is bit-identical for any worker
+	// count with the same Seed.
+	Workers int
 }
 
 // Index is a built M-tree together with its fitted cost model.
@@ -137,6 +141,7 @@ func finishIndex(space *Space, tree *mtree.Tree, objects []Object, opt Options) 
 		Bins:     opt.HistogramBins,
 		MaxPairs: opt.SamplePairs,
 		Seed:     opt.Seed + 1,
+		Workers:  opt.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -58,6 +58,7 @@ func PlanIndex(space *Space, sample []Object, n int, opt Options) (*Plan, error)
 		Bins:     opt.HistogramBins,
 		MaxPairs: opt.SamplePairs,
 		Seed:     opt.Seed + 1,
+		Workers:  opt.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -25,6 +25,9 @@ type VPOptions struct {
 	SamplePairs   int
 	// Seed drives sampling.
 	Seed int64
+	// Workers bounds the goroutines used to estimate F̂ (0 =
+	// runtime.NumCPU()).
+	Workers int
 }
 
 // VPTree is a built vantage-point tree with its fitted Section 5 cost
@@ -61,6 +64,7 @@ func BuildVPTree(space *Space, objects []Object, opt VPOptions) (*VPTree, error)
 		Bins:     opt.HistogramBins,
 		MaxPairs: opt.SamplePairs,
 		Seed:     opt.Seed + 1,
+		Workers:  opt.Workers,
 	})
 	if err != nil {
 		return nil, err
