@@ -5,6 +5,7 @@
 //	mcost-exp -exp all                         # every experiment, default scale
 //	mcost-exp -exp fig1 -n 10000 -queries 1000 # Figure 1 at the paper's scale
 //	mcost-exp -exp fig5 -n 100000              # node-size tuning, larger dataset
+//	mcost-exp -exp residuals -metrics-out r.json -trace  # per-level residual JSON
 //	mcost-exp -list                            # list experiment names
 //
 // Experiments (see DESIGN.md for the experiment index): table1, hv,
@@ -30,6 +31,8 @@ func main() {
 		seed     = flag.Int64("seed", 42, "random seed")
 		workers  = flag.Int("workers", 0, "worker goroutines for estimation and query batches (0 = all CPUs); results are identical at any count")
 		list     = flag.Bool("list", false, "list experiment names and exit")
+		mOut     = flag.String("metrics-out", "", "write the experiment's machine-readable result as JSON to FILE instead of a text table (supported: "+strings.Join(experiments.JSONNames(), ", ")+")")
+		trace    = flag.Bool("trace", false, "with -metrics-out, embed the merged raw query trace in the JSON (residuals experiment)")
 	)
 	flag.Parse()
 
@@ -38,11 +41,29 @@ func main() {
 		return
 	}
 	cfg := experiments.Config{
-		N:        *n,
-		Queries:  *queries,
-		PageSize: *pageSize,
-		Seed:     *seed,
-		Workers:  *workers,
+		N:            *n,
+		Queries:      *queries,
+		PageSize:     *pageSize,
+		Seed:         *seed,
+		Workers:      *workers,
+		IncludeTrace: *trace,
+	}
+	if *mOut != "" {
+		f, err := os.Create(*mOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcost-exp:", err)
+			os.Exit(1)
+		}
+		err = experiments.WriteJSON(*exp, cfg, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcost-exp:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s result to %s\n", *exp, *mOut)
+		return
 	}
 	if *exp == "all" {
 		if err := experiments.RunAll(cfg, os.Stdout); err != nil {

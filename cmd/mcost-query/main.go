@@ -12,8 +12,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -debug-addr serves the default mux
 	"os"
 	"strconv"
 	"strings"
@@ -38,8 +41,22 @@ func main() {
 		k        = flag.Int("nn", 0, "k for a k-NN query")
 		show     = flag.Int("show", 10, "max results to print")
 		explain  = flag.Bool("explain", false, "print a per-level prediction-vs-measurement breakdown (range queries)")
+		trace    = flag.Bool("trace", false, "print the query's per-level trace (node visits, distance computations, pruning by lemma) as JSON")
+		mOut     = flag.String("metrics-out", "", "write the process metrics snapshot and query trace as JSON to FILE")
+		dbgAddr  = flag.String("debug-addr", "", "serve net/http/pprof and expvar (including the metrics registry at /debug/vars) on this address, e.g. localhost:6060; blocks after the query so the endpoint stays up")
 	)
 	flag.Parse()
+
+	reg := mcost.NewMetricsRegistry()
+	if *dbgAddr != "" {
+		reg.PublishExpvar("mcost")
+		go func() {
+			if err := http.ListenAndServe(*dbgAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "mcost-query: debug server:", err)
+			}
+		}()
+		fmt.Printf("debug server on http://%s/debug/pprof/ and /debug/vars\n", *dbgAddr)
+	}
 
 	d, err := loadDataset(*kind, *file, *n, *dim, *seed)
 	if err != nil {
@@ -75,6 +92,10 @@ func main() {
 		return
 	}
 
+	var qtr *mcost.QueryTrace
+	if *trace || *mOut != "" || *dbgAddr != "" {
+		qtr = mcost.NewQueryTrace()
+	}
 	var matches []mcost.Match
 	var predicted mcost.CostEstimate
 	if *radius >= 0 {
@@ -82,19 +103,36 @@ func main() {
 		fmt.Printf("range(Q, %g): predicted %.1f node reads, %.1f distance computations, ~%.1f results\n",
 			*radius, predicted.Nodes, predicted.Dists, ix.PredictSelectivity(*radius))
 		ix.ResetCosts()
-		matches, err = ix.Range(q, *radius)
+		matches, err = ix.RangeTraced(q, *radius, qtr)
 	} else {
 		predicted = ix.PredictNN(*k)
 		fmt.Printf("NN(Q, %d): predicted %.1f node reads, %.1f distance computations, E[nn_k] = %.3f\n",
 			*k, predicted.Nodes, predicted.Dists, ix.ExpectedNNDistance(*k))
 		ix.ResetCosts()
-		matches, err = ix.NN(q, *k)
+		matches, err = ix.NNTraced(q, *k, qtr)
 	}
 	if err != nil {
 		fail(err)
 	}
 	nodes, dists := ix.Costs()
 	fmt.Printf("measured: %d node reads, %d distance computations (parent-distance pruning ON)\n\n", nodes, dists)
+
+	if qtr != nil {
+		recordMetrics(reg, qtr, matches, d.Space.Bound)
+	}
+	if *trace {
+		out, err := json.MarshalIndent(qtr, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("query trace:\n%s\n\n", out)
+	}
+	if *mOut != "" {
+		if err := writeMetrics(*mOut, reg, qtr); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote metrics snapshot to %s\n", *mOut)
+	}
 
 	fmt.Printf("%d results", len(matches))
 	if len(matches) > *show {
@@ -107,6 +145,51 @@ func main() {
 		}
 		fmt.Printf("  %2d. d=%-8.3f %v\n", i+1, m.Distance, m.Object)
 	}
+
+	if *dbgAddr != "" {
+		fmt.Printf("\nquery done; debug server still serving on http://%s — Ctrl-C to exit\n", *dbgAddr)
+		select {}
+	}
+}
+
+// recordMetrics mirrors the query trace into the process metrics
+// registry: total counters plus a result-distance histogram over the
+// space's distance bound.
+func recordMetrics(reg *mcost.MetricsRegistry, tr *mcost.QueryTrace, matches []mcost.Match, bound float64) {
+	reg.Counter("query.count").Inc()
+	reg.Counter("query.node_reads").Add(tr.TotalNodes())
+	reg.Counter("query.dists").Add(tr.TotalDists())
+	reg.Counter("query.results").Add(int64(len(matches)))
+	h := reg.Hist("query.result_dist", 32, 0, bound)
+	for _, m := range matches {
+		h.Observe(m.Distance)
+	}
+}
+
+// writeMetrics writes the registry snapshot together with the raw query
+// trace as one JSON document.
+func writeMetrics(path string, reg *mcost.MetricsRegistry, tr *mcost.QueryTrace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	doc := struct {
+		Metrics json.RawMessage   `json:"metrics"`
+		Trace   *mcost.QueryTrace `json:"trace"`
+	}{Trace: tr}
+	var buf strings.Builder
+	if err := reg.WriteJSON(&buf); err != nil {
+		f.Close()
+		return err
+	}
+	doc.Metrics = json.RawMessage(buf.String())
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(doc)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func loadDataset(kind, file string, n, dim int, seed int64) (*dataset.Dataset, error) {

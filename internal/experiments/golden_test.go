@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenCfg is deliberately tiny: golden tests pin exact bytes, so they
+// must stay fast enough to run on every change.
+func goldenCfg() Config {
+	return Config{N: 1200, Queries: 25, PageSize: 2048, Seed: 7}
+}
+
+// goldenExperiments are the JSON producers pinned by golden files. Any
+// behavioral drift in dataset generation, tree construction, distance
+// distribution estimation, the cost models, or query execution shows up
+// as a byte diff here — the acceptance bar for "didn't change results".
+var goldenExperiments = []string{"table1", "fig1", "fig3", "residuals"}
+
+// TestGoldenJSON asserts bit-identical JSON output for each pinned
+// experiment at the small seed config. Regenerate with
+//
+//	go test ./internal/experiments -run TestGoldenJSON -update
+//
+// and review the diff like any other code change.
+func TestGoldenJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden runs build trees; skipped in -short")
+	}
+	for _, name := range goldenExperiments {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := WriteJSON(name, goldenCfg(), &buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden_"+name+".json")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s (%d bytes)", path, buf.Len())
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("%s drifted from golden file %s.\nThis means experiment output changed. If intentional, regenerate with\n  go test ./internal/experiments -run TestGoldenJSON -update\ngot %d bytes, want %d bytes; first divergence at byte %d",
+					name, path, buf.Len(), len(want), firstDiff(buf.Bytes(), want))
+			}
+		})
+	}
+}
+
+// TestJSONWorkerInvariance is the acceptance criterion that traces and
+// metrics are bit-identical across worker counts: the full JSON
+// document, including the embedded merged trace, must match between
+// -workers=1 and -workers=8.
+func TestJSONWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds trees; skipped in -short")
+	}
+	for _, name := range []string{"residuals", "fig1"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			outputs := make([][]byte, 2)
+			for i, workers := range []int{1, 8} {
+				cfg := goldenCfg()
+				cfg.Workers = workers
+				cfg.IncludeTrace = true
+				var buf bytes.Buffer
+				if err := WriteJSON(name, cfg, &buf); err != nil {
+					t.Fatal(err)
+				}
+				outputs[i] = buf.Bytes()
+			}
+			if !bytes.Equal(outputs[0], outputs[1]) {
+				t.Fatalf("%s: workers=1 and workers=8 outputs differ at byte %d",
+					name, firstDiff(outputs[0], outputs[1]))
+			}
+		})
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

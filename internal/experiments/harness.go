@@ -21,6 +21,7 @@ import (
 	"mcost/internal/histogram"
 	"mcost/internal/metric"
 	"mcost/internal/mtree"
+	"mcost/internal/obs"
 	"mcost/internal/parallel"
 )
 
@@ -44,6 +45,9 @@ type Config struct {
 	// merged as integer counts and per-query measurements reduce in
 	// query order.
 	Workers int
+	// IncludeTrace embeds the merged raw query trace in JSON outputs
+	// that support it (currently the residuals experiment).
+	IncludeTrace bool
 }
 
 func (c Config) withDefaults() Config {
@@ -193,6 +197,33 @@ func (b *built) measureRange(queries []metric.Object, radius float64) (nodes, di
 	return float64(b.tr.NodeReads()) / nq,
 		float64(b.tr.DistanceCount()) / nq,
 		float64(totalObjs) / nq, nil
+}
+
+// measureRangeTraced runs the workload like measureRange but gives each
+// query its own obs.Trace and merges them in query order, yielding the
+// level-resolved observed costs the residual experiment compares against
+// L-MCM. The merged trace is bit-identical at any worker count: each
+// per-query trace is a deterministic function of the query, and the
+// merge is an ordered integer reduction.
+func (b *built) measureRangeTraced(queries []metric.Object, radius float64) (*obs.Trace, error) {
+	b.tr.ResetCounters()
+	traces := make([]*obs.Trace, len(queries))
+	err := parallel.For(b.workers, len(queries), func(i int) error {
+		tr := obs.NewTrace()
+		if _, err := b.tr.Range(queries[i], radius, mtree.QueryOptions{Trace: tr}); err != nil {
+			return err
+		}
+		traces[i] = tr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := obs.NewTrace()
+	for _, tr := range traces {
+		merged.Merge(tr)
+	}
+	return merged, nil
 }
 
 // measureNN runs the k-NN workload, returning average node reads,

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// JSONRunner produces an experiment's machine-readable result. The
+// returned value must marshal deterministically for a fixed Config
+// (Workers excluded): Go's encoding/json sorts map keys and formats
+// floats canonically, so equal values yield byte-identical output.
+type JSONRunner func(cfg Config) (interface{}, error)
+
+// JSONRegistry maps the experiments that expose machine-readable
+// results (consumed by `mcost-exp -metrics-out` and the golden-file
+// regression tests) to their producers. Fig1Result carries a
+// non-serializable Radius closure, so fig1 marshals its Rows only.
+func JSONRegistry() map[string]JSONRunner {
+	return map[string]JSONRunner{
+		"table1": func(cfg Config) (interface{}, error) {
+			r, err := RunTable1(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r.Rows, nil
+		},
+		"fig1": func(cfg Config) (interface{}, error) {
+			r, err := RunFig1(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r.Rows, nil
+		},
+		"fig3": func(cfg Config) (interface{}, error) {
+			r, err := RunFig3(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r, nil
+		},
+		"residuals": func(cfg Config) (interface{}, error) {
+			r, err := RunResiduals(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r, nil
+		},
+	}
+}
+
+// JSONNames lists the experiments with JSON producers in stable order.
+func JSONNames() []string {
+	reg := JSONRegistry()
+	names := make([]string, 0, len(reg))
+	for name := range reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// envelope is the top-level JSON document written by WriteJSON. Workers
+// is deliberately omitted: results are identical at any worker count,
+// and recording it would break that byte-level guarantee.
+type envelope struct {
+	Experiment string      `json:"experiment"`
+	N          int         `json:"n"`
+	Queries    int         `json:"queries"`
+	PageSize   int         `json:"page_size"`
+	Seed       int64       `json:"seed"`
+	Data       interface{} `json:"data"`
+}
+
+// WriteJSON runs the named experiment's JSON producer and writes the
+// result, wrapped in a reproducibility envelope, as indented JSON.
+func WriteJSON(name string, cfg Config, w io.Writer) error {
+	run, ok := JSONRegistry()[name]
+	if !ok {
+		return fmt.Errorf("experiment %q has no JSON output (available: %v)", name, JSONNames())
+	}
+	data, err := run(cfg)
+	if err != nil {
+		return err
+	}
+	cfg = cfg.withDefaults()
+	return writeIndentedJSON(w, envelope{
+		Experiment: name,
+		N:          cfg.N,
+		Queries:    cfg.Queries,
+		PageSize:   cfg.PageSize,
+		Seed:       cfg.Seed,
+		Data:       data,
+	})
+}
+
+func writeIndentedJSON(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

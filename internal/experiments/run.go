@@ -160,6 +160,13 @@ func Registry() map[string]Runner {
 			}
 			return r.T.Render(w)
 		},
+		"residuals": func(cfg Config, w io.Writer) error {
+			r, err := RunResiduals(cfg)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(w)
+		},
 		"ablation-build": func(cfg Config, w io.Writer) error {
 			r, err := RunAblationBuild(cfg)
 			if err != nil {

@@ -1,0 +1,184 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomHistogram builds a histogram from random samples with a random
+// shape, occasionally forcing empty bins and point masses so the
+// properties are exercised on degenerate shapes too.
+func randomHistogram(rng *rand.Rand) *Histogram {
+	discrete := rng.Intn(2) == 1
+	var bins int
+	var bound float64
+	if discrete {
+		bins = 1 + rng.Intn(40)
+		bound = float64(bins) // one bin per integer distance, as the paper does
+	} else {
+		bins = 1 + rng.Intn(120)
+		bound = 0.25 + 4*rng.Float64()
+	}
+	n := 1 + rng.Intn(2000)
+	samples := make([]float64, n)
+	switch rng.Intn(3) {
+	case 0: // uniform over the full range
+		for i := range samples {
+			samples[i] = rng.Float64() * bound
+		}
+	case 1: // clustered in a narrow band: most bins stay empty
+		center := rng.Float64() * bound
+		spread := bound / 20
+		for i := range samples {
+			samples[i] = math.Min(math.Max(center+spread*(rng.Float64()-0.5), 0), bound)
+		}
+	default: // point mass
+		v := rng.Float64() * bound
+		for i := range samples {
+			samples[i] = v
+		}
+	}
+	if discrete {
+		for i := range samples {
+			samples[i] = math.Round(samples[i])
+		}
+	}
+	h, err := FromSamples(samples, bins, bound, discrete)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// TestCDFProperties checks that every generated histogram's CDF behaves
+// like a distribution function: 0 below the support, 1 at the bound,
+// and monotonically non-decreasing throughout.
+func TestCDFProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		h := randomHistogram(rng)
+		if got := h.CDF(-0.5); got != 0 {
+			t.Fatalf("trial %d: CDF(-0.5) = %g, want 0", trial, got)
+		}
+		if got := h.CDF(h.Bound()); got != 1 {
+			t.Fatalf("trial %d: CDF(bound) = %g, want 1", trial, got)
+		}
+		if got := h.CDF(h.Bound() * 2); got != 1 {
+			t.Fatalf("trial %d: CDF(2*bound) = %g, want 1", trial, got)
+		}
+		prev := 0.0
+		for i := 0; i <= 400; i++ {
+			x := h.Bound() * float64(i) / 400
+			v := h.CDF(x)
+			if v < prev {
+				t.Fatalf("trial %d: CDF not monotone: F(%g)=%g < F(prev)=%g", trial, x, v, prev)
+			}
+			if v < 0 || v > 1 {
+				t.Fatalf("trial %d: CDF(%g)=%g outside [0,1]", trial, x, v)
+			}
+			prev = v
+		}
+	}
+}
+
+// TestQuantileRoundTrip checks the Galois connection between F and
+// F^-1: Quantile(p) is the smallest x with F(x) >= p, so
+// F(Quantile(p)) >= p must hold for every p, with near-equality for
+// continuous histograms whose CDF is strictly increasing. Quantile must
+// also be monotone in p.
+func TestQuantileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		h := randomHistogram(rng)
+		prevQ := 0.0
+		for i := 1; i <= 100; i++ {
+			p := float64(i) / 100
+			q := h.Quantile(p)
+			if q < prevQ {
+				t.Fatalf("trial %d: Quantile not monotone: F^-1(%g)=%g < %g", trial, p, q, prevQ)
+			}
+			prevQ = q
+			if q < 0 || q > h.Bound() {
+				t.Fatalf("trial %d: Quantile(%g)=%g outside [0,%g]", trial, p, q, h.Bound())
+			}
+			if f := h.CDF(q); f < p-1e-9 {
+				t.Fatalf("trial %d: F(F^-1(%g)) = %g < p (q=%g, discrete=%v)",
+					trial, p, f, q, h.Discrete())
+			}
+		}
+	}
+}
+
+// TestQuantileRoundTripTight checks the stronger property on a
+// continuous histogram with every bin populated: there the CDF is
+// strictly increasing and piecewise linear, so F(F^-1(q)) == q up to
+// floating-point error.
+func TestQuantileRoundTripTight(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const bins = 50
+	samples := make([]float64, 0, bins*20)
+	for b := 0; b < bins; b++ {
+		for j := 0; j < 1+rng.Intn(30); j++ {
+			samples = append(samples, (float64(b)+0.5)/bins)
+		}
+	}
+	h, err := FromSamples(samples, bins, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 1000; i++ {
+		p := float64(i) / 1000
+		if f := h.CDF(h.Quantile(p)); math.Abs(f-p) > 1e-12 {
+			t.Fatalf("F(F^-1(%g)) = %g, |diff| = %g", p, f, math.Abs(f-p))
+		}
+	}
+}
+
+// TestPDFIntegratesToOneProperty integrates the piecewise-constant
+// density with a per-bin trapezoid rule (sampling the density at an
+// interior point of each bin, exact for a function constant within
+// bins) and requires total mass 1 on every randomly generated shape —
+// strengthening the single-case TestPDFIntegratesToOne.
+func TestPDFIntegratesToOneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		h := randomHistogram(rng)
+		width := h.Bound() / float64(h.Bins())
+		var mass float64
+		for i := 0; i < h.Bins(); i++ {
+			mid := (float64(i) + 0.5) * width
+			mass += h.PDF(mid) * width
+		}
+		if math.Abs(mass-1) > 1e-9 {
+			t.Fatalf("trial %d: density integrates to %g, want 1 (bins=%d, bound=%g, discrete=%v)",
+				trial, mass, h.Bins(), h.Bound(), h.Discrete())
+		}
+		if h.PDF(-0.1) != 0 || h.PDF(h.Bound()) != 0 || h.PDF(h.Bound()+1) != 0 {
+			t.Fatalf("trial %d: PDF nonzero outside support", trial)
+		}
+	}
+}
+
+// TestCDFPDFConsistency verifies the fundamental theorem on bin edges:
+// for continuous histograms, F(edge_{i+1}) - F(edge_i) equals the bin's
+// density times its width.
+func TestCDFPDFConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		h := randomHistogram(rng)
+		if h.Discrete() {
+			continue
+		}
+		width := h.Bound() / float64(h.Bins())
+		for i := 0; i < h.Bins(); i++ {
+			lo := float64(i) * width
+			hi := h.Edge(i)
+			dF := h.CDF(hi) - h.CDF(lo)
+			area := h.PDF(lo+width/2) * width
+			if math.Abs(dF-area) > 1e-9 {
+				t.Fatalf("trial %d bin %d: dF=%g but pdf*width=%g", trial, i, dF, area)
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package metric
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLevenshteinBounded cross-checks the banded dynamic program against
+// the full-matrix Levenshtein: whenever the true distance fits within
+// the band (d <= limit) the banded result must be exact, and otherwise
+// it must report exactly limit+1 — never a value in between, which would
+// silently corrupt range-query results that rely on the bound being
+// sharp.
+func FuzzLevenshteinBounded(f *testing.F) {
+	f.Add("", "", 0)
+	f.Add("kitten", "sitting", 3)
+	f.Add("kitten", "sitting", 2)
+	f.Add("abcabc", "abc", 1)
+	f.Add("castello", "tempesta", 8)
+	f.Add(strings.Repeat("a", 40), strings.Repeat("b", 40), 5)
+	f.Add("\x00\xff", "\xff\x00", 2)
+
+	f.Fuzz(func(t *testing.T, a, b string, limit int) {
+		// Keep the full-matrix reference affordable and the limit legal.
+		if len(a) > 256 {
+			a = a[:256]
+		}
+		if len(b) > 256 {
+			b = b[:256]
+		}
+		if limit < 0 {
+			limit = -limit
+		}
+		limit %= 65
+
+		full := levenshteinBytes(a, b)
+		got := LevenshteinBounded(a, b, limit)
+		if full <= limit {
+			if got != full {
+				t.Fatalf("LevenshteinBounded(%q, %q, %d) = %d, want exact %d", a, b, limit, got, full)
+			}
+		} else if got != limit+1 {
+			t.Fatalf("LevenshteinBounded(%q, %q, %d) = %d, want %d (true distance %d exceeds band)",
+				a, b, limit, got, limit+1, full)
+		}
+
+		// The banded distance is symmetric like the metric it bounds.
+		if rev := LevenshteinBounded(b, a, limit); rev != got {
+			t.Fatalf("asymmetric: d(a,b)=%d but d(b,a)=%d (limit %d)", got, rev, limit)
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package mtree
+
+import (
+	"testing"
+
+	"mcost/internal/dataset"
+	"mcost/internal/obs"
+)
+
+// BenchmarkRangeObsOverhead verifies the observability layer's zero-cost
+// claim: "disabled" runs Range with a nil Trace (every recording call is
+// an inlined nil check) and must stay within ~2% of the pre-obs
+// baseline; "enabled" shows the cost of full level-resolved tracing.
+// Compare the two sub-benchmarks directly:
+//
+//	go test -bench BenchmarkRangeObsOverhead -count 5 ./internal/mtree | benchstat -
+//
+// CI runs both at -benchtime=1x as a smoke test so the instrumented
+// paths are exercised on every PR.
+func BenchmarkRangeObsOverhead(b *testing.B) {
+	d := dataset.PaperClustered(5000, 8, 17)
+	tr, err := New(Options{Space: d.Space, PageSize: 4096, Seed: 17})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tr.BulkLoad(d.Objects); err != nil {
+		b.Fatal(err)
+	}
+	queries := dataset.PaperClusteredQueries(64, 8, 18).Queries
+	const radius = 0.35
+
+	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			if _, err := tr.Range(q, radius, QueryOptions{UseParentDist: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		b.ReportAllocs()
+		trace := obs.NewTrace()
+		for i := 0; i < b.N; i++ {
+			trace.Reset()
+			q := queries[i%len(queries)]
+			if _, err := tr.Range(q, radius, QueryOptions{UseParentDist: true, Trace: trace}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkNNObsOverhead is the k-NN twin of BenchmarkRangeObsOverhead.
+func BenchmarkNNObsOverhead(b *testing.B) {
+	d := dataset.PaperClustered(5000, 8, 19)
+	tr, err := New(Options{Space: d.Space, PageSize: 4096, Seed: 19})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tr.BulkLoad(d.Objects); err != nil {
+		b.Fatal(err)
+	}
+	queries := dataset.PaperClusteredQueries(64, 8, 20).Queries
+
+	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := tr.NN(queries[i%len(queries)], 10, QueryOptions{UseParentDist: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		b.ReportAllocs()
+		trace := obs.NewTrace()
+		for i := 0; i < b.N; i++ {
+			trace.Reset()
+			if _, err := tr.NN(queries[i%len(queries)], 10, QueryOptions{UseParentDist: true, Trace: trace}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

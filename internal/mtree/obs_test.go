@@ -1,0 +1,174 @@
+package mtree
+
+import (
+	"reflect"
+	"testing"
+
+	"mcost/internal/dataset"
+	"mcost/internal/obs"
+	"mcost/internal/parallel"
+)
+
+// TestTraceMatchesCounters: for any query shape, the trace's totals must
+// equal the deltas of the tree's global counters — the trace is a
+// decomposition of the same two observables, not a second measurement.
+func TestTraceMatchesCounters(t *testing.T) {
+	d := dataset.PaperClustered(1200, 6, 11)
+	tr := buildTree(t, d, Options{PageSize: 1024})
+	queries := dataset.PaperClusteredQueries(5, 6, 12).Queries
+
+	for _, opt := range []QueryOptions{{}, {UseParentDist: true}} {
+		for _, q := range queries {
+			for name, run := range map[string]func(qo QueryOptions) error{
+				"range": func(qo QueryOptions) error { _, err := tr.Range(q, 0.3, qo); return err },
+				"nn":    func(qo QueryOptions) error { _, err := tr.NN(q, 5, qo); return err },
+				"nnstop": func(qo QueryOptions) error {
+					_, err := tr.NNWithStop(q, 5, 0.5*d.Space.Bound, qo)
+					return err
+				},
+			} {
+				trace := obs.NewTrace()
+				qo := opt
+				qo.Trace = trace
+				tr.ResetCounters()
+				if err := run(qo); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if got, want := trace.TotalNodes(), tr.NodeReads(); got != want {
+					t.Fatalf("%s (parentdist=%v): trace nodes %d != counter %d", name, opt.UseParentDist, got, want)
+				}
+				if got, want := trace.TotalDists(), tr.DistanceCount(); got != want {
+					t.Fatalf("%s (parentdist=%v): trace dists %d != counter %d", name, opt.UseParentDist, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTraceAccountingIdentity: in a traced range query every examined
+// entry is either parent-pruned or measured, so per level
+// dists + parent_pruned equals the total entries of the visited nodes.
+// With pruning off, parent_pruned must be zero everywhere.
+func TestTraceAccountingIdentity(t *testing.T) {
+	d := dataset.PaperClustered(1500, 8, 3)
+	tree := buildTree(t, d, Options{PageSize: 1024})
+	q := dataset.PaperClusteredQueries(1, 8, 4).Queries[0]
+
+	trace := obs.NewTrace()
+	if _, err := tree.Range(q, 0.4, QueryOptions{Trace: trace}); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range trace.Levels {
+		if l.ParentPruned != 0 {
+			t.Fatalf("level %d: parent pruning recorded with optimization off", l.Level)
+		}
+	}
+
+	traced := obs.NewTrace()
+	if _, err := tree.Range(q, 0.4, QueryOptions{UseParentDist: true, Trace: traced}); err != nil {
+		t.Fatal(err)
+	}
+	if traced.TotalDists() > trace.TotalDists() {
+		t.Fatalf("pruning increased distances: %d > %d", traced.TotalDists(), trace.TotalDists())
+	}
+	// Pruned + computed with optimization on = computed with it off,
+	// level by level: the lemma only ever skips work, it cannot reroute
+	// the traversal (node visits are identical).
+	if len(traced.Levels) != len(trace.Levels) {
+		t.Fatalf("level counts differ: %d vs %d", len(traced.Levels), len(trace.Levels))
+	}
+	for i := range trace.Levels {
+		plain, pruned := trace.Levels[i], traced.Levels[i]
+		if plain.Nodes != pruned.Nodes {
+			t.Fatalf("level %d: node visits differ %d vs %d", i+1, plain.Nodes, pruned.Nodes)
+		}
+		if pruned.Dists+pruned.ParentPruned != plain.Dists {
+			t.Fatalf("level %d: %d dists + %d pruned != %d entries examined",
+				i+1, pruned.Dists, pruned.ParentPruned, plain.Dists)
+		}
+	}
+}
+
+// TestTraceProfileAgree: the trace-backed RangeProfile must agree with
+// the model-facing totals reported by the counters.
+func TestTraceProfileAgree(t *testing.T) {
+	d := dataset.Uniform(900, 4, 5)
+	tree := buildTree(t, d, Options{PageSize: 1024})
+	q := dataset.UniformQueries(1, 4, 6).Queries[0]
+
+	tree.ResetCounters()
+	_, profile, err := tree.RangeProfile(q, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, dists := ProfileTotals(profile)
+	if int64(nodes) != tree.NodeReads() || int64(dists) != tree.DistanceCount() {
+		t.Fatalf("profile totals (%d, %d) != counters (%d, %d)",
+			nodes, dists, tree.NodeReads(), tree.DistanceCount())
+	}
+}
+
+// TestTraceDeterministicAcrossWorkers: per-query traces merged in query
+// order must be identical no matter how many goroutines executed the
+// batch — the end-to-end guarantee the residual experiment's JSON
+// output relies on.
+func TestTraceDeterministicAcrossWorkers(t *testing.T) {
+	d := dataset.PaperClustered(1000, 5, 21)
+	tree := buildTree(t, d, Options{PageSize: 1024})
+	queries := dataset.PaperClusteredQueries(40, 5, 22).Queries
+
+	batch := func(workers int) *obs.Trace {
+		traces := make([]*obs.Trace, len(queries))
+		err := parallel.For(workers, len(queries), func(i int) error {
+			tr := obs.NewTrace()
+			if _, err := tree.Range(queries[i], 0.3, QueryOptions{Trace: tr}); err != nil {
+				return err
+			}
+			traces[i] = tr
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged := obs.NewTrace()
+		for _, tr := range traces {
+			merged.Merge(tr)
+		}
+		return merged
+	}
+	if one, eight := batch(1), batch(8); !reflect.DeepEqual(one, eight) {
+		t.Fatalf("merged traces differ:\nworkers=1: %+v\nworkers=8: %+v", one, eight)
+	}
+}
+
+// TestResetBetweenBatches documents and enforces the ResetCounters
+// contract: resets between completed parallel batches are safe (this
+// test runs under -race in CI) and each batch measures exactly its own
+// work.
+func TestResetBetweenBatches(t *testing.T) {
+	d := dataset.Uniform(800, 3, 9)
+	tree := buildTree(t, d, Options{PageSize: 1024})
+	queries := dataset.UniformQueries(32, 3, 10).Queries
+
+	var prevNodes, prevDists int64
+	for batch := 0; batch < 3; batch++ {
+		tree.ResetCounters()
+		err := parallel.For(4, len(queries), func(i int) error {
+			_, err := tree.Range(queries[i], 0.25, QueryOptions{})
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes, dists := tree.NodeReads(), tree.DistanceCount()
+		if nodes <= 0 || dists <= 0 {
+			t.Fatalf("batch %d measured nothing: %d nodes, %d dists", batch, nodes, dists)
+		}
+		// The workload is identical each time, so a reset that leaked
+		// work across batches would show up as drift.
+		if batch > 0 && (nodes != prevNodes || dists != prevDists) {
+			t.Fatalf("batch %d: (%d, %d) != previous (%d, %d)", batch, nodes, dists, prevNodes, prevDists)
+		}
+		prevNodes, prevDists = nodes, dists
+	}
+}

@@ -1,11 +1,8 @@
 package mtree
 
 import (
-	"errors"
-	"fmt"
-
 	"mcost/internal/metric"
-	"mcost/internal/pager"
+	"mcost/internal/obs"
 )
 
 // LevelProfile is one level's share of a query's cost.
@@ -22,50 +19,25 @@ type LevelProfile struct {
 // parent-distance optimization, matching the cost model) and returns the
 // matches together with a per-level cost breakdown — the "explain" view
 // that lines up one-to-one with L-MCM's per-level predictions
-// (Eq. 15-16).
+// (Eq. 15-16). It is a thin view over the obs.Trace instrumentation:
+// with parent-distance pruning off, the traversal computes one distance
+// per examined entry, which is exactly the profile the model predicts.
 func (t *Tree) RangeProfile(q metric.Object, radius float64) ([]Match, []LevelProfile, error) {
-	if q == nil {
-		return nil, nil, errors.New("mtree: nil query object")
+	tr := obs.NewTrace()
+	out, err := t.Range(q, radius, QueryOptions{Trace: tr})
+	if err != nil {
+		return nil, nil, err
 	}
-	if radius < 0 {
-		return nil, nil, fmt.Errorf("mtree: negative radius %g", radius)
-	}
-	if t.root == pager.InvalidPage {
-		return nil, nil, nil
+	if t.height == 0 {
+		return out, nil, nil
 	}
 	profile := make([]LevelProfile, t.height)
 	for i := range profile {
 		profile[i].Level = i + 1
-	}
-	var out []Match
-	var walk func(id pager.PageID, level int) error
-	walk = func(id pager.PageID, level int) error {
-		n, err := t.store.fetch(id)
-		if err != nil {
-			return err
+		if i < len(tr.Levels) {
+			profile[i].Nodes = int(tr.Levels[i].Nodes)
+			profile[i].Dists = int(tr.Levels[i].Dists)
 		}
-		p := &profile[level-1]
-		p.Nodes++
-		for i := range n.entries {
-			e := &n.entries[i]
-			d := t.dist(q, e.Object)
-			p.Dists++
-			if n.leaf {
-				if d <= radius {
-					out = append(out, Match{Object: e.Object, OID: e.OID, Distance: d})
-				}
-				continue
-			}
-			if d <= radius+e.Radius {
-				if err := walk(e.Child, level+1); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	}
-	if err := walk(t.root, 1); err != nil {
-		return nil, nil, err
 	}
 	return out, profile, nil
 }

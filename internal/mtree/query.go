@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"mcost/internal/metric"
+	"mcost/internal/obs"
 	"mcost/internal/pager"
 )
 
@@ -19,6 +20,14 @@ type QueryOptions struct {
 	// model-validation experiments run with it off; real workloads want
 	// it on.
 	UseParentDist bool
+	// Trace, when non-nil, records the query's level-resolved cost
+	// profile: node visits, distance computations, and pruning outcomes
+	// per level (root = 1), attributed to the parent-distance or
+	// covering-radius lemma. A nil Trace costs nothing (each recording
+	// call is an inlined nil check; see BenchmarkRangeObsOverhead). A
+	// Trace must not be shared by concurrent queries — give each query
+	// its own and obs.Trace.Merge them in query order.
+	Trace *obs.Trace
 }
 
 // Match is one query result.
@@ -39,18 +48,21 @@ func (t *Tree) Range(q metric.Object, radius float64, opt QueryOptions) ([]Match
 	if t.root == pager.InvalidPage {
 		return nil, nil
 	}
+	opt.Trace.StartRange(radius)
 	var out []Match
-	err := t.rangeAt(t.root, q, radius, math.NaN(), opt, &out)
+	err := t.rangeAt(t.root, q, radius, math.NaN(), 1, opt, &out)
 	return out, err
 }
 
-// rangeAt recursively collects matches under node id. distQP is
-// d(q, routing object of this node) — NaN at the root.
-func (t *Tree) rangeAt(id pager.PageID, q metric.Object, radius, distQP float64, opt QueryOptions, out *[]Match) error {
+// rangeAt recursively collects matches under node id, a node at the
+// given level (root = 1). distQP is d(q, routing object of this node) —
+// NaN at the root.
+func (t *Tree) rangeAt(id pager.PageID, q metric.Object, radius, distQP float64, level int, opt QueryOptions, out *[]Match) error {
 	n, err := t.store.fetch(id)
 	if err != nil {
 		return err
 	}
+	opt.Trace.Visit(level)
 	for i := range n.entries {
 		e := &n.entries[i]
 		bound := radius
@@ -62,16 +74,21 @@ func (t *Tree) rangeAt(id pager.PageID, q metric.Object, radius, distQP float64,
 		// entry cannot qualify and the distance computation is saved.
 		if opt.UseParentDist && !math.IsNaN(distQP) && !math.IsNaN(e.ParentDist) {
 			if math.Abs(distQP-e.ParentDist) > bound {
+				opt.Trace.PruneParent(level)
 				continue
 			}
 		}
 		d := t.dist(q, e.Object)
+		opt.Trace.Dist(level)
 		if d > bound {
+			if !n.leaf {
+				opt.Trace.PruneRadius(level)
+			}
 			continue
 		}
 		if n.leaf {
 			*out = append(*out, Match{Object: e.Object, OID: e.OID, Distance: d})
-		} else if err := t.rangeAt(e.Child, q, radius, d, opt, out); err != nil {
+		} else if err := t.rangeAt(e.Child, q, radius, d, level+1, opt, out); err != nil {
 			return err
 		}
 	}
@@ -84,6 +101,7 @@ type nnQueueItem struct {
 	id    pager.PageID
 	dMin  float64
 	distQ float64 // d(q, routing object of the subtree); NaN for the root
+	level int     // tree level of the subtree root (tree root = 1)
 }
 
 type nnQueue []nnQueueItem
@@ -128,7 +146,8 @@ func (t *Tree) NN(q metric.Object, k int, opt QueryOptions) ([]Match, error) {
 	if t.root == pager.InvalidPage {
 		return nil, nil
 	}
-	pq := &nnQueue{{id: t.root, dMin: 0, distQ: math.NaN()}}
+	opt.Trace.StartNN(k)
+	pq := &nnQueue{{id: t.root, dMin: 0, distQ: math.NaN(), level: 1}}
 	best := &resultHeap{}
 	rk := func() float64 {
 		if best.Len() < k {
@@ -145,6 +164,7 @@ func (t *Tree) NN(q metric.Object, k int, opt QueryOptions) ([]Match, error) {
 		if err != nil {
 			return nil, err
 		}
+		opt.Trace.Visit(item.level)
 		for i := range n.entries {
 			e := &n.entries[i]
 			bound := rk()
@@ -153,10 +173,12 @@ func (t *Tree) NN(q metric.Object, k int, opt QueryOptions) ([]Match, error) {
 			}
 			if opt.UseParentDist && !math.IsNaN(item.distQ) && !math.IsNaN(e.ParentDist) {
 				if math.Abs(item.distQ-e.ParentDist) > bound {
+					opt.Trace.PruneParent(item.level)
 					continue
 				}
 			}
 			d := t.dist(q, e.Object)
+			opt.Trace.Dist(item.level)
 			if n.leaf {
 				if d <= rk() {
 					heap.Push(best, Match{Object: e.Object, OID: e.OID, Distance: d})
@@ -171,7 +193,9 @@ func (t *Tree) NN(q metric.Object, k int, opt QueryOptions) ([]Match, error) {
 				dMin = 0
 			}
 			if dMin <= rk() {
-				heap.Push(pq, nnQueueItem{id: e.Child, dMin: dMin, distQ: d})
+				heap.Push(pq, nnQueueItem{id: e.Child, dMin: dMin, distQ: d, level: item.level + 1})
+			} else {
+				opt.Trace.PruneRadius(item.level)
 			}
 		}
 	}
@@ -235,7 +259,8 @@ func (t *Tree) NNWithStop(q metric.Object, k int, stopRadius float64, opt QueryO
 	if t.root == pager.InvalidPage {
 		return nil, nil
 	}
-	pq := &nnQueue{{id: t.root, dMin: 0, distQ: math.NaN()}}
+	opt.Trace.StartNN(k)
+	pq := &nnQueue{{id: t.root, dMin: 0, distQ: math.NaN(), level: 1}}
 	best := &resultHeap{}
 	rk := func() float64 {
 		r := t.opt.Space.Bound
@@ -256,6 +281,7 @@ func (t *Tree) NNWithStop(q metric.Object, k int, stopRadius float64, opt QueryO
 		if err != nil {
 			return nil, err
 		}
+		opt.Trace.Visit(item.level)
 		for i := range n.entries {
 			e := &n.entries[i]
 			bound := rk()
@@ -264,10 +290,12 @@ func (t *Tree) NNWithStop(q metric.Object, k int, stopRadius float64, opt QueryO
 			}
 			if opt.UseParentDist && !math.IsNaN(item.distQ) && !math.IsNaN(e.ParentDist) {
 				if math.Abs(item.distQ-e.ParentDist) > bound {
+					opt.Trace.PruneParent(item.level)
 					continue
 				}
 			}
 			d := t.dist(q, e.Object)
+			opt.Trace.Dist(item.level)
 			if n.leaf {
 				if d <= rk() {
 					heap.Push(best, Match{Object: e.Object, OID: e.OID, Distance: d})
@@ -282,7 +310,9 @@ func (t *Tree) NNWithStop(q metric.Object, k int, stopRadius float64, opt QueryO
 				dMin = 0
 			}
 			if dMin <= rk() {
-				heap.Push(pq, nnQueueItem{id: e.Child, dMin: dMin, distQ: d})
+				heap.Push(pq, nnQueueItem{id: e.Child, dMin: dMin, distQ: d, level: item.level + 1})
+			} else {
+				opt.Trace.PruneRadius(item.level)
 			}
 		}
 	}

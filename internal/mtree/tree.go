@@ -181,6 +181,15 @@ func (t *Tree) NodeReads() int64 { return t.store.reads() }
 
 // ResetCounters zeroes the distance-computation and node-read counters,
 // typically called after building and before measuring a query workload.
+//
+// ResetCounters is NOT safe to call while queries are in flight: a
+// concurrent query's increments straddle the reset and land partly
+// before, partly after, leaving both measurements wrong. The same holds
+// for obs sinks (a per-query obs.Trace must be owned by one goroutine;
+// merge afterwards). The supported pattern is reset *between* batches:
+// finish or join all queries, ResetCounters, start the next batch —
+// exactly what the experiment harness does and what
+// TestResetBetweenBatches exercises under the race detector.
 func (t *Tree) ResetCounters() {
 	t.counter.Reset()
 	t.store.resetReads()

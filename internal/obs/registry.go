@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a named monotonically-adjusted int64. It is safe for
+// concurrent use; a nil *Counter ignores all updates, so callers can
+// hold the result of Registry.Counter without checking whether metrics
+// are enabled.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Hist is a fixed-bin histogram over [Lo, Hi): Bins equal-width buckets
+// of atomic integer counts, with explicit underflow/overflow buckets.
+// Integer counts make merged histograms independent of merge order —
+// the property the parallel layer's sharded accumulation relies on.
+// A nil *Hist ignores all observations.
+type Hist struct {
+	lo, hi float64
+	width  float64
+	bins   []atomic.Int64
+	under  atomic.Int64
+	over   atomic.Int64
+	n      atomic.Int64
+}
+
+// NewHist returns a histogram with the given shape. It panics on an
+// invalid shape: histogram shapes are static program facts, not runtime
+// inputs.
+func NewHist(bins int, lo, hi float64) *Hist {
+	if bins <= 0 || !(hi > lo) {
+		panic(fmt.Sprintf("obs: invalid histogram shape: %d bins over [%g,%g)", bins, lo, hi))
+	}
+	return &Hist{lo: lo, hi: hi, width: (hi - lo) / float64(bins), bins: make([]atomic.Int64, bins)}
+}
+
+// Observe records one value.
+func (h *Hist) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.n.Add(1)
+	if v < h.lo {
+		h.under.Add(1)
+		return
+	}
+	i := int((v - h.lo) / h.width)
+	if i >= len(h.bins) {
+		h.over.Add(1)
+		return
+	}
+	h.bins[i].Add(1)
+}
+
+// N returns the number of observations.
+func (h *Hist) N() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// HistSnapshot is the JSON view of a Hist.
+type HistSnapshot struct {
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	Counts []int64 `json:"counts"`
+	Under  int64   `json:"under,omitempty"`
+	Over   int64   `json:"over,omitempty"`
+	N      int64   `json:"n"`
+}
+
+// Snapshot captures the current bin counts.
+func (h *Hist) Snapshot() HistSnapshot {
+	s := HistSnapshot{Lo: h.lo, Hi: h.hi, Counts: make([]int64, len(h.bins)),
+		Under: h.under.Load(), Over: h.over.Load(), N: h.n.Load()}
+	for i := range h.bins {
+		s.Counts[i] = h.bins[i].Load()
+	}
+	return s
+}
+
+// merge adds other's counts into h. Shapes must match.
+func (h *Hist) merge(other *Hist) error {
+	if len(h.bins) != len(other.bins) || h.lo != other.lo || h.hi != other.hi {
+		return fmt.Errorf("obs: histogram shape mismatch: %d@[%g,%g) vs %d@[%g,%g)",
+			len(h.bins), h.lo, h.hi, len(other.bins), other.lo, other.hi)
+	}
+	for i := range h.bins {
+		h.bins[i].Add(other.bins[i].Load())
+	}
+	h.under.Add(other.under.Load())
+	h.over.Add(other.over.Load())
+	h.n.Add(other.n.Load())
+	return nil
+}
+
+// Registry is a named set of counters and histograms. Lookup is
+// lock-protected and intended for setup paths; hot paths hold the
+// returned *Counter / *Hist. A nil *Registry hands out nil instruments,
+// making disabled metrics free at every call site.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Hist
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter), hists: make(map[string]*Hist)}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Hist returns the named histogram, creating it with the given shape on
+// first use. Asking for an existing name with a different shape returns
+// the existing histogram: the first registration wins.
+func (r *Registry) Hist(name string, bins int, lo, hi float64) *Hist {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHist(bins, lo, hi)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is the JSON view of a Registry. encoding/json emits map keys
+// in sorted order, so snapshots of equal registries are byte-identical.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every instrument's current value.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.Snapshot()
+		}
+	}
+	return s
+}
+
+// Merge accumulates other's instruments into r, creating any missing
+// ones. Counter and bin additions commute, so merging worker-local
+// registries produces identical totals in any merge order.
+func (r *Registry) Merge(other *Registry) error {
+	if r == nil || other == nil {
+		return nil
+	}
+	// Snapshot other's instrument sets under its lock, then update r.
+	other.mu.Lock()
+	counters := make(map[string]*Counter, len(other.counters))
+	for name, c := range other.counters {
+		counters[name] = c
+	}
+	hists := make(map[string]*Hist, len(other.hists))
+	for name, h := range other.hists {
+		hists[name] = h
+	}
+	other.mu.Unlock()
+	for name, c := range counters {
+		r.Counter(name).Add(c.Value())
+	}
+	for name, h := range hists {
+		mine := r.Hist(name, len(h.bins), h.lo, h.hi)
+		if err := mine.merge(h); err != nil {
+			return fmt.Errorf("obs: merge %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// PublishExpvar exposes the registry under the given expvar name (e.g.
+// on /debug/vars of an opt-in diagnostics endpoint). Call at most once
+// per name per process: expvar panics on duplicate names by design.
+func (r *Registry) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() interface{} { return r.Snapshot() }))
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestNilRegistry: a nil registry hands out nil instruments and every
+// operation on them is a no-op — the disabled-metrics contract.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter accumulated")
+	}
+	h := r.Hist("h", 10, 0, 1)
+	h.Observe(0.5)
+	if h.N() != 0 {
+		t.Fatal("nil hist accumulated")
+	}
+	if s := r.Snapshot(); s.Counters != nil || s.Histograms != nil {
+		t.Fatalf("nil registry snapshot: %+v", s)
+	}
+	if err := r.Merge(NewRegistry()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterAndHist(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reads")
+	c.Add(3)
+	c.Inc()
+	if got := r.Counter("reads").Value(); got != 4 {
+		t.Fatalf("counter = %d", got)
+	}
+	h := r.Hist("dist", 4, 0, 1)
+	for _, v := range []float64{-0.1, 0, 0.24, 0.25, 0.5, 0.99, 1.0, 7} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Under != 1 || s.Over != 2 || s.N != 8 {
+		t.Fatalf("under/over/n = %d/%d/%d", s.Under, s.Over, s.N)
+	}
+	if want := []int64{2, 1, 1, 1}; !reflect.DeepEqual(s.Counts, want) {
+		t.Fatalf("counts = %v, want %v", s.Counts, want)
+	}
+	// Same name returns the same histogram even with a different shape.
+	if h2 := r.Hist("dist", 99, -5, 5); h2 != h {
+		t.Fatal("re-registration replaced histogram")
+	}
+}
+
+// TestRegistryMergeOrderIndependent: merging worker-local registries in
+// any order yields byte-identical snapshots — the determinism claim the
+// parallel query layer depends on.
+func TestRegistryMergeOrderIndependent(t *testing.T) {
+	mk := func(reads int64, vals ...float64) *Registry {
+		r := NewRegistry()
+		r.Counter("reads").Add(reads)
+		h := r.Hist("dist", 8, 0, 2)
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return r
+	}
+	shards := []*Registry{mk(3, 0.1, 1.5), mk(7, 0.2), mk(1, 1.9, 0.4, 0.4)}
+
+	forward := NewRegistry()
+	for _, s := range shards {
+		if err := forward.Merge(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	backward := NewRegistry()
+	for i := len(shards) - 1; i >= 0; i-- {
+		if err := backward.Merge(shards[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var a, b bytes.Buffer
+	if err := forward.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := backward.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("merge order changed snapshot:\n%s\n%s", a.String(), b.String())
+	}
+	if forward.Counter("reads").Value() != 11 {
+		t.Fatalf("merged counter = %d", forward.Counter("reads").Value())
+	}
+}
+
+func TestRegistryMergeShapeMismatch(t *testing.T) {
+	a := NewRegistry()
+	a.Hist("h", 4, 0, 1)
+	b := NewRegistry()
+	b.Hist("h", 8, 0, 1)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("shape mismatch not reported")
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines; run
+// under -race this guards the atomic/lock discipline.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("ops")
+			h := r.Hist("lat", 16, 0, 1)
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i%100) / 100)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("ops").Value(); got != 8000 {
+		t.Fatalf("ops = %d", got)
+	}
+	if got := r.Hist("lat", 16, 0, 1).N(); got != 8000 {
+		t.Fatalf("hist n = %d", got)
+	}
+}
+
+func TestHistInvalidShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on invalid shape")
+		}
+	}()
+	NewHist(0, 0, 1)
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestNilTrace exercises every method on a nil trace: all must be
+// no-ops — this is the disabled path the query engines rely on.
+func TestNilTrace(t *testing.T) {
+	var tr *Trace
+	tr.StartRange(0.5)
+	tr.StartNN(3)
+	tr.Visit(1)
+	tr.Dist(2)
+	tr.PruneParent(1)
+	tr.PruneRadius(1)
+	tr.Merge(NewTrace())
+	tr.Reset()
+	if tr.TotalNodes() != 0 || tr.TotalDists() != 0 {
+		t.Fatal("nil trace reported nonzero totals")
+	}
+	if s := tr.String(); s != "trace(nil)" {
+		t.Fatalf("nil trace String() = %q", s)
+	}
+}
+
+func TestTraceLevels(t *testing.T) {
+	tr := NewTrace()
+	tr.StartRange(0.25)
+	tr.Visit(1)
+	tr.Dist(1)
+	tr.Dist(1)
+	tr.PruneRadius(1)
+	tr.Visit(3) // skipping level 2 must still create it
+	tr.Dist(3)
+	tr.PruneParent(3)
+	if len(tr.Levels) != 3 {
+		t.Fatalf("levels = %d, want 3", len(tr.Levels))
+	}
+	for i, l := range tr.Levels {
+		if l.Level != i+1 {
+			t.Fatalf("level %d labeled %d", i, l.Level)
+		}
+	}
+	if tr.Levels[1] != (LevelTrace{Level: 2}) {
+		t.Fatalf("untouched level 2 not zero: %+v", tr.Levels[1])
+	}
+	if tr.TotalNodes() != 2 || tr.TotalDists() != 3 {
+		t.Fatalf("totals = %d nodes, %d dists", tr.TotalNodes(), tr.TotalDists())
+	}
+	if tr.Kind != "range" || tr.Radius != 0.25 || tr.Queries != 1 {
+		t.Fatalf("header: %+v", tr)
+	}
+}
+
+func TestTraceMerge(t *testing.T) {
+	a := NewTrace()
+	a.StartRange(0.1)
+	a.Visit(1)
+	a.Dist(1)
+	b := NewTrace()
+	b.StartRange(0.1)
+	b.Visit(1)
+	b.Visit(2)
+	b.Dist(2)
+	b.PruneParent(2)
+
+	// Merge in both orders: integer counts must commute.
+	ab := NewTrace()
+	ab.Merge(a)
+	ab.Merge(b)
+	ba := NewTrace()
+	ba.Merge(b)
+	ba.Merge(a)
+	if !reflect.DeepEqual(ab, ba) {
+		t.Fatalf("merge not commutative:\n%+v\n%+v", ab, ba)
+	}
+	if ab.Queries != 2 || ab.TotalNodes() != 3 || ab.TotalDists() != 2 {
+		t.Fatalf("merged totals: %+v", ab)
+	}
+	if ab.Kind != "range" || ab.Radius != 0.1 {
+		t.Fatalf("merged header: %+v", ab)
+	}
+
+	// Different shapes collapse to "mixed".
+	c := NewTrace()
+	c.StartNN(5)
+	ab.Merge(c)
+	if ab.Kind != "mixed" {
+		t.Fatalf("kind after mixed merge = %q", ab.Kind)
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	tr.StartNN(7)
+	tr.Visit(1)
+	tr.Dist(1)
+	tr.PruneParent(1)
+	buf, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*tr, back) {
+		t.Fatalf("round trip:\n%+v\n%+v", *tr, back)
+	}
+}
+
+func TestTraceReset(t *testing.T) {
+	tr := NewTrace()
+	tr.StartRange(1)
+	tr.Visit(1)
+	tr.Reset()
+	if tr.Queries != 0 || len(tr.Levels) != 0 || tr.Kind != "" {
+		t.Fatalf("after reset: %+v", tr)
+	}
+}

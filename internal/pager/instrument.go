@@ -1,0 +1,125 @@
+package pager
+
+import (
+	"mcost/internal/obs"
+)
+
+// Instrumented wraps a Pager and mirrors every operation into an
+// obs.Registry: counters "pager.reads", "pager.writes", "pager.allocs",
+// "pager.read_bytes", "pager.write_bytes", and — when a clock is
+// supplied — a fixed-bin read-latency histogram "pager.read_us".
+//
+// The counters duplicate Pager.Stats on purpose: Stats is the paper's
+// cost accounting (resettable, consumed by the harness), while the
+// registry is the operational view that merges with the rest of a
+// process's metrics and is served over the expvar endpoint. Counter
+// updates are atomic, so a shared registry stays exact under concurrent
+// queries; latency observations are inherently timing-dependent and are
+// therefore opt-in and excluded from determinism guarantees.
+type Instrumented struct {
+	p          Pager
+	clock      func() int64 // nanoseconds; nil disables latency recording
+	reads      *obs.Counter
+	writes     *obs.Counter
+	allocs     *obs.Counter
+	readBytes  *obs.Counter
+	writeBytes *obs.Counter
+	readLat    *obs.Hist
+}
+
+// InstrumentOptions configures Instrument.
+type InstrumentOptions struct {
+	// Clock returns a monotonic timestamp in nanoseconds (e.g. wrapping
+	// time.Now().UnixNano() or a fake for tests). When nil, no latency
+	// histogram is recorded and reads pay no clock calls.
+	Clock func() int64
+	// LatencyBins, LatencyMaxUS shape the read-latency histogram in
+	// microseconds (defaults 64 bins over [0, 10000)).
+	LatencyBins  int
+	LatencyMaxUS float64
+}
+
+// Instrument wraps p, recording into reg. A nil registry returns p
+// unchanged: fully disabled instrumentation is free.
+func Instrument(p Pager, reg *obs.Registry, opt InstrumentOptions) Pager {
+	if reg == nil {
+		return p
+	}
+	in := &Instrumented{
+		p:          p,
+		clock:      opt.Clock,
+		reads:      reg.Counter("pager.reads"),
+		writes:     reg.Counter("pager.writes"),
+		allocs:     reg.Counter("pager.allocs"),
+		readBytes:  reg.Counter("pager.read_bytes"),
+		writeBytes: reg.Counter("pager.write_bytes"),
+	}
+	if opt.Clock != nil {
+		bins := opt.LatencyBins
+		if bins == 0 {
+			bins = 64
+		}
+		maxUS := opt.LatencyMaxUS
+		if maxUS == 0 {
+			maxUS = 10_000
+		}
+		in.readLat = reg.Hist("pager.read_us", bins, 0, maxUS)
+	}
+	return in
+}
+
+// PageSize implements Pager.
+func (in *Instrumented) PageSize() int { return in.p.PageSize() }
+
+// Alloc implements Pager.
+func (in *Instrumented) Alloc() (PageID, error) {
+	id, err := in.p.Alloc()
+	if err == nil {
+		in.allocs.Inc()
+	}
+	return id, err
+}
+
+// Read implements Pager.
+func (in *Instrumented) Read(id PageID) ([]byte, error) {
+	var start int64
+	if in.clock != nil {
+		start = in.clock()
+	}
+	buf, err := in.p.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	in.reads.Inc()
+	in.readBytes.Add(int64(len(buf)))
+	if in.clock != nil {
+		in.readLat.Observe(float64(in.clock()-start) / 1e3)
+	}
+	return buf, nil
+}
+
+// Write implements Pager.
+func (in *Instrumented) Write(id PageID, data []byte) error {
+	if err := in.p.Write(id, data); err != nil {
+		return err
+	}
+	in.writes.Inc()
+	in.writeBytes.Add(int64(len(data)))
+	return nil
+}
+
+// NumPages implements Pager.
+func (in *Instrumented) NumPages() int { return in.p.NumPages() }
+
+// Stats implements Pager by delegating to the wrapped pager.
+func (in *Instrumented) Stats() Stats { return in.p.Stats() }
+
+// ResetStats implements Pager. It resets only the wrapped pager's
+// cost-accounting counters; the registry's operational counters are
+// cumulative for the process lifetime and are not reset here (resetting
+// them while queries are in flight would tear concurrent increments —
+// the same contract as mtree.Tree.ResetCounters).
+func (in *Instrumented) ResetStats() { in.p.ResetStats() }
+
+// Unwrap returns the underlying pager.
+func (in *Instrumented) Unwrap() Pager { return in.p }

@@ -1,0 +1,98 @@
+package pager
+
+import (
+	"testing"
+
+	"mcost/internal/obs"
+)
+
+func TestInstrumentedCounters(t *testing.T) {
+	mem, err := NewMem(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	p := Instrument(mem, reg, InstrumentOptions{})
+
+	id, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(id, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := p.Read(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A failed read must not count.
+	if _, err := p.Read(PageID(99)); err == nil {
+		t.Fatal("bad page read succeeded")
+	}
+
+	s := reg.Snapshot()
+	want := map[string]int64{
+		"pager.reads":       3,
+		"pager.writes":      1,
+		"pager.allocs":      1,
+		"pager.read_bytes":  3 * 128,
+		"pager.write_bytes": 5,
+	}
+	for name, v := range want {
+		if got := s.Counters[name]; got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
+	}
+	if _, ok := s.Histograms["pager.read_us"]; ok {
+		t.Error("latency histogram recorded without a clock")
+	}
+
+	// The wrapped pager's own stats stay intact and resettable.
+	if st := p.Stats(); st.Reads != 3 || st.Writes != 1 || st.Allocs != 1 {
+		t.Errorf("inner stats: %+v", st)
+	}
+	p.ResetStats()
+	if st := p.Stats(); st.Reads != 0 {
+		t.Errorf("inner stats not reset: %+v", st)
+	}
+	if got := reg.Counter("pager.reads").Value(); got != 3 {
+		t.Errorf("registry counter reset unexpectedly: %d", got)
+	}
+}
+
+func TestInstrumentedLatency(t *testing.T) {
+	mem, err := NewMem(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	// Fake clock: each call advances 2000 ns, so every read observes 2 us.
+	var now int64
+	clock := func() int64 { now += 2000; return now }
+	p := Instrument(mem, reg, InstrumentOptions{Clock: clock, LatencyBins: 10, LatencyMaxUS: 10})
+
+	id, _ := p.Alloc()
+	for i := 0; i < 5; i++ {
+		if _, err := p.Read(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := reg.Snapshot().Histograms["pager.read_us"]
+	if h.N != 5 {
+		t.Fatalf("latency observations = %d", h.N)
+	}
+	if h.Counts[2] != 5 { // 2 us falls in bin [2,3)
+		t.Fatalf("latency counts = %v", h.Counts)
+	}
+}
+
+func TestInstrumentNilRegistry(t *testing.T) {
+	mem, err := NewMem(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := Instrument(mem, nil, InstrumentOptions{}); p != Pager(mem) {
+		t.Fatal("nil registry should return the pager unchanged")
+	}
+}

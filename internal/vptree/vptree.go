@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"mcost/internal/metric"
+	"mcost/internal/obs"
 )
 
 // Options configures construction.
@@ -250,18 +251,28 @@ type VisitStats struct {
 
 // Range returns all objects within radius of q. stats may be nil.
 func (t *Tree) Range(q metric.Object, radius float64, stats *VisitStats) ([]Match, error) {
+	return t.RangeTraced(q, radius, stats, nil)
+}
+
+// RangeTraced is Range with an optional per-query obs.Trace: node visits
+// and distance computations are recorded per depth (root = 1), and child
+// rings excluded by the cutoff test (Eq. 19, the vp-tree's pruning
+// lemma) are attributed as RadiusPruned at the parent's level. A nil
+// trace costs nothing.
+func (t *Tree) RangeTraced(q metric.Object, radius float64, stats *VisitStats, tr *obs.Trace) ([]Match, error) {
 	if q == nil {
 		return nil, errors.New("vptree: nil query")
 	}
 	if radius < 0 {
 		return nil, fmt.Errorf("vptree: negative radius %g", radius)
 	}
+	tr.StartRange(radius)
 	var out []Match
-	t.rangeAt(t.root, q, radius, stats, &out)
+	t.rangeAt(t.root, q, radius, 1, stats, tr, &out)
 	return out, nil
 }
 
-func (t *Tree) rangeAt(n *node, q metric.Object, radius float64, stats *VisitStats, out *[]Match) {
+func (t *Tree) rangeAt(n *node, q metric.Object, radius float64, level int, stats *VisitStats, tr *obs.Trace, out *[]Match) {
 	if n == nil {
 		return
 	}
@@ -269,8 +280,11 @@ func (t *Tree) rangeAt(n *node, q metric.Object, radius float64, stats *VisitSta
 		if stats != nil {
 			stats.LeafVisits++
 		}
+		tr.Visit(level)
 		for _, it := range n.bucket {
-			if d := t.dist(q, it.obj); d <= radius {
+			d := t.dist(q, it.obj)
+			tr.Dist(level)
+			if d <= radius {
 				*out = append(*out, Match{Object: it.obj, OID: it.oid, Distance: d})
 			}
 		}
@@ -279,7 +293,9 @@ func (t *Tree) rangeAt(n *node, q metric.Object, radius float64, stats *VisitSta
 	if stats != nil {
 		stats.InternalVisits++
 	}
+	tr.Visit(level)
 	d := t.dist(q, n.vantage)
+	tr.Dist(level)
 	if d <= radius {
 		*out = append(*out, Match{Object: n.vantage, OID: n.vid, Distance: d})
 	}
@@ -292,7 +308,9 @@ func (t *Tree) rangeAt(n *node, q metric.Object, radius float64, stats *VisitSta
 		// Child i holds objects with vantage distance in (lo, hi]; the
 		// paper's rule (Eq. 19): visit iff mu_{i-1} - rQ < d <= mu_i + rQ.
 		if d > lo-radius && d <= hi+radius {
-			t.rangeAt(child, q, radius, stats, out)
+			t.rangeAt(child, q, radius, level+1, stats, tr, out)
+		} else if child != nil {
+			tr.PruneRadius(level)
 		}
 		lo = hi
 	}
@@ -300,8 +318,9 @@ func (t *Tree) rangeAt(n *node, q metric.Object, radius float64, stats *VisitSta
 
 // nnItem is a pending subtree ordered by its distance lower bound.
 type nnItem struct {
-	n    *node
-	dMin float64
+	n     *node
+	dMin  float64
+	level int // depth of the subtree root (tree root = 1)
 }
 
 type nnQueue []nnItem
@@ -333,6 +352,12 @@ func (h *resultHeap) Pop() interface{} {
 // NN returns the k nearest neighbors of q by best-first search with ring
 // lower bounds. stats may be nil.
 func (t *Tree) NN(q metric.Object, k int, stats *VisitStats) ([]Match, error) {
+	return t.NNTraced(q, k, stats, nil)
+}
+
+// NNTraced is NN with an optional per-query obs.Trace (see RangeTraced
+// for the recording conventions). A nil trace costs nothing.
+func (t *Tree) NNTraced(q metric.Object, k int, stats *VisitStats, tr *obs.Trace) ([]Match, error) {
 	if q == nil {
 		return nil, errors.New("vptree: nil query")
 	}
@@ -342,7 +367,8 @@ func (t *Tree) NN(q metric.Object, k int, stats *VisitStats) ([]Match, error) {
 	if t.root == nil {
 		return nil, nil
 	}
-	pq := &nnQueue{{n: t.root, dMin: 0}}
+	tr.StartNN(k)
+	pq := &nnQueue{{n: t.root, dMin: 0, level: 1}}
 	best := &resultHeap{}
 	rk := func() float64 {
 		if best.Len() < k {
@@ -369,15 +395,20 @@ func (t *Tree) NN(q metric.Object, k int, stats *VisitStats) ([]Match, error) {
 			if stats != nil {
 				stats.LeafVisits++
 			}
+			tr.Visit(item.level)
 			for _, it := range n.bucket {
-				add(Match{Object: it.obj, OID: it.oid, Distance: t.dist(q, it.obj)})
+				d := t.dist(q, it.obj)
+				tr.Dist(item.level)
+				add(Match{Object: it.obj, OID: it.oid, Distance: d})
 			}
 			continue
 		}
 		if stats != nil {
 			stats.InternalVisits++
 		}
+		tr.Visit(item.level)
 		d := t.dist(q, n.vantage)
+		tr.Dist(item.level)
 		add(Match{Object: n.vantage, OID: n.vid, Distance: d})
 		lo := 0.0
 		for i, child := range n.children {
@@ -394,7 +425,9 @@ func (t *Tree) NN(q metric.Object, k int, stats *VisitStats) ([]Match, error) {
 					dMin = d - hi
 				}
 				if dMin <= rk() {
-					heap.Push(pq, nnItem{n: child, dMin: dMin})
+					heap.Push(pq, nnItem{n: child, dMin: dMin, level: item.level + 1})
+				} else {
+					tr.PruneRadius(item.level)
 				}
 			}
 			lo = hi

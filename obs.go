@@ -1,0 +1,41 @@
+package mcost
+
+import (
+	"mcost/internal/mtree"
+	"mcost/internal/obs"
+)
+
+// QueryTrace records a per-query, level-resolved execution trace: node
+// visits, distance computations, and pruning outcomes attributed per
+// lemma (parent-distance vs covering-radius), indexed by tree level
+// (root = level 1, matching the paper's convention and the per-level
+// cost model L-MCM). A nil *QueryTrace disables recording at zero cost.
+//
+// A trace must not be shared across concurrent queries; give each query
+// its own and Merge them afterwards in query order for deterministic
+// aggregates.
+type QueryTrace = obs.Trace
+
+// MetricsRegistry is a process-wide registry of named counters and
+// fixed-bin histograms, safe for concurrent use and mergeable across
+// workers.
+type MetricsRegistry = obs.Registry
+
+// NewQueryTrace returns an empty trace ready to pass to RangeTraced or
+// NNTraced.
+func NewQueryTrace() *QueryTrace { return obs.NewTrace() }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// RangeTraced is Range with per-level trace recording into tr (which
+// may be nil, degrading to exactly Range).
+func (ix *Index) RangeTraced(q Object, radius float64, tr *QueryTrace) ([]Match, error) {
+	return ix.tree.Range(q, radius, mtree.QueryOptions{UseParentDist: true, Trace: tr})
+}
+
+// NNTraced is NN with per-level trace recording into tr (which may be
+// nil, degrading to exactly NN).
+func (ix *Index) NNTraced(q Object, k int, tr *QueryTrace) ([]Match, error) {
+	return ix.tree.NN(q, k, mtree.QueryOptions{UseParentDist: true, Trace: tr})
+}
