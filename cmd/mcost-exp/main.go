@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"mcost/internal/experiments"
+	"mcost/internal/pager"
 )
 
 func main() {
@@ -33,6 +34,17 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment names and exit")
 		mOut     = flag.String("metrics-out", "", "write the experiment's machine-readable result as JSON to FILE instead of a text table (supported: "+strings.Join(experiments.JSONNames(), ", ")+")")
 		trace    = flag.Bool("trace", false, "with -metrics-out, embed the merged raw query trace in the JSON (residuals experiment)")
+
+		paged       = flag.Bool("paged", false, "mount experiment trees on checksummed paged storage (identical numbers, real serialization)")
+		cachePages  = flag.Int("cache-pages", 0, "LRU page-cache capacity for paged storage")
+		retry       = flag.Int("retry", 0, "retry attempts per page operation (0 = default 3)")
+		budgetSlack = flag.Float64("budget-slack", 0, "run measured queries under an L-MCM x slack budget; budget-stopped queries contribute partial results (0 = unlimited)")
+
+		faultSeed        = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
+		faultReadRate    = flag.Float64("fault-read-rate", 0, "probability a page read fails transiently during measurement (implies -paged)")
+		faultWriteRate   = flag.Float64("fault-write-rate", 0, "probability a page write fails transiently (implies -paged)")
+		faultTornRate    = flag.Float64("fault-torn-rate", 0, "probability a page write is torn (implies -paged)")
+		faultCorruptRate = flag.Float64("fault-corrupt-rate", 0, "probability a page read returns bit-flipped data; caught by checksums, aborts the experiment with a typed error (implies -paged)")
 	)
 	flag.Parse()
 
@@ -41,12 +53,27 @@ func main() {
 		return
 	}
 	cfg := experiments.Config{
-		N:            *n,
-		Queries:      *queries,
-		PageSize:     *pageSize,
-		Seed:         *seed,
-		Workers:      *workers,
-		IncludeTrace: *trace,
+		N:             *n,
+		Queries:       *queries,
+		PageSize:      *pageSize,
+		Seed:          *seed,
+		Workers:       *workers,
+		IncludeTrace:  *trace,
+		Paged:         *paged,
+		CachePages:    *cachePages,
+		RetryAttempts: *retry,
+		BudgetSlack:   *budgetSlack,
+	}
+	faults := pager.FaultConfig{
+		Seed:            *faultSeed,
+		ReadErrorRate:   *faultReadRate,
+		WriteErrorRate:  *faultWriteRate,
+		TornWriteRate:   *faultTornRate,
+		ReadCorruptRate: *faultCorruptRate,
+	}
+	if faults.Any() {
+		cfg.Faults = &faults
+		cfg.Paged = true
 	}
 	if *mOut != "" {
 		f, err := os.Create(*mOut)

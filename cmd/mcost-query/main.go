@@ -12,7 +12,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -44,8 +46,37 @@ func main() {
 		trace    = flag.Bool("trace", false, "print the query's per-level trace (node visits, distance computations, pruning by lemma) as JSON")
 		mOut     = flag.String("metrics-out", "", "write the process metrics snapshot and query trace as JSON to FILE")
 		dbgAddr  = flag.String("debug-addr", "", "serve net/http/pprof and expvar (including the metrics registry at /debug/vars) on this address, e.g. localhost:6060; blocks after the query so the endpoint stays up")
+
+		paged      = flag.Bool("paged", false, "mount the tree on checksummed paged storage (CRC32-C per page; corruption surfaces as a typed error)")
+		cachePages = flag.Int("cache-pages", 0, "LRU page-cache capacity for paged storage (0 = no cache)")
+		retry      = flag.Int("retry", 0, "retry attempts per page operation for transient faults (0 = default 3, 1 = no retrying)")
+
+		budgetSlack = flag.Float64("budget-slack", 0, "stop the query once it spends this multiple of the cost model's L-MCM prediction, returning partial results (0 = unlimited)")
+		timeout     = flag.Duration("query-timeout", 0, "cancel the query after this duration, returning partial results (0 = none)")
+
+		faultSeed        = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
+		faultReadRate    = flag.Float64("fault-read-rate", 0, "probability a page read fails transiently (enables fault injection; implies -paged)")
+		faultWriteRate   = flag.Float64("fault-write-rate", 0, "probability a page write fails transiently (implies -paged)")
+		faultTornRate    = flag.Float64("fault-torn-rate", 0, "probability a page write is torn: half the page lands, then a transient error (implies -paged)")
+		faultCorruptRate = flag.Float64("fault-corrupt-rate", 0, "probability a page read returns bit-flipped data, caught by the page checksum (implies -paged)")
 	)
 	flag.Parse()
+
+	faults := mcost.FaultConfig{
+		Seed:            *faultSeed,
+		ReadErrorRate:   *faultReadRate,
+		WriteErrorRate:  *faultWriteRate,
+		TornWriteRate:   *faultTornRate,
+		ReadCorruptRate: *faultCorruptRate,
+	}
+	storage := mcost.StorageOptions{
+		Paged:         *paged || faults.Any(),
+		CachePages:    *cachePages,
+		RetryAttempts: *retry,
+	}
+	if faults.Any() {
+		storage.Faults = &faults
+	}
 
 	reg := mcost.NewMetricsRegistry()
 	if *dbgAddr != "" {
@@ -71,11 +102,21 @@ func main() {
 	}
 
 	fmt.Printf("building M-tree over %s (n=%d, node size %d B)...\n", d.Name, d.N(), *pageSize)
-	ix, err := mcost.Build(d.Space, d.Objects, mcost.Options{PageSize: *pageSize, Seed: *seed, Workers: *workers})
+	storage.Metrics = reg
+	ix, err := mcost.Build(d.Space, d.Objects, mcost.Options{
+		PageSize: *pageSize, Seed: *seed, Workers: *workers, Storage: storage,
+	})
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("tree: %d nodes, height %d\n\n", ix.NumNodes(), ix.Height())
+	fmt.Printf("tree: %d nodes, height %d", ix.NumNodes(), ix.Height())
+	if storage.Paged {
+		fmt.Printf(" (paged, checksummed%s)", map[bool]string{true: ", fault injection armed", false: ""}[storage.Faults != nil])
+	}
+	fmt.Printf("\n\n")
+	if storage.Faults != nil {
+		ix.SetFaultsEnabled(true) // build is clean; faults target the query phase
+	}
 
 	if *explain && *radius >= 0 {
 		matches, levels, err := ix.ExplainRange(q, *radius)
@@ -93,8 +134,15 @@ func main() {
 	}
 
 	var qtr *mcost.QueryTrace
-	if *trace || *mOut != "" || *dbgAddr != "" {
+	guarded := *budgetSlack > 0 || *timeout > 0
+	if !guarded && (*trace || *mOut != "" || *dbgAddr != "") {
 		qtr = mcost.NewQueryTrace()
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	var matches []mcost.Match
 	var predicted mcost.CostEstimate
@@ -103,19 +151,51 @@ func main() {
 		fmt.Printf("range(Q, %g): predicted %.1f node reads, %.1f distance computations, ~%.1f results\n",
 			*radius, predicted.Nodes, predicted.Dists, ix.PredictSelectivity(*radius))
 		ix.ResetCosts()
-		matches, err = ix.RangeTraced(q, *radius, qtr)
+		switch {
+		case *budgetSlack > 0:
+			b := ix.RangeBudget(*radius, *budgetSlack)
+			fmt.Printf("budget: %d node reads, %d distance computations (L-MCM x %.1f)\n",
+				b.MaxNodeReads, b.MaxDistCalcs, *budgetSlack)
+			matches, err = ix.RangeCtx(ctx, q, *radius, b)
+		case guarded:
+			matches, err = ix.RangeCtx(ctx, q, *radius, mcost.QueryBudget{})
+		default:
+			matches, err = ix.RangeTraced(q, *radius, qtr)
+		}
 	} else {
 		predicted = ix.PredictNN(*k)
 		fmt.Printf("NN(Q, %d): predicted %.1f node reads, %.1f distance computations, E[nn_k] = %.3f\n",
 			*k, predicted.Nodes, predicted.Dists, ix.ExpectedNNDistance(*k))
 		ix.ResetCosts()
-		matches, err = ix.NNTraced(q, *k, qtr)
+		switch {
+		case *budgetSlack > 0:
+			b := ix.NNBudget(*k, *budgetSlack)
+			fmt.Printf("budget: %d node reads, %d distance computations (L-MCM x %.1f)\n",
+				b.MaxNodeReads, b.MaxDistCalcs, *budgetSlack)
+			matches, err = ix.NNCtx(ctx, q, *k, b)
+		case guarded:
+			matches, err = ix.NNCtx(ctx, q, *k, mcost.QueryBudget{})
+		default:
+			matches, err = ix.NNTraced(q, *k, qtr)
+		}
 	}
-	if err != nil {
+	switch {
+	case err == nil:
+	case errors.Is(err, mcost.ErrBudgetExceeded),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		fmt.Printf("DEGRADED: %v — returning the partial result set\n", err)
+	default:
 		fail(err)
 	}
 	nodes, dists := ix.Costs()
-	fmt.Printf("measured: %d node reads, %d distance computations (parent-distance pruning ON)\n\n", nodes, dists)
+	fmt.Printf("measured: %d node reads, %d distance computations (parent-distance pruning ON)\n", nodes, dists)
+	if storage.Faults != nil {
+		fs := ix.FaultStats()
+		fmt.Printf("faults injected: %d read errors, %d write errors, %d torn writes, %d corrupt reads\n",
+			fs.ReadErrors, fs.WriteErrors, fs.TornWrites, fs.CorruptReads)
+	}
+	fmt.Println()
 
 	if qtr != nil {
 		recordMetrics(reg, qtr, matches, d.Space.Bound)
@@ -179,7 +259,7 @@ func writeMetrics(path string, reg *mcost.MetricsRegistry, tr *mcost.QueryTrace)
 	}{Trace: tr}
 	var buf strings.Builder
 	if err := reg.WriteJSON(&buf); err != nil {
-		f.Close()
+		f.Close() //nolint:errcheck // the write error wins
 		return err
 	}
 	doc.Metrics = json.RawMessage(buf.String())

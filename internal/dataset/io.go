@@ -77,7 +77,7 @@ func SaveFile(path string, d *Dataset) error {
 		return err
 	}
 	if err := Save(f, d); err != nil {
-		f.Close()
+		f.Close() //nolint:errcheck // the write error wins
 		return err
 	}
 	return f.Close()

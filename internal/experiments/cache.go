@@ -39,7 +39,7 @@ func RunCache(cfg Config) (*CacheResult, error) {
 	queries := dataset.PaperClusteredQueries(cfg.Queries, dim, cfg.Seed).Queries
 	radius := 0.25
 
-	base, err := pager.NewMem(cfg.PageSize)
+	base, err := pager.NewMem(mtree.PhysPageSize(cfg.PageSize))
 	if err != nil {
 		return nil, err
 	}

@@ -11,10 +11,14 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
+	"mcost/internal/budget"
 	"mcost/internal/core"
 	"mcost/internal/dataset"
 	"mcost/internal/distdist"
@@ -22,6 +26,7 @@ import (
 	"mcost/internal/metric"
 	"mcost/internal/mtree"
 	"mcost/internal/obs"
+	"mcost/internal/pager"
 	"mcost/internal/parallel"
 )
 
@@ -48,7 +53,28 @@ type Config struct {
 	// IncludeTrace embeds the merged raw query trace in JSON outputs
 	// that support it (currently the residuals experiment).
 	IncludeTrace bool
+	// Paged mounts experiment trees on the checksummed paged stack
+	// instead of in-memory nodes. Tree structure and every measured
+	// number are identical (TestGoldenStorageInvariance pins this); only
+	// wall-clock time changes.
+	Paged bool
+	// CachePages adds an LRU page cache of this many pages (implies
+	// Paged semantics only when Paged or Faults is set).
+	CachePages int
+	// RetryAttempts bounds per-page-operation retries (0 = default 3).
+	RetryAttempts int
+	// Faults, when non-nil, arms seeded fault injection during the
+	// measurement phase (builds stay clean). Transient faults are
+	// absorbed by the retry layer; injected corruption aborts the
+	// experiment with a typed error.
+	Faults *pager.FaultConfig
+	// BudgetSlack, when > 0, runs measured queries under a budget of
+	// the L-MCM prediction times this factor; budget-stopped queries
+	// contribute their partial results.
+	BudgetSlack float64
 }
+
+func (c Config) storageEnabled() bool { return c.Paged || c.Faults != nil }
 
 func (c Config) withDefaults() Config {
 	if c.N == 0 {
@@ -132,26 +158,59 @@ func pct(est, actual float64) string {
 type built struct {
 	d       *dataset.Dataset
 	tr      *mtree.Tree
+	stack   *pager.Stack // non-nil only with Config storage enabled
 	f       *histogram.Histogram
 	stats   *mtree.Stats
 	model   *core.MTreeModel
 	workers int
+	slack   float64 // Config.BudgetSlack
 }
 
 // buildFor indexes the dataset per the paper's setup: BulkLoading, the
 // configured node size, F̂ from sampled pairs with the default bin
-// count (100 continuous / 25 edit).
+// count (100 continuous / 25 edit). With Config storage enabled the
+// tree mounts the checksummed page stack; fault injection (if armed)
+// stays off during the build and switches on for the measurement phase.
 func buildFor(d *dataset.Dataset, cfg Config) (*built, error) {
-	tr, err := mtree.New(mtree.Options{
+	mo := mtree.Options{
 		Space:    d.Space,
 		PageSize: cfg.PageSize,
 		Seed:     cfg.Seed,
-	})
+	}
+	var stack *pager.Stack
+	if cfg.storageEnabled() {
+		codec, err := mtree.CodecFor(d.Objects[0])
+		if err != nil {
+			return nil, err
+		}
+		pageSize := cfg.PageSize
+		if pageSize == 0 {
+			pageSize = 4096
+		}
+		stack, err = pager.NewMemStack(pager.StackOptions{
+			PageSize:   mtree.PhysPageSize(pageSize),
+			CachePages: cfg.CachePages,
+			Retry:      pager.RetryOptions{Attempts: cfg.RetryAttempts},
+			Faults:     cfg.Faults,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if stack.Faulty != nil {
+			stack.Faulty.SetEnabled(false)
+		}
+		mo.Pager = stack.Top
+		mo.Codec = codec
+	}
+	tr, err := mtree.New(mo)
 	if err != nil {
 		return nil, err
 	}
 	if err := tr.BulkLoad(d.Objects); err != nil {
 		return nil, err
+	}
+	if stack != nil && stack.Faulty != nil {
+		stack.Faulty.SetEnabled(true)
 	}
 	stats, err := tr.CollectStats()
 	if err != nil {
@@ -165,7 +224,22 @@ func buildFor(d *dataset.Dataset, cfg Config) (*built, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &built{d: d, tr: tr, f: f, stats: stats, model: model, workers: cfg.Workers}, nil
+	return &built{
+		d: d, tr: tr, stack: stack, f: f, stats: stats, model: model,
+		workers: cfg.Workers, slack: cfg.BudgetSlack,
+	}, nil
+}
+
+// budgetFor converts a model prediction into a query budget under the
+// configured slack (zero budget when slack is unset).
+func (b *built) budgetFor(est core.CostEstimate) budget.Budget {
+	if b.slack <= 0 {
+		return budget.Budget{}
+	}
+	return budget.Budget{
+		MaxNodeReads: int64(math.Ceil(est.Nodes * b.slack)),
+		MaxDistCalcs: int64(math.Ceil(est.Dists * b.slack)),
+	}
 }
 
 // measureRange runs the workload without the parent-distance
@@ -177,9 +251,19 @@ func buildFor(d *dataset.Dataset, cfg Config) (*built, error) {
 // averages are identical at any worker count.
 func (b *built) measureRange(queries []metric.Object, radius float64) (nodes, dists, objs float64, err error) {
 	b.tr.ResetCounters()
+	qb := b.budgetFor(b.model.RangeL(radius))
 	counts := make([]int, len(queries))
 	err = parallel.For(b.workers, len(queries), func(i int) error {
-		ms, err := b.tr.Range(queries[i], radius, mtree.QueryOptions{})
+		var ms []mtree.Match
+		var err error
+		if qb.Unlimited() {
+			ms, err = b.tr.Range(queries[i], radius, mtree.QueryOptions{})
+		} else {
+			ms, err = b.tr.RangeCtx(context.Background(), queries[i], radius, mtree.QueryOptions{Budget: qb})
+			if errors.Is(err, budget.ErrExceeded) {
+				err = nil // degraded: keep the partial result set
+			}
+		}
 		if err != nil {
 			return err
 		}
@@ -232,9 +316,19 @@ func (b *built) measureRangeTraced(queries []metric.Object, radius float64) (*ob
 // sums the k-th-neighbor distances in query order.
 func (b *built) measureNN(queries []metric.Object, k int) (nodes, dists, nnDist float64, err error) {
 	b.tr.ResetCounters()
+	qb := b.budgetFor(b.model.NNL(k))
 	kth := make([]float64, len(queries))
 	err = parallel.For(b.workers, len(queries), func(i int) error {
-		ms, err := b.tr.NN(queries[i], k, mtree.QueryOptions{})
+		var ms []mtree.Match
+		var err error
+		if qb.Unlimited() {
+			ms, err = b.tr.NN(queries[i], k, mtree.QueryOptions{})
+		} else {
+			ms, err = b.tr.NNCtx(context.Background(), queries[i], k, mtree.QueryOptions{Budget: qb})
+			if errors.Is(err, budget.ErrExceeded) {
+				err = nil // degraded: keep the best neighbors found
+			}
+		}
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mcost/internal/pager"
+)
+
+// TestGoldenStorageInvariance pins the tentpole storage guarantee: with
+// the full resilience stack mounted — checksummed pages, a fault layer
+// at zero rates, retry, and the LRU cache — every golden experiment
+// produces byte-identical JSON to the plain in-memory run. The storage
+// layers may cost time but must never change a number.
+func TestGoldenStorageInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden runs build trees; skipped in -short")
+	}
+	for _, name := range goldenExperiments {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := goldenCfg()
+			cfg.Paged = true
+			cfg.CachePages = 32
+			cfg.RetryAttempts = 3
+			cfg.Faults = &pager.FaultConfig{Seed: 5} // layer present, all rates zero
+			var buf bytes.Buffer
+			if err := WriteJSON(name, cfg, &buf); err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", "golden_"+name+".json"))
+			if err != nil {
+				t.Fatalf("%v (generate with go test ./internal/experiments -run TestGoldenJSON -update)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("%s differs from the in-memory golden at byte %d: paged storage changed experiment results",
+					name, firstDiff(buf.Bytes(), want))
+			}
+		})
+	}
+}
+
+// TestExperimentsUnderTransientFaults: a hot transient-read schedule
+// under the default retry layer still reproduces the exact golden
+// numbers — retries are invisible to the measured counters.
+func TestExperimentsUnderTransientFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds trees; skipped in -short")
+	}
+	cfg := goldenCfg()
+	// Rate and attempts chosen so P(one read exhausts every attempt)
+	// = 0.02^6 — negligible across the run's reads; a single exhaustion
+	// fails the test by breaking byte-identity.
+	cfg.RetryAttempts = 6
+	cfg.Faults = &pager.FaultConfig{Seed: 3, ReadErrorRate: 0.02}
+	var buf bytes.Buffer
+	if err := WriteJSON("fig1", cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_fig1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("fig1 under transient read faults differs from golden at byte %d",
+			firstDiff(buf.Bytes(), want))
+	}
+}

@@ -183,9 +183,11 @@ func TestBulkLoadPagedMode(t *testing.T) {
 	}
 }
 
-func newTestPager(t *testing.T, pageSize int) pager.Pager {
+// newTestPager returns an in-memory pager sized for trees with the
+// given node size (physical page = node + checksum).
+func newTestPager(t *testing.T, nodeSize int) pager.Pager {
 	t.Helper()
-	p, err := pager.NewMem(pageSize)
+	p, err := pager.NewMem(PhysPageSize(nodeSize))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -51,7 +51,7 @@ func TestConcurrentQueries(t *testing.T) {
 		return tr
 	}
 
-	mem, err := pager.NewMem(2048)
+	mem, err := pager.NewMem(PhysPageSize(2048))
 	if err != nil {
 		t.Fatal(err)
 	}

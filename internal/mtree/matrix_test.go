@@ -35,7 +35,7 @@ func TestOptionMatrix(t *testing.T) {
 									Seed:      3,
 								}
 								if paged {
-									pg, err := pager.NewMem(pageSize)
+									pg, err := pager.NewMem(PhysPageSize(pageSize))
 									if err != nil {
 										t.Fatal(err)
 									}

@@ -62,7 +62,7 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(Options{Space: metric.VectorSpace("L2", 2), MinUtil: 0.9}); err == nil {
 		t.Error("MinUtil > 0.5 accepted")
 	}
-	p, _ := pager.NewMem(4096)
+	p, _ := pager.NewMem(PhysPageSize(4096))
 	if _, err := New(Options{Space: metric.VectorSpace("L2", 2), Pager: p}); err == nil {
 		t.Error("paged mode without codec accepted")
 	}
@@ -458,7 +458,7 @@ func TestPagedModeEquivalence(t *testing.T) {
 	d := dataset.Uniform(400, 3, 15)
 	mem := buildTree(t, d, Options{PageSize: 1024, Seed: 3})
 
-	pg, err := pager.NewMem(1024)
+	pg, err := pager.NewMem(PhysPageSize(1024))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -498,7 +498,7 @@ func TestPagedModeEquivalence(t *testing.T) {
 
 func TestFilePagedTree(t *testing.T) {
 	d := dataset.Words(300, 16)
-	pg, err := pager.NewFile(t.TempDir()+"/tree.db", 512)
+	pg, err := pager.NewFile(t.TempDir()+"/tree.db", PhysPageSize(512))
 	if err != nil {
 		t.Fatal(err)
 	}

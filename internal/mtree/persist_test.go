@@ -2,6 +2,7 @@ package mtree
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -23,7 +24,7 @@ func TestSnapshotRequiresPagedTree(t *testing.T) {
 func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	d := dataset.Words(500, 81)
-	pg, err := pager.NewFile(filepath.Join(dir, "tree.pages"), 512)
+	pg, err := pager.NewFile(filepath.Join(dir, "tree.pages"), PhysPageSize(512))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pg2, err := pager.FromFile(f, 512)
+	pg2, err := pager.FromFile(f, PhysPageSize(512))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,25 +102,27 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 
 func TestRestoreValidation(t *testing.T) {
 	sp := metric.VectorSpace("L2", 2)
-	pg, _ := pager.NewMem(512)
+	pg, _ := pager.NewMem(PhysPageSize(512))
 	good := Options{Space: sp, Pager: pg, Codec: VectorCodec{Dim: 2}}
 	if _, err := Restore(bytes.NewReader(nil), Options{Space: sp}); err == nil {
 		t.Error("missing pager/codec accepted")
 	}
-	if _, err := Restore(bytes.NewReader([]byte("garbage header not long")), good); err == nil {
-		t.Error("short/garbage header accepted")
+	if _, err := Restore(bytes.NewReader([]byte("garbage header not long")), good); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("short/garbage header: got %v, want ErrBadSnapshot", err)
 	}
 	// Valid-length but wrong magic.
-	bad := make([]byte, len(snapshotMagic)+4+8+8+8+8)
+	bad := make([]byte, len(snapshotMagic)+snapshotPayloadSize+4)
 	copy(bad, "wrong-magic-----")
-	if _, err := Restore(bytes.NewReader(bad), good); err == nil {
-		t.Error("bad magic accepted")
+	if _, err := Restore(bytes.NewReader(bad), good); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("bad magic: got %v, want ErrBadSnapshot", err)
 	}
 }
 
-func TestRestorePageSizeMismatch(t *testing.T) {
+// TestSnapshotChecksum: a truncated or bit-flipped snapshot must fail
+// Restore with ErrBadSnapshot, never resurrect a wrong tree.
+func TestSnapshotChecksum(t *testing.T) {
 	d := dataset.Uniform(100, 2, 5)
-	pg, _ := pager.NewMem(512)
+	pg, _ := pager.NewMem(PhysPageSize(512))
 	opt := Options{Space: d.Space, PageSize: 512, Pager: pg, Codec: VectorCodec{Dim: 2}}
 	tr, err := New(opt)
 	if err != nil {
@@ -132,7 +135,39 @@ func TestRestorePageSizeMismatch(t *testing.T) {
 	if err := tr.Snapshot(&buf); err != nil {
 		t.Fatal(err)
 	}
-	pg2, _ := pager.NewMem(1024)
+	snap := buf.Bytes()
+
+	if _, err := Restore(bytes.NewReader(snap), opt); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+	if _, err := Restore(bytes.NewReader(snap[:len(snap)-1]), opt); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("truncated snapshot: got %v, want ErrBadSnapshot", err)
+	}
+	for _, bit := range []int{len(snapshotMagic)*8 + 1, (len(snap) - 2) * 8} {
+		flipped := append([]byte(nil), snap...)
+		flipped[bit/8] ^= 1 << (bit % 8)
+		if _, err := Restore(bytes.NewReader(flipped), opt); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("bit %d flipped: got %v, want ErrBadSnapshot", bit, err)
+		}
+	}
+}
+
+func TestRestorePageSizeMismatch(t *testing.T) {
+	d := dataset.Uniform(100, 2, 5)
+	pg, _ := pager.NewMem(PhysPageSize(512))
+	opt := Options{Space: d.Space, PageSize: 512, Pager: pg, Codec: VectorCodec{Dim: 2}}
+	tr, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad(d.Objects); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pg2, _ := pager.NewMem(PhysPageSize(1024))
 	if _, err := Restore(bytes.NewReader(buf.Bytes()),
 		Options{Space: d.Space, PageSize: 1024, Pager: pg2, Codec: VectorCodec{Dim: 2}}); err == nil {
 		t.Fatal("page-size mismatch accepted")

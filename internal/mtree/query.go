@@ -2,14 +2,25 @@ package mtree
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"mcost/internal/budget"
 	"mcost/internal/metric"
 	"mcost/internal/obs"
 	"mcost/internal/pager"
 )
+
+// QueryBudget caps one query's node reads and distance computations;
+// see RangeCtx. The zero value is unlimited.
+type QueryBudget = budget.Budget
+
+// ErrBudgetExceeded is the sentinel for budget-stopped queries (match
+// with errors.Is). A query stopped by its budget still returns the
+// partial result set accumulated before the stop.
+var ErrBudgetExceeded = budget.ErrExceeded
 
 // QueryOptions tunes query execution.
 type QueryOptions struct {
@@ -28,6 +39,12 @@ type QueryOptions struct {
 	// Trace must not be shared by concurrent queries — give each query
 	// its own and obs.Trace.Merge them in query order.
 	Trace *obs.Trace
+	// Budget caps the query's node reads and distance computations.
+	// Only the context-aware entry points (RangeCtx, NNCtx) honor it;
+	// the plain methods ignore it and stay zero-overhead. Seed it from
+	// the cost model's prediction times a slack factor to make the
+	// model gate its own queries.
+	Budget QueryBudget
 }
 
 // Match is one query result.
@@ -39,6 +56,21 @@ type Match struct {
 
 // Range returns all objects within radius of q, in unspecified order.
 func (t *Tree) Range(q metric.Object, radius float64, opt QueryOptions) ([]Match, error) {
+	return t.rangeSearch(nil, q, radius, opt)
+}
+
+// RangeCtx is Range honoring ctx and opt.Budget at each node fetch: a
+// canceled or expired context surfaces its context error, and a query
+// that would exceed its budget stops with a typed error matching
+// ErrBudgetExceeded. In both cases the matches found before the stop
+// are returned alongside the error — a valid partial result set (every
+// returned match is within radius; completeness is what was given up).
+// With a background context and a zero budget it is exactly Range.
+func (t *Tree) RangeCtx(ctx context.Context, q metric.Object, radius float64, opt QueryOptions) ([]Match, error) {
+	return t.rangeSearch(budget.NewGuard(ctx, opt.Budget), q, radius, opt)
+}
+
+func (t *Tree) rangeSearch(g *budget.Guard, q metric.Object, radius float64, opt QueryOptions) ([]Match, error) {
 	if q == nil {
 		return nil, errors.New("mtree: nil query object")
 	}
@@ -50,14 +82,17 @@ func (t *Tree) Range(q metric.Object, radius float64, opt QueryOptions) ([]Match
 	}
 	opt.Trace.StartRange(radius)
 	var out []Match
-	err := t.rangeAt(t.root, q, radius, math.NaN(), 1, opt, &out)
+	err := t.rangeAt(t.root, q, radius, math.NaN(), 1, opt, g, &out)
 	return out, err
 }
 
 // rangeAt recursively collects matches under node id, a node at the
 // given level (root = 1). distQP is d(q, routing object of this node) —
 // NaN at the root.
-func (t *Tree) rangeAt(id pager.PageID, q metric.Object, radius, distQP float64, level int, opt QueryOptions, out *[]Match) error {
+func (t *Tree) rangeAt(id pager.PageID, q metric.Object, radius, distQP float64, level int, opt QueryOptions, g *budget.Guard, out *[]Match) error {
+	if err := g.BeforeFetch(); err != nil {
+		return err
+	}
 	n, err := t.store.fetch(id)
 	if err != nil {
 		return err
@@ -80,6 +115,9 @@ func (t *Tree) rangeAt(id pager.PageID, q metric.Object, radius, distQP float64,
 		}
 		d := t.dist(q, e.Object)
 		opt.Trace.Dist(level)
+		if err := g.OnDist(); err != nil {
+			return err
+		}
 		if d > bound {
 			if !n.leaf {
 				opt.Trace.PruneRadius(level)
@@ -88,7 +126,7 @@ func (t *Tree) rangeAt(id pager.PageID, q metric.Object, radius, distQP float64,
 		}
 		if n.leaf {
 			*out = append(*out, Match{Object: e.Object, OID: e.OID, Distance: d})
-		} else if err := t.rangeAt(e.Child, q, radius, d, level+1, opt, out); err != nil {
+		} else if err := t.rangeAt(e.Child, q, radius, d, level+1, opt, g, out); err != nil {
 			return err
 		}
 	}
@@ -131,12 +169,67 @@ func (h *resultHeap) Pop() interface{} {
 	return x
 }
 
+// drain empties the heap into increasing-distance order.
+func (h *resultHeap) drain() []Match {
+	out := make([]Match, h.Len())
+	for i := h.Len() - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Match)
+	}
+	return out
+}
+
 // NN returns the k nearest neighbors of q ordered by increasing
 // distance, using the optimal best-first branch-and-bound algorithm: a
 // priority queue of subtrees ordered by their distance lower bound, with
 // the dynamic search radius set by the k-th best match so far. It
 // accesses only nodes whose region intersects the final NN(q,k) ball.
 func (t *Tree) NN(q metric.Object, k int, opt QueryOptions) ([]Match, error) {
+	out, err := t.nnSearch(nil, q, k, math.Inf(1), opt)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// NNCtx is NN honoring ctx and opt.Budget at each node fetch (see
+// RangeCtx for the stop semantics). On a stop the best matches found so
+// far are returned in increasing-distance order alongside the error: a
+// partial result — each returned object is a true object at its true
+// distance, but a closer neighbor may not have been reached yet.
+func (t *Tree) NNCtx(ctx context.Context, q metric.Object, k int, opt QueryOptions) ([]Match, error) {
+	return t.nnSearch(budget.NewGuard(ctx, opt.Budget), q, k, math.Inf(1), opt)
+}
+
+// NNWithStop is NN with an additional stop radius: subtrees whose
+// distance lower bound exceeds stopRadius are never expanded, even if
+// the current k-th candidate is farther. With stopRadius = d+ it is
+// exactly NN; with a stopRadius derived from the cost model's k-NN
+// distance quantile (see core.MTreeModel.NNDistQuantile) it implements
+// probably-approximately-correct NN: the true neighbors are missed only
+// in the low-probability tail where nn_k exceeds the chosen quantile.
+func (t *Tree) NNWithStop(q metric.Object, k int, stopRadius float64, opt QueryOptions) ([]Match, error) {
+	if stopRadius < 0 {
+		return nil, fmt.Errorf("mtree: negative stop radius %g", stopRadius)
+	}
+	out, err := t.nnSearch(nil, q, k, stopRadius, opt)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// NNWithStopCtx is NNWithStop honoring ctx and opt.Budget (see NNCtx).
+func (t *Tree) NNWithStopCtx(ctx context.Context, q metric.Object, k int, stopRadius float64, opt QueryOptions) ([]Match, error) {
+	if stopRadius < 0 {
+		return nil, fmt.Errorf("mtree: negative stop radius %g", stopRadius)
+	}
+	return t.nnSearch(budget.NewGuard(ctx, opt.Budget), q, k, stopRadius, opt)
+}
+
+// nnSearch is the shared best-first search: NN is the stopRadius=+Inf
+// case. On a guard stop (context or budget) it returns the current best
+// matches with the guard's error.
+func (t *Tree) nnSearch(g *budget.Guard, q metric.Object, k int, stopRadius float64, opt QueryOptions) ([]Match, error) {
 	if q == nil {
 		return nil, errors.New("mtree: nil query object")
 	}
@@ -150,19 +243,26 @@ func (t *Tree) NN(q metric.Object, k int, opt QueryOptions) ([]Match, error) {
 	pq := &nnQueue{{id: t.root, dMin: 0, distQ: math.NaN(), level: 1}}
 	best := &resultHeap{}
 	rk := func() float64 {
-		if best.Len() < k {
-			return t.opt.Space.Bound
+		r := t.opt.Space.Bound
+		if best.Len() >= k {
+			r = (*best)[0].Distance
 		}
-		return (*best)[0].Distance
+		if stopRadius < r {
+			return stopRadius
+		}
+		return r
 	}
 	for pq.Len() > 0 {
 		item := heap.Pop(pq).(nnQueueItem)
 		if item.dMin > rk() {
 			break
 		}
+		if err := g.BeforeFetch(); err != nil {
+			return best.drain(), err
+		}
 		n, err := t.store.fetch(item.id)
 		if err != nil {
-			return nil, err
+			return best.drain(), err
 		}
 		opt.Trace.Visit(item.level)
 		for i := range n.entries {
@@ -179,6 +279,9 @@ func (t *Tree) NN(q metric.Object, k int, opt QueryOptions) ([]Match, error) {
 			}
 			d := t.dist(q, e.Object)
 			opt.Trace.Dist(item.level)
+			if err := g.OnDist(); err != nil {
+				return best.drain(), err
+			}
 			if n.leaf {
 				if d <= rk() {
 					heap.Push(best, Match{Object: e.Object, OID: e.OID, Distance: d})
@@ -199,12 +302,7 @@ func (t *Tree) NN(q metric.Object, k int, opt QueryOptions) ([]Match, error) {
 			}
 		}
 	}
-	// Drain the heap into increasing order.
-	out := make([]Match, best.Len())
-	for i := best.Len() - 1; i >= 0; i-- {
-		out[i] = heap.Pop(best).(Match)
-	}
-	return out, nil
+	return best.drain(), nil
 }
 
 // LinearScanRange is the baseline: scan all objects, computing every
@@ -232,93 +330,5 @@ func LinearScanNN(objs []metric.Object, space *metric.Space, q metric.Object, k 
 			heap.Push(best, Match{Object: o, OID: uint64(i), Distance: d})
 		}
 	}
-	out := make([]Match, best.Len())
-	for i := best.Len() - 1; i >= 0; i-- {
-		out[i] = heap.Pop(best).(Match)
-	}
-	return out
-}
-
-// NNWithStop is NN with an additional stop radius: subtrees whose
-// distance lower bound exceeds stopRadius are never expanded, even if
-// the current k-th candidate is farther. With stopRadius = d+ it is
-// exactly NN; with a stopRadius derived from the cost model's k-NN
-// distance quantile (see core.MTreeModel.NNDistQuantile) it implements
-// probably-approximately-correct NN: the true neighbors are missed only
-// in the low-probability tail where nn_k exceeds the chosen quantile.
-func (t *Tree) NNWithStop(q metric.Object, k int, stopRadius float64, opt QueryOptions) ([]Match, error) {
-	if q == nil {
-		return nil, errors.New("mtree: nil query object")
-	}
-	if k <= 0 {
-		return nil, fmt.Errorf("mtree: k = %d", k)
-	}
-	if stopRadius < 0 {
-		return nil, fmt.Errorf("mtree: negative stop radius %g", stopRadius)
-	}
-	if t.root == pager.InvalidPage {
-		return nil, nil
-	}
-	opt.Trace.StartNN(k)
-	pq := &nnQueue{{id: t.root, dMin: 0, distQ: math.NaN(), level: 1}}
-	best := &resultHeap{}
-	rk := func() float64 {
-		r := t.opt.Space.Bound
-		if best.Len() >= k {
-			r = (*best)[0].Distance
-		}
-		if stopRadius < r {
-			return stopRadius
-		}
-		return r
-	}
-	for pq.Len() > 0 {
-		item := heap.Pop(pq).(nnQueueItem)
-		if item.dMin > rk() {
-			break
-		}
-		n, err := t.store.fetch(item.id)
-		if err != nil {
-			return nil, err
-		}
-		opt.Trace.Visit(item.level)
-		for i := range n.entries {
-			e := &n.entries[i]
-			bound := rk()
-			if !n.leaf {
-				bound += e.Radius
-			}
-			if opt.UseParentDist && !math.IsNaN(item.distQ) && !math.IsNaN(e.ParentDist) {
-				if math.Abs(item.distQ-e.ParentDist) > bound {
-					opt.Trace.PruneParent(item.level)
-					continue
-				}
-			}
-			d := t.dist(q, e.Object)
-			opt.Trace.Dist(item.level)
-			if n.leaf {
-				if d <= rk() {
-					heap.Push(best, Match{Object: e.Object, OID: e.OID, Distance: d})
-					if best.Len() > k {
-						heap.Pop(best)
-					}
-				}
-				continue
-			}
-			dMin := d - e.Radius
-			if dMin < 0 {
-				dMin = 0
-			}
-			if dMin <= rk() {
-				heap.Push(pq, nnQueueItem{id: e.Child, dMin: dMin, distQ: d, level: item.level + 1})
-			} else {
-				opt.Trace.PruneRadius(item.level)
-			}
-		}
-	}
-	out := make([]Match, best.Len())
-	for i := best.Len() - 1; i >= 0; i-- {
-		out[i] = heap.Pop(best).(Match)
-	}
-	return out, nil
+	return best.drain()
 }

@@ -1,9 +1,12 @@
 package mtree
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"sync/atomic"
 
+	"mcost/internal/obs"
 	"mcost/internal/pager"
 )
 
@@ -86,18 +89,54 @@ func (s *memStore) resetReads() { s.r.Store(0) }
 
 func (s *memStore) numNodes() int { return len(s.nodes) }
 
+// pageChecksumSize is the per-page integrity overhead: a CRC32-C of the
+// node payload, stored little-endian in the first 4 bytes of every
+// physical page. The checksum covers the rest of the page including its
+// zero padding, so any stored bit flip — payload or padding — is caught
+// on the next fetch.
+const pageChecksumSize = 4
+
+// castagnoli is the CRC32-C polynomial table (the same checksum ext4,
+// btrfs and iSCSI use for data integrity).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// PhysPageSize returns the physical pager page size for a tree with the
+// given node size: the node payload plus the per-page checksum. Paged
+// trees mount a pager of this size so that Options.PageSize keeps
+// meaning node capacity — a paged tree and a memory tree with the same
+// PageSize have identical structure and identical model inputs.
+func PhysPageSize(nodeSize int) int { return nodeSize + pageChecksumSize }
+
 // pagedStore round-trips every node through a pager: fetch reads and
 // decodes the page, store encodes and writes it. Every access pays the
-// serialization cost, exercising the on-page format for real.
+// serialization cost, exercising the on-page format for real. Each
+// physical page carries a CRC32-C over its payload; a mismatch on fetch
+// surfaces as a typed *pager.CorruptPageError instead of a garbage
+// decode.
 type pagedStore struct {
 	p        pager.Pager
 	codec    ObjectCodec
+	corrupt  *obs.Counter
 	freelist []pager.PageID
 	r        atomic.Int64
 }
 
-func newPagedStore(p pager.Pager, codec ObjectCodec) *pagedStore {
-	return &pagedStore{p: p, codec: codec}
+func newPagedStore(p pager.Pager, codec ObjectCodec, corrupt *obs.Counter) *pagedStore {
+	return &pagedStore{p: p, codec: codec, corrupt: corrupt}
+}
+
+// nodeSize is the payload capacity of one page.
+func (s *pagedStore) nodeSize() int { return s.p.PageSize() - pageChecksumSize }
+
+// verify checks the page checksum and hands back the payload.
+func (s *pagedStore) verify(id pager.PageID, buf []byte) ([]byte, error) {
+	want := binary.LittleEndian.Uint32(buf)
+	got := crc32.Checksum(buf[pageChecksumSize:], castagnoli)
+	if got != want {
+		s.corrupt.Inc()
+		return nil, &pager.CorruptPageError{ID: id, Want: want, Got: got}
+	}
+	return buf[pageChecksumSize:], nil
 }
 
 func (s *pagedStore) alloc(leaf bool) (*node, error) {
@@ -124,8 +163,12 @@ func (s *pagedStore) fetch(id pager.PageID) (*node, error) {
 	if err != nil {
 		return nil, err
 	}
+	payload, err := s.verify(id, buf)
+	if err != nil {
+		return nil, err
+	}
 	s.r.Add(1)
-	return decodeNode(id, buf, s.codec)
+	return decodeNode(id, payload, s.codec)
 }
 
 func (s *pagedStore) peek(id pager.PageID) (*node, error) {
@@ -133,7 +176,11 @@ func (s *pagedStore) peek(id pager.PageID) (*node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return decodeNode(id, buf, s.codec)
+	payload, err := s.verify(id, buf)
+	if err != nil {
+		return nil, err
+	}
+	return decodeNode(id, payload, s.codec)
 }
 
 func (s *pagedStore) store(n *node) error {
@@ -141,10 +188,15 @@ func (s *pagedStore) store(n *node) error {
 	if err != nil {
 		return err
 	}
-	if len(buf) > s.p.PageSize() {
-		return fmt.Errorf("mtree: node %d needs %d bytes, page size %d", n.id, len(buf), s.p.PageSize())
+	if len(buf) > s.nodeSize() {
+		return fmt.Errorf("mtree: node %d needs %d bytes, page size %d", n.id, len(buf), s.nodeSize())
 	}
-	return s.p.Write(n.id, buf)
+	// The checksum must cover the zero padding too (that is what lands
+	// on the page), so build the full physical page before summing.
+	phys := make([]byte, s.p.PageSize())
+	copy(phys[pageChecksumSize:], buf)
+	binary.LittleEndian.PutUint32(phys, crc32.Checksum(phys[pageChecksumSize:], castagnoli))
+	return s.p.Write(n.id, phys)
 }
 
 // free recycles the page for a later alloc. The freelist lives in

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"mcost/internal/metric"
+	"mcost/internal/obs"
 	"mcost/internal/pager"
 )
 
@@ -84,7 +85,12 @@ type Options struct {
 	// Pager, when set, makes the tree fully paged: every node access
 	// reads and decodes the page. When nil the tree keeps nodes in
 	// memory and counts accesses logically — same costs, much faster.
+	// The pager's page size must be PhysPageSize(PageSize): the node
+	// payload plus the per-page checksum.
 	Pager pager.Pager
+	// Metrics, when non-nil, receives the counter "mtree.corrupt_pages"
+	// (checksum mismatches caught on fetch) from paged trees.
+	Metrics *obs.Registry
 	// Seed drives split sampling and bulk-load seeding.
 	Seed int64
 }
@@ -142,13 +148,14 @@ func New(opt Options) (*Tree, error) {
 		root:    pager.InvalidPage,
 	}
 	if opt.Pager != nil {
-		if opt.Pager.PageSize() != opt.PageSize {
-			return nil, fmt.Errorf("mtree: pager page size %d != option %d", opt.Pager.PageSize(), opt.PageSize)
+		if opt.Pager.PageSize() != PhysPageSize(opt.PageSize) {
+			return nil, fmt.Errorf("mtree: pager page size %d != PhysPageSize(%d) = %d (node size + checksum)",
+				opt.Pager.PageSize(), opt.PageSize, PhysPageSize(opt.PageSize))
 		}
 		if opt.Codec == nil {
 			return nil, errors.New("mtree: paged mode requires an explicit Codec")
 		}
-		t.store = newPagedStore(opt.Pager, opt.Codec)
+		t.store = newPagedStore(opt.Pager, opt.Codec, opt.Metrics.Counter("mtree.corrupt_pages"))
 	} else {
 		t.store = newMemStore()
 	}

@@ -1,0 +1,105 @@
+package pager
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Error taxonomy of the storage stack. Callers classify failures with
+// errors.Is against the sentinels below; the concrete error types carry
+// the page identity and fault details for diagnostics.
+//
+//   - Transient faults (injected errors, torn writes) implement
+//     Transient() bool and are absorbed by the Retry wrapper.
+//   - ErrCorruptPage is permanent: the bytes on the page do not match
+//     their checksum, so re-reading cannot help unless the corruption
+//     itself was transient (a retrying caller may still re-read once).
+//   - ErrExhausted marks a transient fault that survived every retry
+//     attempt and must now be treated as permanent by the query layer.
+
+// ErrCorruptPage is the sentinel for checksum-mismatch failures. Match
+// with errors.Is; the concrete *CorruptPageError carries the PageID.
+var ErrCorruptPage = errors.New("pager: corrupt page")
+
+// CorruptPageError reports a page whose contents fail checksum
+// verification: a torn write, at-rest bit rot, or a corrupted read.
+type CorruptPageError struct {
+	// ID is the corrupt page.
+	ID PageID
+	// Want is the stored checksum, Got the checksum of the bytes read.
+	Want, Got uint32
+}
+
+// Error implements error.
+func (e *CorruptPageError) Error() string {
+	return fmt.Sprintf("pager: corrupt page %d: checksum %08x, stored %08x", e.ID, e.Got, e.Want)
+}
+
+// Is reports errors.Is equivalence with ErrCorruptPage.
+func (e *CorruptPageError) Is(target error) bool { return target == ErrCorruptPage }
+
+// ErrInjected is the sentinel for faults injected by the Faulty wrapper.
+var ErrInjected = errors.New("pager: injected fault")
+
+// InjectedError is a deterministic, schedule-driven fault from a Faulty
+// pager. It is transient: retrying the operation succeeds once the
+// schedule moves on.
+type InjectedError struct {
+	// Op is "read", "write", or "torn-write".
+	Op string
+	// ID is the page the faulted operation addressed.
+	ID PageID
+}
+
+// Error implements error.
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("pager: injected %s fault on page %d", e.Op, e.ID)
+}
+
+// Is reports errors.Is equivalence with ErrInjected.
+func (e *InjectedError) Is(target error) bool { return target == ErrInjected }
+
+// Transient marks the fault as retryable.
+func (e *InjectedError) Transient() bool { return true }
+
+// ErrExhausted is the sentinel for a transient fault that persisted
+// through every retry attempt.
+var ErrExhausted = errors.New("pager: retry attempts exhausted")
+
+// ExhaustedError wraps the last transient error after the Retry wrapper
+// ran out of attempts. It is NOT transient: the fault is now permanent
+// from the caller's point of view.
+type ExhaustedError struct {
+	// Op is the operation that kept failing ("read", "write", "alloc").
+	Op string
+	// Attempts is the total tries made.
+	Attempts int
+	// Err is the last underlying error.
+	Err error
+}
+
+// Error implements error.
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("pager: %s failed after %d attempts: %v", e.Op, e.Attempts, e.Err)
+}
+
+// Is reports errors.Is equivalence with ErrExhausted.
+func (e *ExhaustedError) Is(target error) bool { return target == ErrExhausted }
+
+// Unwrap exposes the underlying fault for errors.Is/As chains.
+func (e *ExhaustedError) Unwrap() error { return e.Err }
+
+// IsTransient reports whether err (or anything it wraps) is a transient
+// fault worth retrying. ExhaustedError deliberately breaks the chain: a
+// fault that outlived its retry budget is no longer transient.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ex *ExhaustedError
+	if errors.As(err, &ex) {
+		return false
+	}
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}

@@ -1,0 +1,222 @@
+package pager
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// FaultConfig parameterizes a deterministic fault schedule. Each rate is
+// the per-operation probability in [0, 1] of injecting that fault class;
+// the draws come from a rand.Rand seeded with Seed, so the same
+// configuration over the same operation sequence injects the same faults
+// every run — the property the fault-matrix tests rely on.
+type FaultConfig struct {
+	// Seed drives the schedule.
+	Seed int64
+	// ReadErrorRate injects transient read failures: the read returns an
+	// *InjectedError and no data. A retry sees the next schedule step.
+	ReadErrorRate float64
+	// WriteErrorRate injects transient write failures before anything is
+	// written: the page keeps its previous contents.
+	WriteErrorRate float64
+	// TornWriteRate injects short writes: only the first half of the
+	// page reaches the base pager (the rest is zeroed by the page-write
+	// contract) and the operation returns a transient *InjectedError. An
+	// absorbed retry rewrites the full page; an unabsorbed torn write
+	// leaves a page whose checksum cannot verify.
+	TornWriteRate float64
+	// ReadCorruptRate flips one deterministic bit in the buffer a read
+	// returns. The base page is untouched: the corruption models a bad
+	// transfer, not bad media. Checksummed readers detect it.
+	ReadCorruptRate float64
+}
+
+// Any reports whether the configuration injects anything at all.
+func (c FaultConfig) Any() bool {
+	return c.ReadErrorRate > 0 || c.WriteErrorRate > 0 || c.TornWriteRate > 0 || c.ReadCorruptRate > 0
+}
+
+// validate rejects rates outside [0, 1].
+func (c FaultConfig) validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"ReadErrorRate", c.ReadErrorRate},
+		{"WriteErrorRate", c.WriteErrorRate},
+		{"TornWriteRate", c.TornWriteRate},
+		{"ReadCorruptRate", c.ReadCorruptRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("pager: fault rate %s = %g outside [0, 1]", r.name, r.v)
+		}
+	}
+	return nil
+}
+
+// FaultStats counts faults injected since construction (or the last
+// Reseed).
+type FaultStats struct {
+	ReadErrors   int64
+	WriteErrors  int64
+	TornWrites   int64
+	CorruptReads int64
+}
+
+// Faulty wraps a Pager with seeded, deterministic fault injection: the
+// test substrate for the storage-hardening layers above it. It is safe
+// for concurrent use (the schedule is mutex-serialized), but
+// deterministic replay additionally requires a deterministic operation
+// order, i.e. a single-goroutine caller.
+type Faulty struct {
+	base    Pager
+	enabled atomic.Bool
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	cfg FaultConfig
+
+	readErrors   atomic.Int64
+	writeErrors  atomic.Int64
+	tornWrites   atomic.Int64
+	corruptReads atomic.Int64
+}
+
+// NewFaulty wraps base with the given fault schedule, enabled.
+func NewFaulty(base Pager, cfg FaultConfig) (*Faulty, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	f := &Faulty{base: base, rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
+	f.enabled.Store(true)
+	return f, nil
+}
+
+// SetEnabled turns injection on or off without disturbing the schedule
+// position. Typical use: disable while building a tree, enable for the
+// query workload under test.
+func (f *Faulty) SetEnabled(on bool) { f.enabled.Store(on) }
+
+// Enabled reports whether injection is active.
+func (f *Faulty) Enabled() bool { return f.enabled.Load() }
+
+// Reseed restarts the schedule from the given seed and zeroes the fault
+// counters.
+func (f *Faulty) Reseed(seed int64) {
+	f.mu.Lock()
+	f.rng = rand.New(rand.NewSource(seed))
+	f.mu.Unlock()
+	f.readErrors.Store(0)
+	f.writeErrors.Store(0)
+	f.tornWrites.Store(0)
+	f.corruptReads.Store(0)
+}
+
+// FaultStats returns the injected-fault counters.
+func (f *Faulty) FaultStats() FaultStats {
+	return FaultStats{
+		ReadErrors:   f.readErrors.Load(),
+		WriteErrors:  f.writeErrors.Load(),
+		TornWrites:   f.tornWrites.Load(),
+		CorruptReads: f.corruptReads.Load(),
+	}
+}
+
+// roll consumes one schedule step and reports whether a fault at the
+// given rate fires. The second value is an auxiliary draw for fault
+// shaping (e.g. which bit to flip), consumed on every call so the
+// schedule advances identically whether or not the fault fires.
+func (f *Faulty) roll(rate float64) (bool, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	hit := f.rng.Float64() < rate
+	aux := f.rng.Intn(1 << 30)
+	return hit, aux
+}
+
+// PageSize implements Pager.
+func (f *Faulty) PageSize() int { return f.base.PageSize() }
+
+// Alloc implements Pager. Allocation is never faulted: allocation
+// failures are structural, not I/O, and the layers under test handle
+// them through the ordinary error path.
+func (f *Faulty) Alloc() (PageID, error) { return f.base.Alloc() }
+
+// Read implements Pager, injecting transient read errors and bit-flip
+// corruption per the schedule.
+func (f *Faulty) Read(id PageID) ([]byte, error) {
+	if !f.enabled.Load() {
+		return f.base.Read(id)
+	}
+	if hit, _ := f.roll(f.cfg.ReadErrorRate); hit {
+		f.readErrors.Add(1)
+		return nil, &InjectedError{Op: "read", ID: id}
+	}
+	data, err := f.base.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	if hit, aux := f.roll(f.cfg.ReadCorruptRate); hit && len(data) > 0 {
+		bit := aux % (len(data) * 8)
+		data[bit/8] ^= 1 << (bit % 8)
+		f.corruptReads.Add(1)
+	}
+	return data, nil
+}
+
+// Write implements Pager, injecting transient write errors (nothing
+// written) and torn writes (half the page written, then an error).
+func (f *Faulty) Write(id PageID, data []byte) error {
+	if !f.enabled.Load() {
+		return f.base.Write(id, data)
+	}
+	if hit, _ := f.roll(f.cfg.WriteErrorRate); hit {
+		f.writeErrors.Add(1)
+		return &InjectedError{Op: "write", ID: id}
+	}
+	if hit, _ := f.roll(f.cfg.TornWriteRate); hit {
+		f.tornWrites.Add(1)
+		if err := f.base.Write(id, data[:len(data)/2]); err != nil {
+			return err
+		}
+		return &InjectedError{Op: "torn-write", ID: id}
+	}
+	return f.base.Write(id, data)
+}
+
+// FlipStoredBit flips one bit of the page at rest, bypassing injection:
+// deliberate media damage for corruption-detection tests.
+func (f *Faulty) FlipStoredBit(id PageID, bit int) error {
+	return FlipStoredBit(f.base, id, bit)
+}
+
+// FlipStoredBit flips one bit of a stored page through any pager.
+func FlipStoredBit(p Pager, id PageID, bit int) error {
+	data, err := p.Read(id)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("pager: cannot corrupt empty page %d", id)
+	}
+	bit %= len(data) * 8
+	if bit < 0 {
+		bit += len(data) * 8
+	}
+	data[bit/8] ^= 1 << (bit % 8)
+	return p.Write(id, data)
+}
+
+// NumPages implements Pager.
+func (f *Faulty) NumPages() int { return f.base.NumPages() }
+
+// Stats implements Pager by delegating to the wrapped pager.
+func (f *Faulty) Stats() Stats { return f.base.Stats() }
+
+// ResetStats implements Pager.
+func (f *Faulty) ResetStats() { f.base.ResetStats() }
+
+// Unwrap returns the underlying pager.
+func (f *Faulty) Unwrap() Pager { return f.base }

@@ -1,0 +1,289 @@
+package pager
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func mustMem(t *testing.T, pageSize int) *Mem {
+	t.Helper()
+	m, err := NewMem(pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustAlloc(t *testing.T, p Pager) PageID {
+	t.Helper()
+	id, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestFaultConfigValidate(t *testing.T) {
+	base := mustMem(t, 128)
+	for _, cfg := range []FaultConfig{
+		{ReadErrorRate: -0.1},
+		{WriteErrorRate: 1.5},
+		{TornWriteRate: 2},
+		{ReadCorruptRate: -1},
+	} {
+		if _, err := NewFaulty(base, cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if !(FaultConfig{ReadErrorRate: 0.5}).Any() {
+		t.Error("Any() false with a nonzero rate")
+	}
+	if (FaultConfig{Seed: 9}).Any() {
+		t.Error("Any() true with all-zero rates")
+	}
+}
+
+func TestFaultyReadErrorAndDisable(t *testing.T) {
+	base := mustMem(t, 128)
+	id := mustAlloc(t, base)
+	want := bytes.Repeat([]byte{0xAB}, 16)
+	if err := base.Write(id, want); err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFaulty(base, FaultConfig{Seed: 1, ReadErrorRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = f.Read(id)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+	if !IsTransient(err) {
+		t.Error("injected read error not transient")
+	}
+	if got := f.FaultStats().ReadErrors; got != 1 {
+		t.Errorf("ReadErrors = %d, want 1", got)
+	}
+	f.SetEnabled(false)
+	data, err := f.Read(id)
+	if err != nil {
+		t.Fatalf("disabled read failed: %v", err)
+	}
+	if !bytes.Equal(data[:16], want) {
+		t.Error("disabled read returned wrong data")
+	}
+}
+
+func TestFaultyCorruptReadLeavesBaseIntact(t *testing.T) {
+	base := mustMem(t, 128)
+	id := mustAlloc(t, base)
+	want := bytes.Repeat([]byte{0x5C}, 128)
+	if err := base.Write(id, want); err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFaulty(base, FaultConfig{Seed: 7, ReadCorruptRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := f.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := bitDiff(data, want); diff != 1 {
+		t.Errorf("corrupt read differs by %d bits, want exactly 1", diff)
+	}
+	if got := f.FaultStats().CorruptReads; got != 1 {
+		t.Errorf("CorruptReads = %d, want 1", got)
+	}
+	// The corruption models a bad transfer: the stored page is untouched.
+	clean, err := base.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(clean, want) {
+		t.Error("base page was modified by read corruption")
+	}
+}
+
+func TestFaultyWriteErrorKeepsOldContents(t *testing.T) {
+	base := mustMem(t, 128)
+	id := mustAlloc(t, base)
+	old := bytes.Repeat([]byte{1}, 128)
+	if err := base.Write(id, old); err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFaulty(base, FaultConfig{Seed: 3, WriteErrorRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = f.Write(id, bytes.Repeat([]byte{2}, 128))
+	if !errors.Is(err, ErrInjected) || !IsTransient(err) {
+		t.Fatalf("got %v, want transient ErrInjected", err)
+	}
+	got, err := base.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, old) {
+		t.Error("failed write modified the page")
+	}
+}
+
+func TestFaultyTornWrite(t *testing.T) {
+	base := mustMem(t, 128)
+	id := mustAlloc(t, base)
+	full := bytes.Repeat([]byte{0xEE}, 128)
+	f, err := NewFaulty(base, FaultConfig{Seed: 4, TornWriteRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = f.Write(id, full)
+	if !errors.Is(err, ErrInjected) || !IsTransient(err) {
+		t.Fatalf("got %v, want transient ErrInjected", err)
+	}
+	got, err := base.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:64], full[:64]) {
+		t.Error("torn write lost the first half")
+	}
+	if !bytes.Equal(got[64:], make([]byte, 64)) {
+		t.Error("torn write left data in the second half")
+	}
+	if got := f.FaultStats().TornWrites; got != 1 {
+		t.Errorf("TornWrites = %d, want 1", got)
+	}
+}
+
+// TestFaultyDeterminism: the same seed over the same operation sequence
+// injects the same faults, run after run and after a Reseed.
+func TestFaultyDeterminism(t *testing.T) {
+	run := func(seed int64) []bool {
+		base := mustMem(t, 128)
+		id := mustAlloc(t, base)
+		f, err := NewFaulty(base, FaultConfig{Seed: seed, ReadErrorRate: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pattern []bool
+		for i := 0; i < 64; i++ {
+			_, err := f.Read(id)
+			pattern = append(pattern, err != nil)
+		}
+		return pattern
+	}
+	a, b := run(11), run(11)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at op %d", i)
+		}
+	}
+	c := run(12)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced the identical schedule (suspicious)")
+	}
+
+	// Reseed restarts the schedule.
+	base := mustMem(t, 128)
+	id := mustAlloc(t, base)
+	f, err := NewFaulty(base, FaultConfig{Seed: 11, ReadErrorRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		f.Read(id) //nolint:errcheck // only advancing the schedule
+	}
+	f.Reseed(11)
+	if got := f.FaultStats().ReadErrors; got != 0 {
+		t.Errorf("ReadErrors = %d after Reseed, want 0", got)
+	}
+	for i := 0; i < 64; i++ {
+		_, err := f.Read(id)
+		if (err != nil) != a[i] {
+			t.Fatalf("reseeded schedule diverges at op %d", i)
+		}
+	}
+}
+
+func TestFlipStoredBit(t *testing.T) {
+	base := mustMem(t, 128)
+	id := mustAlloc(t, base)
+	want := bytes.Repeat([]byte{0x0F}, 128)
+	if err := base.Write(id, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipStoredBit(base, id, 1000); err != nil {
+		t.Fatal(err)
+	}
+	got, err := base.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := bitDiff(got, want); diff != 1 {
+		t.Errorf("stored page differs by %d bits, want exactly 1", diff)
+	}
+}
+
+// TestCacheNeverCachesFailedRead: a read that fails in the base pager
+// must not poison the cache — the next successful read returns the true
+// bytes.
+func TestCacheNeverCachesFailedRead(t *testing.T) {
+	base := mustMem(t, 128)
+	id := mustAlloc(t, base)
+	want := bytes.Repeat([]byte{0x77}, 128)
+	if err := base.Write(id, want); err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFaulty(base, FaultConfig{Seed: 2, ReadErrorRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := NewCache(f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Read(id); !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+	f.SetEnabled(false)
+	got, err := cache.Read(id)
+	if err != nil {
+		t.Fatalf("read after fault cleared: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("cache returned wrong bytes after a failed read")
+	}
+	// Both reads were misses (the failure was not cached); a third is a hit.
+	if cs := cache.CacheStats(); cs.Misses != 2 || cs.Hits != 0 {
+		t.Errorf("stats after failed+ok read: %+v, want 2 misses 0 hits", cs)
+	}
+	if _, err := cache.Read(id); err != nil {
+		t.Fatal(err)
+	}
+	if cs := cache.CacheStats(); cs.Hits != 1 {
+		t.Errorf("third read not a hit: %+v", cs)
+	}
+}
+
+func bitDiff(a, b []byte) int {
+	if len(a) != len(b) {
+		return -1
+	}
+	n := 0
+	for i := range a {
+		x := a[i] ^ b[i]
+		for ; x != 0; x &= x - 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -249,5 +249,24 @@ func (p *File) Stats() Stats { return p.stats() }
 // ResetStats implements Pager.
 func (p *File) ResetStats() { p.reset() }
 
-// Close releases the underlying file.
-func (p *File) Close() error { return p.f.Close() }
+// Sync flushes written pages to stable storage (fsync).
+func (p *File) Sync() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.f.Sync()
+}
+
+// Close syncs pending writes to stable storage and releases the
+// underlying file: a snapshot written through the file pager is durable
+// once Close returns. The close still happens when the sync fails, and
+// the sync error wins.
+func (p *File) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	syncErr := p.f.Sync()
+	closeErr := p.f.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

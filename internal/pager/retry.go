@@ -1,0 +1,129 @@
+package pager
+
+import (
+	"time"
+
+	"mcost/internal/obs"
+)
+
+// RetryOptions configures the Retry wrapper.
+type RetryOptions struct {
+	// Attempts is the total tries per operation, first included
+	// (default 3). Attempts = 1 disables retrying.
+	Attempts int
+	// BackoffBase is the pause before the first retry; each further
+	// retry doubles it (deterministic exponential backoff). The default
+	// 0 never sleeps — right for in-memory pagers and tests, where a
+	// transient fault clears as soon as the schedule moves on.
+	BackoffBase time.Duration
+	// Sleep is the pause implementation (default time.Sleep). Tests
+	// inject a recorder to assert the backoff sequence without waiting.
+	Sleep func(time.Duration)
+	// Metrics, when set, receives the counters "pager.retries" (retry
+	// attempts made) and "pager.retry_exhausted" (operations that failed
+	// every attempt).
+	Metrics *obs.Registry
+}
+
+// Retry wraps a Pager with bounded, deterministic retrying of transient
+// faults (see IsTransient). Permanent errors pass through unchanged on
+// the first attempt; a transient fault that survives every attempt is
+// surfaced as a typed *ExhaustedError. Safe for concurrent use whenever
+// the base pager is.
+type Retry struct {
+	base      Pager
+	attempts  int
+	backoff   time.Duration
+	sleep     func(time.Duration)
+	retries   *obs.Counter
+	exhausted *obs.Counter
+}
+
+// NewRetry wraps base with bounded retrying.
+func NewRetry(base Pager, opt RetryOptions) *Retry {
+	attempts := opt.Attempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	sleep := opt.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	return &Retry{
+		base:      base,
+		attempts:  attempts,
+		backoff:   opt.BackoffBase,
+		sleep:     sleep,
+		retries:   opt.Metrics.Counter("pager.retries"),
+		exhausted: opt.Metrics.Counter("pager.retry_exhausted"),
+	}
+}
+
+// do runs op up to r.attempts times, backing off deterministically
+// between tries, and classifies the terminal error.
+func (r *Retry) do(opName string, op func() error) error {
+	var err error
+	backoff := r.backoff
+	for attempt := 1; attempt <= r.attempts; attempt++ {
+		if attempt > 1 {
+			if backoff > 0 {
+				r.sleep(backoff)
+				backoff *= 2
+			}
+			r.retries.Inc()
+		}
+		err = op()
+		if err == nil || !IsTransient(err) {
+			return err
+		}
+	}
+	r.exhausted.Inc()
+	return &ExhaustedError{Op: opName, Attempts: r.attempts, Err: err}
+}
+
+// PageSize implements Pager.
+func (r *Retry) PageSize() int { return r.base.PageSize() }
+
+// Alloc implements Pager.
+func (r *Retry) Alloc() (PageID, error) {
+	var id PageID
+	err := r.do("alloc", func() error {
+		var e error
+		id, e = r.base.Alloc()
+		return e
+	})
+	return id, err
+}
+
+// Read implements Pager.
+func (r *Retry) Read(id PageID) ([]byte, error) {
+	var data []byte
+	err := r.do("read", func() error {
+		var e error
+		data, e = r.base.Read(id)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Write implements Pager. A torn write surfaces as a transient error
+// from the injection layer, so the retry rewrites the full page —
+// exactly the recovery a journaling writer performs.
+func (r *Retry) Write(id PageID, data []byte) error {
+	return r.do("write", func() error { return r.base.Write(id, data) })
+}
+
+// NumPages implements Pager.
+func (r *Retry) NumPages() int { return r.base.NumPages() }
+
+// Stats implements Pager by delegating to the wrapped pager.
+func (r *Retry) Stats() Stats { return r.base.Stats() }
+
+// ResetStats implements Pager.
+func (r *Retry) ResetStats() { r.base.ResetStats() }
+
+// Unwrap returns the underlying pager.
+func (r *Retry) Unwrap() Pager { return r.base }

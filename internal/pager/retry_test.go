@@ -1,0 +1,143 @@
+package pager
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"mcost/internal/obs"
+)
+
+// flaky fails the next `fails` reads/writes with a transient injected
+// error, then behaves like its base.
+type flaky struct {
+	*Mem
+	fails int
+}
+
+func (f *flaky) Read(id PageID) ([]byte, error) {
+	if f.fails > 0 {
+		f.fails--
+		return nil, &InjectedError{Op: "read", ID: id}
+	}
+	return f.Mem.Read(id)
+}
+
+func (f *flaky) Write(id PageID, data []byte) error {
+	if f.fails > 0 {
+		f.fails--
+		return &InjectedError{Op: "write", ID: id}
+	}
+	return f.Mem.Write(id, data)
+}
+
+func TestRetryAbsorbsTransient(t *testing.T) {
+	base := mustMem(t, 128)
+	id := mustAlloc(t, base)
+	want := bytes.Repeat([]byte{0x42}, 128)
+	if err := base.Write(id, want); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	fl := &flaky{Mem: base, fails: 2}
+	r := NewRetry(fl, RetryOptions{Attempts: 3, Metrics: reg})
+	got, err := r.Read(id)
+	if err != nil {
+		t.Fatalf("read after 2 transient faults: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("retried read returned wrong data")
+	}
+	if v := reg.Counter("pager.retries").Value(); v != 2 {
+		t.Errorf("pager.retries = %d, want 2", v)
+	}
+	if v := reg.Counter("pager.retry_exhausted").Value(); v != 0 {
+		t.Errorf("pager.retry_exhausted = %d, want 0", v)
+	}
+}
+
+func TestRetryExhausted(t *testing.T) {
+	base := mustMem(t, 128)
+	id := mustAlloc(t, base)
+	reg := obs.NewRegistry()
+	fl := &flaky{Mem: base, fails: 100}
+	r := NewRetry(fl, RetryOptions{Attempts: 3, Metrics: reg})
+	_, err := r.Read(id)
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("got %v, want ErrExhausted", err)
+	}
+	// The terminal injected error stays reachable through the wrap.
+	if !errors.Is(err, ErrInjected) {
+		t.Error("exhausted error does not unwrap to the injected cause")
+	}
+	// Exhaustion is terminal: an outer retry layer must not spin on it.
+	if IsTransient(err) {
+		t.Error("ExhaustedError classified transient")
+	}
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) || ex.Attempts != 3 || ex.Op != "read" {
+		t.Errorf("exhausted detail = %+v", ex)
+	}
+	if v := reg.Counter("pager.retry_exhausted").Value(); v != 1 {
+		t.Errorf("pager.retry_exhausted = %d, want 1", v)
+	}
+	if fl.fails != 100-3 {
+		t.Errorf("base saw %d attempts, want 3", 100-fl.fails)
+	}
+}
+
+func TestRetryPermanentErrorPassesThrough(t *testing.T) {
+	base := mustMem(t, 128)
+	reg := obs.NewRegistry()
+	r := NewRetry(base, RetryOptions{Attempts: 5, Metrics: reg})
+	_, err := r.Read(PageID(99)) // never allocated
+	if !errors.Is(err, ErrBadPage) {
+		t.Fatalf("got %v, want ErrBadPage", err)
+	}
+	if v := reg.Counter("pager.retries").Value(); v != 0 {
+		t.Errorf("permanent error was retried %d times", v)
+	}
+}
+
+func TestRetryBackoffSequence(t *testing.T) {
+	base := mustMem(t, 128)
+	id := mustAlloc(t, base)
+	var slept []time.Duration
+	fl := &flaky{Mem: base, fails: 3}
+	r := NewRetry(fl, RetryOptions{
+		Attempts:    4,
+		BackoffBase: 10 * time.Millisecond,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	})
+	if _, err := r.Read(id); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("slept %v, want %v", slept, want)
+		}
+	}
+}
+
+func TestRetryWrite(t *testing.T) {
+	base := mustMem(t, 128)
+	id := mustAlloc(t, base)
+	fl := &flaky{Mem: base, fails: 1}
+	r := NewRetry(fl, RetryOptions{Attempts: 2})
+	want := bytes.Repeat([]byte{9}, 128)
+	if err := r.Write(id, want); err != nil {
+		t.Fatalf("write after 1 transient fault: %v", err)
+	}
+	got, err := base.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("retried write did not land")
+	}
+}

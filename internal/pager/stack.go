@@ -1,0 +1,75 @@
+package pager
+
+import (
+	"mcost/internal/obs"
+)
+
+// StackOptions configures NewMemStack, the standard storage stack
+// assembly: in-memory base → fault injection → bounded retry → LRU
+// cache → instrumentation. Every layer except the base is optional and
+// zero-cost when absent; the fault layer with all-zero rates is a
+// passthrough, which is how "layers enabled, faults disabled" runs are
+// configured.
+type StackOptions struct {
+	// PageSize is the physical page size of the base pager. Paged
+	// M-trees need mtree.PhysPageSize(nodeSize) here: the node payload
+	// plus the per-page checksum.
+	PageSize int
+	// CachePages is the LRU capacity in pages (0 = no cache layer).
+	CachePages int
+	// Retry configures the retry layer. Retry.Metrics defaults to
+	// Metrics below.
+	Retry RetryOptions
+	// Faults, when non-nil, inserts a Faulty layer with this schedule
+	// (even at all-zero rates, so tests can flip injection on later).
+	Faults *FaultConfig
+	// Metrics, when non-nil, receives retry counters and an Instrument
+	// layer on top of the stack (logical operation counts).
+	Metrics *obs.Registry
+}
+
+// Stack is an assembled storage stack. Top is what the tree mounts;
+// the named layers stay addressable for tests and operational control
+// (enabling fault injection, reading cache stats).
+type Stack struct {
+	Base   *Mem
+	Faulty *Faulty // nil when StackOptions.Faults was nil
+	Cache  *Cache  // nil when StackOptions.CachePages was 0
+	Top    Pager
+}
+
+// NewMemStack assembles the standard stack over a fresh in-memory base.
+func NewMemStack(opt StackOptions) (*Stack, error) {
+	base, err := NewMem(opt.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stack{Base: base}
+	var top Pager = base
+	if opt.Faults != nil {
+		f, err := NewFaulty(top, *opt.Faults)
+		if err != nil {
+			return nil, err
+		}
+		s.Faulty = f
+		top = f
+	}
+	ropt := opt.Retry
+	if ropt.Metrics == nil {
+		ropt.Metrics = opt.Metrics
+	}
+	top = NewRetry(top, ropt)
+	if opt.CachePages > 0 {
+		c, err := NewCache(top, opt.CachePages)
+		if err != nil {
+			return nil, err
+		}
+		s.Cache = c
+		top = c
+	}
+	if opt.Metrics != nil {
+		top = Instrument(top, opt.Metrics, InstrumentOptions{})
+	}
+	s.Top = top
+	return s, nil
+}

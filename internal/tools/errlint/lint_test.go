@@ -1,0 +1,135 @@
+package main
+
+import (
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func lintSource(t *testing.T, src string) []Finding {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	im := &repoImporter{
+		fset: fset,
+		root: dir,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: map[string]*types.Package{},
+	}
+	findings, err := lintDir(fset, im, dir, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+func TestFlagsDiscardedError(t *testing.T) {
+	findings := lintSource(t, `package p
+
+import "os"
+
+func f() {
+	os.Remove("x")
+}
+`)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want 1", findings)
+	}
+	if findings[0].Call != "os.Remove" || findings[0].Pos.Line != 6 {
+		t.Errorf("finding = %+v", findings[0])
+	}
+}
+
+func TestCheckedErrorClean(t *testing.T) {
+	findings := lintSource(t, `package p
+
+import "os"
+
+func f() error {
+	if err := os.Remove("x"); err != nil {
+		return err
+	}
+	return nil
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("findings = %v, want none", findings)
+	}
+}
+
+func TestNolintSuppresses(t *testing.T) {
+	findings := lintSource(t, `package p
+
+import "os"
+
+func f() {
+	os.Remove("x") //nolint:errcheck // best-effort cleanup
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("findings = %v, want none (nolint)", findings)
+	}
+}
+
+func TestDeferAndPrintExempt(t *testing.T) {
+	findings := lintSource(t, `package p
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func f() {
+	g, _ := os.Create("x")
+	defer g.Close()
+	fmt.Println("hello")
+	fmt.Fprintf(os.Stderr, "oops\n")
+	var sb strings.Builder
+	sb.WriteString("never fails")
+	_ = sb.String()
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("findings = %v, want none (exempt idioms)", findings)
+	}
+}
+
+func TestVoidCallsIgnored(t *testing.T) {
+	findings := lintSource(t, `package p
+
+import "sort"
+
+func f(xs []int) {
+	sort.Ints(xs)
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("findings = %v, want none (no error result)", findings)
+	}
+}
+
+// TestModuleIsClean runs the real linter over the repository — the same
+// gate CI applies.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, err := findModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := LintModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Error(f)
+	}
+}

@@ -1,0 +1,69 @@
+// Command errlint reports discarded error return values in the repo's
+// non-test Go files. A hardened storage stack is only as good as its
+// callers: an ignored error from a pager, codec, or snapshot call turns
+// a typed, recoverable failure into silent corruption, so CI runs this
+// linter over every package.
+//
+// The check is the classic errcheck rule scoped to what matters here:
+// an expression statement calling a function whose result set includes
+// an error is a finding, unless the line carries a //nolint:errcheck
+// comment. Deferred and go statements are exempt (the idiomatic
+// `defer f.Close()`), as are _test.go files.
+//
+// Usage (from anywhere inside the module):
+//
+//	go run ./internal/tools/errlint
+//
+// Exit status 1 when findings exist, 2 on operational errors.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "errlint:", err)
+		os.Exit(2)
+	}
+	findings, err := LintModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "errlint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "errlint: %d unchecked error(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(dir + "/go.mod"); err == nil {
+			return dir, nil
+		}
+		parent := dirOf(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func dirOf(p string) string {
+	for i := len(p) - 1; i > 0; i-- {
+		if p[i] == '/' {
+			return p[:i]
+		}
+	}
+	return p
+}

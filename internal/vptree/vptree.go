@@ -10,11 +10,13 @@ package vptree
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 
+	"mcost/internal/budget"
 	"mcost/internal/metric"
 	"mcost/internal/obs"
 )
@@ -260,6 +262,19 @@ func (t *Tree) Range(q metric.Object, radius float64, stats *VisitStats) ([]Matc
 // lemma) are attributed as RadiusPruned at the parent's level. A nil
 // trace costs nothing.
 func (t *Tree) RangeTraced(q metric.Object, radius float64, stats *VisitStats, tr *obs.Trace) ([]Match, error) {
+	return t.rangeSearch(nil, q, radius, stats, tr)
+}
+
+// RangeCtx is Range honoring ctx and a work budget at each node visit
+// (the vp-tree is main-memory, so a "node read" is a node visit). A
+// canceled context or an exceeded budget stops the traversal and
+// returns the matches found so far alongside the typed error — the
+// same partial-result contract as mtree.Tree.RangeCtx.
+func (t *Tree) RangeCtx(ctx context.Context, q metric.Object, radius float64, b budget.Budget, stats *VisitStats, tr *obs.Trace) ([]Match, error) {
+	return t.rangeSearch(budget.NewGuard(ctx, b), q, radius, stats, tr)
+}
+
+func (t *Tree) rangeSearch(g *budget.Guard, q metric.Object, radius float64, stats *VisitStats, tr *obs.Trace) ([]Match, error) {
 	if q == nil {
 		return nil, errors.New("vptree: nil query")
 	}
@@ -268,13 +283,16 @@ func (t *Tree) RangeTraced(q metric.Object, radius float64, stats *VisitStats, t
 	}
 	tr.StartRange(radius)
 	var out []Match
-	t.rangeAt(t.root, q, radius, 1, stats, tr, &out)
-	return out, nil
+	err := t.rangeAt(t.root, q, radius, 1, stats, tr, g, &out)
+	return out, err
 }
 
-func (t *Tree) rangeAt(n *node, q metric.Object, radius float64, level int, stats *VisitStats, tr *obs.Trace, out *[]Match) {
+func (t *Tree) rangeAt(n *node, q metric.Object, radius float64, level int, stats *VisitStats, tr *obs.Trace, g *budget.Guard, out *[]Match) error {
 	if n == nil {
-		return
+		return nil
+	}
+	if err := g.BeforeFetch(); err != nil {
+		return err
 	}
 	if n.leaf {
 		if stats != nil {
@@ -284,11 +302,14 @@ func (t *Tree) rangeAt(n *node, q metric.Object, radius float64, level int, stat
 		for _, it := range n.bucket {
 			d := t.dist(q, it.obj)
 			tr.Dist(level)
+			if err := g.OnDist(); err != nil {
+				return err
+			}
 			if d <= radius {
 				*out = append(*out, Match{Object: it.obj, OID: it.oid, Distance: d})
 			}
 		}
-		return
+		return nil
 	}
 	if stats != nil {
 		stats.InternalVisits++
@@ -296,6 +317,9 @@ func (t *Tree) rangeAt(n *node, q metric.Object, radius float64, level int, stat
 	tr.Visit(level)
 	d := t.dist(q, n.vantage)
 	tr.Dist(level)
+	if err := g.OnDist(); err != nil {
+		return err
+	}
 	if d <= radius {
 		*out = append(*out, Match{Object: n.vantage, OID: n.vid, Distance: d})
 	}
@@ -308,12 +332,15 @@ func (t *Tree) rangeAt(n *node, q metric.Object, radius float64, level int, stat
 		// Child i holds objects with vantage distance in (lo, hi]; the
 		// paper's rule (Eq. 19): visit iff mu_{i-1} - rQ < d <= mu_i + rQ.
 		if d > lo-radius && d <= hi+radius {
-			t.rangeAt(child, q, radius, level+1, stats, tr, out)
+			if err := t.rangeAt(child, q, radius, level+1, stats, tr, g, out); err != nil {
+				return err
+			}
 		} else if child != nil {
 			tr.PruneRadius(level)
 		}
 		lo = hi
 	}
+	return nil
 }
 
 // nnItem is a pending subtree ordered by its distance lower bound.
@@ -358,6 +385,17 @@ func (t *Tree) NN(q metric.Object, k int, stats *VisitStats) ([]Match, error) {
 // NNTraced is NN with an optional per-query obs.Trace (see RangeTraced
 // for the recording conventions). A nil trace costs nothing.
 func (t *Tree) NNTraced(q metric.Object, k int, stats *VisitStats, tr *obs.Trace) ([]Match, error) {
+	return t.nnSearch(nil, q, k, stats, tr)
+}
+
+// NNCtx is NN honoring ctx and a work budget at each node visit (see
+// RangeCtx). On a stop the best matches so far are returned in
+// increasing-distance order alongside the typed error.
+func (t *Tree) NNCtx(ctx context.Context, q metric.Object, k int, b budget.Budget, stats *VisitStats, tr *obs.Trace) ([]Match, error) {
+	return t.nnSearch(budget.NewGuard(ctx, b), q, k, stats, tr)
+}
+
+func (t *Tree) nnSearch(g *budget.Guard, q metric.Object, k int, stats *VisitStats, tr *obs.Trace) ([]Match, error) {
 	if q == nil {
 		return nil, errors.New("vptree: nil query")
 	}
@@ -385,10 +423,20 @@ func (t *Tree) NNTraced(q metric.Object, k int, stats *VisitStats, tr *obs.Trace
 			heap.Pop(best)
 		}
 	}
+	drain := func() []Match {
+		out := make([]Match, best.Len())
+		for i := best.Len() - 1; i >= 0; i-- {
+			out[i] = heap.Pop(best).(Match)
+		}
+		return out
+	}
 	for pq.Len() > 0 {
 		item := heap.Pop(pq).(nnItem)
 		if item.dMin > rk() {
 			break
+		}
+		if err := g.BeforeFetch(); err != nil {
+			return drain(), err
 		}
 		n := item.n
 		if n.leaf {
@@ -399,6 +447,9 @@ func (t *Tree) NNTraced(q metric.Object, k int, stats *VisitStats, tr *obs.Trace
 			for _, it := range n.bucket {
 				d := t.dist(q, it.obj)
 				tr.Dist(item.level)
+				if err := g.OnDist(); err != nil {
+					return drain(), err
+				}
 				add(Match{Object: it.obj, OID: it.oid, Distance: d})
 			}
 			continue
@@ -409,6 +460,9 @@ func (t *Tree) NNTraced(q metric.Object, k int, stats *VisitStats, tr *obs.Trace
 		tr.Visit(item.level)
 		d := t.dist(q, n.vantage)
 		tr.Dist(item.level)
+		if err := g.OnDist(); err != nil {
+			return drain(), err
+		}
 		add(Match{Object: n.vantage, OID: n.vid, Distance: d})
 		lo := 0.0
 		for i, child := range n.children {
@@ -433,11 +487,7 @@ func (t *Tree) NNTraced(q metric.Object, k int, stats *VisitStats, tr *obs.Trace
 			lo = hi
 		}
 	}
-	out := make([]Match, best.Len())
-	for i := best.Len() - 1; i >= 0; i-- {
-		out[i] = heap.Pop(best).(Match)
-	}
-	return out, nil
+	return drain(), nil
 }
 
 // CutoffsAtRoot exposes the root's cutoff values (nil for a leaf root):

@@ -34,6 +34,7 @@ import (
 	"mcost/internal/histogram"
 	"mcost/internal/metric"
 	"mcost/internal/mtree"
+	"mcost/internal/pager"
 )
 
 // Object is any value a metric space can compare (metric.Vector values
@@ -89,12 +90,16 @@ type Options struct {
 	// runtime.NumCPU()). The estimate is bit-identical for any worker
 	// count with the same Seed.
 	Workers int
+	// Storage selects the fault-tolerant paged storage stack; the zero
+	// value keeps the fast in-memory node store.
+	Storage StorageOptions
 }
 
 // Index is a built M-tree together with its fitted cost model.
 type Index struct {
 	space *Space
 	tree  *mtree.Tree
+	stack *pager.Stack // non-nil only with StorageOptions enabled
 	f     *histogram.Histogram
 	stats *mtree.Stats
 	model *core.MTreeModel
@@ -112,11 +117,11 @@ func Build(space *Space, objects []Object, opt Options) (*Index, error) {
 	if len(objects) < 2 {
 		return nil, fmt.Errorf("mcost: need at least 2 objects, got %d", len(objects))
 	}
-	tree, err := mtree.New(mtree.Options{
-		Space:    space,
-		PageSize: opt.PageSize,
-		Seed:     opt.Seed,
-	})
+	mo, stack, err := buildStorage(space, objects[0], opt)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := mtree.New(mo)
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +133,12 @@ func Build(space *Space, objects []Object, opt Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finishIndex(space, tree, objects, opt)
+	ix, err := finishIndex(space, tree, objects, opt)
+	if err != nil {
+		return nil, err
+	}
+	ix.stack = stack
+	return ix, nil
 }
 
 func finishIndex(space *Space, tree *mtree.Tree, objects []Object, opt Options) (*Index, error) {

@@ -1,0 +1,247 @@
+package mcost
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"mcost/internal/budget"
+	"mcost/internal/core"
+	"mcost/internal/mtree"
+	"mcost/internal/pager"
+)
+
+// Fault-tolerant storage and graceful degradation. A Build with
+// StorageOptions.Paged mounts the tree on the resilient page stack —
+// checksummed pages over an in-memory base, optionally wrapped in fault
+// injection (for testing), bounded retry, and an LRU cache — and the
+// context-aware query methods below add cancellation and cost-budgeted
+// stops on top of any index.
+
+// QueryBudget caps one query's node reads and distance computations;
+// zero fields are unlimited. Seed it from the cost model via
+// Index.RangeBudget / Index.NNBudget to let the model gate its own
+// queries.
+type QueryBudget = budget.Budget
+
+// FaultConfig is a deterministic storage fault schedule (seeded; every
+// run with the same seed injects the same faults). Only meaningful for
+// tests and resilience experiments.
+type FaultConfig = pager.FaultConfig
+
+// FaultStats counts the faults a schedule has injected.
+type FaultStats = pager.FaultStats
+
+// Typed failure sentinels, for errors.Is.
+var (
+	// ErrBudgetExceeded reports a query stopped by its QueryBudget; the
+	// partial results found before the stop are returned with it.
+	ErrBudgetExceeded = budget.ErrExceeded
+	// ErrCorruptPage reports a page whose checksum did not verify.
+	ErrCorruptPage = pager.ErrCorruptPage
+	// ErrRetryExhausted reports a transient storage fault that survived
+	// every retry attempt.
+	ErrRetryExhausted = pager.ErrExhausted
+	// ErrBadSnapshot reports a truncated or corrupted snapshot blob.
+	ErrBadSnapshot = mtree.ErrBadSnapshot
+)
+
+// StorageOptions selects and tunes the storage stack under Build.
+type StorageOptions struct {
+	// Paged mounts the tree on checksummed pages instead of plain
+	// in-memory nodes: every node access round-trips through the page
+	// codec and verifies a CRC32-C, so at-rest corruption surfaces as
+	// ErrCorruptPage instead of wrong results. Costs serialization work;
+	// tree structure and query results are identical to memory mode.
+	Paged bool
+	// CachePages adds a write-through LRU of this many pages (0 = no
+	// cache).
+	CachePages int
+	// RetryAttempts bounds the per-operation tries absorbing transient
+	// faults (0 = default 3; 1 disables retrying).
+	RetryAttempts int
+	// RetryBackoff is the pause before the first retry, doubling per
+	// further retry (0 = no sleeping, right for in-memory storage).
+	RetryBackoff time.Duration
+	// Faults, when non-nil, inserts a seeded fault-injection layer under
+	// the retry layer. Implies Paged. The layer starts disabled so the
+	// build itself is clean; flip it on with Index.SetFaultsEnabled(true)
+	// to target queries.
+	Faults *FaultConfig
+	// Metrics, when non-nil, receives storage counters: pager operation
+	// counts, "pager.retries", "pager.retry_exhausted", and
+	// "mtree.corrupt_pages".
+	Metrics *MetricsRegistry
+}
+
+func (s StorageOptions) enabled() bool { return s.Paged || s.Faults != nil }
+
+// DefaultBudgetSlack is the budget slack factor used when a
+// *WithBudget query is given slack <= 0: the query may spend this
+// multiple of the model's predicted cost before being stopped. The
+// predictions are accurate on average (~10%) but are per-workload
+// means; individual queries vary, so the default leaves generous room
+// and only catches pathological degeneration.
+const DefaultBudgetSlack = 4.0
+
+// buildStorage assembles the page stack for Build when storage options
+// ask for one, returning the mounted tree options.
+func buildStorage(space *Space, sample Object, opt Options) (mtree.Options, *pager.Stack, error) {
+	mo := mtree.Options{
+		Space:    space,
+		PageSize: opt.PageSize,
+		Seed:     opt.Seed,
+		Metrics:  opt.Storage.Metrics,
+	}
+	if !opt.Storage.enabled() {
+		return mo, nil, nil
+	}
+	codec, err := mtree.CodecFor(sample)
+	if err != nil {
+		return mo, nil, err
+	}
+	pageSize := opt.PageSize
+	if pageSize == 0 {
+		pageSize = 4096
+	}
+	stack, err := pager.NewMemStack(pager.StackOptions{
+		PageSize:   mtree.PhysPageSize(pageSize),
+		CachePages: opt.Storage.CachePages,
+		Retry: pager.RetryOptions{
+			Attempts:    opt.Storage.RetryAttempts,
+			BackoffBase: opt.Storage.RetryBackoff,
+		},
+		Faults:  opt.Storage.Faults,
+		Metrics: opt.Storage.Metrics,
+	})
+	if err != nil {
+		return mo, nil, err
+	}
+	if stack.Faulty != nil {
+		stack.Faulty.SetEnabled(false)
+	}
+	mo.Pager = stack.Top
+	mo.Codec = codec
+	return mo, stack, nil
+}
+
+// SetFaultsEnabled flips fault injection on a Build with
+// StorageOptions.Faults; it reports whether a fault layer exists.
+func (ix *Index) SetFaultsEnabled(on bool) bool {
+	if ix.stack == nil || ix.stack.Faulty == nil {
+		return false
+	}
+	ix.stack.Faulty.SetEnabled(on)
+	return true
+}
+
+// FaultStats returns the injected-fault counts (zero without a fault
+// layer).
+func (ix *Index) FaultStats() FaultStats {
+	if ix.stack == nil || ix.stack.Faulty == nil {
+		return FaultStats{}
+	}
+	return ix.stack.Faulty.FaultStats()
+}
+
+// RangeCtx is Range honoring ctx and an optional budget: the traversal
+// checks the context at every node access, and if b caps work the query
+// stops with ErrBudgetExceeded once it would exceed it. On any stop —
+// cancellation, deadline, or budget — the matches found so far are
+// returned alongside the typed error; each is a true match within
+// radius, completeness is what was given up.
+func (ix *Index) RangeCtx(ctx context.Context, q Object, radius float64, b QueryBudget) ([]Match, error) {
+	return ix.tree.RangeCtx(ctx, q, radius, mtree.QueryOptions{UseParentDist: true, Budget: b})
+}
+
+// NNCtx is NN honoring ctx and an optional budget (see RangeCtx). On a
+// stop the best neighbors found so far are returned, closest first: true
+// objects at true distances, but a closer neighbor may not have been
+// reached yet.
+func (ix *Index) NNCtx(ctx context.Context, q Object, k int, b QueryBudget) ([]Match, error) {
+	return ix.tree.NNCtx(ctx, q, k, mtree.QueryOptions{UseParentDist: true, Budget: b})
+}
+
+// budgetFrom converts a model prediction into a hard cap: prediction ×
+// slack, rounded up, floored at the tree height (a query must at least
+// be able to walk root → leaf).
+func (ix *Index) budgetFrom(est CostEstimate, slack float64) QueryBudget {
+	if slack <= 0 {
+		slack = DefaultBudgetSlack
+	}
+	floor := float64(ix.tree.Height())
+	nodes := math.Ceil(est.Nodes * slack)
+	if nodes < floor {
+		nodes = floor
+	}
+	dists := math.Ceil(est.Dists * slack)
+	if dists < floor {
+		dists = floor
+	}
+	return QueryBudget{MaxNodeReads: int64(nodes), MaxDistCalcs: int64(dists)}
+}
+
+// RangeBudget derives a QueryBudget for range queries of the given
+// radius: the L-MCM prediction times slack (<= 0 picks
+// DefaultBudgetSlack). The prediction models a search without the
+// parent-distance optimization, so it upper-bounds what RangeCtx
+// actually spends — a well-behaved query never trips its budget.
+func (ix *Index) RangeBudget(radius, slack float64) QueryBudget {
+	return ix.budgetFrom(ix.model.RangeL(radius), slack)
+}
+
+// NNBudget derives a QueryBudget for k-NN queries (see RangeBudget).
+func (ix *Index) NNBudget(k int, slack float64) QueryBudget {
+	return ix.budgetFrom(ix.model.NNL(k), slack)
+}
+
+// RangeWithBudget runs a range query under the model-derived budget:
+// admission control by the index's own cost model. A query whose
+// observed cost stays near its prediction completes normally; one that
+// degenerates (the high-dimensional near-linear-scan regime) is stopped
+// at prediction × slack and returns its partial matches with
+// ErrBudgetExceeded.
+func (ix *Index) RangeWithBudget(ctx context.Context, q Object, radius, slack float64) ([]Match, error) {
+	return ix.RangeCtx(ctx, q, radius, ix.RangeBudget(radius, slack))
+}
+
+// NNWithBudget is the k-NN analogue of RangeWithBudget.
+func (ix *Index) NNWithBudget(ctx context.Context, q Object, k int, slack float64) ([]Match, error) {
+	return ix.NNCtx(ctx, q, k, ix.NNBudget(k, slack))
+}
+
+// VPBudget derives a distance-computation budget for vp-tree queries
+// from the Section 5 model: predicted visits and distances times slack.
+func vpBudget(est core.VPCost, slack float64) QueryBudget {
+	if slack <= 0 {
+		slack = DefaultBudgetSlack
+	}
+	return QueryBudget{
+		MaxNodeReads: int64(math.Ceil((est.InternalVisits + est.LeafVisits) * slack)),
+		MaxDistCalcs: int64(math.Ceil(est.Dists * slack)),
+	}
+}
+
+// RangeBudget derives a QueryBudget for vp-tree range queries (slack
+// <= 0 picks DefaultBudgetSlack). Node reads count node visits: the
+// vp-tree is main-memory.
+func (vp *VPTree) RangeBudget(radius, slack float64) QueryBudget {
+	return vpBudget(vp.model.RangeCost(radius), slack)
+}
+
+// NNBudget derives a QueryBudget for vp-tree k-NN queries.
+func (vp *VPTree) NNBudget(k int, slack float64) QueryBudget {
+	return vpBudget(vp.model.NNCost(k), slack)
+}
+
+// RangeCtx is VPTree.Range honoring ctx and an optional budget, with
+// the same partial-result contract as Index.RangeCtx.
+func (vp *VPTree) RangeCtx(ctx context.Context, q Object, radius float64, b QueryBudget) ([]VPMatch, error) {
+	return vp.tree.RangeCtx(ctx, q, radius, b, nil, nil)
+}
+
+// NNCtx is VPTree.NN honoring ctx and an optional budget (see
+// Index.NNCtx).
+func (vp *VPTree) NNCtx(ctx context.Context, q Object, k int, b QueryBudget) ([]VPMatch, error) {
+	return vp.tree.NNCtx(ctx, q, k, b, nil, nil)
+}
