@@ -441,6 +441,89 @@ func BenchmarkParallelEstimate(b *testing.B) {
 	}
 }
 
+// BenchmarkBench4Engines runs the PR-4 execution-engine comparison
+// (per-query loop, batched traversal, sharded, sharded-batch) and
+// reports the batch layer's node-read amortization factor — the ratio
+// the BENCH_4.json artifact pins in CI (>= 2x at batch 32).
+func BenchmarkBench4Engines(b *testing.B) {
+	cfg := benchCfg()
+	var rangeAmort, nnAmort float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunBench4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reads := map[string]float64{}
+		for _, row := range r.Rows {
+			reads[row.Engine+"/"+row.Kind] = row.NodeReadsPerQuery
+		}
+		rangeAmort = reads["loop/range"] / reads["batch/range"]
+		nnAmort = reads["loop/nn"] / reads["batch/nn"]
+	}
+	b.ReportMetric(rangeAmort, "range-read-amort-x")
+	b.ReportMetric(nnAmort, "nn-read-amort-x")
+}
+
+// BenchmarkShardedThroughput measures query throughput through the
+// sharded facade: the per-query fan-out against the batched paths, for
+// range and k-NN. ns/op is per full 64-query workload; reads/query
+// shows what the batch amortizes and the shard pruner skips.
+func BenchmarkShardedThroughput(b *testing.B) {
+	objs := randomVectors(4000, 8, 91)
+	space := VectorSpace("Linf", 8)
+	sx, err := BuildSharded(space, objs, Options{Seed: 91}, ShardOptions{Shards: 4, Assign: ShardPivot})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := randomVectors(64, 8, 92)
+	const radius = 0.25
+	const k = 10
+	run := func(b *testing.B, f func() error) {
+		b.Helper()
+		sx.ResetCosts()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := f(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reads, _ := sx.Costs()
+		b.ReportMetric(float64(reads)/float64(b.N*len(queries)), "reads/query")
+	}
+	b.Run("range-loop", func(b *testing.B) {
+		run(b, func() error {
+			for _, q := range queries {
+				if _, err := sx.Range(q, radius); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	b.Run("range-batch", func(b *testing.B) {
+		run(b, func() error {
+			_, err := sx.RangeBatch(queries, radius)
+			return err
+		})
+	})
+	b.Run("nn-loop", func(b *testing.B) {
+		run(b, func() error {
+			for _, q := range queries {
+				if _, err := sx.NN(q, k); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	b.Run("nn-batch", func(b *testing.B) {
+		run(b, func() error {
+			_, err := sx.NNBatch(queries, k)
+			return err
+		})
+	})
+}
+
 // BenchmarkBufferPool regenerates the logical-vs-physical I/O sweep: the
 // model predicts logical node accesses; an LRU buffer pool absorbs
 // re-references.

@@ -35,6 +35,10 @@ func main() {
 		mOut     = flag.String("metrics-out", "", "write the experiment's machine-readable result as JSON to FILE instead of a text table (supported: "+strings.Join(experiments.JSONNames(), ", ")+")")
 		trace    = flag.Bool("trace", false, "with -metrics-out, embed the merged raw query trace in the JSON (residuals experiment)")
 
+		shards      = flag.Int("shards", 0, "shard count for the bench4 sharded engines (0 = default 4)")
+		shardAssign = flag.String("shard-assign", "", "bench4 shard assignment: round-robin | pivot (default pivot)")
+		batch       = flag.Int("batch", 0, "batch size for the bench4 batched engines (0 = default 32)")
+
 		paged       = flag.Bool("paged", false, "mount experiment trees on checksummed paged storage (identical numbers, real serialization)")
 		cachePages  = flag.Int("cache-pages", 0, "LRU page-cache capacity for paged storage")
 		retry       = flag.Int("retry", 0, "retry attempts per page operation (0 = default 3)")
@@ -63,6 +67,9 @@ func main() {
 		CachePages:    *cachePages,
 		RetryAttempts: *retry,
 		BudgetSlack:   *budgetSlack,
+		Shards:        *shards,
+		ShardAssign:   *shardAssign,
+		Batch:         *batch,
 	}
 	faults := pager.FaultConfig{
 		Seed:            *faultSeed,

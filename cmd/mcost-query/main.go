@@ -17,11 +17,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	_ "net/http/pprof" // -debug-addr serves the default mux
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"mcost"
 	"mcost/internal/dataset"
@@ -46,6 +48,10 @@ func main() {
 		trace    = flag.Bool("trace", false, "print the query's per-level trace (node visits, distance computations, pruning by lemma) as JSON")
 		mOut     = flag.String("metrics-out", "", "write the process metrics snapshot and query trace as JSON to FILE")
 		dbgAddr  = flag.String("debug-addr", "", "serve net/http/pprof and expvar (including the metrics registry at /debug/vars) on this address, e.g. localhost:6060; blocks after the query so the endpoint stays up")
+
+		shards      = flag.Int("shards", 1, "partition the dataset across this many independent M-trees; queries fan out in parallel and k-NN skips shards the cost model rules out")
+		shardAssign = flag.String("shard-assign", "pivot", "shard assignment with -shards > 1: round-robin | pivot")
+		batch       = flag.Int("batch", 1, "run the query inside a batch of this size (padded with dataset objects); batched traversal fetches each node once per batch, so per-query reads amortize")
 
 		paged      = flag.Bool("paged", false, "mount the tree on checksummed paged storage (CRC32-C per page; corruption surfaces as a typed error)")
 		cachePages = flag.Int("cache-pages", 0, "LRU page-cache capacity for paged storage (0 = no cache)")
@@ -99,6 +105,18 @@ func main() {
 	}
 	if *radius < 0 && *k <= 0 {
 		fail(fmt.Errorf("specify -range R or -nn K"))
+	}
+	if *shards > 1 || *batch > 1 {
+		if *explain || *trace || *mOut != "" {
+			fail(fmt.Errorf("-explain, -trace and -metrics-out require the single-tree, single-query path (drop -shards/-batch)"))
+		}
+		runSharded(d, q, shardedRun{
+			shards: *shards, assign: *shardAssign, batch: *batch,
+			pageSize: *pageSize, seed: *seed, workers: *workers,
+			storage: storage, radius: *radius, k: *k, show: *show,
+			budgetSlack: *budgetSlack, timeout: *timeout,
+		})
+		return
 	}
 
 	fmt.Printf("building M-tree over %s (n=%d, node size %d B)...\n", d.Name, d.N(), *pageSize)
@@ -229,6 +247,122 @@ func main() {
 	if *dbgAddr != "" {
 		fmt.Printf("\nquery done; debug server still serving on http://%s — Ctrl-C to exit\n", *dbgAddr)
 		select {}
+	}
+}
+
+// shardedRun carries the flag values for the sharded / batched path.
+type shardedRun struct {
+	shards, batch int
+	assign        string
+	pageSize      int
+	seed          int64
+	workers       int
+	storage       mcost.StorageOptions
+	radius        float64
+	k             int
+	show          int
+	budgetSlack   float64
+	timeout       time.Duration
+}
+
+// runSharded answers the query through a ShardedIndex (or a 1-shard one
+// when only -batch is set), padding the batch with dataset objects so
+// the batched traversal has company to amortize node reads against. The
+// primary query is always queries[0]; only its results are printed.
+func runSharded(d *dataset.Dataset, q metric.Object, r shardedRun) {
+	assign, err := mcost.ParseShardAssignment(r.assign)
+	if err != nil {
+		fail(err)
+	}
+	nShards := r.shards
+	if nShards < 1 {
+		nShards = 1
+	}
+	fmt.Printf("building %d-shard M-tree (%s assignment) over %s (n=%d, node size %d B)...\n",
+		nShards, assign, d.Name, d.N(), r.pageSize)
+	sx, err := mcost.BuildSharded(d.Space, d.Objects, mcost.Options{
+		PageSize: r.pageSize, Seed: r.seed, Workers: r.workers, Storage: r.storage,
+	}, mcost.ShardOptions{Shards: nShards, Assign: assign})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("shards: %v objects, %d nodes total, height %d\n\n",
+		sx.ShardSizes(), sx.NumNodes(), sx.Height())
+	if r.storage.Faults != nil {
+		sx.SetFaultsEnabled(true) // build is clean; faults target the query phase
+	}
+
+	queries := []mcost.Object{q}
+	for i := 0; i < r.batch-1 && i < len(d.Objects); i++ {
+		queries = append(queries, d.Objects[i])
+	}
+
+	var pred mcost.CostEstimate
+	if r.radius >= 0 {
+		pred = sx.PredictRange(r.radius)
+		fmt.Printf("range(Q, %g) x %d queries: predicted %.1f node reads, %.1f distance computations per query\n",
+			r.radius, len(queries), pred.Nodes, pred.Dists)
+	} else {
+		pred = sx.PredictNN(r.k)
+		fmt.Printf("NN(Q, %d) x %d queries: predicted %.1f node reads, %.1f distance computations per query (upper bound: shard pruning only reduces it)\n",
+			r.k, len(queries), pred.Nodes, pred.Dists)
+	}
+
+	var qb mcost.QueryBudget
+	if r.budgetSlack > 0 {
+		qb = mcost.QueryBudget{
+			MaxNodeReads: int64(math.Ceil(pred.Nodes * r.budgetSlack)),
+			MaxDistCalcs: int64(math.Ceil(pred.Dists * r.budgetSlack)),
+		}
+		fmt.Printf("budget per shard traversal: %d node reads, %d distance computations (L-MCM x %.1f)\n",
+			qb.MaxNodeReads, qb.MaxDistCalcs, r.budgetSlack)
+	}
+	ctx := context.Background()
+	if r.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.timeout)
+		defer cancel()
+	}
+
+	sx.ResetCosts()
+	var sets [][]mcost.Match
+	if r.radius >= 0 {
+		sets, err = sx.RangeBatchCtx(ctx, queries, r.radius, qb)
+	} else {
+		sets, err = sx.NNBatchCtx(ctx, queries, r.k, qb)
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, mcost.ErrBudgetExceeded),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		fmt.Printf("DEGRADED: %v — returning the partial result sets\n", err)
+	default:
+		fail(err)
+	}
+	nodes, dists := sx.Costs()
+	nq := float64(len(queries))
+	fmt.Printf("measured: %.1f node reads, %.1f distance computations per query (%d / %d amortized over the batch), %d shard visits pruned\n",
+		float64(nodes)/nq, float64(dists)/nq, nodes, dists, sx.ShardsSkipped())
+	if r.storage.Faults != nil {
+		sx.SetFaultsEnabled(false)
+	}
+	fmt.Println()
+
+	var matches []mcost.Match
+	if len(sets) > 0 {
+		matches = sets[0]
+	}
+	fmt.Printf("%d results", len(matches))
+	if len(matches) > r.show {
+		fmt.Printf(" (showing %d)", r.show)
+	}
+	fmt.Println(":")
+	for i, m := range matches {
+		if i >= r.show {
+			break
+		}
+		fmt.Printf("  %2d. d=%-8.3f %v\n", i+1, m.Distance, m.Object)
 	}
 }
 

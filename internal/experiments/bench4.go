@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"mcost/internal/dataset"
+	"mcost/internal/metric"
+	"mcost/internal/mtree"
+	"mcost/internal/shard"
+)
+
+// Bench4 benchmarks the PR-4 execution engines against each other on
+// one clustered dataset: the classic per-query loop, the
+// shared-traversal batch paths, and the sharded index with and without
+// batching. Per-query node reads and distance computations come from
+// the engines' own counters, so the table shows exactly the
+// amortization the batch layer claims (each node fetched once per
+// batch) and the work the shard pruner avoids. Queries-per-second is
+// wall-clock and varies run to run; every other column is
+// deterministic for a fixed Config.
+
+// Bench4Row is one engine/kind measurement.
+type Bench4Row struct {
+	Engine  string `json:"engine"` // loop | batch | sharded | sharded-batch
+	Kind    string `json:"kind"`   // range | nn
+	Queries int    `json:"queries"`
+	Batch   int    `json:"batch"`  // 0 for per-query engines
+	Shards  int    `json:"shards"` // 0 for single-tree engines
+	// QPS is wall-clock throughput — the only nondeterministic column.
+	QPS               float64 `json:"queries_per_sec"`
+	NodeReadsPerQuery float64 `json:"node_reads_per_query"`
+	DistCalcsPerQuery float64 `json:"dist_calcs_per_query"`
+	ResultsPerQuery   float64 `json:"results_per_query"`
+}
+
+// Bench4Result is the full engine comparison.
+type Bench4Result struct {
+	Radius float64     `json:"radius"`
+	K      int         `json:"k"`
+	Rows   []Bench4Row `json:"rows"`
+}
+
+func (r *Bench4Result) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("BENCH 4: execution engines (range r=%.3f, nn k=%d)", r.Radius, r.K),
+		Columns: []string{"engine", "kind", "queries", "batch", "shards", "qps", "nodes/q", "dists/q", "results/q"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Engine, row.Kind,
+			fmt.Sprintf("%d", row.Queries),
+			fmt.Sprintf("%d", row.Batch),
+			fmt.Sprintf("%d", row.Shards),
+			fmt.Sprintf("%.0f", row.QPS),
+			f1(row.NodeReadsPerQuery), f1(row.DistCalcsPerQuery), f1(row.ResultsPerQuery),
+		})
+	}
+	return t
+}
+
+// bench4Engine abstracts one execution strategy over the shared query
+// stream.
+type bench4Engine struct {
+	name   string
+	batch  int // 0 = per-query
+	shards int
+	run    func(qs []metric.Object, kind string) (results int, err error)
+	costs  func() (int64, int64)
+	reset  func()
+}
+
+// RunBench4 executes the engine comparison. The radius is chosen from
+// the single tree's model for a ~10-object average result so the range
+// workload is selective enough for shard pruning to matter.
+func RunBench4(cfg Config) (*Bench4Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Shards == 0 {
+		cfg.Shards = 4
+	}
+	if cfg.ShardAssign == "" {
+		cfg.ShardAssign = "pivot"
+	}
+	if cfg.Batch == 0 {
+		cfg.Batch = 32
+	}
+	assign, err := shard.ParseAssignment(cfg.ShardAssign)
+	if err != nil {
+		return nil, err
+	}
+	d := dataset.PaperClustered(cfg.N, 10, cfg.Seed)
+	b, err := buildFor(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	set, err := shard.Build(d.Space, d.Objects, shard.Options{
+		Shards:   cfg.Shards,
+		Assign:   assign,
+		PageSize: cfg.PageSize,
+		Seed:     cfg.Seed,
+		Workers:  cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	queries := dataset.PaperClusteredQueries(cfg.Queries, 10, cfg.Seed).Queries
+	radius := b.model.RadiusForExpectedObjects(10)
+	const k = 10
+	qopt := mtree.QueryOptions{UseParentDist: true}
+	sopt := shard.QueryOptions{UseParentDist: true, Workers: cfg.Workers}
+
+	countAll := func(sets [][]mtree.Match) int {
+		n := 0
+		for _, ms := range sets {
+			n += len(ms)
+		}
+		return n
+	}
+	runBatched := func(qs []metric.Object, size int, f func(chunk []metric.Object) ([][]mtree.Match, error)) (int, error) {
+		total := 0
+		for lo := 0; lo < len(qs); lo += size {
+			hi := lo + size
+			if hi > len(qs) {
+				hi = len(qs)
+			}
+			sets, err := f(qs[lo:hi])
+			if err != nil {
+				return 0, err
+			}
+			total += countAll(sets)
+		}
+		return total, nil
+	}
+
+	engines := []bench4Engine{
+		{
+			name: "loop",
+			run: func(qs []metric.Object, kind string) (int, error) {
+				total := 0
+				for _, q := range qs {
+					var ms []mtree.Match
+					var err error
+					if kind == "range" {
+						ms, err = b.tr.Range(q, radius, qopt)
+					} else {
+						ms, err = b.tr.NN(q, k, qopt)
+					}
+					if err != nil {
+						return 0, err
+					}
+					total += len(ms)
+				}
+				return total, nil
+			},
+			costs: func() (int64, int64) { return b.tr.NodeReads(), b.tr.DistanceCount() },
+			reset: b.tr.ResetCounters,
+		},
+		{
+			name:  "batch",
+			batch: cfg.Batch,
+			run: func(qs []metric.Object, kind string) (int, error) {
+				return runBatched(qs, cfg.Batch, func(chunk []metric.Object) ([][]mtree.Match, error) {
+					if kind == "range" {
+						return b.tr.RangeBatch(chunk, radius, qopt)
+					}
+					return b.tr.NNBatch(chunk, k, qopt)
+				})
+			},
+			costs: func() (int64, int64) { return b.tr.NodeReads(), b.tr.DistanceCount() },
+			reset: b.tr.ResetCounters,
+		},
+		{
+			name:   "sharded",
+			shards: cfg.Shards,
+			run: func(qs []metric.Object, kind string) (int, error) {
+				total := 0
+				for _, q := range qs {
+					var ms []mtree.Match
+					var err error
+					if kind == "range" {
+						ms, err = set.Range(q, radius, sopt)
+					} else {
+						ms, err = set.NN(q, k, sopt)
+					}
+					if err != nil {
+						return 0, err
+					}
+					total += len(ms)
+				}
+				return total, nil
+			},
+			costs: set.Costs,
+			reset: set.ResetCosts,
+		},
+		{
+			name:   "sharded-batch",
+			batch:  cfg.Batch,
+			shards: cfg.Shards,
+			run: func(qs []metric.Object, kind string) (int, error) {
+				return runBatched(qs, cfg.Batch, func(chunk []metric.Object) ([][]mtree.Match, error) {
+					if kind == "range" {
+						return set.RangeBatch(chunk, radius, sopt)
+					}
+					return set.NNBatch(chunk, k, sopt)
+				})
+			},
+			costs: set.Costs,
+			reset: set.ResetCosts,
+		},
+	}
+
+	res := &Bench4Result{Radius: radius, K: k}
+	for _, kind := range []string{"range", "nn"} {
+		for _, eng := range engines {
+			eng.reset()
+			start := time.Now()
+			results, err := eng.run(queries, kind)
+			elapsed := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("bench4 %s/%s: %w", eng.name, kind, err)
+			}
+			reads, dists := eng.costs()
+			nq := float64(len(queries))
+			qps := 0.0
+			if elapsed > 0 {
+				qps = nq / elapsed.Seconds()
+			}
+			res.Rows = append(res.Rows, Bench4Row{
+				Engine:            eng.name,
+				Kind:              kind,
+				Queries:           len(queries),
+				Batch:             eng.batch,
+				Shards:            eng.shards,
+				QPS:               qps,
+				NodeReadsPerQuery: float64(reads) / nq,
+				DistCalcsPerQuery: float64(dists) / nq,
+				ResultsPerQuery:   float64(results) / nq,
+			})
+		}
+	}
+	return res, nil
+}

@@ -72,6 +72,15 @@ type Config struct {
 	// the L-MCM prediction times this factor; budget-stopped queries
 	// contribute their partial results.
 	BudgetSlack float64
+	// Shards is the shard count for the bench4 sharded engines
+	// (default 4).
+	Shards int
+	// ShardAssign selects the bench4 shard assignment, "round-robin" or
+	// "pivot" (default "pivot").
+	ShardAssign string
+	// Batch is the batch size for the bench4 batched engines
+	// (default 32).
+	Batch int
 }
 
 func (c Config) storageEnabled() bool { return c.Paged || c.Faults != nil }

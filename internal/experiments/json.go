@@ -11,6 +11,8 @@ import (
 // returned value must marshal deterministically for a fixed Config
 // (Workers excluded): Go's encoding/json sorts map keys and formats
 // floats canonically, so equal values yield byte-identical output.
+// Exception: bench4's queries_per_sec column is wall-clock throughput
+// and varies run to run; its cost columns stay deterministic.
 type JSONRunner func(cfg Config) (interface{}, error)
 
 // JSONRegistry maps the experiments that expose machine-readable
@@ -42,6 +44,13 @@ func JSONRegistry() map[string]JSONRunner {
 		},
 		"residuals": func(cfg Config) (interface{}, error) {
 			r, err := RunResiduals(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r, nil
+		},
+		"bench4": func(cfg Config) (interface{}, error) {
+			r, err := RunBench4(cfg)
 			if err != nil {
 				return nil, err
 			}

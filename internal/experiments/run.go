@@ -118,6 +118,13 @@ func Registry() map[string]Runner {
 			}
 			return r.Table().Render(w)
 		},
+		"bench4": func(cfg Config, w io.Writer) error {
+			r, err := RunBench4(cfg)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(w)
+		},
 		"hmcm": func(cfg Config, w io.Writer) error {
 			r, err := RunHMCM(cfg)
 			if err != nil {

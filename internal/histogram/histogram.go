@@ -268,33 +268,67 @@ func (h *Histogram) PDF(x float64) float64 {
 	return (h.cum[i] - lo) / h.width
 }
 
-// Quantile evaluates F^-1(p) for p in [0,1]: the smallest x with
-// F(x) >= p. The vp-tree cost model uses it to estimate cutoff values
-// (Section 5 of the paper).
+// Quantile evaluates the generalized inverse F⁻¹(p) = inf{x : F(x) ≥ p}
+// for p in [0,1]. The vp-tree cost model uses it to estimate cutoff
+// values (Section 5 of the paper). Edge conventions, pinned by the
+// property tests:
+//
+//   - p ≥ 1 returns bound, the top of the support.
+//   - p ≤ 0 returns the bottom of the support, lim_{p→0⁺} F⁻¹(p): the
+//     left edge of the first nonempty bin (continuous) or the first
+//     distance carrying mass (discrete) — not 0, which would sit below
+//     the support whenever leading bins are empty. An all-empty
+//     histogram returns 0.
+//   - Flat CDF segments resolve to their left end: the infimum over
+//     {x : F(x) ≥ p} when many x reach p.
+//
+// Minimality invariant: CDF(Quantile(p)) ≥ p, and no smaller x (within
+// the support) satisfies it.
 func (h *Histogram) Quantile(p float64) float64 {
-	if p <= 0 {
-		return 0
-	}
 	if p >= 1 {
 		return h.bound
+	}
+	if p <= 0 {
+		i0 := h.firstNonempty()
+		if i0 < 0 {
+			return 0
+		}
+		if h.discrete {
+			return float64(i0+1) * h.width // first distance with positive mass
+		}
+		return float64(i0) * h.width // left edge of the first nonempty bin
 	}
 	i := sort.SearchFloat64s(h.cum, p)
 	if i >= len(h.cum) {
 		return h.bound
+	}
+	if h.discrete {
+		return float64(i+1) * h.width // the integer distance at which F jumps past p
 	}
 	hi := h.cum[i]
 	lo := 0.0
 	if i > 0 {
 		lo = h.cum[i-1]
 	}
-	if h.discrete {
-		return float64(i+1) * h.width // the integer distance at which F jumps past p
-	}
 	if hi == lo {
-		return float64(i+1) * h.width
+		// A flat segment exactly at p: take its left end (the infimum).
+		return float64(i) * h.width
 	}
 	frac := (p - lo) / (hi - lo)
 	return (float64(i) + frac) * h.width
+}
+
+// firstNonempty returns the index of the first bin with positive mass,
+// or -1 for an empty histogram.
+func (h *Histogram) firstNonempty() int {
+	prev := 0.0
+	for i, c := range h.cum {
+		if c > prev {
+			return i
+		}
+		prev = c
+	}
+	return -1
 }
 
 // Mean returns the mean distance implied by the histogram, integrating

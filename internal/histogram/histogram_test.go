@@ -109,18 +109,28 @@ func TestQuantileInvertsCDFQuick(t *testing.T) {
 }
 
 func TestQuantileEndpoints(t *testing.T) {
+	// Samples {0.2, 0.6} over 10 bins of width 0.1: the support starts
+	// at bin 1 (0.2 sits on the edge, so it falls in [0.1, 0.2]).
+	// Quantile(p <= 0) is the left edge of the support, 0.1 — NOT 0,
+	// which lies below every sample. This is the regression test for
+	// the p=0 convention: the pre-fix code returned 0 unconditionally.
 	h := mustFromSamples(t, []float64{0.2, 0.6}, 10, 1, false)
-	if got := h.Quantile(0); got != 0 {
-		t.Errorf("Quantile(0) = %g", got)
+	if got := h.Quantile(0); got != 0.1 {
+		t.Errorf("Quantile(0) = %g, want 0.1 (left edge of first nonempty bin)", got)
 	}
 	if got := h.Quantile(1); got != 1 {
 		t.Errorf("Quantile(1) = %g, want bound", got)
 	}
-	if got := h.Quantile(-0.1); got != 0 {
-		t.Errorf("Quantile(-0.1) = %g", got)
+	if got := h.Quantile(-0.1); got != 0.1 {
+		t.Errorf("Quantile(-0.1) = %g, want 0.1", got)
 	}
 	if got := h.Quantile(1.5); got != 1 {
 		t.Errorf("Quantile(1.5) = %g", got)
+	}
+	// A sample in the first bin anchors the support at 0.
+	h0 := mustFromSamples(t, []float64{0.05, 0.6}, 10, 1, false)
+	if got := h0.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) with mass in bin 0 = %g, want 0", got)
 	}
 }
 

@@ -182,3 +182,124 @@ func TestCDFPDFConsistency(t *testing.T) {
 		}
 	}
 }
+
+// TestQuantileMinimality pins the generalized-inverse definition
+// F⁻¹(p) = inf{x : F(x) ≥ p} on random shapes: F(Q(p)) ≥ p always, and
+// any x strictly below Q(p) (by more than float noise) has F(x) < p —
+// i.e. Q(p) really is the smallest such point, so flat CDF segments
+// resolve to their left end.
+func TestQuantileMinimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		h := randomHistogram(rng)
+		eps := h.Bound() * 1e-7
+		for i := 1; i < 100; i++ {
+			p := float64(i) / 100
+			q := h.Quantile(p)
+			if f := h.CDF(q); f < p-1e-9 {
+				t.Fatalf("trial %d: F(Q(%g)) = %g < p", trial, p, f)
+			}
+			if q > eps {
+				below := h.CDF(q - eps)
+				// For discrete histograms F is a step function: just left
+				// of a jump F sits strictly below p unless p falls on a
+				// flat run, which Quantile resolves to the jump point, so
+				// the strict inequality must still hold.
+				if below >= p+1e-9 {
+					t.Fatalf("trial %d: Q(%g)=%g not minimal: F(q-eps)=%g >= p (discrete=%v)",
+						trial, p, q, below, h.Discrete())
+				}
+			}
+		}
+	}
+}
+
+// TestQuantileZeroIsSupportEdge pins the p ≤ 0 convention on random
+// shapes: Quantile(0) is the bottom of the support — the largest x with
+// F(x) = 0 for continuous histograms (left edge of the first nonempty
+// bin), the first mass-carrying distance for discrete ones. The pre-fix
+// code returned 0 unconditionally, which lies below the support
+// whenever leading bins are empty (e.g. every clustered shape).
+func TestQuantileZeroIsSupportEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		h := randomHistogram(rng)
+		q0 := h.Quantile(0)
+		if qn := h.Quantile(-rng.Float64()); qn != q0 {
+			t.Fatalf("trial %d: Quantile(p<0)=%g != Quantile(0)=%g", trial, qn, q0)
+		}
+		width := h.Bound() / float64(h.Bins())
+		if h.Discrete() {
+			// q0 is a jump point with positive mass and nothing below it.
+			if h.CDF(q0) <= 0 {
+				t.Fatalf("trial %d: discrete Quantile(0)=%g carries no mass", trial, q0)
+			}
+			if q0 >= width && h.CDF(q0-width) != 0 {
+				t.Fatalf("trial %d: discrete Quantile(0)=%g has mass below it", trial, q0)
+			}
+			continue
+		}
+		// Continuous: F(q0) = 0 (up to interpolation noise at the bin
+		// edge) and F is positive just past q0 — the CDF starts rising
+		// inside the first nonempty bin.
+		if f := h.CDF(q0); f > 1e-9 {
+			t.Fatalf("trial %d: F(Quantile(0)=%g) = %g, want 0", trial, q0, f)
+		}
+		if f := h.CDF(q0 + width); f <= 0 {
+			t.Fatalf("trial %d: no mass just past Quantile(0)=%g", trial, q0)
+		}
+		// Monotone continuation: Quantile(p) for small p > 0 never falls
+		// below the support edge.
+		if q := h.Quantile(1e-12); q < q0-1e-12 {
+			t.Fatalf("trial %d: Quantile(1e-12)=%g < Quantile(0)=%g", trial, q, q0)
+		}
+	}
+}
+
+// TestQuantileFlatSegments builds a CDF with an exactly flat interior
+// run (empty bins between two point masses) and checks that quantiles
+// at the flat level resolve to the left end of the run, and that
+// quantiles just above it land past the gap.
+func TestQuantileFlatSegments(t *testing.T) {
+	// 10 bins over [0,1]; mass 0.5 in bin 1 (0.15) and 0.5 in bin 7
+	// (0.75): F is 0 on bin 0, rises to 0.5 across bin 1, flat at 0.5
+	// over bins 2..6, rises to 1 across bin 7, flat at 1 after.
+	samples := []float64{0.15, 0.75}
+	h := mustFromSamples(t, samples, 10, 1, false)
+	// p = 0.5 sits on the flat run; the infimum of {x : F(x) >= 0.5} is
+	// the top of bin 1 where F first reaches 0.5.
+	if got := h.Quantile(0.5); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Quantile(0.5) = %g, want 0.2 (left end of flat run)", got)
+	}
+	// Just above the flat level the quantile jumps past the gap into
+	// bin 7.
+	if got := h.Quantile(0.5 + 1e-9); got < 0.7 {
+		t.Errorf("Quantile(0.5+eps) = %g, want >= 0.7 (past the flat run)", got)
+	}
+	// p = 0 resolves to the left edge of bin 1, the support's bottom.
+	if got := h.Quantile(0); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Quantile(0) = %g, want 0.1", got)
+	}
+}
+
+// TestQuantileDiscreteSteps pins the step-CDF inversion on a known
+// discrete shape: quantiles land exactly on the integer distances where
+// F jumps, and every p within one step maps to the same distance.
+func TestQuantileDiscreteSteps(t *testing.T) {
+	// Distances 2 (x4) and 5 (x6) over 5 unit bins: F(2)=0.4, F(5)=1,
+	// F flat elsewhere.
+	samples := []float64{2, 2, 2, 2, 5, 5, 5, 5, 5, 5}
+	h := mustFromSamples(t, samples, 5, 5, true)
+	for _, tc := range []struct{ p, want float64 }{
+		{0, 2},    // support bottom: first distance with mass
+		{0.1, 2},  // inside the first step
+		{0.4, 2},  // exactly at the step level
+		{0.41, 5}, // just above: next jump
+		{0.9, 5},
+		{1, 5}, // p=1 pins to bound, which coincides with the top jump
+	} {
+		if got := h.Quantile(tc.p); got != tc.want {
+			t.Errorf("discrete Quantile(%g) = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+}

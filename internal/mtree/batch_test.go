@@ -1,0 +1,397 @@
+package mtree
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"mcost/internal/budget"
+	"mcost/internal/dataset"
+	"mcost/internal/metric"
+	"mcost/internal/obs"
+	"mcost/internal/pager"
+)
+
+// identicalMatches requires bit-identical result lists: same length,
+// same OIDs, same distances, same order.
+func identicalMatches(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].OID != b[i].OID || a[i].Distance != b[i].Distance {
+			return false
+		}
+	}
+	return true
+}
+
+func batchFixture(t *testing.T, n int) (*Tree, *dataset.Dataset) {
+	t.Helper()
+	d := dataset.PaperClustered(n, 6, 4242)
+	tr, err := New(Options{Space: d.Space, PageSize: 1024, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad(d.Objects); err != nil {
+		t.Fatal(err)
+	}
+	return tr, d
+}
+
+// TestRangeBatchMatchesSequential is the batch half of the equivalence
+// matrix: at every batch size, each query's RangeBatch result is
+// bit-identical (contents and order) to running it alone through Range,
+// with and without the parent-distance optimization.
+func TestRangeBatchMatchesSequential(t *testing.T) {
+	tr, d := batchFixture(t, 1500)
+	queries := dataset.PaperClusteredQueries(64, 6, 4242).Queries
+	for _, usePD := range []bool{false, true} {
+		for _, size := range []int{1, 2, 7, 32, 64} {
+			t.Run(fmt.Sprintf("pd=%v/batch=%d", usePD, size), func(t *testing.T) {
+				opt := QueryOptions{UseParentDist: usePD}
+				qs := queries[:size]
+				got, err := tr.RangeBatch(qs, 0.2, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != size {
+					t.Fatalf("got %d result sets for %d queries", len(got), size)
+				}
+				nonEmpty := 0
+				for i, q := range qs {
+					want, err := tr.Range(q, 0.2, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !identicalMatches(got[i], want) {
+						t.Fatalf("query %d: batch %d matches vs sequential %d", i, len(got[i]), len(want))
+					}
+					nonEmpty += len(want)
+				}
+				if nonEmpty == 0 {
+					t.Fatal("degenerate fixture: no query returned results")
+				}
+				_ = d
+			})
+		}
+	}
+}
+
+// TestNNBatchMatchesSequential: same equivalence for k-NN, across batch
+// sizes and ks.
+func TestNNBatchMatchesSequential(t *testing.T) {
+	tr, _ := batchFixture(t, 1500)
+	queries := dataset.PaperClusteredQueries(32, 6, 4242).Queries
+	for _, k := range []int{1, 5, 20} {
+		for _, size := range []int{1, 2, 7, 32} {
+			t.Run(fmt.Sprintf("k=%d/batch=%d", k, size), func(t *testing.T) {
+				opt := QueryOptions{UseParentDist: true}
+				qs := queries[:size]
+				got, err := tr.NNBatch(qs, k, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, q := range qs {
+					want, err := tr.NN(q, k, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !identicalMatches(got[i], want) {
+						t.Fatalf("query %d: batch/sequential NN results differ", i)
+					}
+					if len(want) != k {
+						t.Fatalf("query %d: %d neighbors, want %d", i, len(want), k)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBatchAmortizesNodeReads pins the acceptance criterion: at batch
+// size 32, the batch paths spend at least 2x fewer node reads per query
+// than the per-query loop while computing exactly the same distances
+// (range) and returning identical results.
+func TestBatchAmortizesNodeReads(t *testing.T) {
+	tr, _ := batchFixture(t, 3000)
+	queries := dataset.PaperClusteredQueries(32, 6, 4242).Queries
+	opt := QueryOptions{UseParentDist: true}
+
+	tr.ResetCounters()
+	for _, q := range queries {
+		if _, err := tr.Range(q, 0.25, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loopReads, loopDists := tr.NodeReads(), tr.DistanceCount()
+
+	tr.ResetCounters()
+	if _, err := tr.RangeBatch(queries, 0.25, opt); err != nil {
+		t.Fatal(err)
+	}
+	batchReads, batchDists := tr.NodeReads(), tr.DistanceCount()
+
+	if batchDists != loopDists {
+		t.Errorf("range: batch dists %d != loop dists %d (must be per-query identical)", batchDists, loopDists)
+	}
+	if float64(loopReads) < 2*float64(batchReads) {
+		t.Errorf("range: batch reads %d not 2x below loop reads %d", batchReads, loopReads)
+	}
+
+	tr.ResetCounters()
+	for _, q := range queries {
+		if _, err := tr.NN(q, 10, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nnLoopReads := tr.NodeReads()
+	tr.ResetCounters()
+	if _, err := tr.NNBatch(queries, 10, opt); err != nil {
+		t.Fatal(err)
+	}
+	nnBatchReads := tr.NodeReads()
+	if float64(nnLoopReads) < 2*float64(nnBatchReads) {
+		t.Errorf("nn: batch reads %d not 2x below loop reads %d", nnBatchReads, nnLoopReads)
+	}
+}
+
+// TestBatchPagedEquivalence runs the same batches on a memory tree and
+// a paged (checksummed) tree: identical results, and the paged batch
+// fetches each node at most once per batch.
+func TestBatchPagedEquivalence(t *testing.T) {
+	d := dataset.PaperClustered(1200, 5, 4301)
+	mem, err := New(Options{Space: d.Space, PageSize: 1024, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.BulkLoad(d.Objects); err != nil {
+		t.Fatal(err)
+	}
+	pg, err := pager.NewMem(PhysPageSize(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paged, err := New(Options{Space: d.Space, PageSize: 1024, Seed: 7, Pager: pg, Codec: VectorCodec{Dim: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := paged.BulkLoad(d.Objects); err != nil {
+		t.Fatal(err)
+	}
+	queries := dataset.PaperClusteredQueries(24, 5, 4301).Queries
+	opt := QueryOptions{UseParentDist: true}
+
+	gotMem, err := mem.RangeBatch(queries, 0.2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPaged, err := paged.RangeBatch(queries, 0.2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		if !identicalMatches(gotMem[i], gotPaged[i]) {
+			t.Fatalf("query %d: paged batch differs from memory batch", i)
+		}
+	}
+	nnMem, err := mem.NNBatch(queries, 8, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nnPaged, err := paged.NNBatch(queries, 8, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		if !identicalMatches(nnMem[i], nnPaged[i]) {
+			t.Fatalf("query %d: paged NN batch differs from memory", i)
+		}
+	}
+}
+
+// TestBatchBudgetPartialResults exhausts a tiny budget mid-batch: the
+// typed error surfaces, and every match already accumulated is a true
+// match (verified against the linear scan).
+func TestBatchBudgetPartialResults(t *testing.T) {
+	tr, d := batchFixture(t, 2000)
+	queries := dataset.PaperClusteredQueries(16, 6, 4242).Queries
+	const radius = 0.25
+	opt := QueryOptions{UseParentDist: true, Budget: budget.Budget{MaxNodeReads: 25}}
+
+	got, err := tr.RangeBatchCtx(context.Background(), queries, radius, opt)
+	var exceeded *budget.ExceededError
+	if !errors.As(err, &exceeded) {
+		t.Fatalf("err = %v, want budget exhaustion", err)
+	}
+	if len(got) != len(queries) {
+		t.Fatalf("partial result shape %d, want %d slots", len(got), len(queries))
+	}
+	for i, ms := range got {
+		truth := map[uint64]float64{}
+		for _, m := range LinearScanRange(d.Objects, d.Space, queries[i], radius) {
+			truth[m.OID] = m.Distance
+		}
+		for _, m := range ms {
+			td, ok := truth[m.OID]
+			if !ok || td != m.Distance {
+				t.Fatalf("query %d: partial match OID %d dist %g is not a true match", i, m.OID, m.Distance)
+			}
+		}
+	}
+
+	// NN: finished queries keep complete, correct answers; later ones
+	// return their best-so-far (still true objects at true distances).
+	nnOpt := QueryOptions{UseParentDist: true, Budget: budget.Budget{MaxNodeReads: 60}}
+	nnGot, err := tr.NNBatchCtx(context.Background(), queries, 5, nnOpt)
+	if !errors.As(err, &exceeded) {
+		t.Fatalf("nn err = %v, want budget exhaustion", err)
+	}
+	complete := 0
+	for i, ms := range nnGot {
+		if len(ms) == 5 {
+			want, err := tr.NN(queries[i], 5, QueryOptions{UseParentDist: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if identicalMatches(ms, want) {
+				complete++
+			}
+		}
+		for _, m := range ms {
+			if d.Space.Distance(queries[i], m.Object) != m.Distance {
+				t.Fatalf("query %d: reported distance %g is not the true distance", i, m.Distance)
+			}
+		}
+	}
+	if complete == 0 {
+		t.Fatal("budget so tight no query completed; fixture is degenerate")
+	}
+}
+
+// TestBatchFaultInjection runs batches through a faulty-but-retried
+// page stack: when the batch succeeds its results are identical to the
+// clean tree's, and when the fault schedule defeats the retries the
+// typed error surfaces with trustworthy partial results.
+func TestBatchFaultInjection(t *testing.T) {
+	d := dataset.PaperClustered(800, 4, 4400)
+	clean, err := New(Options{Space: d.Space, PageSize: 512, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.BulkLoad(d.Objects); err != nil {
+		t.Fatal(err)
+	}
+	queries := dataset.PaperClusteredQueries(16, 4, 4400).Queries
+	opt := QueryOptions{UseParentDist: true}
+	want, err := clean.RangeBatch(queries, 0.2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	succeeded, failed := 0, 0
+	for s := 0; s < 20; s++ {
+		stack, err := pager.NewMemStack(pager.StackOptions{
+			PageSize: PhysPageSize(512),
+			Faults:   &pager.FaultConfig{Seed: int64(s) + 1, ReadErrorRate: 0.25},
+			Retry:    pager.RetryOptions{Attempts: 3},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := New(Options{Space: d.Space, PageSize: 512, Seed: 7, Pager: stack.Top, Codec: VectorCodec{Dim: 4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.BulkLoad(d.Objects); err != nil {
+			t.Fatal(err)
+		}
+		stack.Faulty.SetEnabled(true)
+		got, err := tr.RangeBatch(queries, 0.2, opt)
+		stack.Faulty.SetEnabled(false)
+		if err != nil {
+			failed++
+			for i, ms := range got {
+				truth := map[uint64]float64{}
+				for _, m := range want[i] {
+					truth[m.OID] = m.Distance
+				}
+				for _, m := range ms {
+					if td, ok := truth[m.OID]; !ok || td != m.Distance {
+						t.Fatalf("schedule %d query %d: partial match not a true match", s, i)
+					}
+				}
+			}
+			continue
+		}
+		succeeded++
+		for i := range queries {
+			if !identicalMatches(got[i], want[i]) {
+				t.Fatalf("schedule %d query %d: faulty-stack batch differs from clean batch", s, i)
+			}
+		}
+	}
+	if succeeded == 0 || failed == 0 {
+		t.Fatalf("fault matrix degenerate: %d succeeded, %d failed — want both outcomes exercised", succeeded, failed)
+	}
+}
+
+// TestBatchValidationAndEdges covers the argument contract and empty
+// shapes.
+func TestBatchValidationAndEdges(t *testing.T) {
+	tr, d := batchFixture(t, 100)
+	q := d.Objects[0]
+	if _, err := tr.RangeBatch([]metric.Object{q, nil}, 0.1, QueryOptions{}); err == nil {
+		t.Error("nil query accepted")
+	}
+	if _, err := tr.RangeBatch([]metric.Object{q}, -1, QueryOptions{}); err == nil {
+		t.Error("negative radius accepted")
+	}
+	if _, err := tr.NNBatch([]metric.Object{q}, 0, QueryOptions{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := tr.NNBatch([]metric.Object{nil}, 3, QueryOptions{}); err == nil {
+		t.Error("nil NN query accepted")
+	}
+	out, err := tr.RangeBatch(nil, 0.1, QueryOptions{})
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty batch: %v, %d sets", err, len(out))
+	}
+	empty, err := New(Options{Space: d.Space, PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, err := empty.NNBatch([]metric.Object{q}, 3, QueryOptions{})
+	if err != nil || len(sets) != 1 || len(sets[0]) != 0 {
+		t.Errorf("empty tree batch: %v, %+v", err, sets)
+	}
+}
+
+// TestBatchTraceAccounting checks the amortized trace contract: a
+// batched trace counts each node visit once per batch, distances per
+// query, and Batches/Queries expose the amortization.
+func TestBatchTraceAccounting(t *testing.T) {
+	tr, _ := batchFixture(t, 1000)
+	queries := dataset.PaperClusteredQueries(16, 6, 4242).Queries
+
+	trace := obs.NewTrace()
+	tr.ResetCounters()
+	if _, err := tr.RangeBatch(queries, 0.2, QueryOptions{Trace: trace}); err != nil {
+		t.Fatal(err)
+	}
+	if trace.Batches != 1 || trace.Queries != int64(len(queries)) {
+		t.Fatalf("trace batches=%d queries=%d, want 1 and %d", trace.Batches, trace.Queries, len(queries))
+	}
+	var nodes, dists int64
+	for _, lv := range trace.Levels {
+		nodes += lv.Nodes
+		dists += lv.Dists
+	}
+	if nodes != tr.NodeReads() {
+		t.Errorf("trace nodes %d != tree reads %d", nodes, tr.NodeReads())
+	}
+	if dists != tr.DistanceCount() {
+		t.Errorf("trace dists %d != tree dists %d", dists, tr.DistanceCount())
+	}
+}

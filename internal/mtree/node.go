@@ -43,12 +43,38 @@ type node struct {
 //	  uint16 object length, object bytes
 const nodeHeaderSize = 3
 
+// Fixed per-entry overhead besides the encoded object: parentDist +
+// oid for leaves; parentDist + radius + child + length prefix for
+// internal entries. These constants are the single source of truth for
+// entry sizing — encode, fits, and NodeCapacities all derive from them.
+const (
+	leafEntryOverhead     = 8 + 8 + 2
+	internalEntryOverhead = 8 + 8 + 4 + 2
+)
+
 func leafEntrySize(codec ObjectCodec, o metric.Object) int {
-	return 8 + 8 + 2 + codec.Size(o)
+	return leafEntryOverhead + codec.Size(o)
 }
 
 func internalEntrySize(codec ObjectCodec, o metric.Object) int {
-	return 8 + 8 + 4 + 2 + codec.Size(o)
+	return internalEntryOverhead + codec.Size(o)
+}
+
+// NodeCapacities returns the maximum entries a node of the given page
+// size holds for objects of the given encoded size — the leaf and
+// internal fan-out bounds implied by the on-page layout. It is the one
+// capacity formula shared by the tree itself (via fits) and by the
+// stats-free planner (mcost.PlanIndex), so a page-layout change cannot
+// silently drift the planner's tree-shape prediction away from what
+// Build actually constructs. Note the capacities are in terms of the
+// logical node payload: the paged store's per-page checksum lives
+// outside it (see PhysPageSize).
+func NodeCapacities(pageSize, objBytes int) (leafCap, internalCap int) {
+	avail := pageSize - nodeHeaderSize
+	if avail < 0 {
+		return 0, 0
+	}
+	return avail / (leafEntryOverhead + objBytes), avail / (internalEntryOverhead + objBytes)
 }
 
 // entrySize returns the on-page size of e in a node of the given kind.

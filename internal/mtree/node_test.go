@@ -285,3 +285,61 @@ func TestMTreeOverJaccardSets(t *testing.T) {
 		t.Fatalf("Jaccard range: %d vs %d results", len(got), len(want))
 	}
 }
+
+// TestNodeCapacitiesMatchLayout pins NodeCapacities — the capacity
+// formula shared with the stats-free planner — against the actual page
+// layout: exactly leafCap (internalCap) entries fit a page via the
+// tree's own fits/encode path, and one more does not. A page-layout
+// change that NodeCapacities misses fails here before it can silently
+// skew mcost.PlanIndex's tree-shape prediction.
+func TestNodeCapacitiesMatchLayout(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		pageSize int
+		dim      int
+	}{
+		{"tiny", 128, 2},
+		{"odd", 517, 3},
+		{"default", 4096, 8},
+		{"large-objects", 1024, 40},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			codec := VectorCodec{Dim: tc.dim}
+			obj := make(metric.Vector, tc.dim)
+			leafCap, internalCap := NodeCapacities(tc.pageSize, codec.Size(obj))
+			if leafCap < internalCap {
+				t.Fatalf("leafCap %d < internalCap %d: leaf entries are smaller", leafCap, internalCap)
+			}
+			for _, kind := range []struct {
+				leaf bool
+				cap  int
+			}{{true, leafCap}, {false, internalCap}} {
+				n := &node{leaf: kind.leaf}
+				e := Entry{Object: obj}
+				for i := 0; i < kind.cap; i++ {
+					if !n.fits(codec, e, tc.pageSize) {
+						t.Fatalf("leaf=%v: entry %d/%d does not fit", kind.leaf, i+1, kind.cap)
+					}
+					n.entries = append(n.entries, e)
+				}
+				if n.fits(codec, e, tc.pageSize) {
+					t.Fatalf("leaf=%v: entry %d fits beyond stated capacity", kind.leaf, kind.cap+1)
+				}
+				buf, err := n.encode(codec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(buf) > tc.pageSize {
+					t.Fatalf("leaf=%v: full node encodes to %d bytes on a %d-byte page", kind.leaf, len(buf), tc.pageSize)
+				}
+			}
+		})
+	}
+	// Degenerate shapes cannot panic or go negative.
+	if l, i := NodeCapacities(2, 16); l != 0 || i != 0 {
+		t.Fatalf("capacities on sub-header page: %d, %d", l, i)
+	}
+	if l, i := NodeCapacities(-10, 16); l != 0 || i != 0 {
+		t.Fatalf("capacities on negative page: %d, %d", l, i)
+	}
+}

@@ -226,6 +226,27 @@ func (t *Tree) NNWithStopCtx(ctx context.Context, q metric.Object, k int, stopRa
 	return t.nnSearch(budget.NewGuard(ctx, opt.Budget), q, k, stopRadius, opt)
 }
 
+// fetchFunc fetches one node for a query traversal, enforcing the
+// budget guard and recording the trace visit. The batch engine swaps in
+// a memoizing fetcher so node reads amortize across a query batch.
+type fetchFunc func(id pager.PageID, level int) (*node, error)
+
+// queryFetcher is the plain per-query fetcher: every call is one
+// guarded, counted, traced node read.
+func (t *Tree) queryFetcher(g *budget.Guard, tr *obs.Trace) fetchFunc {
+	return func(id pager.PageID, level int) (*node, error) {
+		if err := g.BeforeFetch(); err != nil {
+			return nil, err
+		}
+		n, err := t.store.fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		tr.Visit(level)
+		return n, nil
+	}
+}
+
 // nnSearch is the shared best-first search: NN is the stopRadius=+Inf
 // case. On a guard stop (context or budget) it returns the current best
 // matches with the guard's error.
@@ -240,6 +261,14 @@ func (t *Tree) nnSearch(g *budget.Guard, q metric.Object, k int, stopRadius floa
 		return nil, nil
 	}
 	opt.Trace.StartNN(k)
+	return t.nnSearchFetch(t.queryFetcher(g, opt.Trace), g, q, k, stopRadius, opt)
+}
+
+// nnSearchFetch is the best-first loop with node access abstracted:
+// callers have validated inputs and recorded the trace start. The guard
+// only meters distance computations here — node fetches are metered by
+// the fetcher, which in batch mode skips the guard on memo hits.
+func (t *Tree) nnSearchFetch(fetch fetchFunc, g *budget.Guard, q metric.Object, k int, stopRadius float64, opt QueryOptions) ([]Match, error) {
 	pq := &nnQueue{{id: t.root, dMin: 0, distQ: math.NaN(), level: 1}}
 	best := &resultHeap{}
 	rk := func() float64 {
@@ -257,14 +286,10 @@ func (t *Tree) nnSearch(g *budget.Guard, q metric.Object, k int, stopRadius floa
 		if item.dMin > rk() {
 			break
 		}
-		if err := g.BeforeFetch(); err != nil {
-			return best.drain(), err
-		}
-		n, err := t.store.fetch(item.id)
+		n, err := fetch(item.id, item.level)
 		if err != nil {
 			return best.drain(), err
 		}
-		opt.Trace.Visit(item.level)
 		for i := range n.entries {
 			e := &n.entries[i]
 			bound := rk()

@@ -60,6 +60,11 @@ type Trace struct {
 	K int `json:"k,omitempty"`
 	// Queries is the number of queries accumulated into this trace.
 	Queries int64 `json:"queries"`
+	// Batches is the number of batched executions accumulated. In a
+	// batched trace Nodes counts each node once per batch (fetches are
+	// amortized across the batch) while Dists stays per-query, so
+	// Queries/Batches ratios expose the amortization factor directly.
+	Batches int64 `json:"batches,omitempty"`
 	// Levels is the per-level breakdown, index = level-1.
 	Levels []LevelTrace `json:"levels"`
 }
@@ -92,6 +97,36 @@ func (t *Trace) StartNN(k int) {
 	}
 	t.start("nn")
 	t.K = k
+}
+
+// StartRangeBatch marks the beginning of one batched range execution
+// over n queries: the batch counts once, the queries n times.
+func (t *Trace) StartRangeBatch(radius float64, n int) {
+	if t == nil {
+		return
+	}
+	t.startBatch("range", n)
+	t.Radius = radius
+}
+
+// StartNNBatch marks the beginning of one batched k-NN execution over n
+// queries.
+func (t *Trace) StartNNBatch(k, n int) {
+	if t == nil {
+		return
+	}
+	t.startBatch("nn", n)
+	t.K = k
+}
+
+func (t *Trace) startBatch(kind string, n int) {
+	t.Queries += int64(n)
+	t.Batches++
+	if t.Kind == "" {
+		t.Kind = kind
+	} else if t.Kind != kind {
+		t.Kind = "mixed"
+	}
 }
 
 func (t *Trace) start(kind string) {
@@ -179,6 +214,7 @@ func (t *Trace) Merge(other *Trace) {
 		}
 	}
 	t.Queries += other.Queries
+	t.Batches += other.Batches
 	for i := range other.Levels {
 		l := t.at(i + 1)
 		o := &other.Levels[i]

@@ -1,0 +1,837 @@
+// Package shard partitions a dataset across S independent M-trees and
+// executes similarity queries against the partition set — the scale-out
+// layer over the single-tree engine. Each shard carries its own
+// distance histogram F̂ᵢ and fitted L-MCM cost model, so the set can
+// both predict workload cost (per-shard predictions sum) and prune
+// whole shards at query time: with pivot-based assignment every shard
+// is a metric ball around its pivot, d(q, pivotᵢ) − radiusᵢ lower-bounds
+// the distance from q to anything inside, and a k-NN visit is skipped
+// once the running k-th distance beats that bound.
+//
+// Determinism: shard assignment, per-shard builds, and result merging
+// are all functions of (objects, Options) alone — fan-out parallelism
+// writes into shard-indexed slots and merges in shard order, so results
+// and measured counters are identical at any worker count, exactly the
+// discipline internal/parallel documents.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"mcost/internal/budget"
+	"mcost/internal/core"
+	"mcost/internal/dataset"
+	"mcost/internal/distdist"
+	"mcost/internal/histogram"
+	"mcost/internal/metric"
+	"mcost/internal/mtree"
+	"mcost/internal/obs"
+	"mcost/internal/parallel"
+)
+
+// Assignment selects how objects are distributed across shards.
+type Assignment int
+
+const (
+	// RoundRobin assigns object i to shard i mod S: perfectly balanced
+	// shards with statistically identical distance distributions, but no
+	// geometric locality — every query visits every shard.
+	RoundRobin Assignment = iota
+	// Pivot assigns each object to the nearest of S pivots chosen by
+	// greedy farthest-point traversal. Shards become metric balls, so
+	// queries can skip shards whose lower bound proves them irrelevant.
+	Pivot
+)
+
+func (a Assignment) String() string {
+	switch a {
+	case RoundRobin:
+		return "round-robin"
+	case Pivot:
+		return "pivot"
+	default:
+		return fmt.Sprintf("Assignment(%d)", int(a))
+	}
+}
+
+// ParseAssignment maps the CLI flag spelling to an Assignment.
+func ParseAssignment(s string) (Assignment, error) {
+	switch s {
+	case "round-robin", "roundrobin", "rr":
+		return RoundRobin, nil
+	case "pivot":
+		return Pivot, nil
+	default:
+		return 0, fmt.Errorf("shard: unknown assignment %q (want round-robin or pivot)", s)
+	}
+}
+
+// pivotSampleCap bounds the candidate pool scanned per greedy
+// farthest-point step so pivot selection stays O(cap·S) distances.
+const pivotSampleCap = 2048
+
+// Options configures Build.
+type Options struct {
+	// Shards is the number of partitions S (required, >= 1).
+	Shards int
+	// Assign selects the partitioning strategy.
+	Assign Assignment
+	// PageSize is each shard tree's node size (default 4096).
+	PageSize int
+	// HistogramBins / SamplePairs configure each shard's F̂ᵢ estimate
+	// (zero picks the distdist defaults).
+	HistogramBins int
+	SamplePairs   int
+	// Seed drives pivot selection and per-shard estimation; shard i
+	// derives its own stream via parallel.SplitSeed.
+	Seed int64
+	// Workers bounds the goroutines used for shard builds and query
+	// fan-out (0 = runtime.NumCPU()). Results are identical at any
+	// worker count.
+	Workers int
+	// Incremental inserts objects one by one instead of bulk loading.
+	Incremental bool
+	// TreeOptions, when non-nil, supplies the base mtree.Options for
+	// shard i — the hook the facade uses to mount each shard on its own
+	// storage stack (pager, codec, metrics). Space, PageSize, and Seed
+	// are overwritten by Build to keep shards consistent.
+	TreeOptions func(i int) (mtree.Options, error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize == 0 {
+		o.PageSize = 4096
+	}
+	return o
+}
+
+// Shard is one partition: an M-tree over its objects plus the per-shard
+// distance distribution and cost model.
+type Shard struct {
+	Tree  *mtree.Tree
+	F     *histogram.Histogram
+	Model *core.MTreeModel
+	// Objects are the shard's members in local-OID order; OIDs maps a
+	// local OID (dense insertion index) back to the global OID, i.e.
+	// the object's index in the dataset handed to Build.
+	Objects []metric.Object
+	OIDs    []uint64
+	// Pivot and Radius describe the shard's bounding ball under Pivot
+	// assignment: every member lies within Radius of Pivot. Pivot is
+	// nil for RoundRobin shards (no geometric bound; Radius is d+).
+	Pivot  metric.Object
+	Radius float64
+}
+
+// Set is a sharded index: S independent M-trees behind one query
+// surface. Like the underlying trees it supports concurrent read-only
+// queries but not concurrent mutation.
+type Set struct {
+	space  *metric.Space
+	opt    Options
+	shards []*Shard
+	// pruneDists counts the pivot distances computed to order and prune
+	// shards — real CPU cost the per-tree counters cannot see.
+	pruneDists atomic.Int64
+	// skipped counts shard visits avoided by the lower-bound prune.
+	skipped atomic.Int64
+}
+
+// QueryOptions tunes query execution against a Set.
+type QueryOptions struct {
+	// UseParentDist enables the per-tree triangle-inequality
+	// optimization (see mtree.QueryOptions).
+	UseParentDist bool
+	// Workers bounds the shard fan-out goroutines (0 = all CPUs).
+	Workers int
+	// Trace, when non-nil, accumulates every visited shard's trace,
+	// merged in shard order (levels are per-shard tree levels).
+	Trace *obs.Trace
+	// Budget caps each shard's traversal independently (a per-shard
+	// cap: the fan-out runs S guarded queries). Budget-stopped shards
+	// contribute their partial results.
+	Budget budget.Budget
+	// Ctx cancels in-flight shard traversals (nil = background).
+	Ctx context.Context
+}
+
+func (o QueryOptions) guarded() bool {
+	return !o.Budget.Unlimited() || (o.Ctx != nil && o.Ctx.Done() != nil)
+}
+
+func (o QueryOptions) ctx() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
+}
+
+func (o QueryOptions) tree() mtree.QueryOptions {
+	return mtree.QueryOptions{UseParentDist: o.UseParentDist, Budget: o.Budget}
+}
+
+// Build partitions the objects, bulk-loads one M-tree per shard, and
+// fits each shard's distance distribution and cost model. Shard builds
+// run in parallel across Options.Workers; every shard is a
+// deterministic function of (objects, Options).
+func Build(space *metric.Space, objects []metric.Object, opt Options) (*Set, error) {
+	if space == nil {
+		return nil, errors.New("shard: nil space")
+	}
+	opt = opt.withDefaults()
+	if opt.Shards < 1 {
+		return nil, fmt.Errorf("shard: %d shards", opt.Shards)
+	}
+	if len(objects) < 2*opt.Shards {
+		return nil, fmt.Errorf("shard: %d objects cannot fill %d shards (need >= 2 per shard)", len(objects), opt.Shards)
+	}
+	parts, pivots, radii, err := assign(space, objects, opt)
+	if err != nil {
+		return nil, err
+	}
+	set := &Set{space: space, opt: opt, shards: make([]*Shard, opt.Shards)}
+	err = parallel.For(opt.Workers, opt.Shards, func(i int) error {
+		sh, err := buildShard(space, objects, parts[i], i, opt)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if pivots != nil {
+			sh.Pivot = objects[pivots[i]]
+			sh.Radius = radii[i]
+		} else {
+			sh.Radius = space.Bound
+		}
+		set.shards[i] = sh
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// assign returns per-shard member index lists, plus pivot indices and
+// covering radii under Pivot assignment (nil otherwise).
+func assign(space *metric.Space, objects []metric.Object, opt Options) (parts [][]int, pivots []int, radii []float64, err error) {
+	s := opt.Shards
+	parts = make([][]int, s)
+	if opt.Assign == RoundRobin {
+		for i := range objects {
+			parts[i%s] = append(parts[i%s], i)
+		}
+		return parts, nil, nil, nil
+	}
+	pivots = selectPivots(space, objects, s, opt.Seed)
+	radii = make([]float64, s)
+	for i, o := range objects {
+		bestShard, bestD := 0, math.Inf(1)
+		for p, pi := range pivots {
+			if d := space.Distance(o, objects[pi]); d < bestD {
+				bestShard, bestD = p, d
+			}
+		}
+		parts[bestShard] = append(parts[bestShard], i)
+		if bestD > radii[bestShard] {
+			radii[bestShard] = bestD
+		}
+	}
+	for i, p := range parts {
+		if len(p) < 2 {
+			return nil, nil, nil, fmt.Errorf(
+				"shard: pivot assignment left shard %d with %d object(s); use fewer shards or round-robin", i, len(p))
+		}
+	}
+	return parts, pivots, radii, nil
+}
+
+// selectPivots picks s well-separated object indices by greedy
+// farthest-point traversal over a seeded candidate sample: the first
+// pivot is a random object, each next pivot maximizes its minimum
+// distance to the pivots chosen so far (ties to the lower index).
+func selectPivots(space *metric.Space, objects []metric.Object, s int, seed int64) []int {
+	cands := make([]int, 0, pivotSampleCap)
+	if len(objects) <= pivotSampleCap {
+		for i := range objects {
+			cands = append(cands, i)
+		}
+	} else {
+		// Deterministic stride sample offset by the seed.
+		stride := len(objects) / pivotSampleCap
+		off := int(uint64(parallel.SplitSeed(seed, 0)) % uint64(stride))
+		for i := off; i < len(objects) && len(cands) < pivotSampleCap; i += stride {
+			cands = append(cands, i)
+		}
+	}
+	first := int(uint64(parallel.SplitSeed(seed, 1)) % uint64(len(cands)))
+	pivots := []int{cands[first]}
+	minD := make([]float64, len(cands))
+	for j, c := range cands {
+		minD[j] = space.Distance(objects[c], objects[pivots[0]])
+	}
+	for len(pivots) < s {
+		best, bestD := -1, -1.0
+		for j, c := range cands {
+			if minD[j] > bestD && c != pivots[len(pivots)-1] {
+				best, bestD = j, minD[j]
+			}
+		}
+		next := cands[best]
+		pivots = append(pivots, next)
+		for j, c := range cands {
+			if d := space.Distance(objects[c], objects[next]); d < minD[j] {
+				minD[j] = d
+			}
+		}
+	}
+	return pivots
+}
+
+// buildShard indexes one partition and fits its cost model.
+func buildShard(space *metric.Space, objects []metric.Object, members []int, i int, opt Options) (*Shard, error) {
+	objs := make([]metric.Object, len(members))
+	oids := make([]uint64, len(members))
+	for j, gi := range members {
+		objs[j] = objects[gi]
+		oids[j] = uint64(gi)
+	}
+	mo := mtree.Options{}
+	if opt.TreeOptions != nil {
+		var err error
+		mo, err = opt.TreeOptions(i)
+		if err != nil {
+			return nil, err
+		}
+	}
+	mo.Space = space
+	mo.PageSize = opt.PageSize
+	mo.Seed = parallel.SplitSeed(opt.Seed, 2+i)
+	tr, err := mtree.New(mo)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Incremental {
+		err = tr.InsertAll(objs)
+	} else {
+		err = tr.BulkLoad(objs)
+	}
+	if err != nil {
+		return nil, err
+	}
+	stats, err := tr.CollectStats()
+	if err != nil {
+		return nil, err
+	}
+	ds := &dataset.Dataset{Name: fmt.Sprintf("shard-%d", i), Space: space, Objects: objs}
+	f, err := distdist.Estimate(ds, distdist.Options{
+		Bins:     opt.HistogramBins,
+		MaxPairs: opt.SamplePairs,
+		Seed:     parallel.SplitSeed(opt.Seed, 1000+i),
+		Workers:  1, // shard builds already fan out; keep estimation single-stream
+	})
+	if err != nil {
+		return nil, err
+	}
+	model, err := core.NewMTreeModel(f, stats)
+	if err != nil {
+		return nil, err
+	}
+	return &Shard{Tree: tr, F: f, Model: model, Objects: objs, OIDs: oids}, nil
+}
+
+// NumShards returns S.
+func (s *Set) NumShards() int { return len(s.shards) }
+
+// Shards exposes the partitions (read-only by convention).
+func (s *Set) Shards() []*Shard { return s.shards }
+
+// Size returns the total indexed object count.
+func (s *Set) Size() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Tree.Size()
+	}
+	return n
+}
+
+// NumNodes returns the summed node count across shard trees.
+func (s *Set) NumNodes() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Tree.NumNodes()
+	}
+	return n
+}
+
+// Height returns the tallest shard tree's height.
+func (s *Set) Height() int {
+	h := 0
+	for _, sh := range s.shards {
+		if sh.Tree.Height() > h {
+			h = sh.Tree.Height()
+		}
+	}
+	return h
+}
+
+// PageSize returns the node size shared by all shard trees.
+func (s *Set) PageSize() int { return s.opt.PageSize }
+
+// Costs returns the node reads and distance computations accumulated
+// since the last ResetCosts, summed across shards. Distances include
+// the query-to-pivot computations spent ordering and pruning shards.
+func (s *Set) Costs() (nodeReads, distCalcs int64) {
+	for _, sh := range s.shards {
+		nodeReads += sh.Tree.NodeReads()
+		distCalcs += sh.Tree.DistanceCount()
+	}
+	return nodeReads, distCalcs + s.pruneDists.Load()
+}
+
+// ResetCosts zeroes every shard's counters plus the pruning counters.
+// Like mtree.Tree.ResetCounters it must not race with in-flight
+// queries.
+func (s *Set) ResetCosts() {
+	for _, sh := range s.shards {
+		sh.Tree.ResetCounters()
+	}
+	s.pruneDists.Store(0)
+	s.skipped.Store(0)
+}
+
+// ShardsSkipped returns the shard visits avoided by the lower-bound
+// prune since the last ResetCosts.
+func (s *Set) ShardsSkipped() int64 { return s.skipped.Load() }
+
+// PredictRange predicts a range query's cost as the sum of the shards'
+// L-MCM predictions — without pruning every shard is traversed, so
+// per-shard costs add.
+func (s *Set) PredictRange(radius float64) core.CostEstimate {
+	var est core.CostEstimate
+	for _, sh := range s.shards {
+		e := sh.Model.RangeL(radius)
+		est.Nodes += e.Nodes
+		est.Dists += e.Dists
+	}
+	return est
+}
+
+// PredictNN predicts a k-NN query's cost as the sum of the shards'
+// L-MCM k-NN predictions. Each shard answers k-NN over its own subset,
+// so the sum upper-bounds the pruned execution.
+func (s *Set) PredictNN(k int) core.CostEstimate {
+	var est core.CostEstimate
+	for _, sh := range s.shards {
+		kk := k
+		if n := sh.Tree.Size(); kk > n {
+			kk = n
+		}
+		e := sh.Model.NNL(kk)
+		est.Nodes += e.Nodes
+		est.Dists += e.Dists
+	}
+	return est
+}
+
+// rangeLB returns the lower bound on d(q, member) for shard sh, and
+// counts the pivot distance it spends. RoundRobin shards have no bound.
+func (s *Set) rangeLB(sh *Shard, q metric.Object) float64 {
+	if sh.Pivot == nil {
+		return 0
+	}
+	s.pruneDists.Add(1)
+	lb := s.space.Distance(q, sh.Pivot) - sh.Radius
+	if lb < 0 {
+		return 0
+	}
+	return lb
+}
+
+// globalize rewrites a shard-local result to global OIDs, in place.
+func globalize(sh *Shard, ms []mtree.Match) []mtree.Match {
+	for i := range ms {
+		ms[i].OID = sh.OIDs[ms[i].OID]
+	}
+	return ms
+}
+
+// firstError returns the lowest-shard-index error.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Range returns all objects within radius of q across every shard,
+// concatenated in shard order (per-shard order is the tree's DFS
+// order). Shards whose lower bound exceeds radius are skipped — under
+// Pivot assignment that is a proof no member can qualify. On a
+// per-shard stop (budget, cancellation, storage fault) the merged
+// partial results are returned with the lowest-shard error; every
+// returned match is a true match.
+func (s *Set) Range(q metric.Object, radius float64, opt QueryOptions) ([]mtree.Match, error) {
+	if q == nil {
+		return nil, errors.New("shard: nil query object")
+	}
+	if radius < 0 {
+		return nil, fmt.Errorf("shard: negative radius %g", radius)
+	}
+	S := len(s.shards)
+	results := make([][]mtree.Match, S)
+	errs := make([]error, S)
+	traces := make([]*obs.Trace, S)
+	visit := make([]bool, S)
+	for i, sh := range s.shards {
+		if s.rangeLB(sh, q) > radius {
+			s.skipped.Add(1)
+			continue
+		}
+		visit[i] = true
+	}
+	ferr := parallel.For(opt.Workers, S, func(i int) error {
+		if !visit[i] {
+			return nil
+		}
+		topt := opt.tree()
+		if opt.Trace != nil {
+			traces[i] = obs.NewTrace()
+			topt.Trace = traces[i]
+		}
+		var ms []mtree.Match
+		var err error
+		if opt.guarded() {
+			ms, err = s.shards[i].Tree.RangeCtx(opt.ctx(), q, radius, topt)
+		} else {
+			ms, err = s.shards[i].Tree.Range(q, radius, topt)
+		}
+		results[i] = globalize(s.shards[i], ms)
+		errs[i] = err
+		return nil
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	var out []mtree.Match
+	for i := range results {
+		out = append(out, results[i]...)
+		opt.Trace.Merge(traces[i])
+	}
+	return out, firstError(errs)
+}
+
+// less orders matches canonically by (distance, global OID) — the merge
+// order for k-NN results across shards.
+func less(a, b mtree.Match) bool {
+	if a.Distance != b.Distance {
+		return a.Distance < b.Distance
+	}
+	return a.OID < b.OID
+}
+
+// mergeK folds src (any order) into dst (sorted) keeping the k best.
+func mergeK(dst, src []mtree.Match, k int) []mtree.Match {
+	dst = append(dst, src...)
+	sort.Slice(dst, func(i, j int) bool { return less(dst[i], dst[j]) })
+	if len(dst) > k {
+		dst = dst[:k]
+	}
+	return dst
+}
+
+// shardOrder is the k-NN visit order: ascending lower bound, then the
+// shard model's predicted k-th-neighbor distance (the cost model
+// ordering the shards), then shard index.
+type shardCand struct {
+	i    int
+	lb   float64
+	pred float64
+}
+
+func (s *Set) shardOrder(q metric.Object, k int) []shardCand {
+	order := make([]shardCand, len(s.shards))
+	for i, sh := range s.shards {
+		kk := k
+		if n := sh.Tree.Size(); kk > n {
+			kk = n
+		}
+		order[i] = shardCand{i: i, lb: s.rangeLB(sh, q), pred: sh.Model.ExpectedNNDist(kk)}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		x, y := order[a], order[b]
+		if x.lb != y.lb {
+			return x.lb < y.lb
+		}
+		if x.pred != y.pred {
+			return x.pred < y.pred
+		}
+		return x.i < y.i
+	})
+	return order
+}
+
+// NN returns the k nearest neighbors of q across all shards, closest
+// first (ties by global OID). Shards are visited best-first in
+// shardOrder; once k candidates are held, a shard whose lower bound
+// exceeds the running k-th distance is skipped — its members provably
+// cannot improve the result. Errors follow the Range contract.
+func (s *Set) NN(q metric.Object, k int, opt QueryOptions) ([]mtree.Match, error) {
+	if q == nil {
+		return nil, errors.New("shard: nil query object")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("shard: k = %d", k)
+	}
+	var (
+		best     []mtree.Match
+		firstErr error
+	)
+	for _, c := range s.shardOrder(q, k) {
+		if len(best) == k && c.lb > best[k-1].Distance {
+			s.skipped.Add(1)
+			continue
+		}
+		sh := s.shards[c.i]
+		topt := opt.tree()
+		var tr *obs.Trace
+		if opt.Trace != nil {
+			tr = obs.NewTrace()
+			topt.Trace = tr
+		}
+		var ms []mtree.Match
+		var err error
+		if opt.guarded() {
+			ms, err = sh.Tree.NNCtx(opt.ctx(), q, k, topt)
+		} else {
+			ms, err = sh.Tree.NN(q, k, topt)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		best = mergeK(best, globalize(sh, ms), k)
+		opt.Trace.Merge(tr)
+	}
+	return best, firstErr
+}
+
+// RangeBatch answers a batch of range queries: each shard executes one
+// shared-traversal mtree.RangeBatch over the subset of queries its
+// lower bound cannot exclude, shards fan out in parallel, and per-query
+// results merge in shard order. out[i] holds query i's matches.
+func (s *Set) RangeBatch(qs []metric.Object, radius float64, opt QueryOptions) ([][]mtree.Match, error) {
+	for i, q := range qs {
+		if q == nil {
+			return nil, fmt.Errorf("shard: nil query object at batch index %d", i)
+		}
+	}
+	if radius < 0 {
+		return nil, fmt.Errorf("shard: negative radius %g", radius)
+	}
+	S := len(s.shards)
+	out := make([][]mtree.Match, len(qs))
+	if len(qs) == 0 {
+		return out, nil
+	}
+	subsets := make([][]int, S)
+	for i, sh := range s.shards {
+		for qi, q := range qs {
+			if s.rangeLB(sh, q) > radius {
+				s.skipped.Add(1)
+				continue
+			}
+			subsets[i] = append(subsets[i], qi)
+		}
+	}
+	results := make([][][]mtree.Match, S)
+	errs := make([]error, S)
+	traces := make([]*obs.Trace, S)
+	ferr := parallel.For(opt.Workers, S, func(i int) error {
+		results[i], traces[i], errs[i] = s.runShardRangeBatch(i, qs, subsets[i], radius, opt)
+		return nil
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	for i := range results {
+		for j, qi := range subsets[i] {
+			out[qi] = append(out[qi], results[i][j]...)
+		}
+		opt.Trace.Merge(traces[i])
+	}
+	return out, firstError(errs)
+}
+
+func (s *Set) runShardRangeBatch(i int, qs []metric.Object, subset []int, radius float64, opt QueryOptions) ([][]mtree.Match, *obs.Trace, error) {
+	if len(subset) == 0 {
+		return nil, nil, nil
+	}
+	sub := make([]metric.Object, len(subset))
+	for j, qi := range subset {
+		sub[j] = qs[qi]
+	}
+	topt := opt.tree()
+	var tr *obs.Trace
+	if opt.Trace != nil {
+		tr = obs.NewTrace()
+		topt.Trace = tr
+	}
+	sh := s.shards[i]
+	var res [][]mtree.Match
+	var err error
+	if opt.guarded() {
+		res, err = sh.Tree.RangeBatchCtx(opt.ctx(), sub, radius, topt)
+	} else {
+		res, err = sh.Tree.RangeBatch(sub, radius, topt)
+	}
+	if res == nil {
+		res = make([][]mtree.Match, len(subset))
+	}
+	for j := range res {
+		res[j] = globalize(sh, res[j])
+	}
+	return res, tr, err
+}
+
+// NNBatch answers a batch of k-NN queries in two pruning waves. Wave 1
+// runs each query on the shards its lower bound cannot rank out a
+// priori (all zero-bound shards, plus its closest shard so every query
+// reaches at least one). The merged wave-1 results give each query a
+// running k-th distance; wave 2 visits the deferred shards that still
+// beat it. Because the k-th distance only shrinks as candidates
+// accumulate, a shard pruned against the wave-1 bound is pruned against
+// the final bound too — results are exact.
+func (s *Set) NNBatch(qs []metric.Object, k int, opt QueryOptions) ([][]mtree.Match, error) {
+	for i, q := range qs {
+		if q == nil {
+			return nil, fmt.Errorf("shard: nil query object at batch index %d", i)
+		}
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("shard: k = %d", k)
+	}
+	S := len(s.shards)
+	out := make([][]mtree.Match, len(qs))
+	if len(qs) == 0 {
+		return out, nil
+	}
+	// Lower bounds per (shard, query); one pivot distance each.
+	lb := make([][]float64, S)
+	for i, sh := range s.shards {
+		lb[i] = make([]float64, len(qs))
+		for qi, q := range qs {
+			lb[i][qi] = s.rangeLB(sh, q)
+		}
+	}
+	// Wave 1: zero-bound shards, plus each query's minimum-bound shard.
+	wave1 := make([][]int, S)
+	inWave1 := make([][]bool, S)
+	for i := range s.shards {
+		inWave1[i] = make([]bool, len(qs))
+	}
+	for qi := range qs {
+		minShard, minLB := 0, math.Inf(1)
+		any := false
+		for i := range s.shards {
+			if lb[i][qi] == 0 {
+				inWave1[i][qi] = true
+				any = true
+			} else if lb[i][qi] < minLB {
+				minShard, minLB = i, lb[i][qi]
+			}
+		}
+		if !any {
+			inWave1[minShard][qi] = true
+		}
+	}
+	for i := range s.shards {
+		for qi := range qs {
+			if inWave1[i][qi] {
+				wave1[i] = append(wave1[i], qi)
+			}
+		}
+	}
+	errs1, err := s.runNNWave(qs, k, wave1, out, opt)
+	if err != nil {
+		return nil, err
+	}
+	// Wave 2: deferred shards that still beat the running k-th distance.
+	wave2 := make([][]int, S)
+	for i := range s.shards {
+		for qi := range qs {
+			if inWave1[i][qi] {
+				continue
+			}
+			if len(out[qi]) == k && lb[i][qi] > out[qi][k-1].Distance {
+				s.skipped.Add(1)
+				continue
+			}
+			wave2[i] = append(wave2[i], qi)
+		}
+	}
+	errs2, err := s.runNNWave(qs, k, wave2, out, opt)
+	if err != nil {
+		return nil, err
+	}
+	if e := firstError(errs1); e != nil {
+		return out, e
+	}
+	return out, firstError(errs2)
+}
+
+// runNNWave fans one wave of per-shard NN batches out in parallel and
+// merges each query's candidates in shard order.
+func (s *Set) runNNWave(qs []metric.Object, k int, subsets [][]int, out [][]mtree.Match, opt QueryOptions) ([]error, error) {
+	S := len(s.shards)
+	results := make([][][]mtree.Match, S)
+	errs := make([]error, S)
+	traces := make([]*obs.Trace, S)
+	ferr := parallel.For(opt.Workers, S, func(i int) error {
+		if len(subsets[i]) == 0 {
+			return nil
+		}
+		sub := make([]metric.Object, len(subsets[i]))
+		for j, qi := range subsets[i] {
+			sub[j] = qs[qi]
+		}
+		topt := opt.tree()
+		if opt.Trace != nil {
+			traces[i] = obs.NewTrace()
+			topt.Trace = traces[i]
+		}
+		sh := s.shards[i]
+		var res [][]mtree.Match
+		var err error
+		if opt.guarded() {
+			res, err = sh.Tree.NNBatchCtx(opt.ctx(), sub, k, topt)
+		} else {
+			res, err = sh.Tree.NNBatch(sub, k, topt)
+		}
+		if res == nil {
+			res = make([][]mtree.Match, len(sub))
+		}
+		for j := range res {
+			res[j] = globalize(sh, res[j])
+		}
+		results[i] = res
+		errs[i] = err
+		return nil
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	for i := range results {
+		if results[i] != nil {
+			for j, qi := range subsets[i] {
+				out[qi] = mergeK(out[qi], results[i][j], k)
+			}
+		}
+		opt.Trace.Merge(traces[i])
+	}
+	return errs, nil
+}

@@ -1,0 +1,336 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"mcost/internal/budget"
+	"mcost/internal/dataset"
+	"mcost/internal/metric"
+	"mcost/internal/mtree"
+	"mcost/internal/obs"
+)
+
+func fixture(t *testing.T, n, shards int, assign Assignment) (*Set, *dataset.Dataset) {
+	t.Helper()
+	d := dataset.PaperClustered(n, 6, 9001)
+	set, err := Build(d.Space, d.Objects, Options{
+		Shards: shards,
+		Assign: assign,
+		Seed:   11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set, d
+}
+
+func queries(n int) []metric.Object {
+	return dataset.PaperClusteredQueries(n, 6, 9001).Queries
+}
+
+// canonical sorts a match set by (Distance, OID) — the order-free
+// comparison for range results, whose concatenation order depends on
+// sharding.
+func canonical(ms []mtree.Match) []mtree.Match {
+	out := append([]mtree.Match(nil), ms...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].OID < out[j].OID
+	})
+	return out
+}
+
+func sameSets(a, b []mtree.Match) bool {
+	a, b = canonical(a), canonical(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].OID != b[i].OID || a[i].Distance != b[i].Distance {
+			return false
+		}
+	}
+	return true
+}
+
+// checkNN compares a sharded k-NN answer to the single tree's. The
+// distance sequence must be identical — both are exact k-NN — but when
+// several objects tie at a distance, which tie members appear (and in
+// what order) is implementation-defined: the single tree keeps its
+// traversal-order discovery, the shard merge orders canonically by
+// (Distance, OID). So ties compare by membership validity: every
+// reported OID must truly lie at its reported distance.
+func checkNN(t *testing.T, d *dataset.Dataset, q metric.Object, got, want []mtree.Match, k int) {
+	t.Helper()
+	if len(got) != k || len(want) != k {
+		t.Fatalf("NN lengths %d / %d, want %d", len(got), len(want), k)
+	}
+	for i := range got {
+		if got[i].Distance != want[i].Distance {
+			t.Fatalf("NN rank %d: sharded distance %g vs single-tree %g", i, got[i].Distance, want[i].Distance)
+		}
+		if td := d.Space.Distance(q, d.Objects[got[i].OID]); td != got[i].Distance {
+			t.Fatalf("NN rank %d: OID %d is at %g, not the reported %g", i, got[i].OID, td, got[i].Distance)
+		}
+	}
+}
+
+// TestShardEquivalenceMatrix is the shard half of the equivalence
+// matrix: at every shard count and both assignments, Range/NN and their
+// batch forms return exactly the single-tree answers, with global OIDs.
+func TestShardEquivalenceMatrix(t *testing.T) {
+	d := dataset.PaperClustered(1500, 6, 9001)
+	ref, err := mtree.New(mtree.Options{Space: d.Space, PageSize: 4096, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.BulkLoad(d.Objects); err != nil {
+		t.Fatal(err)
+	}
+	refOpt := mtree.QueryOptions{UseParentDist: true}
+	qs := queries(24)
+	const radius = 0.18
+	const k = 10
+
+	for _, assign := range []Assignment{RoundRobin, Pivot} {
+		for _, shards := range []int{1, 2, 3, 8} {
+			for _, workers := range []int{1, 4} {
+				t.Run(fmt.Sprintf("%v/s=%d/w=%d", assign, shards, workers), func(t *testing.T) {
+					set, err := Build(d.Space, d.Objects, Options{Shards: shards, Assign: assign, Seed: 11})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if set.Size() != len(d.Objects) {
+						t.Fatalf("sharded size %d, want %d", set.Size(), len(d.Objects))
+					}
+					opt := QueryOptions{UseParentDist: true, Workers: workers}
+
+					batchR, err := set.RangeBatch(qs, radius, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					batchNN, err := set.NNBatch(qs, k, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					totalMatches := 0
+					for i, q := range qs {
+						wantR, err := ref.Range(q, radius, refOpt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						totalMatches += len(wantR)
+						gotR, err := set.Range(q, radius, opt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !sameSets(gotR, wantR) {
+							t.Fatalf("query %d: sharded range %d vs single-tree %d", i, len(gotR), len(wantR))
+						}
+						if !sameSets(batchR[i], wantR) {
+							t.Fatalf("query %d: sharded RangeBatch differs from single tree", i)
+						}
+
+						wantNN, err := ref.NN(q, k, refOpt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						gotNN, err := set.NN(q, k, opt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						checkNN(t, d, q, gotNN, wantNN, k)
+						checkNN(t, d, q, batchNN[i], wantNN, k)
+					}
+					if totalMatches == 0 {
+						t.Fatal("degenerate fixture: no range matches at all")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardDeterminismAcrossWorkers pins that worker count changes
+// nothing: results and merged traces are identical at 1 and 8 workers.
+func TestShardDeterminismAcrossWorkers(t *testing.T) {
+	set, _ := fixture(t, 1200, 4, Pivot)
+	qs := queries(16)
+	run := func(workers int) ([][]mtree.Match, *obs.Trace) {
+		tr := obs.NewTrace()
+		out, err := set.RangeBatch(qs, 0.2, QueryOptions{UseParentDist: true, Workers: workers, Trace: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, tr
+	}
+	out1, tr1 := run(1)
+	out8, tr8 := run(8)
+	for i := range qs {
+		if len(out1[i]) != len(out8[i]) {
+			t.Fatalf("query %d: %d vs %d matches across worker counts", i, len(out1[i]), len(out8[i]))
+		}
+		for j := range out1[i] {
+			if out1[i][j].OID != out8[i][j].OID || out1[i][j].Distance != out8[i][j].Distance {
+				t.Fatalf("query %d match %d differs across worker counts", i, j)
+			}
+		}
+	}
+	if tr1.Queries != tr8.Queries || tr1.Batches != tr8.Batches || len(tr1.Levels) != len(tr8.Levels) {
+		t.Fatalf("traces differ across worker counts: %+v vs %+v", tr1, tr8)
+	}
+	for l := range tr1.Levels {
+		if tr1.Levels[l] != tr8.Levels[l] {
+			t.Fatalf("level %d trace differs: %+v vs %+v", l, tr1.Levels[l], tr8.Levels[l])
+		}
+	}
+}
+
+// TestPivotShardsPrune checks that pivot sharding actually skips
+// shards: small range queries on clustered data leave whole balls
+// untouched, and k-NN prunes shards the running k-th distance rules
+// out. Correctness is covered by the matrix; this pins the savings.
+func TestPivotShardsPrune(t *testing.T) {
+	set, _ := fixture(t, 2000, 8, Pivot)
+	qs := queries(32)
+	set.ResetCosts()
+	for _, q := range qs {
+		if _, err := set.Range(q, 0.08, QueryOptions{UseParentDist: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if set.ShardsSkipped() == 0 {
+		t.Error("small range queries skipped no shards on clustered pivot shards")
+	}
+	set.ResetCosts()
+	for _, q := range qs {
+		if _, err := set.NN(q, 5, QueryOptions{UseParentDist: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if set.ShardsSkipped() == 0 {
+		t.Error("k-NN skipped no shards despite cost-ordered visits")
+	}
+	// Round-robin shards carry no geometric bound: nothing is skipped.
+	rr, _ := fixture(t, 2000, 8, RoundRobin)
+	rr.ResetCosts()
+	for _, q := range qs {
+		if _, err := rr.Range(q, 0.08, QueryOptions{UseParentDist: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rr.ShardsSkipped() != 0 {
+		t.Errorf("round-robin skipped %d shards without a bound to justify it", rr.ShardsSkipped())
+	}
+}
+
+// TestShardCostAccounting checks Costs() sums tree counters plus the
+// pivot distances, and that per-shard predictions sum into the set's.
+func TestShardCostAccounting(t *testing.T) {
+	set, _ := fixture(t, 1000, 4, Pivot)
+	set.ResetCosts()
+	if _, err := set.Range(queries(1)[0], 0.2, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	reads, dists := set.Costs()
+	if reads <= 0 || dists <= 0 {
+		t.Fatalf("costs %d reads / %d dists after a query", reads, dists)
+	}
+	var treeDists int64
+	for _, sh := range set.Shards() {
+		treeDists += sh.Tree.DistanceCount()
+	}
+	if dists <= treeDists {
+		t.Errorf("Costs dists %d do not include the %d-shard pivot distances (tree dists %d)", dists, set.NumShards(), treeDists)
+	}
+
+	pr := set.PredictRange(0.2)
+	if pr.Nodes <= 0 || pr.Dists <= 0 {
+		t.Fatalf("range prediction %+v", pr)
+	}
+	var sum float64
+	for _, sh := range set.Shards() {
+		sum += sh.Model.RangeL(0.2).Nodes
+	}
+	if pr.Nodes != sum {
+		t.Errorf("PredictRange nodes %.2f != per-shard sum %.2f", pr.Nodes, sum)
+	}
+	pn := set.PredictNN(5)
+	if pn.Nodes <= 0 || pn.Dists <= 0 {
+		t.Fatalf("NN prediction %+v", pn)
+	}
+}
+
+// TestShardBudgetPartialResults runs a sharded range with a per-shard
+// budget too small to finish: the typed error surfaces and partial
+// results are true matches.
+func TestShardBudgetPartialResults(t *testing.T) {
+	set, d := fixture(t, 2000, 4, Pivot)
+	q := queries(1)[0]
+	const radius = 0.3
+	got, err := set.Range(q, radius, QueryOptions{
+		UseParentDist: true,
+		Budget:        budget.Budget{MaxNodeReads: 3},
+	})
+	if err == nil {
+		t.Fatal("3-node budget finished a 2000-object range query")
+	}
+	truth := map[uint64]float64{}
+	for _, m := range mtree.LinearScanRange(d.Objects, d.Space, q, radius) {
+		truth[m.OID] = m.Distance
+	}
+	for _, m := range got {
+		if td, ok := truth[m.OID]; !ok || td != m.Distance {
+			t.Fatalf("partial match OID %d dist %g is not a true match", m.OID, m.Distance)
+		}
+	}
+}
+
+// TestBuildValidation covers the construction contract.
+func TestBuildValidation(t *testing.T) {
+	d := dataset.PaperClustered(20, 3, 9100)
+	if _, err := Build(nil, d.Objects, Options{Shards: 2}); err == nil {
+		t.Error("nil space accepted")
+	}
+	if _, err := Build(d.Space, d.Objects, Options{Shards: 0}); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := Build(d.Space, d.Objects[:3], Options{Shards: 2}); err == nil {
+		t.Error("3 objects over 2 shards accepted (needs >= 2 per shard)")
+	}
+	if _, err := ParseAssignment("bogus"); err == nil {
+		t.Error("bogus assignment parsed")
+	}
+	for _, s := range []string{"round-robin", "rr", "pivot"} {
+		if _, err := ParseAssignment(s); err != nil {
+			t.Errorf("ParseAssignment(%q): %v", s, err)
+		}
+	}
+}
+
+// TestShardGlobalOIDs checks that results carry global OIDs: the OID of
+// every match indexes the original object slice and the object at that
+// index is at the reported distance.
+func TestShardGlobalOIDs(t *testing.T) {
+	set, d := fixture(t, 800, 3, Pivot)
+	q := queries(1)[0]
+	ms, err := set.Range(q, 0.25, QueryOptions{UseParentDist: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Fatal("no matches")
+	}
+	for _, m := range ms {
+		if m.OID >= uint64(len(d.Objects)) {
+			t.Fatalf("OID %d out of global range", m.OID)
+		}
+		if got := d.Space.Distance(q, d.Objects[m.OID]); got != m.Distance {
+			t.Fatalf("OID %d: global object at distance %g, match says %g", m.OID, got, m.Distance)
+		}
+	}
+}

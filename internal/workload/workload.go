@@ -1,19 +1,25 @@
-// Package workload runs mixed similarity-query workloads against an
-// M-tree and scores the cost model's predictions — the capacity-planning
-// use the paper motivates: estimate a workload's resource consumption
-// from the model before provisioning, then verify against execution.
+// Package workload runs mixed similarity-query workloads against a
+// query engine and scores a cost model's predictions — the
+// capacity-planning use the paper motivates: estimate a workload's
+// resource consumption from the model before provisioning, then verify
+// against execution.
 //
 // A Workload is a list of weighted query classes (range radii and k-NN
-// ks). The runner executes a sampled query stream, accumulates measured
-// node reads and distance computations, and compares with the model's
+// ks). The runner apportions a query count to the classes by weight
+// (largest-remainder, so counts sum exactly to the requested total),
+// executes a sampled query stream in batches, accumulates measured node
+// reads and distance computations, and compares with the model's
 // expectation for the same mix, including a wall-clock projection under
-// configurable disk parameters.
+// configurable disk parameters. The engine behind the run is abstract:
+// a single M-tree (Run) or anything implementing Engine, such as a
+// sharded index (RunEngine).
 package workload
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"mcost/internal/core"
 	"mcost/internal/metric"
@@ -85,22 +91,129 @@ type Report struct {
 // Options configures a run.
 type Options struct {
 	// Queries is the number of executed queries (default 200),
-	// apportioned to classes by weight.
+	// apportioned to classes by weight. Must be at least the number of
+	// classes so every class executes.
 	Queries int
+	// Batch groups the executed queries into batches of this size
+	// (default 1, the classic per-query loop). Larger batches amortize
+	// node reads through the engine's shared-traversal batch path
+	// without changing any result.
+	Batch int
 	// Disk prices the combined cost (default core.PaperDiskParams).
 	Disk core.DiskParams
 	// Seed drives query sampling.
 	Seed int64
 	// UseParentDist runs the measured queries with the M-tree's
 	// triangle-inequality optimization (default false, matching what
-	// the model predicts; see the paper's footnote 2).
+	// the model predicts; see the paper's footnote 2). It applies to
+	// the tree engine behind Run; engines given to RunEngine own their
+	// query options.
 	UseParentDist bool
 }
+
+// Engine executes batches of similarity queries and meters their cost.
+// *mtree.Tree (via Run) and mcost.ShardedIndex both satisfy it.
+type Engine interface {
+	RangeBatch(qs []metric.Object, radius float64) ([][]mtree.Match, error)
+	NNBatch(qs []metric.Object, k int) ([][]mtree.Match, error)
+	// Costs returns node reads and distance computations accumulated
+	// since ResetCosts.
+	Costs() (nodeReads, distCalcs int64)
+	ResetCosts()
+	// PageSize prices a node read for the wall-clock projection.
+	PageSize() int
+}
+
+// Predictor supplies the cost model's expectation for each query class.
+type Predictor interface {
+	PredictRange(radius float64) core.CostEstimate
+	PredictNN(k int) core.CostEstimate
+}
+
+// apportion distributes total among the classes proportionally to
+// weights using the largest-remainder method, so the counts sum to
+// exactly total and every class gets at least one query. Ties in the
+// fractional remainders break toward the lower class index.
+func apportion(weights []float64, total int) ([]int, error) {
+	if total < len(weights) {
+		return nil, fmt.Errorf("workload: %d queries cannot cover %d classes", total, len(weights))
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	counts := make([]int, len(weights))
+	type rem struct {
+		i    int
+		frac float64
+	}
+	rems := make([]rem, len(weights))
+	assigned := 0
+	for i, w := range weights {
+		exact := float64(total) * w / sum
+		counts[i] = int(exact)
+		rems[i] = rem{i: i, frac: exact - float64(counts[i])}
+		assigned += counts[i]
+	}
+	sort.SliceStable(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	for j := 0; assigned < total; j, assigned = (j+1)%len(rems), assigned+1 {
+		counts[rems[j].i]++
+	}
+	// Largest-remainder can still leave a tiny-weight class at zero;
+	// move one query from the largest class until every class runs.
+	for i := range counts {
+		if counts[i] > 0 {
+			continue
+		}
+		biggest := 0
+		for j := range counts {
+			if counts[j] > counts[biggest] {
+				biggest = j
+			}
+		}
+		counts[biggest]--
+		counts[i]++
+	}
+	return counts, nil
+}
+
+// treeEngine adapts a single M-tree to Engine.
+type treeEngine struct {
+	tr   *mtree.Tree
+	qopt mtree.QueryOptions
+}
+
+func (e treeEngine) RangeBatch(qs []metric.Object, radius float64) ([][]mtree.Match, error) {
+	return e.tr.RangeBatch(qs, radius, e.qopt)
+}
+
+func (e treeEngine) NNBatch(qs []metric.Object, k int) ([][]mtree.Match, error) {
+	return e.tr.NNBatch(qs, k, e.qopt)
+}
+
+func (e treeEngine) Costs() (int64, int64) { return e.tr.NodeReads(), e.tr.DistanceCount() }
+func (e treeEngine) ResetCosts()           { e.tr.ResetCounters() }
+func (e treeEngine) PageSize() int         { return e.tr.PageSize() }
+
+// modelPredictor adapts the N-MCM to Predictor.
+type modelPredictor struct{ m *core.MTreeModel }
+
+func (p modelPredictor) PredictRange(radius float64) core.CostEstimate { return p.m.RangeN(radius) }
+func (p modelPredictor) PredictNN(k int) core.CostEstimate             { return p.m.NNN(k) }
 
 // Run executes the workload against the tree using queries drawn from
 // queryPool (objects following the data distribution, per the biased
 // query model) and scores the model's predictions.
 func Run(tr *mtree.Tree, model *core.MTreeModel, w *Workload, queryPool []metric.Object, opt Options) (*Report, error) {
+	eng := treeEngine{tr: tr, qopt: mtree.QueryOptions{UseParentDist: opt.UseParentDist}}
+	return RunEngine(eng, modelPredictor{m: model}, w, queryPool, opt)
+}
+
+// RunEngine executes the workload against any Engine and scores the
+// Predictor's expectations. Queries are sampled per class from
+// queryPool, executed in batches of opt.Batch, and metered through the
+// engine's counters.
+func RunEngine(eng Engine, pred Predictor, w *Workload, queryPool []metric.Object, opt Options) (*Report, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
@@ -110,65 +223,80 @@ func Run(tr *mtree.Tree, model *core.MTreeModel, w *Workload, queryPool []metric
 	if opt.Queries == 0 {
 		opt.Queries = 200
 	}
+	if opt.Batch <= 0 {
+		opt.Batch = 1
+	}
 	if opt.Disk == (core.DiskParams{}) {
 		opt.Disk = core.PaperDiskParams()
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 
+	weights := make([]float64, len(w.Classes))
 	var totalWeight float64
-	for _, c := range w.Classes {
+	for i, c := range w.Classes {
+		weights[i] = c.Weight
 		totalWeight += c.Weight
+	}
+	counts, err := apportion(weights, opt.Queries)
+	if err != nil {
+		return nil, err
 	}
 
 	rep := &Report{}
-	qopt := mtree.QueryOptions{UseParentDist: opt.UseParentDist}
-	for _, c := range w.Classes {
-		nq := int(float64(opt.Queries)*c.Weight/totalWeight + 0.5)
-		if nq == 0 {
-			nq = 1
-		}
-		var pred core.CostEstimate
+	for ci, c := range w.Classes {
+		nq := counts[ci]
+		var p core.CostEstimate
 		if c.K > 0 {
-			pred = model.NNN(c.K)
+			p = pred.PredictNN(c.K)
 		} else {
-			pred = model.RangeN(c.Radius)
+			p = pred.PredictRange(c.Radius)
 		}
-		tr.ResetCounters()
+		qs := make([]metric.Object, nq)
+		for i := range qs {
+			qs[i] = queryPool[rng.Intn(len(queryPool))]
+		}
+		eng.ResetCosts()
 		var results int
-		for i := 0; i < nq; i++ {
-			q := queryPool[rng.Intn(len(queryPool))]
+		for lo := 0; lo < nq; lo += opt.Batch {
+			hi := lo + opt.Batch
+			if hi > nq {
+				hi = nq
+			}
 			var (
-				ms  []mtree.Match
-				err error
+				sets [][]mtree.Match
+				err  error
 			)
 			if c.K > 0 {
-				ms, err = tr.NN(q, c.K, qopt)
+				sets, err = eng.NNBatch(qs[lo:hi], c.K)
 			} else {
-				ms, err = tr.Range(q, c.Radius, qopt)
+				sets, err = eng.RangeBatch(qs[lo:hi], c.Radius)
 			}
 			if err != nil {
 				return nil, fmt.Errorf("workload: class %s: %w", c.Name, err)
 			}
-			results += len(ms)
+			for _, ms := range sets {
+				results += len(ms)
+			}
 		}
+		reads, dists := eng.Costs()
 		measured := core.CostEstimate{
-			Nodes: float64(tr.NodeReads()) / float64(nq),
-			Dists: float64(tr.DistanceCount()) / float64(nq),
+			Nodes: float64(reads) / float64(nq),
+			Dists: float64(dists) / float64(nq),
 		}
 		rep.Classes = append(rep.Classes, ClassReport{
 			Class:    c,
 			Queries:  nq,
-			Pred:     pred,
+			Pred:     p,
 			Measured: measured,
 			Results:  float64(results) / float64(nq),
 		})
 		frac := c.Weight / totalWeight
-		rep.PredPerQuery.Nodes += frac * pred.Nodes
-		rep.PredPerQuery.Dists += frac * pred.Dists
+		rep.PredPerQuery.Nodes += frac * p.Nodes
+		rep.PredPerQuery.Dists += frac * p.Dists
 		rep.MeasuredPerQuery.Nodes += frac * measured.Nodes
 		rep.MeasuredPerQuery.Dists += frac * measured.Dists
 	}
-	rep.PredMSPerQuery = opt.Disk.TotalMS(rep.PredPerQuery, tr.PageSize())
-	rep.MeasuredMSPerQuery = opt.Disk.TotalMS(rep.MeasuredPerQuery, tr.PageSize())
+	rep.PredMSPerQuery = opt.Disk.TotalMS(rep.PredPerQuery, eng.PageSize())
+	rep.MeasuredMSPerQuery = opt.Disk.TotalMS(rep.MeasuredPerQuery, eng.PageSize())
 	return rep, nil
 }

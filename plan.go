@@ -42,14 +42,14 @@ func PlanIndex(space *Space, sample []Object, n int, opt Options) (*Plan, error)
 	if err != nil {
 		return nil, err
 	}
-	// Capacities from the average encoded object size over the sample.
+	// Capacities from the average encoded object size over the sample,
+	// via the same formula the tree's page layout enforces.
 	var totalBytes int
 	for _, o := range sample {
 		totalBytes += codec.Size(o)
 	}
 	avgObj := totalBytes / len(sample)
-	leafCap := (pageSize - 3) / (8 + 8 + 2 + avgObj)
-	internalCap := (pageSize - 3) / (8 + 8 + 4 + 2 + avgObj)
+	leafCap, internalCap := mtree.NodeCapacities(pageSize, avgObj)
 	if leafCap < 2 || internalCap < 2 {
 		return nil, fmt.Errorf("mcost: page size %d too small for %d-byte objects", pageSize, avgObj)
 	}

@@ -1,0 +1,227 @@
+package mcost
+
+import (
+	"context"
+	"errors"
+
+	"mcost/internal/mtree"
+	"mcost/internal/pager"
+	"mcost/internal/shard"
+	"mcost/internal/workload"
+)
+
+// ShardAssignment selects how BuildSharded distributes objects across
+// shards: round-robin (balanced, no pruning) or pivot-based (metric
+// balls, enables cost-based shard skipping).
+type ShardAssignment = shard.Assignment
+
+// Shard assignment strategies.
+const (
+	// ShardRoundRobin spreads objects uniformly: object i goes to shard
+	// i mod S. Every query visits every shard.
+	ShardRoundRobin = shard.RoundRobin
+	// ShardPivot clusters objects around S greedily-chosen pivots, so
+	// each shard is a metric ball and queries can skip shards whose
+	// lower bound d(q,pivot) − radius proves them irrelevant.
+	ShardPivot = shard.Pivot
+)
+
+// ParseShardAssignment maps a CLI spelling ("round-robin", "pivot") to
+// a ShardAssignment.
+func ParseShardAssignment(s string) (ShardAssignment, error) { return shard.ParseAssignment(s) }
+
+// ShardOptions configures BuildSharded on top of the base Options.
+type ShardOptions struct {
+	// Shards is the number of partitions (>= 1).
+	Shards int
+	// Assign is the partitioning strategy.
+	Assign ShardAssignment
+}
+
+// ShardedIndex is a dataset partitioned across independent M-trees,
+// each with its own distance distribution and L-MCM cost model. Queries
+// fan out across shards in parallel and merge deterministically; k-NN
+// visits shards best-first in cost-model order and skips shards whose
+// lower bound cannot beat the running k-th distance. The batch methods
+// amortize node reads within each shard via mtree.RangeBatch/NNBatch.
+//
+// Like Index it supports concurrent read-only queries. OIDs in results
+// are global: the object's index in the slice given to BuildSharded.
+type ShardedIndex struct {
+	space   *Space
+	set     *shard.Set
+	stacks  []*pager.Stack // per shard; nil entries when storage is off
+	workers int
+}
+
+// BuildSharded partitions the objects into so.Shards shards and builds
+// one cost-modeled M-tree per shard. Options applies per shard: each
+// shard gets its own histogram estimate, seed stream, and — when
+// opt.Storage asks for one — its own checksummed page stack (so storage
+// faults are contained to a shard). Requires at least two objects per
+// shard.
+func BuildSharded(space *Space, objects []Object, opt Options, so ShardOptions) (*ShardedIndex, error) {
+	if space == nil {
+		return nil, errors.New("mcost: nil space")
+	}
+	if len(objects) == 0 {
+		return nil, errors.New("mcost: no objects")
+	}
+	stacks := make([]*pager.Stack, so.Shards)
+	set, err := shard.Build(space, objects, shard.Options{
+		Shards:        so.Shards,
+		Assign:        so.Assign,
+		PageSize:      opt.PageSize,
+		HistogramBins: opt.HistogramBins,
+		SamplePairs:   opt.SamplePairs,
+		Seed:          opt.Seed,
+		Workers:       opt.Workers,
+		Incremental:   opt.Incremental,
+		TreeOptions: func(i int) (mtree.Options, error) {
+			mo, stack, err := buildStorage(space, objects[0], opt)
+			if err != nil {
+				return mo, err
+			}
+			stacks[i] = stack
+			return mo, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedIndex{space: space, set: set, stacks: stacks, workers: opt.Workers}, nil
+}
+
+func (sx *ShardedIndex) qopt() shard.QueryOptions {
+	return shard.QueryOptions{UseParentDist: true, Workers: sx.workers}
+}
+
+// NumShards returns the shard count.
+func (sx *ShardedIndex) NumShards() int { return sx.set.NumShards() }
+
+// Size returns the total number of indexed objects.
+func (sx *ShardedIndex) Size() int { return sx.set.Size() }
+
+// Height returns the tallest shard tree's height.
+func (sx *ShardedIndex) Height() int { return sx.set.Height() }
+
+// NumNodes returns the summed node count across shard trees.
+func (sx *ShardedIndex) NumNodes() int { return sx.set.NumNodes() }
+
+// PageSize returns the node size shared by the shard trees.
+func (sx *ShardedIndex) PageSize() int { return sx.set.PageSize() }
+
+// Range returns all objects within radius of q, concatenated in shard
+// order.
+func (sx *ShardedIndex) Range(q Object, radius float64) ([]Match, error) {
+	return sx.set.Range(q, radius, sx.qopt())
+}
+
+// NN returns the k nearest neighbors of q, closest first (ties broken
+// by global OID).
+func (sx *ShardedIndex) NN(q Object, k int) ([]Match, error) {
+	return sx.set.NN(q, k, sx.qopt())
+}
+
+// RangeBatch answers a batch of range queries; out[i] holds query i's
+// matches. Within each shard the whole batch shares one traversal, so
+// node reads amortize across the batch.
+func (sx *ShardedIndex) RangeBatch(qs []Object, radius float64) ([][]Match, error) {
+	return sx.set.RangeBatch(qs, radius, sx.qopt())
+}
+
+// NNBatch answers a batch of k-NN queries; out[i] holds query i's
+// neighbors, closest first.
+func (sx *ShardedIndex) NNBatch(qs []Object, k int) ([][]Match, error) {
+	return sx.set.NNBatch(qs, k, sx.qopt())
+}
+
+// RangeCtx is Range honoring ctx and a per-shard budget; partial
+// results accompany a typed error (see QueryBudget).
+func (sx *ShardedIndex) RangeCtx(ctx context.Context, q Object, radius float64, b QueryBudget) ([]Match, error) {
+	opt := sx.qopt()
+	opt.Ctx = ctx
+	opt.Budget = b
+	return sx.set.Range(q, radius, opt)
+}
+
+// NNCtx is NN honoring ctx and a per-shard budget.
+func (sx *ShardedIndex) NNCtx(ctx context.Context, q Object, k int, b QueryBudget) ([]Match, error) {
+	opt := sx.qopt()
+	opt.Ctx = ctx
+	opt.Budget = b
+	return sx.set.NN(q, k, opt)
+}
+
+// RangeBatchCtx is RangeBatch honoring ctx and a per-shard batch
+// budget.
+func (sx *ShardedIndex) RangeBatchCtx(ctx context.Context, qs []Object, radius float64, b QueryBudget) ([][]Match, error) {
+	opt := sx.qopt()
+	opt.Ctx = ctx
+	opt.Budget = b
+	return sx.set.RangeBatch(qs, radius, opt)
+}
+
+// NNBatchCtx is NNBatch honoring ctx and a per-shard batch budget.
+func (sx *ShardedIndex) NNBatchCtx(ctx context.Context, qs []Object, k int, b QueryBudget) ([][]Match, error) {
+	opt := sx.qopt()
+	opt.Ctx = ctx
+	opt.Budget = b
+	return sx.set.NNBatch(qs, k, opt)
+}
+
+// PredictRange predicts a range query's total cost as the sum of the
+// per-shard L-MCM predictions.
+func (sx *ShardedIndex) PredictRange(radius float64) CostEstimate {
+	return sx.set.PredictRange(radius)
+}
+
+// PredictNN predicts a k-NN query's total cost as the sum of the
+// per-shard L-MCM predictions (an upper bound: shard pruning only
+// reduces the real cost).
+func (sx *ShardedIndex) PredictNN(k int) CostEstimate { return sx.set.PredictNN(k) }
+
+// Costs returns node reads and distance computations accumulated since
+// the last ResetCosts, summed over shards and including the pivot
+// distances spent ordering and pruning shards.
+func (sx *ShardedIndex) Costs() (nodeReads, distances int64) { return sx.set.Costs() }
+
+// ResetCosts zeroes the counters behind Costs and ShardsSkipped. Must
+// not race with in-flight queries.
+func (sx *ShardedIndex) ResetCosts() { sx.set.ResetCosts() }
+
+// ShardsSkipped returns the shard visits avoided by lower-bound pruning
+// since the last ResetCosts.
+func (sx *ShardedIndex) ShardsSkipped() int64 { return sx.set.ShardsSkipped() }
+
+// ShardSizes returns each shard's object count, in shard order.
+func (sx *ShardedIndex) ShardSizes() []int {
+	sizes := make([]int, sx.set.NumShards())
+	for i, sh := range sx.set.Shards() {
+		sizes[i] = sh.Tree.Size()
+	}
+	return sizes
+}
+
+// SetFaultsEnabled flips fault injection on every shard built with
+// StorageOptions.Faults; it reports whether any fault layer exists.
+func (sx *ShardedIndex) SetFaultsEnabled(on bool) bool {
+	any := false
+	for _, st := range sx.stacks {
+		if st != nil && st.Faulty != nil {
+			st.Faulty.SetEnabled(on)
+			any = true
+		}
+	}
+	return any
+}
+
+// RunWorkload executes w's query mix against the sharded index in
+// batches of opt.Batch queries and scores the summed per-shard model
+// predictions against the measured per-query costs.
+func (sx *ShardedIndex) RunWorkload(w *Workload, queryPool []Object, opt WorkloadOptions) (*WorkloadReport, error) {
+	return workload.RunEngine(sx, sx, w, queryPool, opt)
+}
+
+var _ workload.Engine = (*ShardedIndex)(nil)
+var _ workload.Predictor = (*ShardedIndex)(nil)
