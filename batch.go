@@ -1,0 +1,89 @@
+package mcost
+
+import (
+	"context"
+
+	"mcost/internal/mtree"
+	"mcost/internal/shard"
+)
+
+// Batched and serving-layer query surface. The *Traced batch methods
+// are the execution contract of the cost-aware serving layer
+// (internal/server): one call runs a compatible batch in a single
+// shared traversal, honoring a context, a batch-wide budget, and a
+// per-dispatch trace whose totals feed the server's metrics registry.
+// PriceRange/PriceNN are the matching admission currency: the L-MCM
+// prediction of one query's node reads and distance computations,
+// computed before the query runs.
+
+// PageSize returns the M-tree node size in bytes.
+func (ix *Index) PageSize() int { return ix.tree.PageSize() }
+
+// RangeBatch answers a batch of range queries in one shared traversal;
+// out[i] is exactly what Range(qs[i], radius) returns, but each node is
+// fetched at most once per batch, so node reads amortize.
+func (ix *Index) RangeBatch(qs []Object, radius float64) ([][]Match, error) {
+	return ix.tree.RangeBatch(qs, radius, mtree.QueryOptions{UseParentDist: true})
+}
+
+// NNBatch answers a batch of k-NN queries in one shared traversal;
+// out[i] holds query i's k nearest neighbors, closest first.
+func (ix *Index) NNBatch(qs []Object, k int) ([][]Match, error) {
+	return ix.tree.NNBatch(qs, k, mtree.QueryOptions{UseParentDist: true})
+}
+
+// RangeBatchTraced is RangeBatch honoring ctx, a batch-wide budget (b
+// caps the shared node reads and the summed distance computations; the
+// zero budget is unlimited), and an optional trace accumulating the
+// batch's level-resolved cost. On a budget or context stop the
+// per-query partial result sets are returned with the typed error.
+func (ix *Index) RangeBatchTraced(ctx context.Context, qs []Object, radius float64, b QueryBudget, tr *QueryTrace) ([][]Match, error) {
+	return ix.tree.RangeBatchCtx(ctx, qs, radius, mtree.QueryOptions{UseParentDist: true, Budget: b, Trace: tr})
+}
+
+// NNBatchTraced is NNBatch honoring ctx, a batch-wide budget, and an
+// optional trace (see RangeBatchTraced).
+func (ix *Index) NNBatchTraced(ctx context.Context, qs []Object, k int, b QueryBudget, tr *QueryTrace) ([][]Match, error) {
+	return ix.tree.NNBatchCtx(ctx, qs, k, mtree.QueryOptions{UseParentDist: true, Budget: b, Trace: tr})
+}
+
+// PriceRange prices one range query for admission control: the
+// level-based model's (L-MCM, Eq. 15-16) predicted node reads and
+// distance computations. The serving layer admits queries against a
+// token bucket of this currency rather than a request count, so an
+// expensive query consumes proportionally more of the capacity.
+func (ix *Index) PriceRange(radius float64) CostEstimate { return ix.model.RangeL(radius) }
+
+// PriceNN prices one k-NN query for admission control (L-MCM,
+// Eq. 17-18).
+func (ix *Index) PriceNN(k int) CostEstimate { return ix.model.NNL(k) }
+
+func (sx *ShardedIndex) tracedOpt(ctx context.Context, b QueryBudget, tr *QueryTrace) shard.QueryOptions {
+	opt := sx.qopt()
+	opt.Ctx = ctx
+	opt.Budget = b
+	opt.Trace = tr
+	return opt
+}
+
+// RangeBatchTraced is RangeBatch honoring ctx, a per-shard batch budget,
+// and an optional trace merged in shard order.
+func (sx *ShardedIndex) RangeBatchTraced(ctx context.Context, qs []Object, radius float64, b QueryBudget, tr *QueryTrace) ([][]Match, error) {
+	return sx.set.RangeBatch(qs, radius, sx.tracedOpt(ctx, b, tr))
+}
+
+// NNBatchTraced is NNBatch honoring ctx, a per-shard batch budget, and
+// an optional trace merged in shard order.
+func (sx *ShardedIndex) NNBatchTraced(ctx context.Context, qs []Object, k int, b QueryBudget, tr *QueryTrace) ([][]Match, error) {
+	return sx.set.NNBatch(qs, k, sx.tracedOpt(ctx, b, tr))
+}
+
+// PriceRange prices one range query against the sharded index: the
+// summed per-shard L-MCM predictions (see Index.PriceRange).
+func (sx *ShardedIndex) PriceRange(radius float64) CostEstimate {
+	return sx.set.PredictRange(radius)
+}
+
+// PriceNN prices one k-NN query: the summed per-shard L-MCM predictions,
+// an upper bound since shard pruning only reduces the real cost.
+func (sx *ShardedIndex) PriceNN(k int) CostEstimate { return sx.set.PredictNN(k) }

@@ -19,36 +19,24 @@ import (
 	"os"
 	"strings"
 
+	"mcost/internal/cliutil"
 	"mcost/internal/experiments"
-	"mcost/internal/pager"
 )
 
 func main() {
+	fs := flag.CommandLine
 	var (
-		exp      = flag.String("exp", "all", "experiment name or 'all'")
-		n        = flag.Int("n", 10_000, "dataset size")
-		queries  = flag.Int("queries", 1000, "queries averaged per measurement (paper: 1000)")
-		pageSize = flag.Int("pagesize", 4096, "M-tree node size in bytes")
-		seed     = flag.Int64("seed", 42, "random seed")
-		workers  = flag.Int("workers", 0, "worker goroutines for estimation and query batches (0 = all CPUs); results are identical at any count")
-		list     = flag.Bool("list", false, "list experiment names and exit")
-		mOut     = flag.String("metrics-out", "", "write the experiment's machine-readable result as JSON to FILE instead of a text table (supported: "+strings.Join(experiments.JSONNames(), ", ")+")")
-		trace    = flag.Bool("trace", false, "with -metrics-out, embed the merged raw query trace in the JSON (residuals experiment)")
+		tf  = cliutil.RegisterTree(fs, 42)
+		shf = cliutil.RegisterShards(fs, 0, "", 0)
+		stf = cliutil.RegisterStorage(fs)
+		bf  = cliutil.RegisterBudget(fs, false)
 
-		shards      = flag.Int("shards", 0, "shard count for the bench4 sharded engines (0 = default 4)")
-		shardAssign = flag.String("shard-assign", "", "bench4 shard assignment: round-robin | pivot (default pivot)")
-		batch       = flag.Int("batch", 0, "batch size for the bench4 batched engines (0 = default 32)")
-
-		paged       = flag.Bool("paged", false, "mount experiment trees on checksummed paged storage (identical numbers, real serialization)")
-		cachePages  = flag.Int("cache-pages", 0, "LRU page-cache capacity for paged storage")
-		retry       = flag.Int("retry", 0, "retry attempts per page operation (0 = default 3)")
-		budgetSlack = flag.Float64("budget-slack", 0, "run measured queries under an L-MCM x slack budget; budget-stopped queries contribute partial results (0 = unlimited)")
-
-		faultSeed        = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
-		faultReadRate    = flag.Float64("fault-read-rate", 0, "probability a page read fails transiently during measurement (implies -paged)")
-		faultWriteRate   = flag.Float64("fault-write-rate", 0, "probability a page write fails transiently (implies -paged)")
-		faultTornRate    = flag.Float64("fault-torn-rate", 0, "probability a page write is torn (implies -paged)")
-		faultCorruptRate = flag.Float64("fault-corrupt-rate", 0, "probability a page read returns bit-flipped data; caught by checksums, aborts the experiment with a typed error (implies -paged)")
+		exp     = flag.String("exp", "all", "experiment name or 'all'")
+		n       = flag.Int("n", 10_000, "dataset size")
+		queries = flag.Int("queries", 1000, "queries averaged per measurement (paper: 1000)")
+		list    = flag.Bool("list", false, "list experiment names and exit")
+		mOut    = flag.String("metrics-out", "", "write the experiment's machine-readable result as JSON to FILE instead of a text table (supported: "+strings.Join(experiments.JSONNames(), ", ")+")")
+		trace   = flag.Bool("trace", false, "with -metrics-out, embed the merged raw query trace in the JSON (residuals experiment)")
 	)
 	flag.Parse()
 
@@ -59,26 +47,19 @@ func main() {
 	cfg := experiments.Config{
 		N:             *n,
 		Queries:       *queries,
-		PageSize:      *pageSize,
-		Seed:          *seed,
-		Workers:       *workers,
+		PageSize:      tf.PageSize,
+		Seed:          tf.Seed,
+		Workers:       tf.Workers,
 		IncludeTrace:  *trace,
-		Paged:         *paged,
-		CachePages:    *cachePages,
-		RetryAttempts: *retry,
-		BudgetSlack:   *budgetSlack,
-		Shards:        *shards,
-		ShardAssign:   *shardAssign,
-		Batch:         *batch,
+		Paged:         stf.Paged,
+		CachePages:    stf.CachePages,
+		RetryAttempts: stf.Retry,
+		BudgetSlack:   bf.Slack,
+		Shards:        shf.Shards,
+		ShardAssign:   shf.Assign,
+		Batch:         shf.Batch,
 	}
-	faults := pager.FaultConfig{
-		Seed:            *faultSeed,
-		ReadErrorRate:   *faultReadRate,
-		WriteErrorRate:  *faultWriteRate,
-		TornWriteRate:   *faultTornRate,
-		ReadCorruptRate: *faultCorruptRate,
-	}
-	if faults.Any() {
+	if faults := stf.FaultConfig(); faults.Any() {
 		cfg.Faults = &faults
 		cfg.Paged = true
 	}

@@ -26,19 +26,21 @@ import (
 	"time"
 
 	"mcost"
+	"mcost/internal/cliutil"
 	"mcost/internal/dataset"
 	"mcost/internal/metric"
+	"mcost/internal/obs"
 )
 
 func main() {
+	fs := flag.CommandLine
 	var (
-		kind     = flag.String("dataset", "words", "clustered | uniform | words")
-		file     = flag.String("file", "", "load dataset from file instead of generating")
-		n        = flag.Int("n", 10_000, "dataset size")
-		dim      = flag.Int("dim", 10, "dimensionality (vector datasets)")
-		pageSize = flag.Int("pagesize", 4096, "node size in bytes")
-		seed     = flag.Int64("seed", 1, "random seed")
-		workers  = flag.Int("workers", 0, "worker goroutines for the F-hat estimate (0 = all CPUs); results are identical at any count")
+		df  = cliutil.RegisterDataset(fs, "words", 10_000, 10)
+		tf  = cliutil.RegisterTree(fs, 1)
+		shf = cliutil.RegisterShards(fs, 1, "pivot", 1)
+		stf = cliutil.RegisterStorage(fs)
+		bf  = cliutil.RegisterBudget(fs, true)
+
 		queryStr = flag.String("query", "", "query word (string datasets)")
 		queryVec = flag.String("qvec", "", "query vector, comma-separated (vector datasets)")
 		radius   = flag.Float64("range", -1, "range query radius")
@@ -48,41 +50,11 @@ func main() {
 		trace    = flag.Bool("trace", false, "print the query's per-level trace (node visits, distance computations, pruning by lemma) as JSON")
 		mOut     = flag.String("metrics-out", "", "write the process metrics snapshot and query trace as JSON to FILE")
 		dbgAddr  = flag.String("debug-addr", "", "serve net/http/pprof and expvar (including the metrics registry at /debug/vars) on this address, e.g. localhost:6060; blocks after the query so the endpoint stays up")
-
-		shards      = flag.Int("shards", 1, "partition the dataset across this many independent M-trees; queries fan out in parallel and k-NN skips shards the cost model rules out")
-		shardAssign = flag.String("shard-assign", "pivot", "shard assignment with -shards > 1: round-robin | pivot")
-		batch       = flag.Int("batch", 1, "run the query inside a batch of this size (padded with dataset objects); batched traversal fetches each node once per batch, so per-query reads amortize")
-
-		paged      = flag.Bool("paged", false, "mount the tree on checksummed paged storage (CRC32-C per page; corruption surfaces as a typed error)")
-		cachePages = flag.Int("cache-pages", 0, "LRU page-cache capacity for paged storage (0 = no cache)")
-		retry      = flag.Int("retry", 0, "retry attempts per page operation for transient faults (0 = default 3, 1 = no retrying)")
-
-		budgetSlack = flag.Float64("budget-slack", 0, "stop the query once it spends this multiple of the cost model's L-MCM prediction, returning partial results (0 = unlimited)")
-		timeout     = flag.Duration("query-timeout", 0, "cancel the query after this duration, returning partial results (0 = none)")
-
-		faultSeed        = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
-		faultReadRate    = flag.Float64("fault-read-rate", 0, "probability a page read fails transiently (enables fault injection; implies -paged)")
-		faultWriteRate   = flag.Float64("fault-write-rate", 0, "probability a page write fails transiently (implies -paged)")
-		faultTornRate    = flag.Float64("fault-torn-rate", 0, "probability a page write is torn: half the page lands, then a transient error (implies -paged)")
-		faultCorruptRate = flag.Float64("fault-corrupt-rate", 0, "probability a page read returns bit-flipped data, caught by the page checksum (implies -paged)")
 	)
 	flag.Parse()
 
-	faults := mcost.FaultConfig{
-		Seed:            *faultSeed,
-		ReadErrorRate:   *faultReadRate,
-		WriteErrorRate:  *faultWriteRate,
-		TornWriteRate:   *faultTornRate,
-		ReadCorruptRate: *faultCorruptRate,
-	}
-	storage := mcost.StorageOptions{
-		Paged:         *paged || faults.Any(),
-		CachePages:    *cachePages,
-		RetryAttempts: *retry,
-	}
-	if faults.Any() {
-		storage.Faults = &faults
-	}
+	storage := stf.Options(nil)
+	budgetSlack, timeout := &bf.Slack, &bf.Timeout
 
 	reg := mcost.NewMetricsRegistry()
 	if *dbgAddr != "" {
@@ -95,7 +67,7 @@ func main() {
 		fmt.Printf("debug server on http://%s/debug/pprof/ and /debug/vars\n", *dbgAddr)
 	}
 
-	d, err := loadDataset(*kind, *file, *n, *dim, *seed)
+	d, err := df.Load(tf.Seed)
 	if err != nil {
 		fail(err)
 	}
@@ -106,24 +78,22 @@ func main() {
 	if *radius < 0 && *k <= 0 {
 		fail(fmt.Errorf("specify -range R or -nn K"))
 	}
-	if *shards > 1 || *batch > 1 {
+	if shf.Shards > 1 || shf.Batch > 1 {
 		if *explain || *trace || *mOut != "" {
 			fail(fmt.Errorf("-explain, -trace and -metrics-out require the single-tree, single-query path (drop -shards/-batch)"))
 		}
 		runSharded(d, q, shardedRun{
-			shards: *shards, assign: *shardAssign, batch: *batch,
-			pageSize: *pageSize, seed: *seed, workers: *workers,
+			shards: shf.Shards, assign: shf.Assign, batch: shf.Batch,
+			pageSize: tf.PageSize, seed: tf.Seed, workers: tf.Workers,
 			storage: storage, radius: *radius, k: *k, show: *show,
 			budgetSlack: *budgetSlack, timeout: *timeout,
 		})
 		return
 	}
 
-	fmt.Printf("building M-tree over %s (n=%d, node size %d B)...\n", d.Name, d.N(), *pageSize)
+	fmt.Printf("building M-tree over %s (n=%d, node size %d B)...\n", d.Name, d.N(), tf.PageSize)
 	storage.Metrics = reg
-	ix, err := mcost.Build(d.Space, d.Objects, mcost.Options{
-		PageSize: *pageSize, Seed: *seed, Workers: *workers, Storage: storage,
-	})
+	ix, err := mcost.Build(d.Space, d.Objects, tf.Options(storage))
 	if err != nil {
 		fail(err)
 	}
@@ -381,45 +351,18 @@ func recordMetrics(reg *mcost.MetricsRegistry, tr *mcost.QueryTrace, matches []m
 }
 
 // writeMetrics writes the registry snapshot together with the raw query
-// trace as one JSON document.
+// trace as one canonical obs envelope — the same encoder behind
+// mcost-exp's machine-readable output and mcost-serve's /v1/stats.
 func writeMetrics(path string, reg *mcost.MetricsRegistry, tr *mcost.QueryTrace) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	doc := struct {
-		Metrics json.RawMessage   `json:"metrics"`
-		Trace   *mcost.QueryTrace `json:"trace"`
-	}{Trace: tr}
-	var buf strings.Builder
-	if err := reg.WriteJSON(&buf); err != nil {
-		f.Close() //nolint:errcheck // the write error wins
-		return err
-	}
-	doc.Metrics = json.RawMessage(buf.String())
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	err = enc.Encode(doc)
+	err = obs.WriteEnvelope(f, reg, tr)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	return err
-}
-
-func loadDataset(kind, file string, n, dim int, seed int64) (*dataset.Dataset, error) {
-	if file != "" {
-		return dataset.LoadFile(file)
-	}
-	switch kind {
-	case "clustered":
-		return dataset.PaperClustered(n, dim, seed), nil
-	case "uniform":
-		return dataset.Uniform(n, dim, seed), nil
-	case "words":
-		return dataset.Words(n, seed), nil
-	default:
-		return nil, fmt.Errorf("unknown dataset kind %q", kind)
-	}
 }
 
 func parseQuery(d *dataset.Dataset, queryStr, queryVec string) (metric.Object, error) {

@@ -1,0 +1,149 @@
+// Command mcost-serve exposes an M-tree (or sharded M-tree) over a
+// cost-aware HTTP API. Every request is priced with the level-based
+// cost model before it runs: the prediction is charged against an
+// admission budget denominated in node reads and distance computations
+// per second (not request count), seeds the query's execution budget,
+// and accompanies the response — or the typed 429 when the server
+// sheds. Admitted queries coalesce in an adaptive micro-batcher so node
+// reads amortize under load.
+//
+// Usage:
+//
+//	mcost-serve -dataset uniform -n 50000 -dim 8 -addr :8080
+//	mcost-serve -dataset words -n 20000 -node-reads-per-sec 5000 -batch-window 2ms
+//	mcost-serve -file vocab.ds -shards 4 -debug
+//
+// Endpoints: POST /v1/range {"query":..., "radius":r}, POST /v1/nn
+// {"query":..., "k":k}, GET /v1/stats, GET /healthz, and /debug/
+// (pprof + expvar) with -debug.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -debug mounts the default mux
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mcost"
+	"mcost/internal/cliutil"
+	"mcost/internal/server"
+)
+
+func main() {
+	fs := flag.CommandLine
+	var (
+		df  = cliutil.RegisterDataset(fs, "uniform", 10_000, 10)
+		tf  = cliutil.RegisterTree(fs, 1)
+		shf = cliutil.RegisterShards(fs, 1, "pivot", -1)
+		stf = cliutil.RegisterStorage(fs)
+
+		addr = flag.String("addr", ":8080", "listen address")
+
+		nodeRate  = flag.Float64("node-reads-per-sec", 0, "admission capacity in predicted node reads per second (0 = unlimited)")
+		distRate  = flag.Float64("dist-calcs-per-sec", 0, "admission capacity in predicted distance computations per second (0 = unlimited)")
+		burstSecs = flag.Float64("burst-seconds", 1, "admission bucket depth in seconds of capacity")
+		maxQueue  = flag.Duration("max-queue-delay", 100*time.Millisecond, "longest predicted queue delay admitted by borrowing against future capacity; beyond it requests shed with 429")
+
+		batchWindow = flag.Duration("batch-window", 0, "hold admitted queries up to this long to coalesce compatible ones into shared-traversal batches (0 = no batching)")
+		maxBatch    = flag.Int("max-batch", 0, "dispatch a batch as soon as it reaches this size (0 = default 32 when batching is on)")
+
+		budgetSlack = flag.Float64("budget-slack", server.DefaultBudgetSlack, "cap each admitted query at this multiple of its own predicted cost, returning partial results past it (<= 0 disables per-query budgets)")
+		maxBody     = flag.Int64("max-body-bytes", server.DefaultMaxBodyBytes, "largest accepted request body")
+		maxK        = flag.Int("max-k", 0, "largest accepted k for k-NN requests (0 = dataset size)")
+		debug       = flag.Bool("debug", false, "mount net/http/pprof and expvar (including the metrics registry at /debug/vars) under /debug/")
+	)
+	flag.Parse()
+
+	reg := mcost.NewMetricsRegistry()
+	if *debug {
+		reg.PublishExpvar("mcost")
+	}
+
+	d, err := df.Load(tf.Seed)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("building engine over %s (n=%d, node size %d B, shards=%d)...\n",
+		d.Name, d.N(), tf.PageSize, max(1, shf.Shards))
+	storage := stf.Options(reg)
+	ix, sx, err := cliutil.Build(d, tf.Options(storage), shf)
+	if err != nil {
+		fail(err)
+	}
+	var eng server.Engine
+	if sx != nil {
+		eng = sx
+		if storage.Faults != nil {
+			sx.SetFaultsEnabled(true)
+		}
+	} else {
+		eng = ix
+		if storage.Faults != nil {
+			ix.SetFaultsEnabled(true)
+		}
+	}
+	fmt.Printf("engine: %d objects, %d nodes, height %d\n", eng.Size(), eng.NumNodes(), eng.Height())
+
+	dec, err := server.DecoderFor(d.Objects[0], d.Space.Bound)
+	if err != nil {
+		fail(err)
+	}
+	slack := *budgetSlack
+	if slack <= 0 {
+		slack = -1 // Config: negative disables budgets (0 would mean "default")
+	}
+	srv, err := server.New(server.Config{
+		Engine: eng,
+		Decode: dec,
+		Admission: server.AdmitConfig{
+			NodeReadsPerSec: *nodeRate,
+			DistCalcsPerSec: *distRate,
+			BurstSeconds:    *burstSecs,
+			MaxQueueDelay:   *maxQueue,
+		},
+		Batch:        server.BatchConfig{Window: *batchWindow, MaxBatch: *maxBatch},
+		BudgetSlack:  slack,
+		MaxBodyBytes: *maxBody,
+		MaxK:         *maxK,
+		Registry:     reg,
+		Debug:        *debug,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+	fmt.Printf("serving on %s (admission: %g node reads/s, %g dist calcs/s; batch window %v)\n",
+		*addr, *nodeRate, *distRate, *batchWindow)
+	if *debug {
+		fmt.Printf("debug endpoints on http://%s/debug/pprof/ and /debug/vars\n", *addr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		srv.Close()
+		fail(err)
+	case s := <-sig:
+		fmt.Printf("\n%v: draining...\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "mcost-serve: shutdown:", err)
+		}
+		srv.Close()
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mcost-serve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,192 @@
+// Package cliutil holds the engine and flag plumbing shared by the
+// mcost commands. mcost-query, mcost-exp and mcost-serve all build the
+// same stack — dataset, M-tree options, optional sharding, optional
+// paged storage with fault injection, cost-model budgets — and used to
+// re-declare the same flags with drifting help text. Each command
+// registers the groups it needs with its own defaults and keeps only
+// its genuinely command-specific flags local.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"mcost"
+	"mcost/internal/dataset"
+)
+
+// DatasetFlags selects the dataset (-dataset, -file, -n, -dim).
+type DatasetFlags struct {
+	Kind string
+	File string
+	N    int
+	Dim  int
+}
+
+// RegisterDataset registers the dataset flags on fs with the given
+// defaults.
+func RegisterDataset(fs *flag.FlagSet, kind string, n, dim int) *DatasetFlags {
+	f := &DatasetFlags{}
+	fs.StringVar(&f.Kind, "dataset", kind, "clustered | uniform | words")
+	fs.StringVar(&f.File, "file", "", "load dataset from file instead of generating")
+	fs.IntVar(&f.N, "n", n, "dataset size")
+	fs.IntVar(&f.Dim, "dim", dim, "dimensionality (vector datasets)")
+	return f
+}
+
+// Load generates or loads the selected dataset.
+func (f *DatasetFlags) Load(seed int64) (*dataset.Dataset, error) {
+	if f.File != "" {
+		return dataset.LoadFile(f.File)
+	}
+	switch f.Kind {
+	case "clustered":
+		return dataset.PaperClustered(f.N, f.Dim, seed), nil
+	case "uniform":
+		return dataset.Uniform(f.N, f.Dim, seed), nil
+	case "words":
+		return dataset.Words(f.N, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset kind %q", f.Kind)
+	}
+}
+
+// TreeFlags tune the M-tree build (-pagesize, -seed, -workers).
+type TreeFlags struct {
+	PageSize int
+	Seed     int64
+	Workers  int
+}
+
+// RegisterTree registers the tree flags on fs; seed is the
+// command-specific default.
+func RegisterTree(fs *flag.FlagSet, seed int64) *TreeFlags {
+	f := &TreeFlags{}
+	fs.IntVar(&f.PageSize, "pagesize", 4096, "M-tree node size in bytes")
+	fs.Int64Var(&f.Seed, "seed", seed, "random seed")
+	fs.IntVar(&f.Workers, "workers", 0, "worker goroutines for estimation and query batches (0 = all CPUs); results are identical at any count")
+	return f
+}
+
+// Options assembles the build options over the given storage stack.
+func (f *TreeFlags) Options(storage mcost.StorageOptions) mcost.Options {
+	return mcost.Options{PageSize: f.PageSize, Seed: f.Seed, Workers: f.Workers, Storage: storage}
+}
+
+// ShardFlags select the sharded engine (-shards, -shard-assign,
+// -batch).
+type ShardFlags struct {
+	Shards int
+	Assign string
+	Batch  int
+}
+
+// RegisterShards registers the shard flags on fs with the
+// command-specific defaults. A negative batch leaves -batch
+// unregistered, for commands with their own batching (mcost-serve
+// micro-batches by window, not by flag).
+func RegisterShards(fs *flag.FlagSet, shards int, assign string, batch int) *ShardFlags {
+	f := &ShardFlags{}
+	fs.IntVar(&f.Shards, "shards", shards, "partition the dataset across this many independent M-trees; queries fan out in parallel and k-NN skips shards the cost model rules out")
+	fs.StringVar(&f.Assign, "shard-assign", assign, "shard assignment with -shards > 1: round-robin | pivot")
+	if batch >= 0 {
+		fs.IntVar(&f.Batch, "batch", batch, "batch size for batched traversal; each node is fetched once per batch, so per-query reads amortize")
+	}
+	return f
+}
+
+// StorageFlags select the paged storage stack and its fault schedule
+// (-paged, -cache-pages, -retry, -fault-*).
+type StorageFlags struct {
+	Paged      bool
+	CachePages int
+	Retry      int
+
+	FaultSeed        int64
+	FaultReadRate    float64
+	FaultWriteRate   float64
+	FaultTornRate    float64
+	FaultCorruptRate float64
+}
+
+// RegisterStorage registers the storage flags on fs.
+func RegisterStorage(fs *flag.FlagSet) *StorageFlags {
+	f := &StorageFlags{}
+	fs.BoolVar(&f.Paged, "paged", false, "mount trees on checksummed paged storage (CRC32-C per page; corruption surfaces as a typed error)")
+	fs.IntVar(&f.CachePages, "cache-pages", 0, "LRU page-cache capacity for paged storage (0 = no cache)")
+	fs.IntVar(&f.Retry, "retry", 0, "retry attempts per page operation for transient faults (0 = default 3, 1 = no retrying)")
+	fs.Int64Var(&f.FaultSeed, "fault-seed", 1, "seed for the deterministic fault schedule")
+	fs.Float64Var(&f.FaultReadRate, "fault-read-rate", 0, "probability a page read fails transiently (enables fault injection; implies -paged)")
+	fs.Float64Var(&f.FaultWriteRate, "fault-write-rate", 0, "probability a page write fails transiently (implies -paged)")
+	fs.Float64Var(&f.FaultTornRate, "fault-torn-rate", 0, "probability a page write is torn: half the page lands, then a transient error (implies -paged)")
+	fs.Float64Var(&f.FaultCorruptRate, "fault-corrupt-rate", 0, "probability a page read returns bit-flipped data, caught by the page checksum (implies -paged)")
+	return f
+}
+
+// FaultConfig assembles the fault schedule from the flags.
+func (f *StorageFlags) FaultConfig() mcost.FaultConfig {
+	return mcost.FaultConfig{
+		Seed:            f.FaultSeed,
+		ReadErrorRate:   f.FaultReadRate,
+		WriteErrorRate:  f.FaultWriteRate,
+		TornWriteRate:   f.FaultTornRate,
+		ReadCorruptRate: f.FaultCorruptRate,
+	}
+}
+
+// Options assembles the storage stack; any armed fault implies paged
+// storage. metrics may be nil.
+func (f *StorageFlags) Options(metrics *mcost.MetricsRegistry) mcost.StorageOptions {
+	faults := f.FaultConfig()
+	s := mcost.StorageOptions{
+		Paged:         f.Paged || faults.Any(),
+		CachePages:    f.CachePages,
+		RetryAttempts: f.Retry,
+		Metrics:       metrics,
+	}
+	if faults.Any() {
+		s.Faults = &faults
+	}
+	return s
+}
+
+// BudgetFlags bound query execution by the cost model (-budget-slack,
+// and -query-timeout when the command supports cancellation).
+type BudgetFlags struct {
+	Slack   float64
+	Timeout time.Duration
+}
+
+// RegisterBudget registers -budget-slack (and -query-timeout when
+// withTimeout) on fs.
+func RegisterBudget(fs *flag.FlagSet, withTimeout bool) *BudgetFlags {
+	f := &BudgetFlags{}
+	fs.Float64Var(&f.Slack, "budget-slack", 0, "stop a query once it spends this multiple of the cost model's L-MCM prediction, returning partial results (0 = unlimited)")
+	if withTimeout {
+		fs.DurationVar(&f.Timeout, "query-timeout", 0, "cancel a query after this duration, returning partial results (0 = none)")
+	}
+	return f
+}
+
+// Build constructs the engine the flags describe: a ShardedIndex when
+// sf asks for more than one shard, a single Index otherwise. Exactly
+// one of the returned engines is non-nil on success.
+func Build(d *dataset.Dataset, opt mcost.Options, sf *ShardFlags) (*mcost.Index, *mcost.ShardedIndex, error) {
+	if sf != nil && sf.Shards > 1 {
+		assign, err := mcost.ParseShardAssignment(sf.Assign)
+		if err != nil {
+			return nil, nil, err
+		}
+		sx, err := mcost.BuildSharded(d.Space, d.Objects, opt, mcost.ShardOptions{Shards: sf.Shards, Assign: assign})
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, sx, nil
+	}
+	ix, err := mcost.Build(d.Space, d.Objects, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ix, nil, nil
+}

@@ -1,10 +1,11 @@
 package experiments
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
+
+	"mcost/internal/obs"
 )
 
 // JSONRunner produces an experiment's machine-readable result. The
@@ -104,8 +105,9 @@ func WriteJSON(name string, cfg Config, w io.Writer) error {
 	})
 }
 
+// writeIndentedJSON delegates to the one shared indented encoder so
+// experiment output stays byte-compatible with every other
+// machine-readable emitter (obs envelopes, /v1/stats).
 func writeIndentedJSON(w io.Writer, v interface{}) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(v)
+	return obs.WriteIndentedJSON(w, v)
 }

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Envelope is the canonical JSON document wrapping a Registry snapshot,
+// optionally together with a merged query trace. It is the single wire
+// shape shared by every metrics emitter in the system — `mcost-query
+// -metrics-out`, the experiments' machine-readable output, and the
+// serving layer's /v1/stats endpoint — so a consumer written against
+// one producer parses all of them, and golden-file tests can pin the
+// bytes once. encoding/json sorts map keys and formats floats
+// canonically, so equal registries yield byte-identical envelopes.
+type Envelope struct {
+	Metrics Snapshot `json:"metrics"`
+	Trace   *Trace   `json:"trace,omitempty"`
+}
+
+// WriteEnvelope encodes the registry snapshot (and trace, when non-nil)
+// as an indented Envelope. This is the one registry encoder: callers
+// must not hand-roll the {metrics, trace} document.
+func WriteEnvelope(w io.Writer, reg *Registry, tr *Trace) error {
+	return WriteIndentedJSON(w, Envelope{Metrics: reg.Snapshot(), Trace: tr})
+}
+
+// WriteIndentedJSON encodes v as two-space-indented JSON with a
+// trailing newline — the formatting every machine-readable output in
+// the repo uses.
+func WriteIndentedJSON(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry and trace with fixed contents; every
+// envelope producer in the system must serialize it to exactly the same
+// bytes.
+func goldenRegistry() (*Registry, *Trace) {
+	reg := NewRegistry()
+	reg.Counter("server.queries").Add(42)
+	reg.Counter("server.node_reads").Add(1337)
+	reg.Counter("server.shed").Add(7)
+	h := reg.Hist("server.batch_size", 4, 0, 64)
+	for _, v := range []float64{1, 3, 16, 16, 17, 48, 63, 64, -1} {
+		h.Observe(v)
+	}
+	tr := NewTrace()
+	tr.StartRange(0.25)
+	tr.Visit(1)
+	tr.Dist(1)
+	tr.Dist(1)
+	tr.Visit(2)
+	tr.PruneRadius(1)
+	tr.PruneParent(2)
+	return reg, tr
+}
+
+// TestEnvelopeGolden pins the canonical envelope bytes. The same
+// encoder backs `mcost-query -metrics-out`, the experiment JSON output,
+// and the server's /v1/stats endpoint, so this golden file is the wire
+// contract for all of them.
+func TestEnvelopeGolden(t *testing.T) {
+	reg, tr := goldenRegistry()
+	var buf bytes.Buffer
+	if err := WriteEnvelope(&buf, reg, tr); err != nil {
+		t.Fatalf("WriteEnvelope: %v", err)
+	}
+	path := filepath.Join("testdata", "envelope.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("envelope bytes diverge from golden file\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestEnvelopeMatchesRegistryWriteJSON proves the trace-free envelope
+// embeds exactly the Registry.WriteJSON snapshot encoding — one
+// encoder, two entry points.
+func TestEnvelopeMatchesRegistryWriteJSON(t *testing.T) {
+	reg, _ := goldenRegistry()
+	var env, plain bytes.Buffer
+	if err := WriteEnvelope(&env, reg, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteJSON(&plain); err != nil {
+		t.Fatal(err)
+	}
+	var env2 bytes.Buffer
+	if err := WriteIndentedJSON(&env2, map[string]interface{}{"metrics": reg.Snapshot()}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(env.Bytes(), env2.Bytes()) {
+		t.Errorf("envelope not the canonical {metrics: snapshot} document:\n%s\nvs\n%s", env.Bytes(), env2.Bytes())
+	}
+	// Both paths encode the identical Snapshot value, so the snapshot
+	// keys appear verbatim in both documents.
+	for _, key := range []string{`"server.queries": 42`, `"server.batch_size"`} {
+		if !bytes.Contains(env.Bytes(), []byte(key)) || !bytes.Contains(plain.Bytes(), []byte(key)) {
+			t.Errorf("key %s missing from one encoding", key)
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package obs
 
 import (
-	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
@@ -230,9 +229,7 @@ func (r *Registry) Merge(other *Registry) error {
 
 // WriteJSON writes the snapshot as indented JSON.
 func (r *Registry) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(r.Snapshot())
+	return WriteIndentedJSON(w, r.Snapshot())
 }
 
 // PublishExpvar exposes the registry under the given expvar name (e.g.

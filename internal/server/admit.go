@@ -1,0 +1,178 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"mcost/internal/core"
+)
+
+// Admission control denominated in predicted work, not request count.
+// The paper's central claim — a query's node reads and distance
+// computations are predictable from the distance distribution alone —
+// is exactly the signal load shedding needs: a fixed requests-per-
+// second limit treats a radius-0.01 point lookup and a radius-0.5
+// near-scan as equal, while per-query cost in high dimensions varies by
+// orders of magnitude (Pestov, arXiv cs/9904002). The Admitter instead
+// keeps a token bucket whose tokens are node reads and distance
+// computations per second; each query drains its own L-MCM prediction.
+
+// AdmitConfig sizes the admission bucket.
+type AdmitConfig struct {
+	// NodeReadsPerSec and DistCalcsPerSec are the sustained capacity in
+	// the two cost dimensions. A zero (or negative) rate leaves that
+	// dimension unlimited; if both are zero admission is disabled.
+	NodeReadsPerSec float64
+	DistCalcsPerSec float64
+	// BurstSeconds is the bucket depth in seconds of capacity (default
+	// 1): the bucket holds at most rate × BurstSeconds tokens, so an
+	// idle server can absorb that much work instantaneously.
+	BurstSeconds float64
+	// MaxQueueDelay bounds borrowing against future capacity (default
+	// 100ms): a query that cannot be covered by the current tokens is
+	// still admitted — queued behind the deficit — if the bucket will
+	// have refilled its cost within this delay; beyond it the query is
+	// shed.
+	MaxQueueDelay time.Duration
+}
+
+func (c AdmitConfig) withDefaults() AdmitConfig {
+	if c.BurstSeconds <= 0 {
+		c.BurstSeconds = 1
+	}
+	if c.MaxQueueDelay <= 0 {
+		c.MaxQueueDelay = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Enabled reports whether any dimension is rate-limited.
+func (c AdmitConfig) Enabled() bool { return c.NodeReadsPerSec > 0 || c.DistCalcsPerSec > 0 }
+
+// Decision is the admission verdict for one priced query.
+type Decision struct {
+	// Admit reports whether the query may execute.
+	Admit bool
+	// Wait is the predicted queue delay the query was admitted under
+	// (zero when tokens covered it immediately).
+	Wait time.Duration
+	// RetryAfter, on a shed, tells the client how long to back off
+	// before the bucket could cover this query's cost — proportional to
+	// the predicted cost, so expensive queries back off longer.
+	RetryAfter time.Duration
+}
+
+// Admitter is the cost token bucket. It is safe for concurrent use.
+type Admitter struct {
+	cfg AdmitConfig
+	now func() time.Time
+
+	mu    sync.Mutex
+	nodes float64 // current tokens; may run negative up to the borrow bound
+	dists float64
+	last  time.Time
+}
+
+// NewAdmitter returns an admitter for the config, or nil when the
+// config disables admission (a nil *Admitter admits everything). The
+// clock is injectable for deterministic tests; nil uses time.Now.
+func NewAdmitter(cfg AdmitConfig, now func() time.Time) *Admitter {
+	if !cfg.Enabled() {
+		return nil
+	}
+	cfg = cfg.withDefaults()
+	if now == nil {
+		now = time.Now
+	}
+	a := &Admitter{cfg: cfg, now: now}
+	a.nodes = cfg.NodeReadsPerSec * cfg.BurstSeconds
+	a.dists = cfg.DistCalcsPerSec * cfg.BurstSeconds
+	a.last = now()
+	return a
+}
+
+// refill credits tokens for the time elapsed since the last update,
+// capped at the burst depth. Caller holds a.mu.
+func (a *Admitter) refill(t time.Time) {
+	dt := t.Sub(a.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	a.last = t
+	if r := a.cfg.NodeReadsPerSec; r > 0 {
+		a.nodes += r * dt
+		if cap := r * a.cfg.BurstSeconds; a.nodes > cap {
+			a.nodes = cap
+		}
+	}
+	if r := a.cfg.DistCalcsPerSec; r > 0 {
+		a.dists += r * dt
+		if cap := r * a.cfg.BurstSeconds; a.dists > cap {
+			a.dists = cap
+		}
+	}
+}
+
+// maxWait saturates deficit waits that would overflow time.Duration
+// (tiny rates against large costs): effectively "never".
+const maxWait = 100 * 365 * 24 * time.Hour
+
+// deficitWait returns how long dimension rate takes to refill the
+// shortfall between level and cost (zero when covered or unlimited).
+func deficitWait(level, cost, rate float64) time.Duration {
+	if rate <= 0 || level >= cost {
+		return 0
+	}
+	ns := (cost - level) / rate * float64(time.Second)
+	if ns >= float64(maxWait) {
+		return maxWait
+	}
+	return time.Duration(ns)
+}
+
+// Admit charges one priced query against the bucket. Admitted queries
+// drain their predicted cost (possibly borrowing: the level runs
+// negative, delaying later arrivals); shed queries drain nothing. A
+// query costing more than the bucket can ever hold is still admitted
+// when the bucket is full — otherwise it could never run — and its
+// overdraft throttles what follows.
+func (a *Admitter) Admit(est core.CostEstimate) Decision {
+	if a == nil {
+		return Decision{Admit: true}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.refill(a.now())
+	wNodes := deficitWait(a.nodes, est.Nodes, a.cfg.NodeReadsPerSec)
+	wDists := deficitWait(a.dists, est.Dists, a.cfg.DistCalcsPerSec)
+	wait := wNodes
+	if wDists > wait {
+		wait = wDists
+	}
+	if wait > a.cfg.MaxQueueDelay && !a.full() {
+		retry := wait - a.cfg.MaxQueueDelay
+		if retry < time.Millisecond {
+			retry = time.Millisecond
+		}
+		return Decision{RetryAfter: retry}
+	}
+	if a.cfg.NodeReadsPerSec > 0 {
+		a.nodes -= est.Nodes
+	}
+	if a.cfg.DistCalcsPerSec > 0 {
+		a.dists -= est.Dists
+	}
+	return Decision{Admit: true, Wait: wait}
+}
+
+// full reports whether every limited dimension sits at its burst depth
+// (an idle bucket). Caller holds a.mu.
+func (a *Admitter) full() bool {
+	if r := a.cfg.NodeReadsPerSec; r > 0 && a.nodes < r*a.cfg.BurstSeconds {
+		return false
+	}
+	if r := a.cfg.DistCalcsPerSec; r > 0 && a.dists < r*a.cfg.BurstSeconds {
+		return false
+	}
+	return true
+}

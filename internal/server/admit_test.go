@@ -1,0 +1,140 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"mcost/internal/core"
+)
+
+// fakeClock is a manually-advanced clock for deterministic bucket
+// tests.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func est(nodes, dists float64) core.CostEstimate {
+	return core.CostEstimate{Nodes: nodes, Dists: dists}
+}
+
+func TestAdmitterDisabled(t *testing.T) {
+	if a := NewAdmitter(AdmitConfig{}, nil); a != nil {
+		t.Fatalf("zero config should disable admission, got %+v", a)
+	}
+	var a *Admitter
+	if d := a.Admit(est(1e12, 1e12)); !d.Admit {
+		t.Fatalf("nil admitter must admit everything")
+	}
+}
+
+func TestAdmitterDrainAndShed(t *testing.T) {
+	clk := newFakeClock()
+	// 100 node reads/s, 1s burst, 100ms borrowing: the bucket opens
+	// with 100 tokens and can stretch to 110 before shedding.
+	a := NewAdmitter(AdmitConfig{NodeReadsPerSec: 100, BurstSeconds: 1, MaxQueueDelay: 100 * time.Millisecond}, clk.now)
+
+	if d := a.Admit(est(60, 0)); !d.Admit || d.Wait != 0 {
+		t.Fatalf("first query must be covered by the burst: %+v", d)
+	}
+	// 40 tokens left; a 45-read query waits 50ms of refill — inside the
+	// borrow window, so it is admitted queued.
+	d := a.Admit(est(45, 0))
+	if !d.Admit {
+		t.Fatalf("borrowable query shed: %+v", d)
+	}
+	if d.Wait <= 0 || d.Wait > 100*time.Millisecond {
+		t.Fatalf("expected a sub-window queue delay, got %v", d.Wait)
+	}
+	// Level is now -5; a 100-read query needs 1.05s of refill >> window.
+	d = a.Admit(est(100, 0))
+	if d.Admit {
+		t.Fatalf("overload query admitted: %+v", d)
+	}
+	if d.RetryAfter <= 0 {
+		t.Fatalf("shed decision must carry a retry-after, got %+v", d)
+	}
+	// The retry-after is proportional to the deficit: waiting that long
+	// (plus the borrow window) makes the same query admissible again.
+	clk.advance(d.RetryAfter + 100*time.Millisecond)
+	if d := a.Admit(est(100, 0)); !d.Admit {
+		t.Fatalf("query still shed after honoring retry-after: %+v", d)
+	}
+}
+
+func TestAdmitterRefillCapsAtBurst(t *testing.T) {
+	clk := newFakeClock()
+	a := NewAdmitter(AdmitConfig{NodeReadsPerSec: 10, BurstSeconds: 1, MaxQueueDelay: time.Millisecond}, clk.now)
+	clk.advance(time.Hour) // refill must cap at 10, not 36000
+	if d := a.Admit(est(10, 0)); !d.Admit {
+		t.Fatalf("burst-sized query shed after idle: %+v", d)
+	}
+	if d := a.Admit(est(10, 0)); d.Admit {
+		t.Fatalf("second burst-sized query must shed (bucket capped at burst): %+v", d)
+	}
+}
+
+func TestAdmitterOversizedQueryAdmittedWhenIdle(t *testing.T) {
+	clk := newFakeClock()
+	a := NewAdmitter(AdmitConfig{NodeReadsPerSec: 10, BurstSeconds: 1, MaxQueueDelay: time.Millisecond}, clk.now)
+	// Costs 50 > burst 10: can never be covered, but a full bucket
+	// admits it (otherwise it would starve forever) and the overdraft
+	// throttles what follows.
+	if d := a.Admit(est(50, 0)); !d.Admit {
+		t.Fatalf("oversized query must be admitted from a full bucket: %+v", d)
+	}
+	if d := a.Admit(est(1, 0)); d.Admit {
+		t.Fatalf("overdraft must shed the next query: %+v", d)
+	}
+	clk.advance(5 * time.Second) // repay 50 tokens
+	if d := a.Admit(est(1, 0)); !d.Admit {
+		t.Fatalf("bucket did not recover from overdraft: %+v", d)
+	}
+}
+
+func TestAdmitterTinyRateSaturatesInsteadOfOverflowing(t *testing.T) {
+	clk := newFakeClock()
+	a := NewAdmitter(AdmitConfig{NodeReadsPerSec: 1e-9, BurstSeconds: 1, MaxQueueDelay: time.Millisecond}, clk.now)
+	if d := a.Admit(est(20, 0)); !d.Admit {
+		t.Fatalf("full-bucket bypass must admit the first query: %+v", d)
+	}
+	// The deficit now takes ~2e19 ns to repay — past time.Duration's
+	// range. The wait must saturate, not wrap negative and admit.
+	d := a.Admit(est(20, 0))
+	if d.Admit {
+		t.Fatalf("overflowed deficit wait admitted an overload query: %+v", d)
+	}
+	if d.RetryAfter <= 0 {
+		t.Fatalf("saturated shed must still carry a positive retry-after: %+v", d)
+	}
+}
+
+func TestAdmitterDistDimension(t *testing.T) {
+	clk := newFakeClock()
+	a := NewAdmitter(AdmitConfig{DistCalcsPerSec: 1000, BurstSeconds: 1, MaxQueueDelay: time.Millisecond}, clk.now)
+	// Node dimension unlimited: a node-heavy query passes freely.
+	if d := a.Admit(est(1e9, 500)); !d.Admit {
+		t.Fatalf("node-heavy query shed on an unlimited dimension: %+v", d)
+	}
+	if d := a.Admit(est(0, 600)); d.Admit {
+		t.Fatalf("distance budget not enforced: %+v", d)
+	}
+}
+
+func TestAdmitterConcurrentUse(t *testing.T) {
+	a := NewAdmitter(AdmitConfig{NodeReadsPerSec: 1e6, DistCalcsPerSec: 1e6}, nil)
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 1000; j++ {
+				a.Admit(est(1, 1))
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,215 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"mcost"
+	"mcost/internal/obs"
+)
+
+func postJSON(t testing.TB, client *http.Client, url string, body interface{}) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestE2EOverloadShedsWithPredictedCost drives offered load past the
+// node-read admission budget over real HTTP: admitted queries return
+// results bit-identical to direct in-process execution, the rest shed
+// with a typed 429 carrying the predicted cost.
+func TestE2EOverloadShedsWithPredictedCost(t *testing.T) {
+	ix := testIndex(t)
+	// Refill is effectively zero: the burst covers the first query, and
+	// everything after it sheds.
+	s, err := New(Config{
+		Engine:    ix,
+		Decode:    VectorDecoder(4),
+		Admission: AdmitConfig{NodeReadsPerSec: 1e-9, BurstSeconds: 1, MaxQueueDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	q := mcost.Vector{0.3, 0.6, 0.2, 0.9}
+	const radius = 0.35
+	want, err := ix.Range(q, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ok, shed int
+	for i := 0; i < 6; i++ {
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/range",
+			map[string]interface{}{"query": q, "radius": radius})
+		switch resp.StatusCode {
+		case http.StatusOK:
+			ok++
+			var qr QueryResponse
+			if err := json.Unmarshal(body, &qr); err != nil {
+				t.Fatal(err)
+			}
+			if qr.Partial {
+				t.Fatalf("admitted query degraded unexpectedly: %s", body)
+			}
+			if len(qr.Matches) != len(want) {
+				t.Fatalf("HTTP %d matches, direct %d", len(qr.Matches), len(want))
+			}
+			for j := range want {
+				if qr.Matches[j].OID != want[j].OID ||
+					math.Float64bits(qr.Matches[j].Distance) != math.Float64bits(want[j].Distance) {
+					t.Fatalf("match %d not bit-identical to direct execution: HTTP (%d, %x) direct (%d, %x)",
+						j, qr.Matches[j].OID, math.Float64bits(qr.Matches[j].Distance),
+						want[j].OID, math.Float64bits(want[j].Distance))
+				}
+			}
+		case http.StatusTooManyRequests:
+			shed++
+			var er ErrorResponse
+			if err := json.Unmarshal(body, &er); err != nil {
+				t.Fatal(err)
+			}
+			if er.Code != "overloaded" {
+				t.Fatalf("429 code %q", er.Code)
+			}
+			if er.PredictedCost == nil || er.PredictedCost.NodeReads <= 0 {
+				t.Fatalf("429 without predicted cost: %s", body)
+			}
+			if er.RetryAfterMS <= 0 || resp.Header.Get("Retry-After") == "" {
+				t.Fatalf("429 without retry-after: %s", body)
+			}
+		default:
+			t.Fatalf("unexpected status %d: %s", resp.StatusCode, body)
+		}
+	}
+	if ok == 0 || shed == 0 {
+		t.Fatalf("overload must split into admitted and shed: ok=%d shed=%d", ok, shed)
+	}
+	snap := s.Registry().Snapshot()
+	if snap.Counters["server.shed"] != int64(shed) || snap.Counters["server.admitted"] != int64(ok) {
+		t.Fatalf("registry disagrees with observed admissions: %v", snap.Counters)
+	}
+}
+
+// runBatchProbe fires 32 concurrent same-radius range queries at a
+// server built with cfg and returns the amortized node-read counter and
+// the per-query responses.
+func runBatchProbe(t *testing.T, ix *mcost.Index, cfg Config) (nodeReads int64, resps []QueryResponse) {
+	t.Helper()
+	cfg.Engine = ix
+	cfg.Decode = VectorDecoder(4)
+	cfg.Registry = obs.NewRegistry()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 32
+	queries := make([]mcost.Vector, n)
+	for i := range queries {
+		queries[i] = mcost.Vector{
+			0.1 + 0.025*float64(i),
+			0.9 - 0.025*float64(i),
+			0.5,
+			0.3 + 0.01*float64(i),
+		}
+	}
+	resps = make([]QueryResponse, n)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/range",
+				map[string]interface{}{"query": queries[i], "radius": 0.3})
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("query %d: status %d: %s", i, resp.StatusCode, body)
+				return
+			}
+			if err := json.Unmarshal(body, &resps[i]); err != nil {
+				errs <- fmt.Errorf("query %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Bit-identical to direct execution regardless of batching.
+	for i, q := range queries {
+		want, err := ix.Range(q, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := resps[i].Matches
+		if len(got) != len(want) {
+			t.Fatalf("query %d: HTTP %d matches, direct %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j].OID != want[j].OID ||
+				math.Float64bits(got[j].Distance) != math.Float64bits(want[j].Distance) {
+				t.Fatalf("query %d match %d diverges from direct execution", i, j)
+			}
+		}
+	}
+	return s.Registry().Snapshot().Counters["server.node_reads"], resps
+}
+
+// TestE2EMicroBatchAmortizesNodeReads pins the acceptance ratio: with 32
+// concurrent same-radius queries and a batch window that queues 16 of
+// them per dispatch, the shared-traversal batches spend ≥1.5× fewer
+// node reads than per-request dispatch — measured by the server's own
+// obs counters, not wall-clock luck.
+func TestE2EMicroBatchAmortizesNodeReads(t *testing.T) {
+	ix := testIndex(t)
+
+	solo, _ := runBatchProbe(t, ix, Config{})
+	batched, resps := runBatchProbe(t, ix, Config{
+		Batch: BatchConfig{Window: 2 * time.Second, MaxBatch: 16},
+	})
+
+	// 32 queries with MaxBatch 16 flush by size into exactly two
+	// batches; every response must report a full window.
+	for i, r := range resps {
+		if r.BatchSize != 16 {
+			t.Fatalf("query %d dispatched in batch of %d, want 16", i, r.BatchSize)
+		}
+	}
+	if solo <= 0 || batched <= 0 {
+		t.Fatalf("node-read counters empty: solo=%d batched=%d", solo, batched)
+	}
+	ratio := float64(solo) / float64(batched)
+	t.Logf("node reads: per-request=%d batched=%d amortization=%.2fx", solo, batched, ratio)
+	if ratio < 1.5 {
+		t.Fatalf("micro-batching amortized node reads only %.2fx (per-request %d, batched %d); want >= 1.5x",
+			ratio, solo, batched)
+	}
+}

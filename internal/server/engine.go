@@ -1,0 +1,103 @@
+// Package server is the cost-aware HTTP serving layer over a built
+// index: an HTTP/JSON API (/v1/range, /v1/nn, /v1/stats, /healthz)
+// whose admission control is denominated in the paper's cost units.
+// Every incoming query is priced with the level-based cost model
+// (L-MCM) before it runs; the predicted node reads and distance
+// computations are charged against a token bucket of capacity-per-
+// second, a per-request execution budget of prediction × slack is
+// attached, and the query is either executed, micro-batched with
+// compatible queued queries to amortize node reads, or shed with a
+// typed 429 carrying the predicted cost so clients can back off
+// proportionally to what they asked for.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"unicode/utf8"
+
+	"mcost/internal/budget"
+	"mcost/internal/core"
+	"mcost/internal/metric"
+	"mcost/internal/mtree"
+	"mcost/internal/obs"
+)
+
+// Engine is the query engine behind the server: a built index that can
+// price queries before running them and execute compatible batches in
+// one shared traversal. *mcost.Index and *mcost.ShardedIndex satisfy it.
+type Engine interface {
+	// PriceRange / PriceNN return the L-MCM predicted cost of one
+	// query — the admission currency.
+	PriceRange(radius float64) core.CostEstimate
+	PriceNN(k int) core.CostEstimate
+	// RangeBatchTraced / NNBatchTraced execute a batch under a context,
+	// a batch budget, and an optional trace; partial per-query results
+	// accompany a typed budget/context error.
+	RangeBatchTraced(ctx context.Context, qs []metric.Object, radius float64, b budget.Budget, tr *obs.Trace) ([][]mtree.Match, error)
+	NNBatchTraced(ctx context.Context, qs []metric.Object, k int, b budget.Budget, tr *obs.Trace) ([][]mtree.Match, error)
+	// Structural facts for budget floors and /healthz.
+	Size() int
+	NumNodes() int
+	Height() int
+	PageSize() int
+}
+
+// ObjectDecoder decodes the "query" field of a request into a metric
+// object, rejecting anything the engine's space cannot compare. A
+// decoder must validate strictly: wrong shapes and non-finite values
+// are errors, never coerced.
+type ObjectDecoder func(raw json.RawMessage) (metric.Object, error)
+
+// VectorDecoder returns a decoder for D-dimensional vector spaces: the
+// query must be a JSON array of exactly dim finite numbers.
+func VectorDecoder(dim int) ObjectDecoder {
+	return func(raw json.RawMessage) (metric.Object, error) {
+		var v []float64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, fmt.Errorf("query must be an array of %d numbers: %v", dim, err)
+		}
+		if len(v) != dim {
+			return nil, fmt.Errorf("query has %d coordinates, index is %d-dimensional", len(v), dim)
+		}
+		for i, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("query coordinate %d is not finite", i)
+			}
+		}
+		return metric.Vector(v), nil
+	}
+}
+
+// StringDecoder returns a decoder for string spaces: the query must be
+// a valid UTF-8 JSON string of at most maxLen bytes (the space's
+// distance bound assumes bounded length).
+func StringDecoder(maxLen int) ObjectDecoder {
+	return func(raw json.RawMessage) (metric.Object, error) {
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, fmt.Errorf("query must be a string: %v", err)
+		}
+		if maxLen > 0 && len(s) > maxLen {
+			return nil, fmt.Errorf("query is %d bytes, space bounds strings at %d", len(s), maxLen)
+		}
+		if !utf8.ValidString(s) {
+			return nil, fmt.Errorf("query is not valid UTF-8")
+		}
+		return s, nil
+	}
+}
+
+// DecoderFor infers the right decoder from a sample indexed object.
+func DecoderFor(sample metric.Object, bound float64) (ObjectDecoder, error) {
+	switch o := sample.(type) {
+	case metric.Vector:
+		return VectorDecoder(len(o)), nil
+	case string:
+		return StringDecoder(int(bound)), nil
+	default:
+		return nil, fmt.Errorf("server: no decoder for object type %T", sample)
+	}
+}

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeQuery drives arbitrary bodies through both query endpoints
+// and checks the decoder contract: every input maps to a typed 4xx or a
+// valid 200 — never a panic, never a 5xx, and never a silently clamped
+// parameter (a 200 implies the request was well-formed as sent).
+func FuzzDecodeQuery(f *testing.F) {
+	seeds := []string{
+		``,
+		`{`,
+		`null`,
+		`42`,
+		`"just a string"`,
+		`{"query":[0.5,0.5,0.5,0.5],"radius":0.3}`,
+		`{"query":[0.5,0.5,0.5,0.5],"k":3}`,
+		`{"query":[0.5,0.5,0.5,0.5],"radius":-1}`,
+		`{"query":[0.5,0.5,0.5,0.5],"radius":1e999}`,
+		`{"query":[0.5,0.5,0.5,0.5],"radius":null}`,
+		`{"query":[0.5,0.5],"radius":0.3}`,
+		`{"query":[0.5,"x",0.5,0.5],"radius":0.3}`,
+		`{"query":"not a vector","radius":0.3}`,
+		`{"query":[0.5,0.5,0.5,0.5],"k":-7}`,
+		`{"query":[0.5,0.5,0.5,0.5],"k":0}`,
+		`{"query":[0.5,0.5,0.5,0.5],"k":999999999}`,
+		`{"query":[0.5,0.5,0.5,0.5],"k":2.5}`,
+		`{"query":[0.5,0.5,0.5,0.5],"radius":0.1,"k":3}`,
+		`{"query":[0.5,0.5,0.5,0.5],"radius":0.1,"extra":true}`,
+		`{"radius":0.1}`,
+		`{"query":[0.5,0.5,0.5,0.5],"radius":0.1}{"again":1}`,
+		`{"query":[` + strings.Repeat("0.1,", 300) + `0.1],"radius":0.1}`,
+		strings.Repeat("[", 5000),
+		"{\"query\":[0.5,0.5,0.5,0.5],\"radius\":0.1}\x00",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s), true)
+		f.Add([]byte(s), false)
+	}
+
+	s, err := New(Config{
+		Engine:       testIndex(f),
+		Decode:       VectorDecoder(4),
+		MaxBodyBytes: 4096,
+		MaxK:         50,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(s.Close)
+	h := s.Handler()
+
+	f.Fuzz(func(t *testing.T, body []byte, nn bool) {
+		path := "/v1/range"
+		if nn {
+			path = "/v1/nn"
+		}
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(string(body)))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req) // must not panic
+		if rec.Code >= 500 {
+			t.Fatalf("input %q produced %d: %s", body, rec.Code, rec.Body.String())
+		}
+		if rec.Code == http.StatusOK {
+			// A 200 means the input was a fully valid request: re-decode
+			// it and check the parameters were honored as sent, not
+			// clamped into validity.
+			var raw struct {
+				Query  []float64 `json:"query"`
+				Radius *float64  `json:"radius"`
+				K      *int      `json:"k"`
+			}
+			if err := json.Unmarshal(body, &raw); err != nil {
+				t.Fatalf("200 for a body that does not re-decode: %q", body)
+			}
+			if len(raw.Query) != 4 {
+				t.Fatalf("200 for a query of dim %d: %q", len(raw.Query), body)
+			}
+			for _, x := range raw.Query {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					t.Fatalf("200 for a non-finite coordinate: %q", body)
+				}
+			}
+			if nn {
+				if raw.K == nil || *raw.K <= 0 || *raw.K > 50 || raw.Radius != nil {
+					t.Fatalf("200 for an invalid k-NN request: %q", body)
+				}
+			} else {
+				if raw.Radius == nil || *raw.Radius < 0 || raw.K != nil {
+					t.Fatalf("200 for an invalid range request: %q", body)
+				}
+			}
+			var resp QueryResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 body not a QueryResponse: %v", err)
+			}
+			return
+		}
+		// Every failure is a typed error envelope.
+		var resp ErrorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("status %d body not an ErrorResponse: %q", rec.Code, rec.Body.String())
+		}
+		if resp.Code == "" {
+			t.Fatalf("status %d with an untyped error: %q", rec.Code, rec.Body.String())
+		}
+	})
+}

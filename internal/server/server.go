@@ -1,0 +1,441 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+
+	"mcost/internal/budget"
+	"mcost/internal/core"
+	"mcost/internal/metric"
+	"mcost/internal/mtree"
+	"mcost/internal/obs"
+)
+
+// DefaultBudgetSlack mirrors the facade's default: an admitted query
+// may spend this multiple of its own L-MCM prediction before being
+// stopped with partial results.
+const DefaultBudgetSlack = 4.0
+
+// DefaultMaxBodyBytes caps request bodies (1 MiB).
+const DefaultMaxBodyBytes = 1 << 20
+
+// Config assembles a Server.
+type Config struct {
+	// Engine answers and prices the queries (required).
+	Engine Engine
+	// Decode parses the "query" field (required; see DecoderFor).
+	Decode ObjectDecoder
+	// Admission sizes the cost token bucket (zero = admit everything).
+	Admission AdmitConfig
+	// Batch tunes the micro-batcher (zero = dispatch immediately).
+	Batch BatchConfig
+	// BudgetSlack scales each request's execution budget off its own
+	// prediction: budget = prediction × slack (0 picks
+	// DefaultBudgetSlack; negative disables budgets).
+	BudgetSlack float64
+	// MaxBodyBytes caps request bodies (0 picks DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// MaxK caps k-NN requests (0 picks the indexed object count).
+	MaxK int
+	// Registry receives the server metrics (nil allocates a fresh one).
+	Registry *obs.Registry
+	// Clock is a test hook for the admission bucket and queue timing
+	// (nil = time.Now).
+	Clock func() time.Time
+	// Debug mounts http.DefaultServeMux under /debug/ — net/http/pprof
+	// and expvar when the binary imports them.
+	Debug bool
+}
+
+// Server is the cost-aware HTTP serving layer. Create with New, expose
+// with Handler, and Close when done (flushes the micro-batcher).
+type Server struct {
+	eng     Engine
+	dec     ObjectDecoder
+	adm     *Admitter
+	bat     *Batcher
+	reg     *obs.Registry
+	slack   float64
+	maxBody int64
+	maxK    int
+	debug   bool
+
+	cRequests *obs.Counter
+	cAdmitted *obs.Counter
+	cShed     *obs.Counter
+	cRejected *obs.Counter
+	cPartial  *obs.Counter
+	cErrors   *obs.Counter
+	cPredNode *obs.Counter
+	cPredDist *obs.Counter
+}
+
+// New validates cfg and assembles the server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("server: nil engine")
+	}
+	if cfg.Decode == nil {
+		return nil, errors.New("server: nil object decoder")
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	slack := cfg.BudgetSlack
+	if slack == 0 {
+		slack = DefaultBudgetSlack
+	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	maxK := cfg.MaxK
+	if maxK <= 0 {
+		maxK = cfg.Engine.Size()
+	}
+	s := &Server{
+		eng:       cfg.Engine,
+		dec:       cfg.Decode,
+		adm:       NewAdmitter(cfg.Admission, cfg.Clock),
+		bat:       NewBatcher(cfg.Engine, cfg.Batch, reg, cfg.Clock),
+		reg:       reg,
+		slack:     slack,
+		maxBody:   maxBody,
+		maxK:      maxK,
+		debug:     cfg.Debug,
+		cRequests: reg.Counter("server.requests"),
+		cAdmitted: reg.Counter("server.admitted"),
+		cShed:     reg.Counter("server.shed"),
+		cRejected: reg.Counter("server.rejected"),
+		cPartial:  reg.Counter("server.partial"),
+		cErrors:   reg.Counter("server.errors"),
+		cPredNode: reg.Counter("server.predicted_node_reads"),
+		cPredDist: reg.Counter("server.predicted_dist_calcs"),
+	}
+	return s, nil
+}
+
+// Registry returns the server's metrics registry (the one /v1/stats
+// serves).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Close flushes the micro-batcher; pending queries complete.
+func (s *Server) Close() { s.bat.Close() }
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/range", s.handleQuery(false))
+	mux.HandleFunc("/v1/nn", s.handleQuery(true))
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	if s.debug {
+		mux.Handle("/debug/", http.DefaultServeMux)
+	}
+	return mux
+}
+
+// CostJSON is a predicted cost on the wire.
+type CostJSON struct {
+	NodeReads float64 `json:"node_reads"`
+	DistCalcs float64 `json:"dist_calcs"`
+}
+
+func costJSON(est core.CostEstimate) CostJSON {
+	return CostJSON{NodeReads: est.Nodes, DistCalcs: est.Dists}
+}
+
+// MatchJSON is one query result on the wire.
+type MatchJSON struct {
+	OID      uint64        `json:"oid"`
+	Distance float64       `json:"distance"`
+	Object   metric.Object `json:"object"`
+}
+
+// QueryResponse is the 200 body of /v1/range and /v1/nn.
+type QueryResponse struct {
+	Matches []MatchJSON `json:"matches"`
+	// Partial reports a budget- or deadline-stopped query: every match
+	// is valid, completeness was traded away. Degraded names the cause.
+	Partial  bool   `json:"partial,omitempty"`
+	Degraded string `json:"degraded,omitempty"`
+	// Predicted is the L-MCM cost this query was admitted under.
+	Predicted CostJSON `json:"predicted"`
+	// BatchSize and QueuedMS expose the micro-batcher's work: how many
+	// queries shared the dispatch and how long this one waited.
+	BatchSize int     `json:"batch_size"`
+	QueuedMS  float64 `json:"queued_ms"`
+}
+
+// ErrorResponse is every non-200 body.
+type ErrorResponse struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
+	// PredictedCost accompanies a 429 so clients can back off
+	// proportionally to what they asked for.
+	PredictedCost *CostJSON `json:"predicted_cost,omitempty"`
+	RetryAfterMS  int64     `json:"retry_after_ms,omitempty"`
+}
+
+// apiError is a typed request failure carrying its HTTP status.
+type apiError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(code, format string, args ...interface{}) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// queryRequest is the decoded, validated body of a query endpoint.
+type queryRequest struct {
+	q      metric.Object
+	radius float64
+	k      int
+}
+
+// rawQueryRequest is the wire shape before validation.
+type rawQueryRequest struct {
+	Query  json.RawMessage `json:"query"`
+	Radius *float64        `json:"radius"`
+	K      *int            `json:"k"`
+}
+
+// decodeQuery parses and strictly validates a query body. Every invalid
+// input yields a typed *apiError with a 4xx status; nothing is clamped:
+// a negative radius or k is rejected, never coerced to a runnable
+// query.
+func (s *Server) decodeQuery(r io.Reader, nn bool) (queryRequest, *apiError) {
+	var out queryRequest
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var raw rawQueryRequest
+	if err := dec.Decode(&raw); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return out, &apiError{status: http.StatusRequestEntityTooLarge, code: "body_too_large",
+				msg: fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit)}
+		}
+		return out, badRequest("bad_json", "invalid request body: %v", err)
+	}
+	if dec.More() {
+		return out, badRequest("bad_json", "trailing data after request body")
+	}
+	if len(raw.Query) == 0 {
+		return out, badRequest("missing_query", "request has no \"query\" field")
+	}
+	q, err := s.dec(raw.Query)
+	if err != nil {
+		return out, badRequest("bad_query", "%v", err)
+	}
+	out.q = q
+	if nn {
+		if raw.Radius != nil {
+			return out, badRequest("bad_k", "\"radius\" is not a k-NN parameter; POST /v1/range instead")
+		}
+		if raw.K == nil {
+			return out, badRequest("missing_k", "k-NN request has no \"k\" field")
+		}
+		k := *raw.K
+		if k <= 0 {
+			return out, badRequest("bad_k", "k must be positive, got %d", k)
+		}
+		if k > s.maxK {
+			return out, badRequest("bad_k", "k = %d exceeds the maximum %d", k, s.maxK)
+		}
+		out.k = k
+		return out, nil
+	}
+	if raw.K != nil {
+		return out, badRequest("bad_radius", "\"k\" is not a range parameter; POST /v1/nn instead")
+	}
+	if raw.Radius == nil {
+		return out, badRequest("missing_radius", "range request has no \"radius\" field")
+	}
+	rad := *raw.Radius
+	if math.IsNaN(rad) || math.IsInf(rad, 0) {
+		return out, badRequest("bad_radius", "radius must be finite")
+	}
+	if rad < 0 {
+		return out, badRequest("bad_radius", "radius must be non-negative, got %g", rad)
+	}
+	out.radius = rad
+	return out, nil
+}
+
+// budgetFor converts a prediction into the per-request execution cap:
+// prediction × slack, rounded up, floored at the tree height so an
+// admitted query can always walk root to leaf. Negative slack disables
+// the budget.
+func (s *Server) budgetFor(est core.CostEstimate) budget.Budget {
+	if s.slack < 0 {
+		return budget.Budget{}
+	}
+	floor := float64(s.eng.Height())
+	nodes := math.Ceil(est.Nodes * s.slack)
+	if nodes < floor {
+		nodes = floor
+	}
+	dists := math.Ceil(est.Dists * s.slack)
+	if dists < floor {
+		dists = floor
+	}
+	return budget.Budget{MaxNodeReads: int64(nodes), MaxDistCalcs: int64(dists)}
+}
+
+// handleQuery prices, admits, batches, and executes one query.
+func (s *Server) handleQuery(nn bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.cRequests.Inc()
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			s.reject(w, &apiError{status: http.StatusMethodNotAllowed, code: "method_not_allowed",
+				msg: "query endpoints accept POST only"})
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		req, aerr := s.decodeQuery(r.Body, nn)
+		if aerr != nil {
+			s.reject(w, aerr)
+			return
+		}
+
+		// Price first: the prediction is both the admission charge and
+		// the execution budget seed.
+		var est core.CostEstimate
+		if nn {
+			est = s.eng.PriceNN(req.k)
+		} else {
+			est = s.eng.PriceRange(req.radius)
+		}
+		s.cPredNode.Add(int64(math.Ceil(est.Nodes)))
+		s.cPredDist.Add(int64(math.Ceil(est.Dists)))
+
+		dec := s.adm.Admit(est)
+		if !dec.Admit {
+			s.cShed.Inc()
+			cost := costJSON(est)
+			retryMS := dec.RetryAfter.Milliseconds()
+			if retryMS < 1 {
+				retryMS = 1
+			}
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", (dec.RetryAfter+time.Second-1)/time.Second))
+			s.writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+				Code:          "overloaded",
+				Error:         "predicted cost exceeds the server's admission budget; back off and retry",
+				PredictedCost: &cost,
+				RetryAfterMS:  retryMS,
+			})
+			return
+		}
+		s.cAdmitted.Inc()
+
+		key := batchKey{nn: nn, radius: req.radius, k: req.k}
+		res := s.bat.Do(r.Context(), key, req.q, s.budgetFor(est))
+		resp := QueryResponse{
+			Predicted: costJSON(est),
+			BatchSize: res.batchSize,
+			QueuedMS:  res.queued.Seconds() * 1000,
+		}
+		switch {
+		case res.err == nil:
+		case errors.Is(res.err, budget.ErrExceeded):
+			s.cPartial.Inc()
+			resp.Partial = true
+			resp.Degraded = "budget_exceeded"
+		case errors.Is(res.err, context.DeadlineExceeded), errors.Is(res.err, context.Canceled):
+			s.cPartial.Inc()
+			resp.Partial = true
+			resp.Degraded = "deadline"
+		default:
+			s.cErrors.Inc()
+			s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{
+				Code: "internal", Error: res.err.Error(),
+			})
+			return
+		}
+		resp.Matches = make([]MatchJSON, len(res.matches))
+		for i, m := range res.matches {
+			resp.Matches[i] = MatchJSON{OID: m.OID, Distance: m.Distance, Object: m.Object}
+		}
+		s.writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// handleStats serves the metrics registry as the canonical obs
+// envelope — byte-identical to obs.WriteEnvelope over the same
+// registry, the single encoder every metrics emitter shares.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.reject(w, &apiError{status: http.StatusMethodNotAllowed, code: "method_not_allowed",
+			msg: "stats endpoint accepts GET only"})
+		return
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteEnvelope(&buf, s.reg, nil); err != nil {
+		s.cErrors.Inc()
+		s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{Code: "internal", Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Objects  int    `json:"objects"`
+	Nodes    int    `json:"nodes"`
+	Height   int    `json:"height"`
+	PageSize int    `json:"page_size"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		Objects:  s.eng.Size(),
+		Nodes:    s.eng.NumNodes(),
+		Height:   s.eng.Height(),
+		PageSize: s.eng.PageSize(),
+	})
+}
+
+func (s *Server) reject(w http.ResponseWriter, aerr *apiError) {
+	s.cRejected.Inc()
+	s.writeJSON(w, aerr.status, ErrorResponse{Code: aerr.code, Error: aerr.msg})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing to do but drop the connection state.
+		_ = err
+	}
+}
+
+// EngineMatches converts wire matches back to engine matches — the
+// helper load generators and tests use to compare HTTP results with
+// direct in-process execution. OIDs and distances round-trip exactly;
+// objects come back as decoded JSON values.
+func (r *QueryResponse) EngineMatches() []mtree.Match {
+	out := make([]mtree.Match, len(r.Matches))
+	for i, m := range r.Matches {
+		out[i] = mtree.Match{OID: m.OID, Distance: m.Distance, Object: m.Object}
+	}
+	return out
+}

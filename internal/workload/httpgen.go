@@ -1,0 +1,236 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcost/internal/metric"
+)
+
+// Closed-loop HTTP load generation against the mcost-serve wire API.
+// The same weighted query mix the in-process runner executes is driven
+// through POST /v1/range and /v1/nn: each worker keeps exactly one
+// request in flight (closed loop — offered load tracks service rate),
+// shed responses are counted and optionally honored with the server's
+// retry_after_ms backoff, and every range result is validated against
+// its radius so a degraded server can never silently return garbage.
+// The generator speaks the wire JSON shapes directly rather than
+// importing the server package: it is a client, and a layering cycle
+// with the server's own tests is not worth a shared struct.
+
+// HTTPOptions configures a closed-loop HTTP run.
+type HTTPOptions struct {
+	// Requests is the total number of requests to issue (default 200),
+	// apportioned to the workload's classes by weight.
+	Requests int
+	// Workers is the closed-loop concurrency (default 4): each worker
+	// holds one request in flight.
+	Workers int
+	// Seed drives class shuffling and query sampling.
+	Seed int64
+	// Backoff honors the retry_after_ms of a 429 before the worker's
+	// next request (the shed request itself is not retried). Capped by
+	// MaxBackoff.
+	Backoff bool
+	// MaxBackoff caps one backoff sleep (default 100ms).
+	MaxBackoff time.Duration
+	// Client issues the requests (default http.DefaultClient).
+	Client *http.Client
+}
+
+// HTTPReport summarizes a closed-loop HTTP run.
+type HTTPReport struct {
+	// Requests is the number issued; it always equals OK + Partial +
+	// Shed + Errors.
+	Requests int
+	// OK counts complete 200 responses, Partial the budget- or
+	// deadline-degraded 200s, Shed the typed 429s.
+	OK, Partial, Shed int
+	// Errors counts transport failures and any other status.
+	Errors int
+	// Invalid counts range responses carrying a match beyond the
+	// requested radius — always zero against a correct server, degraded
+	// or not.
+	Invalid int
+	// BackoffTotal is the time spent honoring retry_after_ms.
+	BackoffTotal time.Duration
+}
+
+// wire shapes (client-side view of the server's JSON).
+type wireMatch struct {
+	OID      uint64  `json:"oid"`
+	Distance float64 `json:"distance"`
+}
+
+type wireQueryResponse struct {
+	Matches []wireMatch `json:"matches"`
+	Partial bool        `json:"partial"`
+}
+
+type wireErrorResponse struct {
+	Code         string `json:"code"`
+	RetryAfterMS int64  `json:"retry_after_ms"`
+}
+
+// httpRequest is one planned request of the run.
+type httpRequest struct {
+	class QueryClass
+	q     metric.Object
+}
+
+// RunHTTP drives the workload against the serving API at baseURL (no
+// trailing slash, e.g. "http://localhost:8080") and reports what came
+// back. Queries are sampled from queryPool per class, exactly as the
+// in-process runner samples them.
+func RunHTTP(baseURL string, w *Workload, queryPool []metric.Object, opt HTTPOptions) (*HTTPReport, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if len(queryPool) == 0 {
+		return nil, fmt.Errorf("workload: empty query pool")
+	}
+	if opt.Requests == 0 {
+		opt.Requests = 200
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = 4
+	}
+	if opt.MaxBackoff <= 0 {
+		opt.MaxBackoff = 100 * time.Millisecond
+	}
+	client := opt.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+
+	weights := make([]float64, len(w.Classes))
+	for i, c := range w.Classes {
+		weights[i] = c.Weight
+	}
+	counts, err := apportion(weights, opt.Requests)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	plan := make([]httpRequest, 0, opt.Requests)
+	for ci, n := range counts {
+		for j := 0; j < n; j++ {
+			plan = append(plan, httpRequest{
+				class: w.Classes[ci],
+				q:     queryPool[rng.Intn(len(queryPool))],
+			})
+		}
+	}
+	rng.Shuffle(len(plan), func(i, j int) { plan[i], plan[j] = plan[j], plan[i] })
+
+	var (
+		next atomic.Int64
+		mu   sync.Mutex
+		rep  HTTPReport
+		wg   sync.WaitGroup
+	)
+	for wk := 0; wk < opt.Workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(plan) {
+					return
+				}
+				res := issue(client, baseURL, plan[i])
+				sleep := res.backoff
+				if !opt.Backoff || sleep <= 0 {
+					sleep = 0
+				} else if sleep > opt.MaxBackoff {
+					sleep = opt.MaxBackoff
+				}
+				mu.Lock()
+				rep.Requests++
+				rep.OK += res.ok
+				rep.Partial += res.partial
+				rep.Shed += res.shed
+				rep.Errors += res.errs
+				rep.Invalid += res.invalid
+				rep.BackoffTotal += sleep
+				mu.Unlock()
+				if sleep > 0 {
+					time.Sleep(sleep)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return &rep, nil
+}
+
+// issueResult is one request's contribution to the report.
+type issueResult struct {
+	ok, partial, shed, errs, invalid int
+	backoff                          time.Duration
+}
+
+func issue(client *http.Client, baseURL string, r httpRequest) issueResult {
+	var (
+		path string
+		body map[string]interface{}
+	)
+	if r.class.K > 0 {
+		path = baseURL + "/v1/nn"
+		body = map[string]interface{}{"query": r.q, "k": r.class.K}
+	} else {
+		path = baseURL + "/v1/range"
+		body = map[string]interface{}{"query": r.q, "radius": r.class.Radius}
+	}
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return issueResult{errs: 1}
+	}
+	resp, err := client.Post(path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return issueResult{errs: 1}
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return issueResult{errs: 1}
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var qr wireQueryResponse
+		if err := json.Unmarshal(payload, &qr); err != nil {
+			return issueResult{errs: 1}
+		}
+		var out issueResult
+		if qr.Partial {
+			out.partial = 1
+		} else {
+			out.ok = 1
+		}
+		if r.class.K == 0 {
+			// Degraded or not, a range response may only contain true
+			// matches.
+			for _, m := range qr.Matches {
+				if m.Distance > r.class.Radius {
+					out.invalid++
+				}
+			}
+		}
+		return out
+	case http.StatusTooManyRequests:
+		var er wireErrorResponse
+		if err := json.Unmarshal(payload, &er); err != nil || er.Code != "overloaded" {
+			return issueResult{errs: 1}
+		}
+		return issueResult{shed: 1, backoff: time.Duration(er.RetryAfterMS) * time.Millisecond}
+	default:
+		return issueResult{errs: 1}
+	}
+}
