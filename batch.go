@@ -19,6 +19,16 @@ import (
 // PageSize returns the M-tree node size in bytes.
 func (ix *Index) PageSize() int { return ix.tree.PageSize() }
 
+// Space returns the metric space the index was built over. A result
+// cache layered in front of the engine must probe with exactly this
+// space's distance function, or its containment proofs stop matching
+// the traversal's arithmetic.
+func (ix *Index) Space() *Space { return ix.space }
+
+// Space returns the metric space the sharded index was built over (see
+// Index.Space).
+func (sx *ShardedIndex) Space() *Space { return sx.space }
+
 // RangeBatch answers a batch of range queries in one shared traversal;
 // out[i] is exactly what Range(qs[i], radius) returns, but each node is
 // fetched at most once per batch, so node reads amortize.

@@ -30,6 +30,7 @@ func main() {
 		shf = cliutil.RegisterShards(fs, 0, "", 0)
 		stf = cliutil.RegisterStorage(fs)
 		bf  = cliutil.RegisterBudget(fs, false)
+		cf  = cliutil.RegisterCache(fs, 0)
 
 		exp     = flag.String("exp", "all", "experiment name or 'all'")
 		n       = flag.Int("n", 10_000, "dataset size")
@@ -45,19 +46,21 @@ func main() {
 		return
 	}
 	cfg := experiments.Config{
-		N:             *n,
-		Queries:       *queries,
-		PageSize:      tf.PageSize,
-		Seed:          tf.Seed,
-		Workers:       tf.Workers,
-		IncludeTrace:  *trace,
-		Paged:         stf.Paged,
-		CachePages:    stf.CachePages,
-		RetryAttempts: stf.Retry,
-		BudgetSlack:   bf.Slack,
-		Shards:        shf.Shards,
-		ShardAssign:   shf.Assign,
-		Batch:         shf.Batch,
+		N:              *n,
+		Queries:        *queries,
+		PageSize:       tf.PageSize,
+		Seed:           tf.Seed,
+		Workers:        tf.Workers,
+		IncludeTrace:   *trace,
+		Paged:          stf.Paged,
+		CachePages:     stf.CachePages,
+		RetryAttempts:  stf.Retry,
+		BudgetSlack:    bf.Slack,
+		Shards:         shf.Shards,
+		ShardAssign:    shf.Assign,
+		Batch:          shf.Batch,
+		CacheEntries:   cf.Entries,
+		CacheMaxRadius: cf.MaxRadius,
 	}
 	if faults := stf.FaultConfig(); faults.Any() {
 		cfg.Faults = &faults

@@ -30,6 +30,7 @@ import (
 	"mcost/internal/dataset"
 	"mcost/internal/metric"
 	"mcost/internal/obs"
+	"mcost/internal/rescache"
 )
 
 func main() {
@@ -40,6 +41,7 @@ func main() {
 		shf = cliutil.RegisterShards(fs, 1, "pivot", 1)
 		stf = cliutil.RegisterStorage(fs)
 		bf  = cliutil.RegisterBudget(fs, true)
+		cf  = cliutil.RegisterCache(fs, 0)
 
 		queryStr = flag.String("query", "", "query word (string datasets)")
 		queryVec = flag.String("qvec", "", "query vector, comma-separated (vector datasets)")
@@ -182,6 +184,29 @@ func main() {
 		fs := ix.FaultStats()
 		fmt.Printf("faults injected: %d read errors, %d write errors, %d torn writes, %d corrupt reads\n",
 			fs.ReadErrors, fs.WriteErrors, fs.TornWrites, fs.CorruptReads)
+	}
+	if cf.Enabled() && err == nil {
+		// Demonstrate the result cache on the query just answered: cache
+		// the complete result, then probe for the same query and report
+		// what a repeat would cost instead of the predicted traversal.
+		cache, cerr := cf.Build(d.Space)
+		if cerr != nil {
+			fail(cerr)
+		}
+		var pr rescache.Probe
+		if *radius >= 0 {
+			cache.PutRange(q, *radius, matches, predicted)
+			pr = cache.GetRange(q, *radius, predicted)
+		} else {
+			cache.PutNN(q, *k, matches, predicted)
+			pr = cache.GetNN(q, *k, predicted)
+		}
+		if pr.Hit {
+			fmt.Printf("result cache: a repeat query is answered exactly for %d distance computations (vs %.1f node reads + %.1f dists predicted)\n",
+				pr.Dists, predicted.Nodes, predicted.Dists)
+		} else {
+			fmt.Printf("result cache: result not cacheable under the current flags (radius cap or zero-radius ball)\n")
+		}
 	}
 	fmt.Println()
 

@@ -41,6 +41,7 @@ func main() {
 		tf  = cliutil.RegisterTree(fs, 1)
 		shf = cliutil.RegisterShards(fs, 1, "pivot", -1)
 		stf = cliutil.RegisterStorage(fs)
+		cf  = cliutil.RegisterCache(fs, 0)
 
 		addr = flag.String("addr", ":8080", "listen address")
 
@@ -97,6 +98,10 @@ func main() {
 	if slack <= 0 {
 		slack = -1 // Config: negative disables budgets (0 would mean "default")
 	}
+	cache, err := cf.Build(d.Space)
+	if err != nil {
+		fail(err)
+	}
 	srv, err := server.New(server.Config{
 		Engine: eng,
 		Decode: dec,
@@ -107,6 +112,7 @@ func main() {
 			MaxQueueDelay:   *maxQueue,
 		},
 		Batch:        server.BatchConfig{Window: *batchWindow, MaxBatch: *maxBatch},
+		Cache:        cache,
 		BudgetSlack:  slack,
 		MaxBodyBytes: *maxBody,
 		MaxK:         *maxK,
@@ -122,6 +128,9 @@ func main() {
 	go func() { done <- httpSrv.ListenAndServe() }()
 	fmt.Printf("serving on %s (admission: %g node reads/s, %g dist calcs/s; batch window %v)\n",
 		*addr, *nodeRate, *distRate, *batchWindow)
+	if cache != nil {
+		fmt.Printf("result cache: %d entries (hits answer exactly, spending no admission tokens)\n", cf.Entries)
+	}
 	if *debug {
 		fmt.Printf("debug endpoints on http://%s/debug/pprof/ and /debug/vars\n", *addr)
 	}

@@ -14,6 +14,7 @@ import (
 
 	"mcost"
 	"mcost/internal/dataset"
+	"mcost/internal/rescache"
 )
 
 // DatasetFlags selects the dataset (-dataset, -file, -n, -dim).
@@ -149,6 +150,38 @@ func (f *StorageFlags) Options(metrics *mcost.MetricsRegistry) mcost.StorageOpti
 		s.Faults = &faults
 	}
 	return s
+}
+
+// CacheFlags size the metric-exact result cache (-cache-entries,
+// -cache-max-radius).
+type CacheFlags struct {
+	Entries   int
+	MaxRadius float64
+}
+
+// RegisterCache registers the result-cache flags on fs; entries is the
+// command-specific default (0 = cache off).
+func RegisterCache(fs *flag.FlagSet, entries int) *CacheFlags {
+	f := &CacheFlags{}
+	fs.IntVar(&f.Entries, "cache-entries", entries, "cache this many recent result sets and answer contained queries exactly from them by the triangle inequality (0 = off)")
+	fs.Float64Var(&f.MaxRadius, "cache-max-radius", 0, "never cache a result whose verified ball radius exceeds this (0 = no limit)")
+	return f
+}
+
+// Enabled reports whether the flags ask for a cache.
+func (f *CacheFlags) Enabled() bool { return f.Entries > 0 }
+
+// Build constructs the cache the flags describe over the dataset's
+// metric space, or nil when the cache is off.
+func (f *CacheFlags) Build(space *mcost.Space) (*rescache.Cache, error) {
+	if !f.Enabled() {
+		return nil, nil
+	}
+	return rescache.New(rescache.Config{
+		Entries:   f.Entries,
+		MaxRadius: f.MaxRadius,
+		Dist:      space.Distance,
+	})
 }
 
 // BudgetFlags bound query execution by the cost model (-budget-slack,

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	"mcost/internal/budget"
+	"mcost/internal/core"
+	"mcost/internal/dataset"
+	"mcost/internal/metric"
+	"mcost/internal/mtree"
+	"mcost/internal/obs"
+	"mcost/internal/rescache"
+	"mcost/internal/server"
+	"mcost/internal/workload"
+)
+
+// Bench6 measures the metric-exact result cache under the traffic it is
+// built for: a Zipf-shaped query stream (heavy repeats, long tail)
+// driven through the real HTTP serving stack by the closed-loop
+// workload generator. The same request plan runs twice against one
+// cache-enabled server — a cold pass that populates the cache while
+// already harvesting repeat hits, and a warm pass where every request
+// has a cached superset to land on. Hits, misses, probe distances, and
+// the engine node reads actually spent all come from the server's obs
+// registry, so the table shows exactly what the cache saved; with one
+// workload worker every column is deterministic for a fixed Config.
+
+// bench6ZipfS is the Zipf exponent of the benchmark's query sampling —
+// steep enough that repeats dominate, as in real similarity traffic.
+const bench6ZipfS = 1.4
+
+// bench6Engine adapts the harness's tree + fitted model to the serving
+// layer's engine interface, exactly as the facade does: L-MCM pricing,
+// parent-distance batch traversal.
+type bench6Engine struct {
+	tr    *mtree.Tree
+	model *core.MTreeModel
+}
+
+func (e *bench6Engine) PriceRange(radius float64) core.CostEstimate { return e.model.RangeL(radius) }
+func (e *bench6Engine) PriceNN(k int) core.CostEstimate             { return e.model.NNL(k) }
+
+func (e *bench6Engine) RangeBatchTraced(ctx context.Context, qs []metric.Object, radius float64, b budget.Budget, tr *obs.Trace) ([][]mtree.Match, error) {
+	return e.tr.RangeBatchCtx(ctx, qs, radius, mtree.QueryOptions{UseParentDist: true, Budget: b, Trace: tr})
+}
+
+func (e *bench6Engine) NNBatchTraced(ctx context.Context, qs []metric.Object, k int, b budget.Budget, tr *obs.Trace) ([][]mtree.Match, error) {
+	return e.tr.NNBatchCtx(ctx, qs, k, mtree.QueryOptions{UseParentDist: true, Budget: b, Trace: tr})
+}
+
+func (e *bench6Engine) Size() int     { return e.tr.Size() }
+func (e *bench6Engine) NumNodes() int { return e.tr.NumNodes() }
+func (e *bench6Engine) Height() int   { return e.tr.Height() }
+func (e *bench6Engine) PageSize() int { return e.tr.PageSize() }
+
+// Bench6Row is one pass over the request plan.
+type Bench6Row struct {
+	Phase     string  `json:"phase"` // cold | warm
+	Requests  int     `json:"requests"`
+	CacheHits int     `json:"cache_hits"`
+	HitRate   float64 `json:"hit_rate"`
+	// NodeReads is what the engine spent on the misses; SavedNodeReads
+	// is the model-predicted traversal cost of the hits — the work the
+	// cache avoided, in the same currency admission charges.
+	NodeReads      int64 `json:"node_reads"`
+	SavedNodeReads int64 `json:"saved_node_reads"`
+	// ProbeDists is the total distance computations all cache probes
+	// spent, hit or miss — the price of consulting the cache at all.
+	ProbeDists int64 `json:"probe_dists"`
+}
+
+// Bench6Result is the cold/warm cache comparison.
+type Bench6Result struct {
+	ZipfS   float64     `json:"zipf_s"`
+	Entries int         `json:"cache_entries"`
+	Rows    []Bench6Row `json:"rows"`
+}
+
+func (r *Bench6Result) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("BENCH 6: result-cache Zipf hit rate (s=%.1f, entries=%d)", r.ZipfS, r.Entries),
+		Columns: []string{"phase", "requests", "hits", "hit rate", "node reads", "saved reads", "probe dists"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Phase,
+			fmt.Sprintf("%d", row.Requests),
+			fmt.Sprintf("%d", row.CacheHits),
+			fmt.Sprintf("%.0f%%", 100*row.HitRate),
+			fmt.Sprintf("%d", row.NodeReads),
+			fmt.Sprintf("%d", row.SavedNodeReads),
+			fmt.Sprintf("%d", row.ProbeDists),
+		})
+	}
+	return t
+}
+
+// RunBench6 executes the cold/warm cache benchmark.
+func RunBench6(cfg Config) (*Bench6Result, error) {
+	cfg = cfg.withDefaults()
+	entries := cfg.CacheEntries
+	if entries == 0 {
+		entries = 256
+	}
+	d := dataset.Uniform(cfg.N, 4, cfg.Seed)
+	b, err := buildFor(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cache, err := rescache.New(rescache.Config{
+		Entries:   entries,
+		MaxRadius: cfg.CacheMaxRadius,
+		Dist:      d.Space.Distance,
+	})
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.NewRegistry()
+	srv, err := server.New(server.Config{
+		Engine:   &bench6Engine{tr: b.tr, model: b.model},
+		Decode:   server.VectorDecoder(4),
+		Cache:    cache,
+		Registry: reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	w := &workload.Workload{Classes: []workload.QueryClass{
+		{Name: "lookup", Weight: 3, Radius: 0.15},
+		{Name: "discovery", Weight: 1, Radius: 0.4},
+		{Name: "top5", Weight: 1, K: 5},
+	}}
+
+	res := &Bench6Result{ZipfS: bench6ZipfS, Entries: entries}
+	prev := reg.Snapshot().Counters
+	for _, phase := range []string{"cold", "warm"} {
+		// The same Seed replays the identical request plan; one worker
+		// keeps the hit counts deterministic (no racing first-misses).
+		rep, err := workload.RunHTTP(ts.URL, w, d.Objects, workload.HTTPOptions{
+			Requests: cfg.Queries,
+			Workers:  1,
+			Seed:     cfg.Seed,
+			ZipfS:    bench6ZipfS,
+			Client:   ts.Client(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench6 %s pass: %w", phase, err)
+		}
+		if rep.Errors != 0 || rep.Invalid != 0 || rep.Shed != 0 {
+			return nil, fmt.Errorf("bench6 %s pass not clean: %+v", phase, rep)
+		}
+		cur := reg.Snapshot().Counters
+		res.Rows = append(res.Rows, Bench6Row{
+			Phase:          phase,
+			Requests:       rep.Requests,
+			CacheHits:      rep.CacheHits,
+			HitRate:        float64(rep.CacheHits) / float64(rep.Requests),
+			NodeReads:      cur["server.node_reads"] - prev["server.node_reads"],
+			SavedNodeReads: cur["server.cache_saved_node_reads"] - prev["server.cache_saved_node_reads"],
+			ProbeDists:     cur["server.cache_probe_dists"] - prev["server.cache_probe_dists"],
+		})
+		prev = cur
+	}
+	return res, nil
+}

@@ -251,7 +251,7 @@ func TestRegistryAndNames(t *testing.T) {
 	}
 	for _, want := range []string{"table1", "hv", "fig1", "fig2", "fig3", "fig4", "fig5", "vptree",
 		"nnk", "complex", "multiview", "fractal", "join", "ablation-bias", "hmcm", "statsfree", "hverr", "cache",
-		"ablation-pruning", "ablation-bins", "ablation-sampling", "ablation-build"} {
+		"ablation-pruning", "ablation-bins", "ablation-sampling", "ablation-build", "bench4", "bench6"} {
 		if _, ok := reg[want]; !ok {
 			t.Errorf("missing experiment %q", want)
 		}
@@ -515,4 +515,30 @@ func datasetFor(cfg Config) *dataset.Dataset {
 
 func queriesFor(cfg Config) []metric.Object {
 	return dataset.PaperClusteredQueries(cfg.Queries, 10, cfg.Seed).Queries
+}
+
+// TestRunBench6 drives the result-cache benchmark at the quick scale:
+// a cold pass that already harvests Zipf repeats, then a warm pass
+// where every request is an exact repeat of a cached answer.
+func TestRunBench6(t *testing.T) {
+	r, err := RunBench6(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 || r.Rows[0].Phase != "cold" || r.Rows[1].Phase != "warm" {
+		t.Fatalf("rows: %+v", r.Rows)
+	}
+	cold, warm := r.Rows[0], r.Rows[1]
+	if cold.CacheHits == 0 {
+		t.Fatal("zipf cold pass produced no repeat hits")
+	}
+	if warm.CacheHits != warm.Requests {
+		t.Fatalf("warm pass replays the cold plan; every request must hit: %+v", warm)
+	}
+	if warm.NodeReads != 0 {
+		t.Fatalf("a fully-cached pass must spend no engine node reads: %+v", warm)
+	}
+	if cold.SavedNodeReads <= 0 || cold.ProbeDists <= 0 {
+		t.Fatalf("cold-pass cache accounting empty: %+v", cold)
+	}
 }

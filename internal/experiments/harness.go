@@ -81,6 +81,11 @@ type Config struct {
 	// Batch is the batch size for the bench4 batched engines
 	// (default 32).
 	Batch int
+	// CacheEntries sizes the bench6 result cache (default 256).
+	CacheEntries int
+	// CacheMaxRadius caps the radius of cacheable range results in
+	// bench6 (0 = uncapped).
+	CacheMaxRadius float64
 }
 
 func (c Config) storageEnabled() bool { return c.Paged || c.Faults != nil }

@@ -57,6 +57,13 @@ func JSONRegistry() map[string]JSONRunner {
 			}
 			return r, nil
 		},
+		"bench6": func(cfg Config) (interface{}, error) {
+			r, err := RunBench6(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r, nil
+		},
 	}
 }
 

@@ -125,6 +125,13 @@ func Registry() map[string]Runner {
 			}
 			return r.Table().Render(w)
 		},
+		"bench6": func(cfg Config, w io.Writer) error {
+			r, err := RunBench6(cfg)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(w)
+		},
 		"hmcm": func(cfg Config, w io.Writer) error {
 			r, err := RunHMCM(cfg)
 			if err != nil {

@@ -156,10 +156,19 @@ func (h *nnQueue) Pop() interface{} {
 }
 
 // resultHeap keeps the k best matches seen so far, max-distance on top.
+// Distance ties break on OID so the retained set — and therefore the
+// k-NN answer at a tied k-th boundary — is the k smallest (distance,
+// OID) pairs regardless of traversal encounter order. Canonical answers
+// let result caches and cross-engine comparisons demand bit-identity.
 type resultHeap []Match
 
-func (h resultHeap) Len() int            { return len(h) }
-func (h resultHeap) Less(i, j int) bool  { return h[i].Distance > h[j].Distance }
+func (h resultHeap) Len() int { return len(h) }
+func (h resultHeap) Less(i, j int) bool {
+	if h[i].Distance != h[j].Distance {
+		return h[i].Distance > h[j].Distance
+	}
+	return h[i].OID > h[j].OID
+}
 func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Match)) }
 func (h *resultHeap) Pop() interface{} {
@@ -350,7 +359,8 @@ func LinearScanNN(objs []metric.Object, space *metric.Space, q metric.Object, k 
 		d := space.Distance(q, o)
 		if best.Len() < k {
 			heap.Push(best, Match{Object: o, OID: uint64(i), Distance: d})
-		} else if d < (*best)[0].Distance {
+		} else if worst := (*best)[0]; d < worst.Distance ||
+			(d == worst.Distance && uint64(i) < worst.OID) {
 			heap.Pop(best)
 			heap.Push(best, Match{Object: o, OID: uint64(i), Distance: d})
 		}

@@ -1,0 +1,418 @@
+package rescache_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"mcost"
+	"mcost/internal/dataset"
+	"mcost/internal/metric"
+	"mcost/internal/mtree"
+	"mcost/internal/rescache"
+)
+
+// bigEst is a prediction large enough that the cost gate never stops a
+// probe — tests that assert hits must not depend on the gate's tuning.
+var bigEst = mcost.CostEstimate{Nodes: 1e6, Dists: 1e6}
+
+// lineDist is a 1-D L1 metric over float64 objects, for hand-built
+// geometry tests.
+func lineDist(a, b metric.Object) float64 {
+	return math.Abs(a.(float64) - b.(float64))
+}
+
+func newCache(t *testing.T, cfg rescache.Config) *rescache.Cache {
+	t.Helper()
+	c, err := rescache.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := rescache.New(rescache.Config{Entries: 0, Dist: lineDist}); err == nil {
+		t.Fatal("Entries=0 must be rejected")
+	}
+	if _, err := rescache.New(rescache.Config{Entries: 10}); err == nil {
+		t.Fatal("nil Dist must be rejected")
+	}
+}
+
+func TestRangeContainmentGeometry(t *testing.T) {
+	c := newCache(t, rescache.Config{Entries: 8, Shards: 1, Dist: lineDist})
+	// Cached ball: center 0, radius 2, objects at 1 and -1.5.
+	cached := []mtree.Match{
+		{Object: 1.0, OID: 1, Distance: 1.0},
+		{Object: -1.5, OID: 2, Distance: 1.5},
+	}
+	c.PutRange(0.0, 2.0, cached, bigEst)
+
+	// d(Q,Q') + r = 0.5 + 1.5 = 2.0 ≤ 2.0: contained (closed ball).
+	pr := c.GetRange(0.5, 1.5, bigEst)
+	if !pr.Hit {
+		t.Fatal("contained query must hit")
+	}
+	// Only the object at 1 is within 1.5 of 0.5.
+	if len(pr.Matches) != 1 || pr.Matches[0].OID != 1 || pr.Matches[0].Distance != 0.5 {
+		t.Fatalf("filtered matches wrong: %+v", pr.Matches)
+	}
+
+	// d(Q,Q') + r = 0.6 + 1.5 > 2.0: not provably contained.
+	if pr := c.GetRange(0.6, 1.5, bigEst); pr.Hit {
+		t.Fatal("non-contained query must miss")
+	}
+	// A wider query than the cached ball can never be contained.
+	if pr := c.GetRange(0.0, 2.5, bigEst); pr.Hit {
+		t.Fatal("wider query must miss")
+	}
+}
+
+func TestRangeFilterPreservesSupersetOrder(t *testing.T) {
+	c := newCache(t, rescache.Config{Entries: 8, Shards: 1, Dist: lineDist})
+	// Emission order is the engine's (tree DFS), not distance order —
+	// the filter must keep it.
+	cached := []mtree.Match{
+		{Object: 1.8, OID: 7, Distance: 1.8},
+		{Object: 0.2, OID: 3, Distance: 0.2},
+		{Object: -1.0, OID: 5, Distance: 1.0},
+	}
+	c.PutRange(0.0, 2.0, cached, bigEst)
+	pr := c.GetRange(0.0, 1.0, bigEst)
+	if !pr.Hit || len(pr.Matches) != 2 {
+		t.Fatalf("probe: %+v", pr)
+	}
+	if pr.Matches[0].OID != 3 || pr.Matches[1].OID != 5 {
+		t.Fatalf("filter reordered the superset: %+v", pr.Matches)
+	}
+}
+
+// TestNNOpenBallStrictness pins the k-NN-sourced entry semantics: a
+// top-k set only verifies the OPEN ball of its k-th distance, so a
+// probe whose k-th filtered distance lands exactly on the boundary must
+// miss — an unseen boundary tie could exist. The same geometry against
+// a range-sourced (closed) entry hits.
+func TestNNOpenBallStrictness(t *testing.T) {
+	c := newCache(t, rescache.Config{Entries: 8, Shards: 1, Dist: lineDist})
+	matches := []mtree.Match{
+		{Object: 1.0, OID: 1, Distance: 1.0},
+		{Object: 2.0, OID: 2, Distance: 2.0},
+	}
+	c.PutNN(0.0, 2, matches, bigEst) // open ball, radius 2
+
+	// q=0.5: filtered dk = 1.5 == radius − dqq = 1.5 → boundary → miss.
+	if pr := c.GetNN(0.5, 2, bigEst); pr.Hit {
+		t.Fatalf("open-ball boundary must miss, got %+v", pr.Matches)
+	}
+	// k-NN entries never serve range queries (wrong order contract).
+	if pr := c.GetRange(0.0, 1.5, bigEst); pr.Hit {
+		t.Fatal("k-NN-sourced entry must not serve range queries")
+	}
+
+	// The same set cached as a closed range ball proves the same probe.
+	c.Reset()
+	c.PutRange(0.0, 2.0, matches, bigEst)
+	pr := c.GetNN(0.5, 2, bigEst)
+	if !pr.Hit {
+		t.Fatal("closed-ball boundary must hit")
+	}
+	if len(pr.Matches) != 2 || pr.Matches[0].Distance != 0.5 || pr.Matches[1].Distance != 1.5 {
+		t.Fatalf("NN from range superset wrong: %+v", pr.Matches)
+	}
+}
+
+func TestNNExactRepeatAndPrefix(t *testing.T) {
+	c := newCache(t, rescache.Config{Entries: 8, Shards: 1, Dist: lineDist})
+	matches := []mtree.Match{
+		{Object: 0.5, OID: 1, Distance: 0.5},
+		{Object: -1.0, OID: 2, Distance: 1.0},
+		{Object: 2.0, OID: 3, Distance: 2.0},
+	}
+	c.PutNN(0.0, 3, matches, bigEst)
+	pr := c.GetNN(0.0, 3, bigEst)
+	if !pr.Hit || len(pr.Matches) != 3 || pr.Dists != 1 {
+		t.Fatalf("exact repeat must hit for one distance: %+v", pr)
+	}
+	// A smaller k is a prefix of the canonical stored answer.
+	pr = c.GetNN(0.0, 2, bigEst)
+	if !pr.Hit || len(pr.Matches) != 2 || pr.Matches[1].OID != 2 {
+		t.Fatalf("prefix probe wrong: %+v", pr)
+	}
+	// A larger k cannot be served.
+	if pr := c.GetNN(0.0, 4, bigEst); pr.Hit {
+		t.Fatal("k beyond the stored set must miss")
+	}
+}
+
+func TestCostGateStopsProbing(t *testing.T) {
+	c := newCache(t, rescache.Config{Entries: 8, Shards: 1, Dist: lineDist})
+	c.PutRange(0.0, 2.0, []mtree.Match{{Object: 1.0, OID: 1, Distance: 1.0}}, bigEst)
+	// A zero prediction buys zero probe distances: even an exact repeat
+	// must fall through without spending anything.
+	pr := c.GetRange(0.0, 2.0, mcost.CostEstimate{})
+	if pr.Hit || pr.Dists != 0 {
+		t.Fatalf("zero prediction must skip the probe entirely: %+v", pr)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.ProbeDists != 0 {
+		t.Fatalf("stats after gated miss: %+v", st)
+	}
+}
+
+func TestPutRejections(t *testing.T) {
+	c := newCache(t, rescache.Config{Entries: 8, Shards: 1, MaxRadius: 1.5, Dist: lineDist})
+	m := []mtree.Match{{Object: 1.0, OID: 1, Distance: 1.0}}
+	c.PutRange(0.0, 2.0, m, bigEst)                                            // over MaxRadius
+	c.PutRange(0.0, -1, m, bigEst)                                             // negative radius
+	c.PutNN(0.0, 2, m, bigEst)                                                 // fewer matches than k
+	c.PutNN(0.0, 1, []mtree.Match{{Object: 0.0, OID: 1, Distance: 0}}, bigEst) // zero k-th distance
+	if n := c.Len(); n != 0 {
+		t.Fatalf("all rejected puts must leave the cache empty, got %d entries", n)
+	}
+	c.PutRange(0.0, 1.0, m, bigEst)
+	if n := c.Len(); n != 1 {
+		t.Fatalf("in-bounds put must land, got %d entries", n)
+	}
+}
+
+func TestPutReplacesIdenticalBall(t *testing.T) {
+	c := newCache(t, rescache.Config{Entries: 8, Shards: 1, Dist: lineDist})
+	m := []mtree.Match{{Object: 1.0, OID: 1, Distance: 1.0}}
+	c.PutRange(0.0, 2.0, m, bigEst)
+	c.PutRange(0.0, 2.0, m, bigEst) // a miss storm double-put
+	if n := c.Len(); n != 1 {
+		t.Fatalf("identical ball must replace, not duplicate: %d entries", n)
+	}
+	c.PutRange(0.0, 1.0, m, bigEst) // different radius: a distinct ball
+	if n := c.Len(); n != 2 {
+		t.Fatalf("distinct radius is a distinct entry: %d entries", n)
+	}
+}
+
+func TestEvictionPrefersCheapEntries(t *testing.T) {
+	c := newCache(t, rescache.Config{Entries: 2, Shards: 1, Dist: lineDist})
+	cheap := []mtree.Match{{Object: 10.0, OID: 1, Distance: 0.5}}
+	costly := []mtree.Match{{Object: 20.0, OID: 2, Distance: 0.5}}
+	c.PutRange(10.0, 1.0, cheap, mcost.CostEstimate{Nodes: 1, Dists: 1})
+	c.PutRange(20.0, 1.0, costly, mcost.CostEstimate{Nodes: 500, Dists: 500})
+	// The costly entry is older after this probe bumps it — pure LRU
+	// would evict it anyway; cost-weighted eviction must not.
+	if pr := c.GetRange(10.0, 1.0, bigEst); !pr.Hit {
+		t.Fatal("cheap entry should hit before eviction")
+	}
+	c.PutRange(30.0, 1.0, []mtree.Match{{Object: 30.0, OID: 3, Distance: 0}}, bigEst)
+	if pr := c.GetRange(20.0, 1.0, bigEst); !pr.Hit {
+		t.Fatal("eviction removed the entry whose hits save the most traversal cost")
+	}
+	if pr := c.GetRange(10.0, 1.0, bigEst); pr.Hit {
+		t.Fatal("the cheap entry should have been the victim")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := newCache(t, rescache.Config{Entries: 8, Shards: 2, Dist: lineDist})
+	c.PutRange(0.0, 1.0, []mtree.Match{{Object: 0.5, OID: 1, Distance: 0.5}}, bigEst)
+	c.PutRange(5.0, 1.0, []mtree.Match{{Object: 5.5, OID: 2, Distance: 0.5}}, bigEst)
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatal("Reset must drop every entry")
+	}
+	if pr := c.GetRange(0.0, 1.0, bigEst); pr.Hit {
+		t.Fatal("probe after Reset must miss")
+	}
+}
+
+func TestConcurrentProbesAndPuts(t *testing.T) {
+	c := newCache(t, rescache.Config{Entries: 32, Shards: 4, Dist: lineDist})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				center := float64(i % 10)
+				c.PutRange(center, 1.0, []mtree.Match{{Object: center, OID: uint64(i), Distance: 0}}, bigEst)
+				c.GetRange(center, 0.5, bigEst)
+				c.GetNN(center, 1, bigEst)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, max := c.Len(), 32; got > max {
+		t.Fatalf("cache exceeded capacity: %d > %d", got, max)
+	}
+}
+
+// engineUnderTest is the serving-path query surface shared by the
+// single-tree and sharded engines.
+type engineUnderTest interface {
+	RangeBatchTraced(ctx context.Context, qs []mcost.Object, radius float64, b mcost.QueryBudget, tr *mcost.QueryTrace) ([][]mcost.Match, error)
+	NNBatchTraced(ctx context.Context, qs []mcost.Object, k int, b mcost.QueryBudget, tr *mcost.QueryTrace) ([][]mcost.Match, error)
+	PriceRange(radius float64) mcost.CostEstimate
+	PriceNN(k int) mcost.CostEstimate
+	Space() *mcost.Space
+}
+
+func directRange(t *testing.T, eng engineUnderTest, q mcost.Object, radius float64) []mcost.Match {
+	t.Helper()
+	sets, err := eng.RangeBatchTraced(context.Background(), []mcost.Object{q}, radius, mcost.QueryBudget{}, nil)
+	if err != nil {
+		t.Fatalf("direct range: %v", err)
+	}
+	return sets[0]
+}
+
+func directNN(t *testing.T, eng engineUnderTest, q mcost.Object, k int) []mcost.Match {
+	t.Helper()
+	sets, err := eng.NNBatchTraced(context.Background(), []mcost.Object{q}, k, mcost.QueryBudget{}, nil)
+	if err != nil {
+		t.Fatalf("direct NN: %v", err)
+	}
+	return sets[0]
+}
+
+// assertBitIdentical fails unless got and want agree match by match on
+// OID and the exact float64 bits of the distance.
+func assertBitIdentical(t *testing.T, label string, got, want []mcost.Match) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: cache served %d matches, direct execution %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].OID != want[i].OID ||
+			math.Float64bits(got[i].Distance) != math.Float64bits(want[i].Distance) {
+			t.Fatalf("%s: match %d diverges: cache (%d, %x) direct (%d, %x)",
+				label, i, got[i].OID, math.Float64bits(got[i].Distance),
+				want[i].OID, math.Float64bits(want[i].Distance))
+		}
+	}
+}
+
+// TestEquivalenceMatrix is the exactness contract, end to end: across
+// uniform/clustered vector datasets (Lp) and a word dataset
+// (Levenshtein), sharded and not, every cache hit — exact repeats,
+// narrower-radius containment, off-center containment, NN from range
+// supersets, NN prefixes — must be bit-identical to running the query
+// directly through the engine.
+func TestEquivalenceMatrix(t *testing.T) {
+	type dsCase struct {
+		name string
+		ds   *dataset.Dataset
+	}
+	datasets := []dsCase{
+		{"uniform", dataset.Uniform(400, 4, 11)},
+		{"clustered", dataset.PaperClustered(400, 4, 12)},
+		{"words", dataset.Words(400, 13)},
+	}
+	for _, dc := range datasets {
+		for _, shards := range []int{1, 3} {
+			t.Run(fmt.Sprintf("%s/shards=%d", dc.name, shards), func(t *testing.T) {
+				var eng engineUnderTest
+				opt := mcost.Options{Seed: 5, Workers: 1}
+				if shards > 1 {
+					sx, err := mcost.BuildSharded(dc.ds.Space, dc.ds.Objects, opt, mcost.ShardOptions{Shards: shards})
+					if err != nil {
+						t.Fatal(err)
+					}
+					eng = sx
+				} else {
+					ix, err := mcost.Build(dc.ds.Space, dc.ds.Objects, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					eng = ix
+				}
+				runEquivalence(t, eng, dc.ds)
+			})
+		}
+	}
+}
+
+func runEquivalence(t *testing.T, eng engineUnderTest, ds *dataset.Dataset) {
+	space := eng.Space()
+	cache, err := rescache.New(rescache.Config{Entries: 64, Dist: space.Distance})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedR := 0.35 * space.Bound
+	probeR := 0.15 * space.Bound
+	if space.Discrete {
+		seedR = math.Floor(seedR)
+		probeR = math.Max(1, math.Floor(probeR))
+	}
+
+	hits := 0
+	for i := 0; i < 12; i++ {
+		q := ds.Objects[i*17%len(ds.Objects)]
+
+		// Seed the cache from the engine's own complete results.
+		cache.PutRange(q, seedR, directRange(t, eng, q, seedR), eng.PriceRange(seedR))
+		cache.PutNN(q, 8, directNN(t, eng, q, 8), eng.PriceNN(8))
+
+		// Exact range repeat.
+		if pr := cache.GetRange(q, seedR, bigEst); pr.Hit {
+			hits++
+			assertBitIdentical(t, "range repeat", pr.Matches, directRange(t, eng, q, seedR))
+		} else {
+			t.Fatalf("exact range repeat %d must hit", i)
+		}
+		// Narrower radius, same center.
+		if pr := cache.GetRange(q, probeR, bigEst); pr.Hit {
+			hits++
+			assertBitIdentical(t, "range narrower", pr.Matches, directRange(t, eng, q, probeR))
+		} else {
+			t.Fatalf("narrower same-center range %d must hit", i)
+		}
+		// Off-center contained query: any pool object close enough that
+		// d(Q,Q') + probeR ≤ seedR.
+		for _, cand := range ds.Objects[:80] {
+			if d := space.Distance(q, cand); d > 0 && d+probeR <= seedR {
+				if pr := cache.GetRange(cand, probeR, bigEst); pr.Hit {
+					hits++
+					assertBitIdentical(t, "range off-center", pr.Matches, directRange(t, eng, cand, probeR))
+				} else {
+					t.Fatalf("provably contained off-center range must hit (d=%g)", d)
+				}
+				break
+			}
+		}
+		// NN exact repeat and prefix from the k-NN-sourced entry.
+		if pr := cache.GetNN(q, 8, bigEst); pr.Hit {
+			hits++
+			assertBitIdentical(t, "nn repeat", pr.Matches, directNN(t, eng, q, 8))
+		} else {
+			t.Fatalf("exact NN repeat %d must hit", i)
+		}
+		if pr := cache.GetNN(q, 3, bigEst); pr.Hit {
+			hits++
+			assertBitIdentical(t, "nn prefix", pr.Matches, directNN(t, eng, q, 3))
+		}
+		// NN answered from the RANGE superset at an off-center query:
+		// exact only when the containment proof succeeds; when it does,
+		// the answer must match direct execution bit for bit.
+		for _, cand := range ds.Objects[40:120] {
+			d := space.Distance(q, cand)
+			if d == 0 || d >= seedR {
+				continue
+			}
+			if pr := cache.GetNN(cand, 2, bigEst); pr.Hit {
+				hits++
+				assertBitIdentical(t, "nn from range superset", pr.Matches, directNN(t, eng, cand, 2))
+				break
+			}
+		}
+	}
+	if hits < 48 {
+		t.Fatalf("matrix exercised too few hits: %d", hits)
+	}
+	st := cache.Stats()
+	if st.Hits < int64(hits) || st.ProbeDists == 0 {
+		t.Fatalf("cache stats inconsistent with observed hits: %+v", st)
+	}
+}

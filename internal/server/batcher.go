@@ -62,8 +62,11 @@ type callResult struct {
 	err       error
 }
 
-// pendingQueue collects calls for one batchKey. gen invalidates the
-// flush timer of a queue that was already dispatched by size.
+// pendingQueue collects calls for one batchKey. gen identifies this
+// queue instance for its window timer: generations are drawn from a
+// batcher-wide monotonic counter, so a timer armed for a queue that was
+// already dispatched by size can never match the replacement queue that
+// later forms under the same key.
 type pendingQueue struct {
 	calls []*call
 	gen   uint64
@@ -75,6 +78,16 @@ type Batcher struct {
 	eng Engine
 	cfg BatchConfig
 	now func() time.Time
+	// after schedules the window-flush callback (a test seam;
+	// time.AfterFunc in production).
+	after func(time.Duration, func())
+
+	// ctx is cancelled by Close so shutdown reaches in-flight engine
+	// dispatches. Per-call contexts are deliberately NOT threaded into
+	// the dispatch: one client's disconnect must never fail its batch
+	// companions.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	// Dispatch-side instruments (nil registry hands out nil, free).
 	cBatches   *obs.Counter
@@ -86,6 +99,7 @@ type Batcher struct {
 
 	mu      sync.Mutex
 	pending map[batchKey]*pendingQueue
+	nextGen uint64
 	closed  bool
 }
 
@@ -98,10 +112,14 @@ func NewBatcher(eng Engine, cfg BatchConfig, reg *obs.Registry, now func() time.
 	if now == nil {
 		now = time.Now
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Batcher{
 		eng:        eng,
 		cfg:        cfg.withDefaults(),
 		now:        now,
+		after:      func(d time.Duration, f func()) { time.AfterFunc(d, f) },
+		ctx:        ctx,
+		cancel:     cancel,
 		cBatches:   reg.Counter("server.batches"),
 		cQueries:   reg.Counter("server.batched_queries"),
 		cNodeReads: reg.Counter("server.node_reads"),
@@ -142,7 +160,8 @@ func (b *Batcher) enqueue(key batchKey, c *call) error {
 	}
 	pq := b.pending[key]
 	if pq == nil {
-		pq = &pendingQueue{}
+		b.nextGen++
+		pq = &pendingQueue{gen: b.nextGen}
 		b.pending[key] = pq
 	}
 	pq.calls = append(pq.calls, c)
@@ -156,18 +175,18 @@ func (b *Batcher) enqueue(key batchKey, c *call) error {
 	}
 	if len(pq.calls) == 1 {
 		gen := pq.gen
-		time.AfterFunc(b.cfg.Window, func() { b.flushTimer(key, gen) })
+		b.after(b.cfg.Window, func() { b.flushTimer(key, gen) })
 	}
 	b.mu.Unlock()
 	return nil
 }
 
-// take detaches the queue's calls and bumps its generation so a
-// pending timer for the old batch becomes a no-op. Caller holds b.mu.
+// take detaches the queue's calls and removes the queue; its timer, if
+// still pending, finds no queue with a matching generation and no-ops.
+// Caller holds b.mu.
 func (b *Batcher) take(key batchKey, pq *pendingQueue) []*call {
 	calls := pq.calls
 	pq.calls = nil
-	pq.gen++
 	delete(b.pending, key)
 	return calls
 }
@@ -186,8 +205,10 @@ func (b *Batcher) flushTimer(key batchKey, gen uint64) {
 	b.dispatch(key, calls)
 }
 
-// Close flushes every pending batch and fails later Do calls. It does
-// not wait for in-flight dispatches.
+// Close flushes every pending batch, then cancels the batcher context
+// so in-flight dispatches unwind with typed partials, and fails later
+// Do calls. The flush runs before the cancel: queued-but-undispatched
+// queries still get a clean, complete execution on shutdown.
 func (b *Batcher) Close() {
 	b.mu.Lock()
 	if b.closed {
@@ -203,6 +224,7 @@ func (b *Batcher) Close() {
 	for key, calls := range flush {
 		b.dispatch(key, calls)
 	}
+	b.cancel()
 }
 
 // batchBudget sums the per-call budgets into the batch-wide cap the
@@ -235,7 +257,10 @@ func batchBudget(calls []*call) budget.Budget {
 // dispatch runs one batch through the engine, merges the dispatch trace
 // into the registry, and distributes per-call results. A typed
 // budget/context error reaches every call alongside its partial result
-// set; engine failures reach every call with no results.
+// set; engine failures reach every call with no results. The engine
+// runs under the batcher's context — cancelled only by Close, never by
+// a single call's disconnect — so shutdown can stop a slow batch while
+// companions still share each other's fate.
 func (b *Batcher) dispatch(key batchKey, calls []*call) {
 	if len(calls) == 0 {
 		return
@@ -245,24 +270,27 @@ func (b *Batcher) dispatch(key batchKey, calls []*call) {
 		qs[i] = c.q
 	}
 	tr := obs.NewTrace()
+	// Queueing ends when the batch starts executing: stamp before the
+	// engine call so server.queue_ms measures the wait alone, not the
+	// engine's execution time.
+	started := b.now()
 	var (
 		sets [][]mtree.Match
 		err  error
 	)
 	bb := batchBudget(calls)
 	if key.nn {
-		sets, err = b.eng.NNBatchTraced(context.Background(), qs, key.k, bb, tr)
+		sets, err = b.eng.NNBatchTraced(b.ctx, qs, key.k, bb, tr)
 	} else {
-		sets, err = b.eng.RangeBatchTraced(context.Background(), qs, key.radius, bb, tr)
+		sets, err = b.eng.RangeBatchTraced(b.ctx, qs, key.radius, bb, tr)
 	}
 	b.cBatches.Inc()
 	b.cQueries.Add(int64(len(calls)))
 	b.cNodeReads.Add(tr.TotalNodes())
 	b.cDists.Add(tr.TotalDists())
 	b.hBatch.Observe(float64(len(calls)))
-	done := b.now()
 	for i, c := range calls {
-		res := callResult{batchSize: len(calls), queued: done.Sub(c.enq), err: err}
+		res := callResult{batchSize: len(calls), queued: started.Sub(c.enq), err: err}
 		if i < len(sets) {
 			res.matches = sets[i]
 		}

@@ -1,0 +1,241 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mcost/internal/budget"
+	"mcost/internal/metric"
+	"mcost/internal/mtree"
+	"mcost/internal/obs"
+)
+
+// Regression tests for three batcher defects, each written to fail on
+// the pre-fix code:
+//
+//  1. a window timer armed for an already-dispatched queue flushed the
+//     NEXT queue under the same key early (generations restarted at 0
+//     when take() deleted the queue from the map);
+//  2. callResult.queued was stamped after the engine returned, so
+//     server.queue_ms silently included engine execution time;
+//  3. dispatch ran under context.Background(), so Close could not
+//     cancel an in-flight batch.
+
+// waitPendingCalls polls until the batcher holds n queued calls for key.
+func waitPendingCalls(t *testing.T, b *Batcher, key batchKey, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		b.mu.Lock()
+		got := 0
+		if pq := b.pending[key]; pq != nil {
+			got = len(pq.calls)
+		}
+		b.mu.Unlock()
+		if got == n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("batcher never reached %d pending calls for %+v", n, key)
+}
+
+// TestBatcherStaleTimerDoesNotFlushReplacementQueue pins fix 1: after a
+// size flush, the timer armed for the dispatched queue must not flush
+// the fresh queue that later forms under the same key before its own
+// window elapses.
+func TestBatcherStaleTimerDoesNotFlushReplacementQueue(t *testing.T) {
+	eng := &fakeEngine{}
+	b := NewBatcher(eng, BatchConfig{Window: time.Hour, MaxBatch: 2}, nil, nil)
+	// Capture armed timers instead of scheduling them: the test fires
+	// them by hand.
+	var (
+		tmu    sync.Mutex
+		timers []func()
+	)
+	b.after = func(d time.Duration, f func()) {
+		tmu.Lock()
+		timers = append(timers, f)
+		tmu.Unlock()
+	}
+	key := batchKey{radius: 0.5}
+
+	// First queue: call 1 arms the window timer, call 2 flushes by size.
+	res12 := make(chan callResult, 2)
+	go func() { res12 <- b.Do(context.Background(), key, "q1", budget.Budget{}) }()
+	waitPendingCalls(t, b, key, 1)
+	go func() { res12 <- b.Do(context.Background(), key, "q2", budget.Budget{}) }()
+	for i := 0; i < 2; i++ {
+		if res := <-res12; res.err != nil || res.batchSize != 2 {
+			t.Fatalf("size flush: %+v", res)
+		}
+	}
+
+	// Second queue under the same key: call 3 arms its own timer and
+	// waits for a companion.
+	res3 := make(chan callResult, 1)
+	go func() { res3 <- b.Do(context.Background(), key, "q3", budget.Budget{}) }()
+	waitPendingCalls(t, b, key, 1)
+
+	// Fire the FIRST queue's timer — long stale, its batch went out by
+	// size. It must not touch the second queue.
+	tmu.Lock()
+	if len(timers) != 2 {
+		tmu.Unlock()
+		t.Fatalf("expected a timer per queue head, got %d", len(timers))
+	}
+	stale := timers[0]
+	tmu.Unlock()
+	stale()
+
+	select {
+	case res := <-res3:
+		t.Fatalf("stale window timer flushed the replacement queue early (batch size %d, err %v)", res.batchSize, res.err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Call 4 completes the second batch by size; call 3 must ride in it.
+	go func() { _ = b.Do(context.Background(), key, "q4", budget.Budget{}) }()
+	res := <-res3
+	if res.err != nil || res.batchSize != 2 {
+		t.Fatalf("replacement queue should flush by size with its companion: %+v", res)
+	}
+}
+
+// engineHooks wraps fakeEngine with a per-dispatch hook, for tests that
+// need to act (advance a clock, block) while the engine "executes".
+type engineHooks struct {
+	fakeEngine
+	onRun func(ctx context.Context) error
+}
+
+func (e *engineHooks) exec(ctx context.Context, qs []metric.Object, b budget.Budget, tr *obs.Trace) ([][]mtree.Match, error) {
+	if e.onRun != nil {
+		if err := e.onRun(ctx); err != nil {
+			// Typed partial: empty-but-valid per-query sets, like a
+			// budget- or context-stopped traversal.
+			out := make([][]mtree.Match, len(qs))
+			for i := range out {
+				out[i] = []mtree.Match{}
+			}
+			return out, err
+		}
+	}
+	return e.run(qs, b, tr)
+}
+
+func (e *engineHooks) RangeBatchTraced(ctx context.Context, qs []metric.Object, radius float64, b budget.Budget, tr *obs.Trace) ([][]mtree.Match, error) {
+	return e.exec(ctx, qs, b, tr)
+}
+
+func (e *engineHooks) NNBatchTraced(ctx context.Context, qs []metric.Object, k int, b budget.Budget, tr *obs.Trace) ([][]mtree.Match, error) {
+	return e.exec(ctx, qs, b, tr)
+}
+
+// TestBatcherQueuedExcludesEngineTime pins fix 2: queue time ends when
+// the batch starts executing, so an engine that takes 300ms must leave
+// an immediately-dispatched call's queued duration at zero.
+func TestBatcherQueuedExcludesEngineTime(t *testing.T) {
+	clk := newFakeClock()
+	eng := &engineHooks{onRun: func(context.Context) error {
+		clk.advance(300 * time.Millisecond) // the engine "executing"
+		return nil
+	}}
+	reg := obs.NewRegistry()
+	b := NewBatcher(eng, BatchConfig{}, reg, clk.now)
+	res := b.Do(context.Background(), batchKey{radius: 0.1}, "q", budget.Budget{})
+	if res.err != nil {
+		t.Fatalf("Do: %v", res.err)
+	}
+	if res.queued != 0 {
+		t.Fatalf("queued = %v includes engine execution time; queueing ended at dispatch start", res.queued)
+	}
+	// The histogram the wire metric feeds from must agree: one sample,
+	// landing in the zero bin.
+	h := reg.Snapshot().Histograms["server.queue_ms"]
+	if h.N != 1 || len(h.Counts) == 0 || h.Counts[0] != 1 {
+		t.Fatalf("server.queue_ms observed %+v, want one zero-bin sample", h)
+	}
+}
+
+// TestBatcherCloseCancelsInFlightDispatch pins fix 3: Close must reach
+// a dispatch already executing in the engine, unblocking it with the
+// typed context error and its partial results.
+func TestBatcherCloseCancelsInFlightDispatch(t *testing.T) {
+	started := make(chan struct{})
+	eng := &engineHooks{onRun: func(ctx context.Context) error {
+		close(started)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Second):
+			return nil
+		}
+	}}
+	b := NewBatcher(eng, BatchConfig{}, nil, nil)
+	done := make(chan callResult, 1)
+	go func() { done <- b.Do(context.Background(), batchKey{radius: 0.2}, "q", budget.Budget{}) }()
+	<-started
+	b.Close()
+	select {
+	case res := <-done:
+		if !errors.Is(res.err, context.Canceled) {
+			t.Fatalf("in-flight dispatch ended with %v, want the typed context.Canceled partial", res.err)
+		}
+		if res.matches == nil {
+			t.Fatalf("cancelled dispatch must still deliver its (possibly empty) partial result set")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("Close did not cancel the in-flight dispatch")
+	}
+}
+
+// TestBatcherCallDisconnectDoesNotCancelBatch guards the companion
+// contract around fix 3: one caller's context cancellation abandons its
+// result but must not cancel the shared dispatch, which runs off the
+// window timer's goroutine here.
+func TestBatcherCallDisconnectDoesNotCancelBatch(t *testing.T) {
+	release := make(chan struct{})
+	var (
+		mu        sync.Mutex
+		sawCancel error
+		ran       bool
+	)
+	eng := &engineHooks{onRun: func(ctx context.Context) error {
+		<-release
+		mu.Lock()
+		sawCancel = ctx.Err()
+		ran = true
+		mu.Unlock()
+		return nil
+	}}
+	b := NewBatcher(eng, BatchConfig{Window: time.Millisecond, MaxBatch: 8}, nil, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan callResult, 1)
+	go func() { done <- b.Do(ctx, batchKey{radius: 0.3}, "q", budget.Budget{}) }()
+	cancel() // the caller walks away; its batch still executes
+	if res := <-done; !errors.Is(res.err, context.Canceled) {
+		t.Fatalf("abandoned caller should see its own context error, got %+v", res)
+	}
+	close(release)
+	// The dispatch keeps running under the batcher context, unaffected.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		err, ok := sawCancel, ran
+		mu.Unlock()
+		if ok {
+			if err != nil {
+				t.Fatalf("caller disconnect leaked into the dispatch context: %v", err)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dispatch never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"mcost/internal/metric"
 	"mcost/internal/mtree"
 	"mcost/internal/obs"
+	"mcost/internal/rescache"
 )
 
 // DefaultBudgetSlack mirrors the facade's default: an admitted query
@@ -36,6 +37,12 @@ type Config struct {
 	Admission AdmitConfig
 	// Batch tunes the micro-batcher (zero = dispatch immediately).
 	Batch BatchConfig
+	// Cache, when non-nil, is probed between pricing and admission: a
+	// containment hit answers the query exactly from a recent result,
+	// spending no admission tokens and no engine work. Misses fall
+	// through unchanged and populate the cache from complete, error-free
+	// responses only.
+	Cache *rescache.Cache
 	// BudgetSlack scales each request's execution budget off its own
 	// prediction: budget = prediction × slack (0 picks
 	// DefaultBudgetSlack; negative disables budgets).
@@ -61,20 +68,25 @@ type Server struct {
 	dec     ObjectDecoder
 	adm     *Admitter
 	bat     *Batcher
+	cache   *rescache.Cache
 	reg     *obs.Registry
 	slack   float64
 	maxBody int64
 	maxK    int
 	debug   bool
 
-	cRequests *obs.Counter
-	cAdmitted *obs.Counter
-	cShed     *obs.Counter
-	cRejected *obs.Counter
-	cPartial  *obs.Counter
-	cErrors   *obs.Counter
-	cPredNode *obs.Counter
-	cPredDist *obs.Counter
+	cRequests  *obs.Counter
+	cAdmitted  *obs.Counter
+	cShed      *obs.Counter
+	cRejected  *obs.Counter
+	cPartial   *obs.Counter
+	cErrors    *obs.Counter
+	cPredNode  *obs.Counter
+	cPredDist  *obs.Counter
+	cCacheHit  *obs.Counter
+	cCacheMiss *obs.Counter
+	cProbeDist *obs.Counter
+	cSavedNode *obs.Counter
 }
 
 // New validates cfg and assembles the server.
@@ -102,23 +114,28 @@ func New(cfg Config) (*Server, error) {
 		maxK = cfg.Engine.Size()
 	}
 	s := &Server{
-		eng:       cfg.Engine,
-		dec:       cfg.Decode,
-		adm:       NewAdmitter(cfg.Admission, cfg.Clock),
-		bat:       NewBatcher(cfg.Engine, cfg.Batch, reg, cfg.Clock),
-		reg:       reg,
-		slack:     slack,
-		maxBody:   maxBody,
-		maxK:      maxK,
-		debug:     cfg.Debug,
-		cRequests: reg.Counter("server.requests"),
-		cAdmitted: reg.Counter("server.admitted"),
-		cShed:     reg.Counter("server.shed"),
-		cRejected: reg.Counter("server.rejected"),
-		cPartial:  reg.Counter("server.partial"),
-		cErrors:   reg.Counter("server.errors"),
-		cPredNode: reg.Counter("server.predicted_node_reads"),
-		cPredDist: reg.Counter("server.predicted_dist_calcs"),
+		eng:        cfg.Engine,
+		dec:        cfg.Decode,
+		adm:        NewAdmitter(cfg.Admission, cfg.Clock),
+		bat:        NewBatcher(cfg.Engine, cfg.Batch, reg, cfg.Clock),
+		cache:      cfg.Cache,
+		reg:        reg,
+		slack:      slack,
+		maxBody:    maxBody,
+		maxK:       maxK,
+		debug:      cfg.Debug,
+		cRequests:  reg.Counter("server.requests"),
+		cAdmitted:  reg.Counter("server.admitted"),
+		cShed:      reg.Counter("server.shed"),
+		cRejected:  reg.Counter("server.rejected"),
+		cPartial:   reg.Counter("server.partial"),
+		cErrors:    reg.Counter("server.errors"),
+		cPredNode:  reg.Counter("server.predicted_node_reads"),
+		cPredDist:  reg.Counter("server.predicted_dist_calcs"),
+		cCacheHit:  reg.Counter("server.cache_hits"),
+		cCacheMiss: reg.Counter("server.cache_misses"),
+		cProbeDist: reg.Counter("server.cache_probe_dists"),
+		cSavedNode: reg.Counter("server.cache_saved_node_reads"),
 	}
 	return s, nil
 }
@@ -169,8 +186,13 @@ type QueryResponse struct {
 	Degraded string `json:"degraded,omitempty"`
 	// Predicted is the L-MCM cost this query was admitted under.
 	Predicted CostJSON `json:"predicted"`
+	// Cached reports the answer was served exactly from the result
+	// cache: no traversal ran and no admission tokens were spent. The
+	// matches are bit-identical to what direct execution would return.
+	Cached bool `json:"cached,omitempty"`
 	// BatchSize and QueuedMS expose the micro-batcher's work: how many
-	// queries shared the dispatch and how long this one waited.
+	// queries shared the dispatch and how long this one waited. Both are
+	// zero on a cache hit — the query never reached the batcher.
 	BatchSize int     `json:"batch_size"`
 	QueuedMS  float64 `json:"queued_ms"`
 }
@@ -322,6 +344,34 @@ func (s *Server) handleQuery(nn bool) http.HandlerFunc {
 		s.cPredNode.Add(int64(math.Ceil(est.Nodes)))
 		s.cPredDist.Add(int64(math.Ceil(est.Dists)))
 
+		// Probe the result cache before admission: a containment hit is
+		// exact and nearly free, so it must not spend bucket tokens the
+		// traversal it avoids would have charged.
+		if s.cache != nil {
+			var pr rescache.Probe
+			if nn {
+				pr = s.cache.GetNN(req.q, req.k, est)
+			} else {
+				pr = s.cache.GetRange(req.q, req.radius, est)
+			}
+			s.cProbeDist.Add(int64(pr.Dists))
+			if pr.Hit {
+				s.cCacheHit.Inc()
+				s.cSavedNode.Add(int64(math.Ceil(est.Nodes)))
+				resp := QueryResponse{
+					Predicted: costJSON(est),
+					Cached:    true,
+					Matches:   make([]MatchJSON, len(pr.Matches)),
+				}
+				for i, m := range pr.Matches {
+					resp.Matches[i] = MatchJSON{OID: m.OID, Distance: m.Distance, Object: m.Object}
+				}
+				s.writeJSON(w, http.StatusOK, resp)
+				return
+			}
+			s.cCacheMiss.Inc()
+		}
+
 		dec := s.adm.Admit(est)
 		if !dec.Admit {
 			s.cShed.Inc()
@@ -350,6 +400,16 @@ func (s *Server) handleQuery(nn bool) http.HandlerFunc {
 		}
 		switch {
 		case res.err == nil:
+			// Only complete, error-free results may populate the cache: a
+			// budget- or deadline-stopped partial set verifies no ball, and
+			// a failed dispatch verifies nothing at all.
+			if s.cache != nil {
+				if nn {
+					s.cache.PutNN(req.q, req.k, res.matches, est)
+				} else {
+					s.cache.PutRange(req.q, req.radius, res.matches, est)
+				}
+			}
 		case errors.Is(res.err, budget.ErrExceeded):
 			s.cPartial.Inc()
 			resp.Partial = true

@@ -35,6 +35,12 @@ type HTTPOptions struct {
 	Workers int
 	// Seed drives class shuffling and query sampling.
 	Seed int64
+	// ZipfS, when > 1, samples queries from the pool with a Zipf
+	// distribution of this exponent instead of uniformly: low pool
+	// indices repeat often, the shape of real similarity traffic and
+	// the regime a result cache is built for. 0 (or anything ≤ 1)
+	// keeps uniform sampling.
+	ZipfS float64
 	// Backoff honors the retry_after_ms of a 429 before the worker's
 	// next request (the shed request itself is not retried). Capped by
 	// MaxBackoff.
@@ -59,6 +65,9 @@ type HTTPReport struct {
 	// requested radius — always zero against a correct server, degraded
 	// or not.
 	Invalid int
+	// CacheHits counts 200 responses the server marked as served from
+	// its result cache.
+	CacheHits int
 	// BackoffTotal is the time spent honoring retry_after_ms.
 	BackoffTotal time.Duration
 }
@@ -72,6 +81,7 @@ type wireMatch struct {
 type wireQueryResponse struct {
 	Matches []wireMatch `json:"matches"`
 	Partial bool        `json:"partial"`
+	Cached  bool        `json:"cached"`
 }
 
 type wireErrorResponse struct {
@@ -119,12 +129,17 @@ func RunHTTP(baseURL string, w *Workload, queryPool []metric.Object, opt HTTPOpt
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
+	sample := func() metric.Object { return queryPool[rng.Intn(len(queryPool))] }
+	if opt.ZipfS > 1 {
+		zipf := rand.NewZipf(rng, opt.ZipfS, 1, uint64(len(queryPool)-1))
+		sample = func() metric.Object { return queryPool[zipf.Uint64()] }
+	}
 	plan := make([]httpRequest, 0, opt.Requests)
 	for ci, n := range counts {
 		for j := 0; j < n; j++ {
 			plan = append(plan, httpRequest{
 				class: w.Classes[ci],
-				q:     queryPool[rng.Intn(len(queryPool))],
+				q:     sample(),
 			})
 		}
 	}
@@ -159,6 +174,7 @@ func RunHTTP(baseURL string, w *Workload, queryPool []metric.Object, opt HTTPOpt
 				rep.Shed += res.shed
 				rep.Errors += res.errs
 				rep.Invalid += res.invalid
+				rep.CacheHits += res.cached
 				rep.BackoffTotal += sleep
 				mu.Unlock()
 				if sleep > 0 {
@@ -173,8 +189,8 @@ func RunHTTP(baseURL string, w *Workload, queryPool []metric.Object, opt HTTPOpt
 
 // issueResult is one request's contribution to the report.
 type issueResult struct {
-	ok, partial, shed, errs, invalid int
-	backoff                          time.Duration
+	ok, partial, shed, errs, invalid, cached int
+	backoff                                  time.Duration
 }
 
 func issue(client *http.Client, baseURL string, r httpRequest) issueResult {
@@ -213,6 +229,9 @@ func issue(client *http.Client, baseURL string, r httpRequest) issueResult {
 			out.partial = 1
 		} else {
 			out.ok = 1
+		}
+		if qr.Cached {
+			out.cached = 1
 		}
 		if r.class.K == 0 {
 			// Degraded or not, a range response may only contain true
