@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"mcost/internal/mtree"
+	"mcost/internal/obs"
 	"mcost/internal/shard"
 )
 
@@ -47,26 +48,64 @@ func (ix *Index) NNBatch(qs []Object, k int) ([][]Match, error) {
 // zero budget is unlimited), and an optional trace accumulating the
 // batch's level-resolved cost. On a budget or context stop the
 // per-query partial result sets are returned with the typed error.
+// With recalibration enabled, every execution feeds its trace back into
+// the bias window — predicted versus observed, joined per level.
 func (ix *Index) RangeBatchTraced(ctx context.Context, qs []Object, radius float64, b QueryBudget, tr *QueryTrace) ([][]Match, error) {
-	return ix.tree.RangeBatchCtx(ctx, qs, radius, mtree.QueryOptions{UseParentDist: true, Budget: b, Trace: tr})
+	if ix.rc == nil {
+		return ix.tree.RangeBatchCtx(ctx, qs, radius, mtree.QueryOptions{UseParentDist: true, Budget: b, Trace: tr})
+	}
+	// Execute under a private trace so the observation covers exactly
+	// this dispatch, whatever the caller's trace already holds.
+	own := obs.NewTrace()
+	sets, err := ix.tree.RangeBatchCtx(ctx, qs, radius, mtree.QueryOptions{UseParentDist: true, Budget: b, Trace: own})
+	tr.Merge(own)
+	// Feed back clean executions only: a budget- or context-truncated
+	// traversal observed less work than the full query costs, which
+	// would teach the window a downward bias that admission then
+	// amplifies.
+	if err == nil {
+		ix.rc.ObserveRange(ix.model.RangeLByLevel(radius), ix.PriceRange(radius), own)
+	}
+	return sets, err
 }
 
 // NNBatchTraced is NNBatch honoring ctx, a batch-wide budget, and an
 // optional trace (see RangeBatchTraced).
 func (ix *Index) NNBatchTraced(ctx context.Context, qs []Object, k int, b QueryBudget, tr *QueryTrace) ([][]Match, error) {
-	return ix.tree.NNBatchCtx(ctx, qs, k, mtree.QueryOptions{UseParentDist: true, Budget: b, Trace: tr})
+	if ix.rc == nil {
+		return ix.tree.NNBatchCtx(ctx, qs, k, mtree.QueryOptions{UseParentDist: true, Budget: b, Trace: tr})
+	}
+	own := obs.NewTrace()
+	sets, err := ix.tree.NNBatchCtx(ctx, qs, k, mtree.QueryOptions{UseParentDist: true, Budget: b, Trace: own})
+	tr.Merge(own)
+	if err == nil {
+		ix.rc.ObserveNN(ix.model.NNL(k), ix.PriceNN(k), own)
+	}
+	return sets, err
 }
 
 // PriceRange prices one range query for admission control: the
 // level-based model's (L-MCM, Eq. 15-16) predicted node reads and
 // distance computations. The serving layer admits queries against a
 // token bucket of this currency rather than a request count, so an
-// expensive query consumes proportionally more of the capacity.
-func (ix *Index) PriceRange(radius float64) CostEstimate { return ix.model.RangeL(radius) }
+// expensive query consumes proportionally more of the capacity. With
+// recalibration enabled the price carries the per-level bias
+// correction, so admission tracks what queries actually spend.
+func (ix *Index) PriceRange(radius float64) CostEstimate {
+	if ix.rc != nil {
+		return ix.rc.CorrectRange(ix.model.RangeLByLevel(radius))
+	}
+	return ix.model.RangeL(radius)
+}
 
 // PriceNN prices one k-NN query for admission control (L-MCM,
-// Eq. 17-18).
-func (ix *Index) PriceNN(k int) CostEstimate { return ix.model.NNL(k) }
+// Eq. 17-18), bias-corrected when recalibration is enabled.
+func (ix *Index) PriceNN(k int) CostEstimate {
+	if ix.rc != nil {
+		return ix.rc.CorrectNN(ix.model.NNL(k))
+	}
+	return ix.model.NNL(k)
+}
 
 func (sx *ShardedIndex) tracedOpt(ctx context.Context, b QueryBudget, tr *QueryTrace) shard.QueryOptions {
 	opt := sx.qopt()

@@ -31,6 +31,7 @@ func main() {
 		stf = cliutil.RegisterStorage(fs)
 		bf  = cliutil.RegisterBudget(fs, false)
 		cf  = cliutil.RegisterCache(fs, 0)
+		rf  = cliutil.RegisterRecal(fs)
 
 		exp     = flag.String("exp", "all", "experiment name or 'all'")
 		n       = flag.Int("n", 10_000, "dataset size")
@@ -61,6 +62,8 @@ func main() {
 		Batch:          shf.Batch,
 		CacheEntries:   cf.Entries,
 		CacheMaxRadius: cf.MaxRadius,
+		RecalWindow:    rf.Window,
+		RecalBand:      rf.Band,
 	}
 	if faults := stf.FaultConfig(); faults.Any() {
 		cfg.Faults = &faults

@@ -42,6 +42,7 @@ func main() {
 		stf = cliutil.RegisterStorage(fs)
 		bf  = cliutil.RegisterBudget(fs, true)
 		cf  = cliutil.RegisterCache(fs, 0)
+		rf  = cliutil.RegisterRecal(fs)
 
 		queryStr = flag.String("query", "", "query word (string datasets)")
 		queryVec = flag.String("qvec", "", "query vector, comma-separated (vector datasets)")
@@ -88,7 +89,7 @@ func main() {
 			shards: shf.Shards, assign: shf.Assign, batch: shf.Batch,
 			pageSize: tf.PageSize, seed: tf.Seed, workers: tf.Workers,
 			storage: storage, radius: *radius, k: *k, show: *show,
-			budgetSlack: *budgetSlack, timeout: *timeout,
+			budgetSlack: *budgetSlack, timeout: *timeout, recal: rf,
 		})
 		return
 	}
@@ -106,6 +107,9 @@ func main() {
 	fmt.Printf("\n\n")
 	if storage.Faults != nil {
 		ix.SetFaultsEnabled(true) // build is clean; faults target the query phase
+	}
+	if err := rf.Apply(ix, nil, d, tf.Seed); err != nil {
+		fail(err)
 	}
 
 	if *explain && *radius >= 0 {
@@ -258,6 +262,7 @@ type shardedRun struct {
 	show          int
 	budgetSlack   float64
 	timeout       time.Duration
+	recal         *cliutil.RecalFlags
 }
 
 // runSharded answers the query through a ShardedIndex (or a 1-shard one
@@ -285,6 +290,9 @@ func runSharded(d *dataset.Dataset, q metric.Object, r shardedRun) {
 		sx.ShardSizes(), sx.NumNodes(), sx.Height())
 	if r.storage.Faults != nil {
 		sx.SetFaultsEnabled(true) // build is clean; faults target the query phase
+	}
+	if err := r.recal.Apply(nil, sx, d, r.seed); err != nil {
+		fail(err)
 	}
 
 	queries := []mcost.Object{q}

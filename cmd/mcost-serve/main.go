@@ -14,8 +14,10 @@
 //	mcost-serve -file vocab.ds -shards 4 -debug
 //
 // Endpoints: POST /v1/range {"query":..., "radius":r}, POST /v1/nn
-// {"query":..., "k":k}, GET /v1/stats, GET /healthz, and /debug/
-// (pprof + expvar) with -debug.
+// {"query":..., "k":k}, POST /v1/insert {"object":...}, POST /v1/delete
+// {"object":..., "oid":n}, GET /v1/stats, GET /healthz, and /debug/
+// (pprof + expvar) with -debug. With -recal the cost model stays
+// calibrated under the write traffic.
 package main
 
 import (
@@ -42,6 +44,7 @@ func main() {
 		shf = cliutil.RegisterShards(fs, 1, "pivot", -1)
 		stf = cliutil.RegisterStorage(fs)
 		cf  = cliutil.RegisterCache(fs, 0)
+		rf  = cliutil.RegisterRecal(fs)
 
 		addr = flag.String("addr", ":8080", "listen address")
 
@@ -88,7 +91,15 @@ func main() {
 			ix.SetFaultsEnabled(true)
 		}
 	}
+	if err := rf.Apply(ix, sx, d, tf.Seed); err != nil {
+		fail(err)
+	}
 	fmt.Printf("engine: %d objects, %d nodes, height %d\n", eng.Size(), eng.NumNodes(), eng.Height())
+	if rf.Enabled {
+		rc := rf.Config(tf.Seed).Effective()
+		fmt.Printf("recalibration: on (window %d, band %g); /v1/insert and /v1/delete keep the model live\n",
+			rc.Window, rc.Band)
+	}
 
 	dec, err := server.DecoderFor(d.Objects[0], d.Space.Bound)
 	if err != nil {

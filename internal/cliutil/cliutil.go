@@ -14,6 +14,7 @@ import (
 
 	"mcost"
 	"mcost/internal/dataset"
+	"mcost/internal/recal"
 	"mcost/internal/rescache"
 )
 
@@ -182,6 +183,42 @@ func (f *CacheFlags) Build(space *mcost.Space) (*rescache.Cache, error) {
 		MaxRadius: f.MaxRadius,
 		Dist:      space.Distance,
 	})
+}
+
+// RecalFlags enable online cost-model recalibration (-recal,
+// -recal-window, -recal-band).
+type RecalFlags struct {
+	Enabled bool
+	Window  int
+	Band    float64
+}
+
+// RegisterRecal registers the recalibration flags on fs.
+func RegisterRecal(fs *flag.FlagSet) *RecalFlags {
+	f := &RecalFlags{}
+	fs.BoolVar(&f.Enabled, "recal", false, "keep the cost model live under inserts and deletes: maintain the distance histogram incrementally, learn per-level bias corrections from observed traversal costs, and raise a drift alarm when the windowed prediction error leaves the band")
+	fs.IntVar(&f.Window, "recal-window", 0, "sliding window of recent executions the bias correction and drift alarm are computed over (0 = default 64)")
+	fs.Float64Var(&f.Band, "recal-band", 0, "relative windowed prediction error that triggers a drift alarm (0 = default 0.5)")
+	return f
+}
+
+// Config assembles the recalibration config; seed keeps the reservoir
+// sampling deterministic alongside the build.
+func (f *RecalFlags) Config(seed int64) recal.Config {
+	return recal.Config{Window: f.Window, Band: f.Band, Seed: seed}
+}
+
+// Apply enables recalibration on whichever engine Build returned, when
+// the flags ask for it. d seeds the single-index reservoir.
+func (f *RecalFlags) Apply(ix *mcost.Index, sx *mcost.ShardedIndex, d *dataset.Dataset, seed int64) error {
+	if !f.Enabled {
+		return nil
+	}
+	cfg := f.Config(seed)
+	if sx != nil {
+		return sx.EnableRecalibration(cfg)
+	}
+	return ix.EnableRecalibration(cfg, d.Objects)
 }
 
 // BudgetFlags bound query execution by the cost model (-budget-slack,

@@ -20,7 +20,7 @@ func goldenCfg() Config {
 // behavioral drift in dataset generation, tree construction, distance
 // distribution estimation, the cost models, or query execution shows up
 // as a byte diff here — the acceptance bar for "didn't change results".
-var goldenExperiments = []string{"table1", "fig1", "fig3", "residuals"}
+var goldenExperiments = []string{"table1", "fig1", "fig3", "residuals", "recal"}
 
 // TestGoldenJSON asserts bit-identical JSON output for each pinned
 // experiment at the small seed config. Regenerate with

@@ -86,6 +86,12 @@ type Config struct {
 	// CacheMaxRadius caps the radius of cacheable range results in
 	// bench6 (0 = uncapped).
 	CacheMaxRadius float64
+	// RecalWindow is the sliding-window size for the recal experiment's
+	// recalibrator (0 = the recal package default, 64).
+	RecalWindow int
+	// RecalBand is the drift-alarm error band for the recal experiment
+	// (0 = the recal package default, 0.5).
+	RecalBand float64
 }
 
 func (c Config) storageEnabled() bool { return c.Paged || c.Faults != nil }

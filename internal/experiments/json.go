@@ -64,6 +64,13 @@ func JSONRegistry() map[string]JSONRunner {
 			}
 			return r, nil
 		},
+		"recal": func(cfg Config) (interface{}, error) {
+			r, err := RunRecal(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r, nil
+		},
 	}
 }
 

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"mcost/internal/core"
+	"mcost/internal/dataset"
+	"mcost/internal/mtree"
+	"mcost/internal/obs"
+	"mcost/internal/recal"
+)
+
+// recalDim is the dimensionality of the drift experiment's vector data.
+const recalDim = 8
+
+// recalStages is the number of insert checkpoints; across all stages the
+// index doubles (N drifted inserts over an N-object base).
+const recalStages = 8
+
+// recalSelectivity picks the probe radius: the base F̂ quantile whose
+// range ball holds about this fraction of the data before drift.
+const recalSelectivity = 0.02
+
+// RecalRow is one checkpoint of the drift experiment: after this
+// stage's inserts, the same probe workload is priced by the frozen
+// build-time model ("cold") and by the recalibrated model (refit F̂
+// plus per-level bias), and both are compared against the observed
+// traversal costs.
+type RecalRow struct {
+	// Stage numbers the checkpoint, 1-based.
+	Stage int `json:"stage"`
+	// Inserted is the cumulative number of drifted objects inserted.
+	Inserted int `json:"inserted"`
+	// Size is the index size at the checkpoint.
+	Size int `json:"size"`
+	// ColdErr is the checkpoint relative error of the frozen model's
+	// predictions (max over node reads and distance computations).
+	ColdErr float64 `json:"cold_err"`
+	// RecalErr is the same error for the recalibrated predictions.
+	RecalErr float64 `json:"recal_err"`
+	// ColdInBand / RecalInBand report whether each error is within the
+	// drift-alarm band.
+	ColdInBand  bool `json:"cold_in_band"`
+	RecalInBand bool `json:"recal_in_band"`
+	// WindowError is the recalibrator's own sliding-window error after
+	// the checkpoint's probes fed back.
+	WindowError float64 `json:"window_error"`
+	// BaseWeight is the remaining fraction of build-time mass in the
+	// blended F̂.
+	BaseWeight float64 `json:"base_weight"`
+	// DriftAlarms is the cumulative alarm count.
+	DriftAlarms int64 `json:"drift_alarms"`
+}
+
+// RecalResult is the drift experiment's machine-readable output.
+type RecalResult struct {
+	// Band is the drift-alarm band both arms are judged against.
+	Band float64 `json:"band"`
+	// Radius is the probe range radius.
+	Radius float64 `json:"radius"`
+	// ColdInBandFrac / RecalInBandFrac are the fractions of checkpoints
+	// each arm spent inside the band — the error-band occupancy the
+	// benchmark artifact tracks.
+	ColdInBandFrac  float64    `json:"cold_in_band_frac"`
+	RecalInBandFrac float64    `json:"recal_in_band_frac"`
+	Rows            []RecalRow `json:"rows"`
+}
+
+// RunRecal measures online recalibration under insert drift. A uniform
+// base dataset is indexed and its cost model fit as usual; then
+// clustered objects (a different generating distribution) stream in
+// until the index doubles. At each of recalStages checkpoints a probe
+// workload drawn from the drifted distribution runs with traces, and
+// two predictions are scored against the observed costs: the build-time
+// model frozen cold, and the live recalibrated model (blended F̂ refit
+// plus windowed per-level bias). Everything is seeded and sequential,
+// so the result is byte-deterministic for a fixed Config.
+func RunRecal(cfg Config) (*RecalResult, error) {
+	cfg = cfg.withDefaults()
+	d := dataset.Uniform(cfg.N, recalDim, cfg.Seed)
+	b, err := buildFor(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rcfg := recal.Config{Window: cfg.RecalWindow, Band: cfg.RecalBand, Seed: cfg.Seed}
+	rc, err := recal.New(rcfg, b.f, d.Space, d.N(), d.Objects)
+	if err != nil {
+		return nil, err
+	}
+	band := rcfg.Effective().Band
+	radius := b.f.Quantile(recalSelectivity)
+
+	coldModel := b.model // frozen at build: what serving without -recal prices with
+	liveModel := b.model // refit from the blended F̂ as writes accumulate
+
+	drift := dataset.PaperClustered(cfg.N, recalDim, cfg.Seed+7)
+	probes := dataset.PaperClusteredQueries(max(1, cfg.Queries/recalStages), recalDim, cfg.Seed+7).Queries
+
+	res := &RecalResult{Band: band, Radius: radius}
+	perStage := len(drift.Objects) / recalStages
+	inserted := 0
+	for stage := 1; stage <= recalStages; stage++ {
+		batch := drift.Objects[(stage-1)*perStage : stage*perStage]
+		for _, obj := range batch {
+			if err := b.tr.Insert(obj); err != nil {
+				return nil, err
+			}
+			rc.ObserveInsert(obj)
+		}
+		inserted += len(batch)
+		if rc.NeedRefresh() {
+			stats, err := b.tr.CollectStats()
+			if err != nil {
+				return nil, err
+			}
+			h, err := rc.Histogram()
+			if err != nil {
+				return nil, err
+			}
+			m, err := core.NewMTreeModel(h, stats)
+			if err != nil {
+				return nil, err
+			}
+			liveModel = m
+			rc.MarkRefreshed()
+		}
+
+		// Probe sequentially: each probe is priced with the bias learned
+		// from the probes before it, exactly as online admission would.
+		var coldN, coldD, servedN, servedD, obsN, obsD float64
+		for _, q := range probes {
+			raw := liveModel.RangeLByLevel(radius)
+			served := rc.CorrectRange(raw)
+			cold := coldModel.RangeL(radius)
+			tr := obs.NewTrace()
+			if _, err := b.tr.Range(q, radius, mtree.QueryOptions{Trace: tr}); err != nil {
+				return nil, err
+			}
+			rc.ObserveRange(raw, served, tr)
+			coldN += cold.Nodes
+			coldD += cold.Dists
+			servedN += served.Nodes
+			servedD += served.Dists
+			obsN += float64(tr.TotalNodes())
+			obsD += float64(tr.TotalDists())
+		}
+		coldErr := math.Max(relErrF(coldN, obsN), relErrF(coldD, obsD))
+		recalErr := math.Max(relErrF(servedN, obsN), relErrF(servedD, obsD))
+		st := rc.Stats()
+		res.Rows = append(res.Rows, RecalRow{
+			Stage:       stage,
+			Inserted:    inserted,
+			Size:        b.tr.Size(),
+			ColdErr:     coldErr,
+			RecalErr:    recalErr,
+			ColdInBand:  coldErr <= band,
+			RecalInBand: recalErr <= band,
+			WindowError: st.WindowError,
+			BaseWeight:  st.BaseWeight,
+			DriftAlarms: st.DriftAlarms,
+		})
+	}
+	var coldIn, recalIn int
+	for _, row := range res.Rows {
+		if row.ColdInBand {
+			coldIn++
+		}
+		if row.RecalInBand {
+			recalIn++
+		}
+	}
+	res.ColdInBandFrac = float64(coldIn) / float64(len(res.Rows))
+	res.RecalInBandFrac = float64(recalIn) / float64(len(res.Rows))
+	return res, nil
+}
+
+// relErrF mirrors the recalibrator's relative-error convention
+// (observations below one count as one, so empty results don't divide
+// by zero).
+func relErrF(pred, obs float64) float64 {
+	if obs < 1 {
+		obs = 1
+	}
+	return math.Abs(pred-obs) / obs
+}
+
+// Table renders the drift experiment.
+func (r *RecalResult) Table() *Table {
+	t := &Table{
+		Title:   "Online recalibration under insert drift (uniform base, clustered inserts; band " + f2(r.Band) + ")",
+		Columns: []string{"stage", "size", "cold err", "recal err", "cold in band", "recal in band", "window err", "base weight", "alarms"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", row.Stage), fmt.Sprintf("%d", row.Size),
+			f3(row.ColdErr), f3(row.RecalErr),
+			boolCell(row.ColdInBand), boolCell(row.RecalInBand),
+			f3(row.WindowError), f3(row.BaseWeight),
+			fmt.Sprintf("%d", row.DriftAlarms),
+		})
+	}
+	return t
+}
+
+func boolCell(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

@@ -181,6 +181,13 @@ func Registry() map[string]Runner {
 			}
 			return r.Table().Render(w)
 		},
+		"recal": func(cfg Config, w io.Writer) error {
+			r, err := RunRecal(cfg)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(w)
+		},
 		"ablation-build": func(cfg Config, w io.Writer) error {
 			r, err := RunAblationBuild(cfg)
 			if err != nil {

@@ -65,6 +65,41 @@ func FromSamples(samples []float64, bins int, bound float64, discrete bool) (*Hi
 	return h, nil
 }
 
+// FromWeightedCounts builds a histogram from non-negative per-bin
+// weights, normalizing them into cumulative fractions. It exists for
+// the online recalibrator, which blends a decaying build-time count
+// vector with live sampled counts: the blend is fractional, so the
+// integer-count constructors cannot express it. N() reports the
+// rounded total weight; such a histogram is not meant to round-trip
+// through Merge, whose integer-recovery arithmetic assumes counts.
+func FromWeightedCounts(weights []float64, bound float64, discrete bool) (*Histogram, error) {
+	h, err := New(len(weights), bound, discrete)
+	if err != nil {
+		return nil, err
+	}
+	var sum float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("histogram: invalid weight %v at bin %d", w, i)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return nil, errors.New("histogram: no weight")
+	}
+	run := 0.0
+	for i, w := range weights {
+		run += w
+		h.cum[i] = run / sum
+	}
+	h.cum[len(h.cum)-1] = 1
+	h.total = int64(math.Round(sum))
+	if h.total < 1 {
+		h.total = 1
+	}
+	return h, nil
+}
+
 // Accumulator incrementally counts samples and produces a Histogram.
 // It exists so distance sampling loops do not need to materialize every
 // sample; memory is O(bins) regardless of sample count.

@@ -4,6 +4,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"sync/atomic"
 )
@@ -33,6 +34,29 @@ func (c *Counter) Value() int64 {
 		return 0
 	}
 	return c.v.Load()
+}
+
+// Gauge is a named float64 level — the instrument for values that are
+// *states*, not accumulations (a bias factor, a windowed error rate).
+// It is safe for concurrent use; a nil *Gauge ignores all updates.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current level (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
 }
 
 // Hist is a fixed-bin histogram over [Lo, Hi): Bins equal-width buckets
@@ -127,12 +151,17 @@ func (h *Hist) merge(other *Hist) error {
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Hist
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: make(map[string]*Counter), hists: make(map[string]*Hist)}
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Hist),
+	}
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -148,6 +177,21 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Hist returns the named histogram, creating it with the given shape on
@@ -171,6 +215,7 @@ func (r *Registry) Hist(name string, bins int, lo, hi float64) *Hist {
 // in sorted order, so snapshots of equal registries are byte-identical.
 type Snapshot struct {
 	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]float64      `json:"gauges,omitempty"`
 	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
 }
 
@@ -186,6 +231,12 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Counters = make(map[string]int64, len(r.counters))
 		for name, c := range r.counters {
 			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
 		}
 	}
 	if len(r.hists) > 0 {
@@ -210,6 +261,10 @@ func (r *Registry) Merge(other *Registry) error {
 	for name, c := range other.counters {
 		counters[name] = c
 	}
+	gauges := make(map[string]*Gauge, len(other.gauges))
+	for name, g := range other.gauges {
+		gauges[name] = g
+	}
 	hists := make(map[string]*Hist, len(other.hists))
 	for name, h := range other.hists {
 		hists[name] = h
@@ -217,6 +272,11 @@ func (r *Registry) Merge(other *Registry) error {
 	other.mu.Unlock()
 	for name, c := range counters {
 		r.Counter(name).Add(c.Value())
+	}
+	// Gauges are levels, not accumulations: a merge adopts the other
+	// side's current value rather than summing.
+	for name, g := range gauges {
+		r.Gauge(name).Set(g.Value())
 	}
 	for name, h := range hists {
 		mine := r.Hist(name, len(h.bins), h.lo, h.hi)

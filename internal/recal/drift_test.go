@@ -1,0 +1,242 @@
+package recal_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"mcost"
+	"mcost/internal/dataset"
+	"mcost/internal/metric"
+	"mcost/internal/recal"
+)
+
+// The drift harness: two identical indexes over a uniform base, one
+// with recalibration enabled, both doubled by a stream of inserts
+// drawn from a shifted distribution while probe batches measure the
+// windowed admission error — |priced − observed| / observed over the
+// recent window, the exact quantity the serving layer's drift alarm
+// watches. The pinned contract of this PR: with recalibration ON the
+// error stays inside the band while the index doubles; with it OFF
+// the frozen build-time model leaves the band.
+
+const (
+	driftBaseN  = 1600
+	driftDim    = 6
+	driftStages = 8
+	driftProbes = 24
+	driftRadius = 0.3
+	// driftWindow is the number of recent probe executions the
+	// harness's own admission-error window holds.
+	driftWindow = 24
+)
+
+// driftScenario generates the post-build insert stream and the probe
+// queries, both from the same shifted distribution.
+type driftScenario struct {
+	name string
+	band float64
+	gen  func(rng *rand.Rand) mcost.Object
+}
+
+// driftScenarios are the three drift shapes the harness pins:
+// uniform→clustered shift, a dimension step (inserts collapse onto a
+// 2-D subspace), and a radius shift (inserts compress into a half-
+// scale box, halving typical distances).
+func driftScenarios() []driftScenario {
+	clusterCenters := [][]float64{
+		{0.2, 0.8, 0.3, 0.7, 0.5, 0.1},
+		{0.9, 0.1, 0.6, 0.2, 0.8, 0.4},
+		{0.5, 0.5, 0.1, 0.9, 0.2, 0.6},
+	}
+	return []driftScenario{
+		{
+			name: "clustered",
+			band: 0.25,
+			gen: func(rng *rand.Rand) mcost.Object {
+				c := clusterCenters[rng.Intn(len(clusterCenters))]
+				v := make(metric.Vector, driftDim)
+				for j := range v {
+					v[j] = clamp01(c[j] + rng.NormFloat64()*0.05)
+				}
+				return v
+			},
+		},
+		{
+			name: "subspace",
+			band: 0.25,
+			gen: func(rng *rand.Rand) mcost.Object {
+				// A dimension step: the last two coordinates pin to the
+				// cube center, so inserts live on a 4-D subspace.
+				v := make(metric.Vector, driftDim)
+				for j := 0; j < 4; j++ {
+					v[j] = rng.Float64()
+				}
+				v[4], v[5] = 0.5, 0.5
+				return v
+			},
+		},
+		{
+			name: "scaled",
+			band: 0.25,
+			gen: func(rng *rand.Rand) mcost.Object {
+				// A radius shift: inserts live in [0.15, 0.85]^dim, so
+				// typical pairwise distances compress by 0.7.
+				v := make(metric.Vector, driftDim)
+				for j := range v {
+					v[j] = 0.15 + rng.Float64()*0.7
+				}
+				return v
+			},
+		},
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// errWindow is the harness's sliding admission-error window: one entry
+// per probe batch, error = max over the two cost dimensions of the
+// windowed |priced − observed| / observed.
+type errWindow struct {
+	entries [][4]float64 // servedNodes, servedDists, obsNodes, obsDists
+}
+
+func (w *errWindow) push(servedN, servedD, obsN, obsD float64) {
+	w.entries = append(w.entries, [4]float64{servedN, servedD, obsN, obsD})
+	if len(w.entries) > driftWindow {
+		w.entries = w.entries[1:]
+	}
+}
+
+func (w *errWindow) err() float64 {
+	var sN, sD, oN, oD float64
+	for _, e := range w.entries {
+		sN += e[0]
+		sD += e[1]
+		oN += e[2]
+		oD += e[3]
+	}
+	rel := func(pred, obs float64) float64 {
+		if obs < 1 {
+			obs = 1
+		}
+		d := pred - obs
+		if d < 0 {
+			d = -d
+		}
+		return d / obs
+	}
+	if eN, eD := rel(sN, oN), rel(sD, oD); eN > eD {
+		return eN
+	} else {
+		return eD
+	}
+}
+
+// probeBatch prices and runs each probe as its own dispatch (the
+// admission unit), recording every execution in the arm's error
+// window. The price is captured before the query runs, exactly as
+// server admission does, so on the recal arm later probes are priced
+// with the bias learned from earlier ones.
+func probeBatch(t *testing.T, ix *mcost.Index, probes []mcost.Object, w *errWindow) {
+	t.Helper()
+	for _, q := range probes {
+		per := ix.PriceRange(driftRadius)
+		tr := mcost.NewQueryTrace()
+		if _, err := ix.RangeBatchTraced(context.Background(), []mcost.Object{q}, driftRadius, mcost.QueryBudget{}, tr); err != nil {
+			t.Fatalf("probe: %v", err)
+		}
+		w.push(per.Nodes, per.Dists, float64(tr.TotalNodes()), float64(tr.TotalDists()))
+	}
+}
+
+func TestDriftHarness(t *testing.T) {
+	for _, sc := range driftScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			base := dataset.Uniform(driftBaseN, driftDim, 11)
+			build := func() *mcost.Index {
+				ix, err := mcost.Build(base.Space, base.Objects, mcost.Options{Seed: 5, Workers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return ix
+			}
+			ixOn, ixOff := build(), build()
+			rcfg := recal.Config{Window: 32, Band: sc.band, Seed: 5}
+			if err := ixOn.EnableRecalibration(rcfg, base.Objects); err != nil {
+				t.Fatal(err)
+			}
+
+			rng := rand.New(rand.NewSource(99))
+			perStage := driftBaseN / driftStages
+			var winOn, winOff errWindow
+			onInBand := 0
+			for stage := 1; stage <= driftStages; stage++ {
+				for i := 0; i < perStage; i++ {
+					obj := sc.gen(rng)
+					if _, err := ixOn.Insert(obj); err != nil {
+						t.Fatalf("stage %d insert (recal on): %v", stage, err)
+					}
+					if _, err := ixOff.Insert(obj); err != nil {
+						t.Fatalf("stage %d insert (recal off): %v", stage, err)
+					}
+				}
+				probes := make([]mcost.Object, driftProbes)
+				for i := range probes {
+					probes[i] = sc.gen(rng)
+				}
+				probeBatch(t, ixOn, probes, &winOn)
+				probeBatch(t, ixOff, probes, &winOff)
+				if winOn.err() <= sc.band {
+					onInBand++
+				}
+			}
+
+			if got, want := ixOn.Size(), 2*driftBaseN; got != want {
+				t.Fatalf("index must double under the drift stream: size %d, want %d", got, want)
+			}
+			onErr, offErr := winOn.err(), winOff.err()
+			t.Logf("%s: doubled to %d objects; windowed error on=%.3f off=%.3f (band %.2f), on in band %d/%d stages",
+				sc.name, ixOn.Size(), onErr, offErr, sc.band, onInBand, driftStages)
+			// The pinned contract: with recalibration the admission error
+			// is inside the band at the end and for nearly every
+			// checkpoint (one transient excursion right after a model
+			// refit is the alarm working, not a regression); without it
+			// the frozen model has left the band for good.
+			if onErr > sc.band {
+				t.Errorf("recal ON must end inside the band: error %.3f > band %.2f", onErr, sc.band)
+			}
+			if onInBand < driftStages-2 {
+				t.Errorf("recal ON in band only %d/%d stages", onInBand, driftStages)
+			}
+			if offErr <= sc.band {
+				t.Errorf("recal OFF must leave the band once the index doubled: error %.3f <= band %.2f",
+					offErr, sc.band)
+			}
+			if onErr >= offErr {
+				t.Errorf("recal ON must beat OFF: %.3f >= %.3f", onErr, offErr)
+			}
+
+			// The recalibrator's own view must agree that drift was
+			// observed: writes counted, build-time mass decayed.
+			st, ok := ixOn.RecalStats()
+			if !ok {
+				t.Fatal("RecalStats must report once enabled")
+			}
+			if st.Inserts != int64(driftBaseN) {
+				t.Errorf("recal saw %d inserts, want %d", st.Inserts, driftBaseN)
+			}
+			if st.BaseWeight >= 1 {
+				t.Errorf("base mass must decay under writes: %g", st.BaseWeight)
+			}
+		})
+	}
+}

@@ -1,0 +1,89 @@
+package rescache_test
+
+import (
+	"testing"
+
+	"mcost"
+	"mcost/internal/mtree"
+	"mcost/internal/rescache"
+)
+
+// TestBumpEpochInvalidates is the regression test for the stale-delete
+// bug: before write-epoch invalidation, an entry cached ahead of a
+// Delete kept serving the deleted object. Any write now bumps the
+// cache epoch, and entries stamped under an older epoch must never hit
+// again. (On the pre-fix cache, which had no epoch, both post-write
+// probes below still hit and the test fails.)
+func TestBumpEpochInvalidates(t *testing.T) {
+	c := newCache(t, rescache.Config{Entries: 8, Shards: 1, Dist: lineDist})
+	m := []mtree.Match{{Object: 1.0, OID: 1, Distance: 1.0}}
+	c.PutRange(0.0, 2.0, m, bigEst)
+	c.PutNN(0.0, 1, m, bigEst)
+	if pr := c.GetRange(0.0, 2.0, bigEst); !pr.Hit {
+		t.Fatal("pre-write range probe must hit")
+	}
+	if pr := c.GetNN(0.0, 1, bigEst); !pr.Hit {
+		t.Fatal("pre-write NN probe must hit")
+	}
+
+	c.BumpEpoch() // a write landed; OID 1 may no longer exist
+
+	if pr := c.GetRange(0.0, 2.0, bigEst); pr.Hit {
+		t.Fatalf("range entry from before the write must be stale, served %+v", pr.Matches)
+	}
+	if pr := c.GetNN(0.0, 1, bigEst); pr.Hit {
+		t.Fatalf("NN entry from before the write must be stale, served %+v", pr.Matches)
+	}
+
+	// Entries stored after the bump are live again.
+	c.PutRange(0.0, 2.0, m, bigEst)
+	if pr := c.GetRange(0.0, 2.0, bigEst); !pr.Hit {
+		t.Fatal("post-write put must serve")
+	}
+}
+
+// TestPutAtStaleEpochNeverServes pins the race contract: the serving
+// layer captures the epoch BEFORE executing a query and hands it to
+// PutRangeAt/PutNNAt. If a write bumps the epoch while the query runs,
+// the entry lands already stale and must never serve a post-write
+// probe.
+func TestPutAtStaleEpochNeverServes(t *testing.T) {
+	c := newCache(t, rescache.Config{Entries: 8, Shards: 1, Dist: lineDist})
+	m := []mtree.Match{{Object: 1.0, OID: 1, Distance: 1.0}}
+
+	before := c.Epoch() // query admitted, starts executing
+	c.BumpEpoch()       // concurrent write lands mid-flight
+	c.PutRangeAt(0.0, 2.0, m, bigEst, before)
+	c.PutNNAt(0.0, 1, m, bigEst, before)
+
+	if pr := c.GetRange(0.0, 2.0, bigEst); pr.Hit {
+		t.Fatal("entry computed against the pre-write tree must not serve")
+	}
+	if pr := c.GetNN(0.0, 1, bigEst); pr.Hit {
+		t.Fatal("NN entry computed against the pre-write tree must not serve")
+	}
+
+	// The same put stamped with the current epoch serves fine.
+	c.PutRangeAt(0.0, 2.0, m, bigEst, c.Epoch())
+	if pr := c.GetRange(0.0, 2.0, bigEst); !pr.Hit {
+		t.Fatal("current-epoch put must serve")
+	}
+}
+
+// TestEvictionPrefersStaleEntries: once a write invalidates the
+// resident entries, they are the first eviction victims regardless of
+// their saved cost.
+func TestEvictionPrefersStaleEntries(t *testing.T) {
+	c := newCache(t, rescache.Config{Entries: 2, Shards: 1, Dist: lineDist})
+	costly := []mtree.Match{{Object: 10.0, OID: 1, Distance: 0.5}}
+	c.PutRange(10.0, 1.0, costly, bigEst)
+	c.BumpEpoch()
+	cheap := []mtree.Match{{Object: 20.0, OID: 2, Distance: 0.5}}
+	c.PutRange(20.0, 1.0, cheap, mcost.CostEstimate{Nodes: 1, Dists: 1})
+	// Capacity 2, both resident; the next put must evict the stale
+	// costly entry, not the live cheap one.
+	c.PutRange(30.0, 1.0, []mtree.Match{{Object: 30.0, OID: 3, Distance: 0}}, bigEst)
+	if pr := c.GetRange(20.0, 1.0, bigEst); !pr.Hit {
+		t.Fatal("live entry must survive eviction over a stale one")
+	}
+}

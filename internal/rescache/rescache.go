@@ -97,6 +97,11 @@ type Config struct {
 type entry struct {
 	fp     uint64
 	center metric.Object
+	// epoch is the cache's write epoch at insertion. A probe only trusts
+	// entries from the current epoch: any index mutation bumps the epoch
+	// (see BumpEpoch), so result sets proven against the old index can
+	// never answer a post-write query.
+	epoch uint64
 	// radius is the verified ball radius: the query radius for a
 	// range-sourced entry, the k-th neighbor distance for a k-NN-sourced
 	// one.
@@ -149,6 +154,10 @@ type Cache struct {
 	// a fresh cache probes at all, and is floored so a cold streak can
 	// recover.
 	hitRate atomic.Uint64
+
+	// epoch is the write epoch: entries are stamped with it on insert
+	// and ignored by probes once it moves on.
+	epoch atomic.Uint64
 }
 
 const (
@@ -216,6 +225,22 @@ func (c *Cache) Len() int {
 	}
 	return n
 }
+
+// BumpEpoch invalidates every current entry in one atomic step. Call it
+// after each index mutation (insert or delete): a cached set is only
+// exact while the indexed objects are unchanged, and a cached ball from
+// before a delete can still "prove" containment of the removed object.
+// Stale entries stop answering probes immediately and age out of the
+// LRU lists under insertion pressure.
+//
+// Ordering contract: the bump must happen after the mutation is
+// applied, and results computed against the pre-write index must not be
+// Put afterwards — the serving layer gets both for free by serializing
+// writes against in-flight queries.
+func (c *Cache) BumpEpoch() { c.epoch.Add(1) }
+
+// Epoch returns the current write epoch (0 for a fresh cache).
+func (c *Cache) Epoch() uint64 { return c.epoch.Load() }
 
 // Reset drops every entry. Call when the underlying index mutates: a
 // cached set is only exact while the indexed objects are unchanged.
@@ -314,6 +339,7 @@ func (c *Cache) GetRange(q metric.Object, radius float64, est core.CostEstimate)
 		return Probe{}
 	}
 	spent, centers := 0, 0
+	cur := c.epoch.Load()
 	start := int(fingerprint(q) % uint64(len(c.shards)))
 	var buf []*entry
 	for si := 0; si < len(c.shards) && spent < budget && centers < c.cfg.MaxProbe; si++ {
@@ -322,9 +348,10 @@ func (c *Cache) GetRange(q metric.Object, radius float64, est core.CostEstimate)
 			if spent >= budget || centers >= c.cfg.MaxProbe {
 				break
 			}
-			// A ball narrower than the query can never contain it; skip
+			// A stale ball was proven against a different index; a
+			// narrower ball can never contain the query. Skip both
 			// without a distance computation.
-			if !e.rangeOrdered || e.radius < radius {
+			if e.epoch != cur || !e.rangeOrdered || e.radius < radius {
 				continue
 			}
 			dqq := c.cfg.Dist(q, e.center)
@@ -367,6 +394,7 @@ func (c *Cache) GetNN(q metric.Object, k int, est core.CostEstimate) Probe {
 		return Probe{}
 	}
 	spent, centers := 0, 0
+	cur := c.epoch.Load()
 	start := int(fingerprint(q) % uint64(len(c.shards)))
 	var buf []*entry
 	for si := 0; si < len(c.shards) && spent < budget && centers < c.cfg.MaxProbe; si++ {
@@ -375,7 +403,7 @@ func (c *Cache) GetNN(q metric.Object, k int, est core.CostEstimate) Probe {
 			if spent >= budget || centers >= c.cfg.MaxProbe {
 				break
 			}
-			if len(e.matches) < k {
+			if e.epoch != cur || len(e.matches) < k {
 				continue
 			}
 			dqq := c.cfg.Dist(q, e.center)
@@ -468,10 +496,20 @@ func filterNN(dist metric.DistanceFunc, q metric.Object, cached []mtree.Match) (
 // the entry will save per hit — the eviction weight. Callers must never
 // pass partial (budget- or context-stopped) results.
 func (c *Cache) PutRange(q metric.Object, radius float64, matches []mtree.Match, est core.CostEstimate) {
+	c.PutRangeAt(q, radius, matches, est, c.epoch.Load())
+}
+
+// PutRangeAt is PutRange stamping the entry with the write epoch the
+// caller observed before executing the query. A writer that raced the
+// execution has already moved the epoch on, so the entry lands stale
+// and never answers a probe — the only race-free way to publish results
+// computed outside the cache's own synchronization.
+func (c *Cache) PutRangeAt(q metric.Object, radius float64, matches []mtree.Match, est core.CostEstimate, epoch uint64) {
 	if radius < 0 || (c.cfg.MaxRadius > 0 && radius > c.cfg.MaxRadius) {
 		return
 	}
 	c.insert(&entry{
+		epoch:        epoch,
 		center:       q,
 		radius:       radius,
 		rangeOrdered: true,
@@ -484,6 +522,12 @@ func (c *Cache) PutRange(q metric.Object, radius float64, matches []mtree.Match,
 // neighbor distance. Results shorter than k (dataset smaller than k) or
 // with a zero k-th distance verify no ball and are skipped.
 func (c *Cache) PutNN(q metric.Object, k int, matches []mtree.Match, est core.CostEstimate) {
+	c.PutNNAt(q, k, matches, est, c.epoch.Load())
+}
+
+// PutNNAt is PutNN stamping the caller-observed write epoch (see
+// PutRangeAt).
+func (c *Cache) PutNNAt(q metric.Object, k int, matches []mtree.Match, est core.CostEstimate, epoch uint64) {
 	if len(matches) < k || k <= 0 {
 		return
 	}
@@ -492,6 +536,7 @@ func (c *Cache) PutNN(q metric.Object, k int, matches []mtree.Match, est core.Co
 		return
 	}
 	c.insert(&entry{
+		epoch:   epoch,
 		center:  q,
 		radius:  rk,
 		open:    true,
@@ -529,16 +574,25 @@ func (c *Cache) insert(e *entry) {
 
 // evictLocked removes the lowest-weight entry among the evictSample
 // least-recent ones: recency picks the candidates, saved traversal cost
-// picks the victim. Caller holds s.mu.
+// picks the victim. Entries from a past write epoch can never answer a
+// probe again, so they lose every contest. Caller holds s.mu.
 func (c *Cache) evictLocked(s *cacheShard) {
 	victim := s.ll.Back()
 	if victim == nil {
 		return
 	}
+	cur := c.epoch.Load()
+	weight := func(el *list.Element) float64 {
+		e := el.Value.(*entry)
+		if e.epoch != cur {
+			return -1
+		}
+		return e.weight()
+	}
 	el := victim
 	for i := 1; i < evictSample && el != nil; i++ {
 		el = el.Prev()
-		if el != nil && el.Value.(*entry).weight() < victim.Value.(*entry).weight() {
+		if el != nil && weight(el) < weight(victim) {
 			victim = el
 		}
 	}

@@ -23,6 +23,7 @@ import (
 	"mcost/internal/metric"
 	"mcost/internal/mtree"
 	"mcost/internal/obs"
+	"mcost/internal/recal"
 )
 
 // Engine is the query engine behind the server: a built index that can
@@ -43,6 +44,23 @@ type Engine interface {
 	NumNodes() int
 	Height() int
 	PageSize() int
+}
+
+// Mutable is the optional write surface of an Engine. An engine that
+// implements it gets /v1/insert and /v1/delete mounted, with the server
+// serializing writes against in-flight queries (the trees are not safe
+// for mutation concurrent with reads). *mcost.Index and
+// *mcost.ShardedIndex satisfy it.
+type Mutable interface {
+	Insert(obj metric.Object) (uint64, error)
+	Delete(obj metric.Object, oid uint64) error
+}
+
+// RecalReporter is the optional recalibration surface: an engine with a
+// live recalibrator reports its drift state, which /v1/stats exposes as
+// gauges.
+type RecalReporter interface {
+	RecalStats() (recal.Stats, bool)
 }
 
 // ObjectDecoder decodes the "query" field of a request into a metric

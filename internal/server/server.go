@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"sync"
 	"time"
 
 	"mcost/internal/budget"
@@ -64,7 +65,13 @@ type Config struct {
 // Server is the cost-aware HTTP serving layer. Create with New, expose
 // with Handler, and Close when done (flushes the micro-batcher).
 type Server struct {
-	eng     Engine
+	eng Engine
+	// base is the unwrapped engine handed to New — the value optional
+	// interfaces (Mutable, RecalReporter) are discovered on. When the
+	// engine is mutable, eng is a lockedEngine over base and wmu.
+	base    Engine
+	mut     Mutable
+	wmu     sync.RWMutex
 	dec     ObjectDecoder
 	adm     *Admitter
 	bat     *Batcher
@@ -87,6 +94,8 @@ type Server struct {
 	cCacheMiss *obs.Counter
 	cProbeDist *obs.Counter
 	cSavedNode *obs.Counter
+	cInserts   *obs.Counter
+	cDeletes   *obs.Counter
 }
 
 // New validates cfg and assembles the server.
@@ -114,10 +123,9 @@ func New(cfg Config) (*Server, error) {
 		maxK = cfg.Engine.Size()
 	}
 	s := &Server{
-		eng:        cfg.Engine,
+		base:       cfg.Engine,
 		dec:        cfg.Decode,
 		adm:        NewAdmitter(cfg.Admission, cfg.Clock),
-		bat:        NewBatcher(cfg.Engine, cfg.Batch, reg, cfg.Clock),
 		cache:      cfg.Cache,
 		reg:        reg,
 		slack:      slack,
@@ -136,7 +144,18 @@ func New(cfg Config) (*Server, error) {
 		cCacheMiss: reg.Counter("server.cache_misses"),
 		cProbeDist: reg.Counter("server.cache_probe_dists"),
 		cSavedNode: reg.Counter("server.cache_saved_node_reads"),
+		cInserts:   reg.Counter("server.inserts"),
+		cDeletes:   reg.Counter("server.deletes"),
 	}
+	// A mutable engine gets the readers-writer guard: queries (pricing
+	// and batch dispatch) share the read side, /v1/insert and /v1/delete
+	// take the write side. Read-only engines keep the zero-cost path.
+	s.eng = cfg.Engine
+	if mut, ok := cfg.Engine.(Mutable); ok {
+		s.mut = mut
+		s.eng = &lockedEngine{eng: cfg.Engine, mu: &s.wmu}
+	}
+	s.bat = NewBatcher(s.eng, cfg.Batch, reg, cfg.Clock)
 	return s, nil
 }
 
@@ -152,6 +171,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/range", s.handleQuery(false))
 	mux.HandleFunc("/v1/nn", s.handleQuery(true))
+	mux.HandleFunc("/v1/insert", s.handleWrite(true))
+	mux.HandleFunc("/v1/delete", s.handleWrite(false))
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	if s.debug {
@@ -346,8 +367,13 @@ func (s *Server) handleQuery(nn bool) http.HandlerFunc {
 
 		// Probe the result cache before admission: a containment hit is
 		// exact and nearly free, so it must not spend bucket tokens the
-		// traversal it avoids would have charged.
+		// traversal it avoids would have charged. The epoch read here
+		// also stamps any entry this request later Puts: a write racing
+		// the execution bumps the epoch first, so the stale entry can
+		// never answer a probe.
+		var cacheEpoch uint64
 		if s.cache != nil {
+			cacheEpoch = s.cache.Epoch()
 			var pr rescache.Probe
 			if nn {
 				pr = s.cache.GetNN(req.q, req.k, est)
@@ -405,9 +431,9 @@ func (s *Server) handleQuery(nn bool) http.HandlerFunc {
 			// a failed dispatch verifies nothing at all.
 			if s.cache != nil {
 				if nn {
-					s.cache.PutNN(req.q, req.k, res.matches, est)
+					s.cache.PutNNAt(req.q, req.k, res.matches, est, cacheEpoch)
 				} else {
-					s.cache.PutRange(req.q, req.radius, res.matches, est)
+					s.cache.PutRangeAt(req.q, req.radius, res.matches, est, cacheEpoch)
 				}
 			}
 		case errors.Is(res.err, budget.ErrExceeded):
@@ -443,6 +469,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			msg: "stats endpoint accepts GET only"})
 		return
 	}
+	s.refreshRecalGauges()
 	var buf bytes.Buffer
 	if err := obs.WriteEnvelope(&buf, s.reg, nil); err != nil {
 		s.cErrors.Inc()

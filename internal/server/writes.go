@@ -1,0 +1,227 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"mcost/internal/budget"
+	"mcost/internal/core"
+	"mcost/internal/metric"
+	"mcost/internal/mtree"
+	"mcost/internal/obs"
+)
+
+// lockedEngine serializes a Mutable engine behind a readers-writer
+// lock: pricing, batch dispatch, and structural reads share the read
+// side; the write handlers take the write side around Insert/Delete.
+// The trees support concurrent read-only queries but not mutation
+// concurrent with anything, so this is the minimal guard that keeps the
+// read path fully parallel between writes.
+type lockedEngine struct {
+	eng Engine
+	mu  *sync.RWMutex
+}
+
+func (l *lockedEngine) PriceRange(radius float64) core.CostEstimate {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.eng.PriceRange(radius)
+}
+
+func (l *lockedEngine) PriceNN(k int) core.CostEstimate {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.eng.PriceNN(k)
+}
+
+func (l *lockedEngine) RangeBatchTraced(ctx context.Context, qs []metric.Object, radius float64, b budget.Budget, tr *obs.Trace) ([][]mtree.Match, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.eng.RangeBatchTraced(ctx, qs, radius, b, tr)
+}
+
+func (l *lockedEngine) NNBatchTraced(ctx context.Context, qs []metric.Object, k int, b budget.Budget, tr *obs.Trace) ([][]mtree.Match, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.eng.NNBatchTraced(ctx, qs, k, b, tr)
+}
+
+func (l *lockedEngine) Size() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.eng.Size()
+}
+
+func (l *lockedEngine) NumNodes() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.eng.NumNodes()
+}
+
+func (l *lockedEngine) Height() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.eng.Height()
+}
+
+func (l *lockedEngine) PageSize() int { return l.eng.PageSize() }
+
+// InsertResponse is the 200 body of /v1/insert.
+type InsertResponse struct {
+	// OID is the server-assigned object identifier; pass it back to
+	// /v1/delete. OIDs are never reused.
+	OID uint64 `json:"oid"`
+	// Size is the indexed object count after the insert.
+	Size int `json:"size"`
+}
+
+// DeleteResponse is the 200 body of /v1/delete.
+type DeleteResponse struct {
+	Deleted bool `json:"deleted"`
+	// Size is the indexed object count after the delete.
+	Size int `json:"size"`
+}
+
+// writeRequest is the decoded, validated body of a write endpoint.
+type writeRequest struct {
+	obj metric.Object
+	oid uint64
+}
+
+// rawWriteRequest is the wire shape before validation.
+type rawWriteRequest struct {
+	Object json.RawMessage `json:"object"`
+	OID    *uint64         `json:"oid"`
+}
+
+// decodeWrite parses and strictly validates a write body, mirroring
+// decodeQuery's discipline: typed 4xx errors, nothing coerced.
+func (s *Server) decodeWrite(r io.Reader, insert bool) (writeRequest, *apiError) {
+	var out writeRequest
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var raw rawWriteRequest
+	if err := dec.Decode(&raw); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return out, &apiError{status: http.StatusRequestEntityTooLarge, code: "body_too_large",
+				msg: fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit)}
+		}
+		return out, badRequest("bad_json", "invalid request body: %v", err)
+	}
+	if dec.More() {
+		return out, badRequest("bad_json", "trailing data after request body")
+	}
+	if len(raw.Object) == 0 {
+		return out, badRequest("missing_object", "request has no \"object\" field")
+	}
+	obj, err := s.dec(raw.Object)
+	if err != nil {
+		return out, badRequest("bad_object", "%v", err)
+	}
+	out.obj = obj
+	if insert {
+		if raw.OID != nil {
+			return out, badRequest("bad_oid", "\"oid\" is not an insert parameter; the server assigns OIDs")
+		}
+		return out, nil
+	}
+	if raw.OID == nil {
+		return out, badRequest("missing_oid", "delete request has no \"oid\" field")
+	}
+	out.oid = *raw.OID
+	return out, nil
+}
+
+// handleWrite mutates the index under the write lock. The result-cache
+// epoch is bumped inside the critical section, so no query can probe a
+// pre-write entry after the write is visible — the invalidation the
+// cache's exactness contract requires.
+func (s *Server) handleWrite(insert bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.cRequests.Inc()
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			s.reject(w, &apiError{status: http.StatusMethodNotAllowed, code: "method_not_allowed",
+				msg: "write endpoints accept POST only"})
+			return
+		}
+		if s.mut == nil {
+			s.reject(w, &apiError{status: http.StatusNotImplemented, code: "read_only",
+				msg: "this engine does not support writes"})
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		req, aerr := s.decodeWrite(r.Body, insert)
+		if aerr != nil {
+			s.reject(w, aerr)
+			return
+		}
+		if insert {
+			s.wmu.Lock()
+			oid, err := s.mut.Insert(req.obj)
+			if err == nil && s.cache != nil {
+				s.cache.BumpEpoch()
+			}
+			s.wmu.Unlock()
+			if err != nil {
+				s.cErrors.Inc()
+				s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{Code: "internal", Error: err.Error()})
+				return
+			}
+			s.cInserts.Inc()
+			s.writeJSON(w, http.StatusOK, InsertResponse{OID: oid, Size: s.eng.Size()})
+			return
+		}
+		s.wmu.Lock()
+		err := s.mut.Delete(req.obj, req.oid)
+		if err == nil && s.cache != nil {
+			s.cache.BumpEpoch()
+		}
+		s.wmu.Unlock()
+		if err != nil {
+			if errors.Is(err, mtree.ErrNotFound) {
+				s.reject(w, &apiError{status: http.StatusNotFound, code: "not_found", msg: err.Error()})
+				return
+			}
+			s.cErrors.Inc()
+			s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{Code: "internal", Error: err.Error()})
+			return
+		}
+		s.cDeletes.Inc()
+		s.writeJSON(w, http.StatusOK, DeleteResponse{Deleted: true, Size: s.eng.Size()})
+	}
+}
+
+// refreshRecalGauges copies the engine's current drift state into the
+// registry so /v1/stats snapshots carry it. Gauges are levels: each
+// refresh overwrites the last.
+func (s *Server) refreshRecalGauges() {
+	rr, ok := s.base.(RecalReporter)
+	if !ok {
+		return
+	}
+	st, ok := rr.RecalStats()
+	if !ok {
+		return
+	}
+	s.reg.Gauge("recal.window_error").Set(st.WindowError)
+	s.reg.Gauge("recal.drift_alarms").Set(float64(st.DriftAlarms))
+	s.reg.Gauge("recal.band").Set(st.Band)
+	inBand := 0.0
+	if st.InBand {
+		inBand = 1
+	}
+	s.reg.Gauge("recal.in_band").Set(inBand)
+	for i, b := range st.BiasNodesPerLevel {
+		s.reg.Gauge(fmt.Sprintf("recal.bias_nodes.l%d", i)).Set(b)
+	}
+	for i, b := range st.BiasDistsPerLevel {
+		s.reg.Gauge(fmt.Sprintf("recal.bias_dists.l%d", i)).Set(b)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"mcost/internal/mtree"
 	"mcost/internal/obs"
 	"mcost/internal/parallel"
+	"mcost/internal/recal"
 )
 
 // Assignment selects how objects are distributed across shards.
@@ -126,6 +127,53 @@ type Shard struct {
 	// nil for RoundRobin shards (no geometric bound; Radius is d+).
 	Pivot  metric.Object
 	Radius float64
+	// rc, when non-nil, keeps this shard's model live under writes (see
+	// Set.EnableRecalibration).
+	rc *recal.Recalibrator
+}
+
+// priceRange returns the shard's range price, bias-corrected when
+// recalibration is enabled.
+func (sh *Shard) priceRange(radius float64) core.CostEstimate {
+	if sh.rc != nil {
+		return sh.rc.CorrectRange(sh.Model.RangeLByLevel(radius))
+	}
+	return sh.Model.RangeL(radius)
+}
+
+// priceNN returns the shard's k-NN price with k clamped to the shard
+// size, bias-corrected when recalibration is enabled.
+func (sh *Shard) priceNN(k int) core.CostEstimate {
+	if n := sh.Tree.Size(); k > n {
+		k = n
+	}
+	if k < 1 {
+		return core.CostEstimate{}
+	}
+	if sh.rc != nil {
+		return sh.rc.CorrectNN(sh.Model.NNL(k))
+	}
+	return sh.Model.NNL(k)
+}
+
+// observeRange feeds one clean range execution on sh back into its
+// recalibrator (caller checks sh.rc != nil).
+func (sh *Shard) observeRange(radius float64, tr *obs.Trace) {
+	raw := sh.Model.RangeLByLevel(radius)
+	sh.rc.ObserveRange(raw, sh.rc.CorrectRange(raw), tr)
+}
+
+// observeNN feeds one clean k-NN execution on sh back into its
+// recalibrator (caller checks sh.rc != nil).
+func (sh *Shard) observeNN(k int, tr *obs.Trace) {
+	if n := sh.Tree.Size(); k > n {
+		k = n
+	}
+	if k < 1 {
+		return
+	}
+	raw := sh.Model.NNL(k)
+	sh.rc.ObserveNN(raw, sh.rc.CorrectNN(raw), tr)
 }
 
 // Set is a sharded index: S independent M-trees behind one query
@@ -140,6 +188,18 @@ type Set struct {
 	pruneDists atomic.Int64
 	// skipped counts shard visits avoided by the lower-bound prune.
 	skipped atomic.Int64
+	// Write state, built lazily on the first Insert/Delete. Writes
+	// follow the tree contract: not safe concurrent with queries or
+	// with each other — the serving layer serializes them.
+	nextGlobal uint64
+	oidIndex   map[uint64]oidLoc
+}
+
+// oidLoc locates a global OID: which shard holds it, under which local
+// (dense insertion-order) OID.
+type oidLoc struct {
+	shard int
+	local uint64
 }
 
 // QueryOptions tunes query execution against a Set.
@@ -409,11 +469,12 @@ func (s *Set) ShardsSkipped() int64 { return s.skipped.Load() }
 
 // PredictRange predicts a range query's cost as the sum of the shards'
 // L-MCM predictions — without pruning every shard is traversed, so
-// per-shard costs add.
+// per-shard costs add. With recalibration enabled each shard's term
+// carries that shard's learned bias correction.
 func (s *Set) PredictRange(radius float64) core.CostEstimate {
 	var est core.CostEstimate
 	for _, sh := range s.shards {
-		e := sh.Model.RangeL(radius)
+		e := sh.priceRange(radius)
 		est.Nodes += e.Nodes
 		est.Dists += e.Dists
 	}
@@ -421,16 +482,13 @@ func (s *Set) PredictRange(radius float64) core.CostEstimate {
 }
 
 // PredictNN predicts a k-NN query's cost as the sum of the shards'
-// L-MCM k-NN predictions. Each shard answers k-NN over its own subset,
-// so the sum upper-bounds the pruned execution.
+// L-MCM k-NN predictions, bias-corrected per shard when recalibration
+// is enabled. Each shard answers k-NN over its own subset, so the sum
+// upper-bounds the pruned execution.
 func (s *Set) PredictNN(k int) core.CostEstimate {
 	var est core.CostEstimate
 	for _, sh := range s.shards {
-		kk := k
-		if n := sh.Tree.Size(); kk > n {
-			kk = n
-		}
-		e := sh.Model.NNL(kk)
+		e := sh.priceNN(k)
 		est.Nodes += e.Nodes
 		est.Dists += e.Dists
 	}
@@ -499,19 +557,23 @@ func (s *Set) Range(q metric.Object, radius float64, opt QueryOptions) ([]mtree.
 		if !visit[i] {
 			return nil
 		}
+		sh := s.shards[i]
 		topt := opt.tree()
-		if opt.Trace != nil {
+		if opt.Trace != nil || sh.rc != nil {
 			traces[i] = obs.NewTrace()
 			topt.Trace = traces[i]
 		}
 		var ms []mtree.Match
 		var err error
 		if opt.guarded() {
-			ms, err = s.shards[i].Tree.RangeCtx(opt.ctx(), q, radius, topt)
+			ms, err = sh.Tree.RangeCtx(opt.ctx(), q, radius, topt)
 		} else {
-			ms, err = s.shards[i].Tree.Range(q, radius, topt)
+			ms, err = sh.Tree.Range(q, radius, topt)
 		}
-		results[i] = globalize(s.shards[i], ms)
+		if err == nil && sh.rc != nil {
+			sh.observeRange(radius, traces[i])
+		}
+		results[i] = globalize(sh, ms)
 		errs[i] = err
 		return nil
 	})
@@ -561,7 +623,18 @@ func (s *Set) shardOrder(q metric.Object, k int) []shardCand {
 		if n := sh.Tree.Size(); kk > n {
 			kk = n
 		}
-		order[i] = shardCand{i: i, lb: s.rangeLB(sh, q), pred: sh.Model.ExpectedNNDist(kk)}
+		pred := 0.0
+		if kk >= 1 {
+			if sh.rc != nil {
+				// Recalibrated ordering: rank by corrected predicted
+				// distance cost, which tracks drift the build-time
+				// ExpectedNNDist cannot see.
+				pred = sh.rc.CorrectNN(sh.Model.NNL(kk)).Dists
+			} else {
+				pred = sh.Model.ExpectedNNDist(kk)
+			}
+		}
+		order[i] = shardCand{i: i, lb: s.rangeLB(sh, q), pred: pred}
 	}
 	sort.Slice(order, func(a, b int) bool {
 		x, y := order[a], order[b]
@@ -600,7 +673,7 @@ func (s *Set) NN(q metric.Object, k int, opt QueryOptions) ([]mtree.Match, error
 		sh := s.shards[c.i]
 		topt := opt.tree()
 		var tr *obs.Trace
-		if opt.Trace != nil {
+		if opt.Trace != nil || sh.rc != nil {
 			tr = obs.NewTrace()
 			topt.Trace = tr
 		}
@@ -610,6 +683,9 @@ func (s *Set) NN(q metric.Object, k int, opt QueryOptions) ([]mtree.Match, error
 			ms, err = sh.Tree.NNCtx(opt.ctx(), q, k, topt)
 		} else {
 			ms, err = sh.Tree.NN(q, k, topt)
+		}
+		if err == nil && sh.rc != nil {
+			sh.observeNN(k, tr)
 		}
 		if err != nil && firstErr == nil {
 			firstErr = err
@@ -676,18 +752,21 @@ func (s *Set) runShardRangeBatch(i int, qs []metric.Object, subset []int, radius
 		sub[j] = qs[qi]
 	}
 	topt := opt.tree()
+	sh := s.shards[i]
 	var tr *obs.Trace
-	if opt.Trace != nil {
+	if opt.Trace != nil || sh.rc != nil {
 		tr = obs.NewTrace()
 		topt.Trace = tr
 	}
-	sh := s.shards[i]
 	var res [][]mtree.Match
 	var err error
 	if opt.guarded() {
 		res, err = sh.Tree.RangeBatchCtx(opt.ctx(), sub, radius, topt)
 	} else {
 		res, err = sh.Tree.RangeBatch(sub, radius, topt)
+	}
+	if err == nil && sh.rc != nil {
+		sh.observeRange(radius, tr)
 	}
 	if res == nil {
 		res = make([][]mtree.Match, len(subset))
@@ -800,17 +879,20 @@ func (s *Set) runNNWave(qs []metric.Object, k int, subsets [][]int, out [][]mtre
 			sub[j] = qs[qi]
 		}
 		topt := opt.tree()
-		if opt.Trace != nil {
+		sh := s.shards[i]
+		if opt.Trace != nil || sh.rc != nil {
 			traces[i] = obs.NewTrace()
 			topt.Trace = traces[i]
 		}
-		sh := s.shards[i]
 		var res [][]mtree.Match
 		var err error
 		if opt.guarded() {
 			res, err = sh.Tree.NNBatchCtx(opt.ctx(), sub, k, topt)
 		} else {
 			res, err = sh.Tree.NNBatch(sub, k, topt)
+		}
+		if err == nil && sh.rc != nil {
+			sh.observeNN(k, traces[i])
 		}
 		if res == nil {
 			res = make([][]mtree.Match, len(sub))
@@ -834,4 +916,200 @@ func (s *Set) runNNWave(qs []metric.Object, k int, subsets [][]int, out [][]mtre
 		opt.Trace.Merge(traces[i])
 	}
 	return errs, nil
+}
+
+// initWrites builds the global-OID lookup from the shards' OID maps on
+// the first write. Global OIDs handed out afterwards continue past the
+// largest existing one and are never reused.
+func (s *Set) initWrites() {
+	if s.oidIndex != nil {
+		return
+	}
+	s.oidIndex = make(map[uint64]oidLoc, s.Size())
+	var next uint64
+	for i, sh := range s.shards {
+		for local, gid := range sh.OIDs {
+			s.oidIndex[gid] = oidLoc{shard: i, local: uint64(local)}
+			if gid >= next {
+				next = gid + 1
+			}
+		}
+	}
+	s.nextGlobal = next
+}
+
+// Insert routes obj to a shard and returns its new global OID. Under
+// Pivot assignment the nearest pivot wins — metric locality keeps each
+// ball tight — and the shard's covering radius grows if obj lands
+// outside it, preserving the pruning invariant. RoundRobin sets rotate
+// by global OID. Writes follow the tree contract: not safe concurrent
+// with queries or with each other.
+func (s *Set) Insert(obj metric.Object) (uint64, error) {
+	if obj == nil {
+		return 0, errors.New("shard: nil object")
+	}
+	s.initWrites()
+	best := int(s.nextGlobal % uint64(len(s.shards)))
+	bestD := 0.0
+	if s.shards[0].Pivot != nil {
+		best, bestD = 0, math.Inf(1)
+		for i, sh := range s.shards {
+			s.pruneDists.Add(1)
+			if d := s.space.Distance(obj, sh.Pivot); d < bestD {
+				best, bestD = i, d
+			}
+		}
+	}
+	sh := s.shards[best]
+	local := sh.Tree.NextOID()
+	if int(local) != len(sh.OIDs) {
+		// Tree-local OIDs are dense insertion indexes; OIDs must mirror
+		// them exactly or globalize() would mistranslate results.
+		return 0, fmt.Errorf("shard: local OID %d does not extend OID map of length %d", local, len(sh.OIDs))
+	}
+	if err := sh.Tree.Insert(obj); err != nil {
+		return 0, err
+	}
+	gid := s.nextGlobal
+	s.nextGlobal++
+	sh.OIDs = append(sh.OIDs, gid)
+	sh.Objects = append(sh.Objects, obj)
+	s.oidIndex[gid] = oidLoc{shard: best, local: local}
+	if sh.Pivot != nil && bestD > sh.Radius {
+		sh.Radius = bestD
+	}
+	if sh.rc != nil {
+		sh.rc.ObserveInsert(obj)
+		if err := s.maybeRefreshShard(sh); err != nil {
+			return gid, err
+		}
+	}
+	return gid, nil
+}
+
+// Delete removes the object stored under the global OID (see
+// mtree.Tree.Delete for the identity check). The shard's covering
+// radius is not tightened — it stays a valid, if looser, bound.
+func (s *Set) Delete(obj metric.Object, oid uint64) error {
+	s.initWrites()
+	loc, ok := s.oidIndex[oid]
+	if !ok {
+		return mtree.ErrNotFound
+	}
+	sh := s.shards[loc.shard]
+	if err := sh.Tree.Delete(obj, loc.local); err != nil {
+		return err
+	}
+	delete(s.oidIndex, oid)
+	if sh.rc != nil {
+		sh.rc.ObserveDelete(obj)
+		return s.maybeRefreshShard(sh)
+	}
+	return nil
+}
+
+// EnableRecalibration attaches one recalibrator per shard, seeded from
+// the shard's members; predictions, admission prices, and the k-NN
+// shard ordering switch to bias-corrected estimates, and every clean
+// query execution feeds its trace back into the owning shard's window.
+func (s *Set) EnableRecalibration(cfg recal.Config) error {
+	for i, sh := range s.shards {
+		c := cfg
+		c.Seed = parallel.SplitSeed(cfg.Seed, 5000+i)
+		rc, err := recal.New(c, sh.F, s.space, sh.Tree.Size(), sh.Objects)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		sh.rc = rc
+	}
+	return nil
+}
+
+// maybeRefreshShard refits one shard's model from its recalibrated
+// histogram and live tree stats when the recalibrator asks for it.
+func (s *Set) maybeRefreshShard(sh *Shard) error {
+	if !sh.rc.NeedRefresh() {
+		return nil
+	}
+	stats, err := sh.Tree.CollectStats()
+	if err != nil {
+		return fmt.Errorf("shard: recalibration refresh: %w", err)
+	}
+	f, err := sh.rc.Histogram()
+	if err != nil {
+		return fmt.Errorf("shard: recalibration refresh: %w", err)
+	}
+	model, err := core.NewMTreeModel(f, stats)
+	if err != nil {
+		return fmt.Errorf("shard: recalibration refresh: %w", err)
+	}
+	sh.F, sh.Model = f, model
+	sh.rc.MarkRefreshed()
+	return nil
+}
+
+// RecalStats aggregates the per-shard recalibrator states: counts sum,
+// the window error is the worst shard's (admission should react to the
+// weakest model), InBand requires every shard in band, and the bias
+// vectors are unweighted means across enabled shards. ok is false when
+// recalibration is not enabled.
+func (s *Set) RecalStats() (recal.Stats, bool) {
+	var out recal.Stats
+	var biasN, biasD [][]float64
+	enabled := 0
+	out.InBand = true
+	for _, sh := range s.shards {
+		if sh.rc == nil {
+			continue
+		}
+		st := sh.rc.Stats()
+		enabled++
+		out.Inserts += st.Inserts
+		out.Deletes += st.Deletes
+		out.BaseWeight += st.BaseWeight
+		out.LiveSamples += st.LiveSamples
+		out.ReservoirSize += st.ReservoirSize
+		out.DriftAlarms += st.DriftAlarms
+		out.WindowQueries += st.WindowQueries
+		if st.WindowError > out.WindowError {
+			out.WindowError = st.WindowError
+		}
+		out.InBand = out.InBand && st.InBand
+		out.Band = st.Band
+		biasN = append(biasN, st.BiasNodesPerLevel)
+		biasD = append(biasD, st.BiasDistsPerLevel)
+	}
+	if enabled == 0 {
+		return recal.Stats{}, false
+	}
+	out.BaseWeight /= float64(enabled)
+	out.BiasNodesPerLevel = meanVectors(biasN)
+	out.BiasDistsPerLevel = meanVectors(biasD)
+	return out, true
+}
+
+// meanVectors averages ragged per-shard level vectors element-wise;
+// shorter shards (shallower trees) simply contribute to fewer levels.
+func meanVectors(vs [][]float64) []float64 {
+	maxLen := 0
+	for _, v := range vs {
+		if len(v) > maxLen {
+			maxLen = len(v)
+		}
+	}
+	if maxLen == 0 {
+		return nil
+	}
+	sum := make([]float64, maxLen)
+	n := make([]int, maxLen)
+	for _, v := range vs {
+		for i, x := range v {
+			sum[i] += x
+			n[i]++
+		}
+	}
+	for i := range sum {
+		sum[i] /= float64(n[i])
+	}
+	return sum
 }

@@ -41,6 +41,15 @@ type HTTPOptions struct {
 	// the regime a result cache is built for. 0 (or anything ≤ 1)
 	// keeps uniform sampling.
 	ZipfS float64
+	// InsertFrac diverts this fraction of Requests to POST /v1/insert,
+	// writing objects sampled from the query pool (0 = read-only run).
+	InsertFrac float64
+	// DeleteFrac diverts this fraction of Requests to POST /v1/delete,
+	// targeting OIDs this run inserted earlier (a delete drawn before
+	// any insert has landed falls back to an insert, so the run never
+	// deletes objects it does not own). InsertFrac+DeleteFrac must be
+	// at most 1.
+	DeleteFrac float64
 	// Backoff honors the retry_after_ms of a 429 before the worker's
 	// next request (the shed request itself is not retried). Capped by
 	// MaxBackoff.
@@ -68,6 +77,9 @@ type HTTPReport struct {
 	// CacheHits counts 200 responses the server marked as served from
 	// its result cache.
 	CacheHits int
+	// Inserts and Deletes count acknowledged writes. Requests equals
+	// OK + Partial + Shed + Errors + Inserts + Deletes on mixed runs.
+	Inserts, Deletes int
 	// BackoffTotal is the time spent honoring retry_after_ms.
 	BackoffTotal time.Duration
 }
@@ -89,10 +101,51 @@ type wireErrorResponse struct {
 	RetryAfterMS int64  `json:"retry_after_ms"`
 }
 
+type wireInsertResponse struct {
+	OID uint64 `json:"oid"`
+}
+
 // httpRequest is one planned request of the run.
 type httpRequest struct {
 	class QueryClass
 	q     metric.Object
+	kind  int // reqQuery, reqInsert, or reqDelete
+}
+
+const (
+	reqQuery = iota
+	reqInsert
+	reqDelete
+)
+
+// insertedObj remembers one acknowledged insert so a later delete can
+// target it (the server verifies the object against the OID).
+type insertedObj struct {
+	oid uint64
+	obj metric.Object
+}
+
+// oidStack is the run's shared pool of deletable objects.
+type oidStack struct {
+	mu sync.Mutex
+	s  []insertedObj
+}
+
+func (s *oidStack) push(oid uint64, obj metric.Object) {
+	s.mu.Lock()
+	s.s = append(s.s, insertedObj{oid: oid, obj: obj})
+	s.mu.Unlock()
+}
+
+func (s *oidStack) pop() (insertedObj, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.s) == 0 {
+		return insertedObj{}, false
+	}
+	it := s.s[len(s.s)-1]
+	s.s = s.s[:len(s.s)-1]
+	return it, true
 }
 
 // RunHTTP drives the workload against the serving API at baseURL (no
@@ -120,11 +173,18 @@ func RunHTTP(baseURL string, w *Workload, queryPool []metric.Object, opt HTTPOpt
 		client = http.DefaultClient
 	}
 
+	if opt.InsertFrac < 0 || opt.DeleteFrac < 0 || opt.InsertFrac+opt.DeleteFrac > 1 {
+		return nil, fmt.Errorf("workload: mutation mix insert=%g delete=%g out of range", opt.InsertFrac, opt.DeleteFrac)
+	}
+	nIns := int(opt.InsertFrac*float64(opt.Requests) + 0.5)
+	nDel := int(opt.DeleteFrac*float64(opt.Requests) + 0.5)
+	reads := opt.Requests - nIns - nDel
+
 	weights := make([]float64, len(w.Classes))
 	for i, c := range w.Classes {
 		weights[i] = c.Weight
 	}
-	counts, err := apportion(weights, opt.Requests)
+	counts, err := apportion(weights, reads)
 	if err != nil {
 		return nil, err
 	}
@@ -143,13 +203,22 @@ func RunHTTP(baseURL string, w *Workload, queryPool []metric.Object, opt HTTPOpt
 			})
 		}
 	}
+	for j := 0; j < nIns; j++ {
+		plan = append(plan, httpRequest{kind: reqInsert, q: sample()})
+	}
+	for j := 0; j < nDel; j++ {
+		// The sampled object is the fallback insert payload when no
+		// earlier insert of this run is available to delete yet.
+		plan = append(plan, httpRequest{kind: reqDelete, q: sample()})
+	}
 	rng.Shuffle(len(plan), func(i, j int) { plan[i], plan[j] = plan[j], plan[i] })
 
 	var (
-		next atomic.Int64
-		mu   sync.Mutex
-		rep  HTTPReport
-		wg   sync.WaitGroup
+		next  atomic.Int64
+		mu    sync.Mutex
+		rep   HTTPReport
+		wg    sync.WaitGroup
+		stack oidStack
 	)
 	for wk := 0; wk < opt.Workers; wk++ {
 		wg.Add(1)
@@ -160,7 +229,7 @@ func RunHTTP(baseURL string, w *Workload, queryPool []metric.Object, opt HTTPOpt
 				if i >= len(plan) {
 					return
 				}
-				res := issue(client, baseURL, plan[i])
+				res := issue(client, baseURL, plan[i], &stack)
 				sleep := res.backoff
 				if !opt.Backoff || sleep <= 0 {
 					sleep = 0
@@ -175,6 +244,8 @@ func RunHTTP(baseURL string, w *Workload, queryPool []metric.Object, opt HTTPOpt
 				rep.Errors += res.errs
 				rep.Invalid += res.invalid
 				rep.CacheHits += res.cached
+				rep.Inserts += res.inserts
+				rep.Deletes += res.deletes
 				rep.BackoffTotal += sleep
 				mu.Unlock()
 				if sleep > 0 {
@@ -190,10 +261,22 @@ func RunHTTP(baseURL string, w *Workload, queryPool []metric.Object, opt HTTPOpt
 // issueResult is one request's contribution to the report.
 type issueResult struct {
 	ok, partial, shed, errs, invalid, cached int
+	inserts, deletes                         int
 	backoff                                  time.Duration
 }
 
-func issue(client *http.Client, baseURL string, r httpRequest) issueResult {
+func issue(client *http.Client, baseURL string, r httpRequest, stack *oidStack) issueResult {
+	switch r.kind {
+	case reqInsert:
+		return issueInsert(client, baseURL, r.q, stack)
+	case reqDelete:
+		if it, ok := stack.pop(); ok {
+			return issueDelete(client, baseURL, it)
+		}
+		// Nothing of ours to delete yet: keep the write pressure up with
+		// the fallback insert instead.
+		return issueInsert(client, baseURL, r.q, stack)
+	}
 	var (
 		path string
 		body map[string]interface{}
@@ -252,4 +335,45 @@ func issue(client *http.Client, baseURL string, r httpRequest) issueResult {
 	default:
 		return issueResult{errs: 1}
 	}
+}
+
+// issueInsert posts one object to /v1/insert and records the returned
+// OID so a later delete of this run can target it.
+func issueInsert(client *http.Client, baseURL string, obj metric.Object, stack *oidStack) issueResult {
+	raw, err := json.Marshal(map[string]interface{}{"object": obj})
+	if err != nil {
+		return issueResult{errs: 1}
+	}
+	resp, err := client.Post(baseURL+"/v1/insert", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return issueResult{errs: 1}
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return issueResult{errs: 1}
+	}
+	var ir wireInsertResponse
+	if err := json.Unmarshal(payload, &ir); err != nil {
+		return issueResult{errs: 1}
+	}
+	stack.push(ir.OID, obj)
+	return issueResult{inserts: 1}
+}
+
+// issueDelete posts one previously-inserted object to /v1/delete.
+func issueDelete(client *http.Client, baseURL string, it insertedObj) issueResult {
+	raw, err := json.Marshal(map[string]interface{}{"object": it.obj, "oid": it.oid})
+	if err != nil {
+		return issueResult{errs: 1}
+	}
+	resp, err := client.Post(baseURL+"/v1/delete", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return issueResult{errs: 1}
+	}
+	defer resp.Body.Close()
+	if _, err := io.ReadAll(resp.Body); err != nil || resp.StatusCode != http.StatusOK {
+		return issueResult{errs: 1}
+	}
+	return issueResult{deletes: 1}
 }

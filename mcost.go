@@ -35,6 +35,7 @@ import (
 	"mcost/internal/metric"
 	"mcost/internal/mtree"
 	"mcost/internal/pager"
+	"mcost/internal/recal"
 )
 
 // Object is any value a metric space can compare (metric.Vector values
@@ -103,6 +104,10 @@ type Index struct {
 	f     *histogram.Histogram
 	stats *mtree.Stats
 	model *core.MTreeModel
+	// rc, when non-nil, keeps the model live under writes: F̂ updates on
+	// every Insert/Delete, bias correction from recent traces, periodic
+	// refits. Enabled by EnableRecalibration.
+	rc *recal.Recalibrator
 }
 
 // Build indexes the objects and fits the cost model: it constructs the
@@ -198,12 +203,20 @@ func (ix *Index) ResetCosts() { ix.tree.ResetCounters() }
 // the parent-distance optimization, so it upper-bounds what Range
 // performs; see PredictRangeLevel for the cheaper level-based variant.
 func (ix *Index) PredictRange(radius float64) CostEstimate {
+	if ix.rc != nil {
+		return ix.rc.CorrectTotal(ix.model.RangeN(radius))
+	}
 	return ix.model.RangeN(radius)
 }
 
 // PredictRangeLevel predicts range-query costs with the level-based
-// model L-MCM (Eq. 15-16), which needs only per-level statistics.
+// model L-MCM (Eq. 15-16), which needs only per-level statistics. With
+// recalibration enabled the per-level prediction is scaled by the bias
+// factors learned from recent traces.
 func (ix *Index) PredictRangeLevel(radius float64) CostEstimate {
+	if ix.rc != nil {
+		return ix.rc.CorrectRange(ix.model.RangeLByLevel(radius))
+	}
 	return ix.model.RangeL(radius)
 }
 
@@ -215,11 +228,22 @@ func (ix *Index) PredictSelectivity(radius float64) float64 {
 
 // PredictNN predicts k-NN query costs with the node-based model by
 // integrating range costs over the k-th-neighbor distance distribution
-// (Eq. 9-14 generalized to any k).
-func (ix *Index) PredictNN(k int) CostEstimate { return ix.model.NNN(k) }
+// (Eq. 9-14 generalized to any k). With recalibration enabled the
+// aggregate bias learned from recent traces is applied.
+func (ix *Index) PredictNN(k int) CostEstimate {
+	if ix.rc != nil {
+		return ix.rc.CorrectNN(ix.model.NNN(k))
+	}
+	return ix.model.NNN(k)
+}
 
 // PredictNNLevel is the level-based variant (Eq. 17-18).
-func (ix *Index) PredictNNLevel(k int) CostEstimate { return ix.model.NNL(k) }
+func (ix *Index) PredictNNLevel(k int) CostEstimate {
+	if ix.rc != nil {
+		return ix.rc.CorrectNN(ix.model.NNL(k))
+	}
+	return ix.model.NNL(k)
+}
 
 // ExpectedNNDistance predicts the distance of the k-th nearest neighbor
 // of a random query (Eq. 11).
@@ -244,9 +268,17 @@ func PaperDiskParams() DiskParams { return core.PaperDiskParams() }
 // Delete removes an object by OID. The caller supplies the object value
 // (the tree routes by distance, not by key). After heavy churn the cost
 // model's statistics grow stale — covering radii are not tightened on
-// deletion — so call RefreshModel before relying on predictions again.
+// deletion — so call RefreshModel before relying on predictions again,
+// or enable recalibration and let the index refresh itself.
 func (ix *Index) Delete(obj Object, oid uint64) error {
-	return ix.tree.Delete(obj, oid)
+	if err := ix.tree.Delete(obj, oid); err != nil {
+		return err
+	}
+	if ix.rc != nil {
+		ix.rc.ObserveDelete(obj)
+		return ix.maybeRecalRefresh()
+	}
+	return nil
 }
 
 // RefreshModel re-collects the tree statistics and refits the cost
@@ -268,13 +300,74 @@ func (ix *Index) RefreshModel() error {
 }
 
 // Insert adds one object after Build and returns its OID. Refresh the
-// model after bulk churn.
+// model after bulk churn, or enable recalibration and let the index
+// refresh itself.
 func (ix *Index) Insert(obj Object) (uint64, error) {
 	oid := ix.tree.NextOID()
 	if err := ix.tree.Insert(obj); err != nil {
 		return 0, err
 	}
+	if ix.rc != nil {
+		ix.rc.ObserveInsert(obj)
+		if err := ix.maybeRecalRefresh(); err != nil {
+			return oid, err
+		}
+	}
 	return oid, nil
+}
+
+// EnableRecalibration attaches a live recalibrator: every subsequent
+// Insert/Delete updates F̂ via reservoir-sampled distances, traced batch
+// executions feed the per-level bias window, Price*/Predict* return
+// bias-corrected estimates, and the model is refit from the blended F̂
+// plus fresh tree statistics every cfg.RefreshEvery writes. sample
+// primes the distance-sampling reservoir with live objects — pass the
+// build dataset (or any subset); an empty sample fills from inserts.
+//
+// The index is not safe for writes concurrent with reads; the serving
+// layer serializes writes behind an RWMutex. The recalibrator itself is
+// concurrency-safe.
+func (ix *Index) EnableRecalibration(cfg recal.Config, sample []Object) error {
+	rc, err := recal.New(cfg, ix.f, ix.space, ix.tree.Size(), sample)
+	if err != nil {
+		return err
+	}
+	ix.rc = rc
+	return nil
+}
+
+// RecalStats snapshots the recalibrator's observable state; ok is false
+// when recalibration is not enabled.
+func (ix *Index) RecalStats() (recal.Stats, bool) {
+	if ix.rc == nil {
+		return recal.Stats{}, false
+	}
+	return ix.rc.Stats(), true
+}
+
+// maybeRecalRefresh refits the model from the recalibrator's blended F̂
+// and fresh tree statistics when enough writes have accumulated.
+func (ix *Index) maybeRecalRefresh() error {
+	if !ix.rc.NeedRefresh() {
+		return nil
+	}
+	stats, err := ix.tree.CollectStats()
+	if err != nil {
+		return fmt.Errorf("mcost: recalibration refresh: %w", err)
+	}
+	f, err := ix.rc.Histogram()
+	if err != nil {
+		return fmt.Errorf("mcost: recalibration refresh: %w", err)
+	}
+	model, err := core.NewMTreeModel(f, stats)
+	if err != nil {
+		return fmt.Errorf("mcost: recalibration refresh: %w", err)
+	}
+	ix.f = f
+	ix.stats = stats
+	ix.model = model
+	ix.rc.MarkRefreshed()
+	return nil
 }
 
 // Model is a standalone fitted cost model: the JSON-serializable object

@@ -6,6 +6,7 @@ import (
 
 	"mcost/internal/mtree"
 	"mcost/internal/pager"
+	"mcost/internal/recal"
 	"mcost/internal/shard"
 	"mcost/internal/workload"
 )
@@ -222,6 +223,27 @@ func (sx *ShardedIndex) SetFaultsEnabled(on bool) bool {
 func (sx *ShardedIndex) RunWorkload(w *Workload, queryPool []Object, opt WorkloadOptions) (*WorkloadReport, error) {
 	return workload.RunEngine(sx, sx, w, queryPool, opt)
 }
+
+// Insert routes the object to a shard (nearest pivot under ShardPivot,
+// rotation under ShardRoundRobin) and returns its new global OID.
+// Writes follow the tree contract: not safe concurrent with queries or
+// with each other.
+func (sx *ShardedIndex) Insert(obj Object) (uint64, error) { return sx.set.Insert(obj) }
+
+// Delete removes the object stored under the global OID (see
+// Index.Delete for the identity check).
+func (sx *ShardedIndex) Delete(obj Object, oid uint64) error { return sx.set.Delete(obj, oid) }
+
+// EnableRecalibration attaches one online recalibrator per shard (see
+// Index.EnableRecalibration); predictions and the k-NN shard ordering
+// switch to bias-corrected estimates.
+func (sx *ShardedIndex) EnableRecalibration(cfg recal.Config) error {
+	return sx.set.EnableRecalibration(cfg)
+}
+
+// RecalStats reports the aggregated per-shard recalibrator state; ok is
+// false when recalibration is not enabled.
+func (sx *ShardedIndex) RecalStats() (recal.Stats, bool) { return sx.set.RecalStats() }
 
 var _ workload.Engine = (*ShardedIndex)(nil)
 var _ workload.Predictor = (*ShardedIndex)(nil)
