@@ -12,12 +12,21 @@
 //	mcost-serve -dataset uniform -n 50000 -dim 8 -addr :8080
 //	mcost-serve -dataset words -n 20000 -node-reads-per-sec 5000 -batch-window 2ms
 //	mcost-serve -file vocab.ds -shards 4 -debug
+//	mcost-serve -shards 3 -shard-index 1 -addr :8082   # one shard node of a cluster
 //
 // Endpoints: POST /v1/range {"query":..., "radius":r}, POST /v1/nn
 // {"query":..., "k":k}, POST /v1/insert {"object":...}, POST /v1/delete
 // {"object":..., "oid":n}, GET /v1/stats, GET /healthz, and /debug/
 // (pprof + expvar) with -debug. With -recal the cost model stays
 // calibrated under the write traffic.
+//
+// With -shard-index i the process serves only shard i of the -shards
+// partition: it runs the same deterministic assignment every sibling
+// runs, builds just its own tree, and additionally exports GET
+// /v1/model — the F̂/L-MCM summary the mcost-router scatter-gather tier
+// prices and prunes with. The listener comes up immediately answering
+// 503 "building" on every route, so a router's health loop can watch
+// the node warm up without routing work to it.
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	_ "net/http/pprof" // -debug mounts the default mux
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -46,7 +56,8 @@ func main() {
 		cf  = cliutil.RegisterCache(fs, 0)
 		rf  = cliutil.RegisterRecal(fs)
 
-		addr = flag.String("addr", ":8080", "listen address")
+		addr       = flag.String("addr", ":8080", "listen address")
+		shardIndex = flag.Int("shard-index", -1, "serve only this shard of the -shards partition (node mode: read-only, exports /v1/model for mcost-router; -1 = serve everything)")
 
 		nodeRate  = flag.Float64("node-reads-per-sec", 0, "admission capacity in predicted node reads per second (0 = unlimited)")
 		distRate  = flag.Float64("dist-calcs-per-sec", 0, "admission capacity in predicted distance computations per second (0 = unlimited)")
@@ -72,33 +83,67 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("building engine over %s (n=%d, node size %d B, shards=%d)...\n",
-		d.Name, d.N(), tf.PageSize, max(1, shf.Shards))
+
+	// Listen before building: the node answers 503 "building" on every
+	// route until the engine is warm, so a router's health loop can see
+	// it early without routing work to it.
+	var handler atomic.Value // http.Handler
+	handler.Store(server.BootingHandler())
+	httpSrv := &http.Server{Addr: *addr, Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	})}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+
+	fmt.Printf("listening on %s (booting); building engine over %s (n=%d, node size %d B, shards=%d)...\n",
+		*addr, d.Name, d.N(), tf.PageSize, max(1, shf.Shards))
 	storage := stf.Options(reg)
-	ix, sx, err := cliutil.Build(d, tf.Options(storage), shf)
-	if err != nil {
-		fail(err)
-	}
+
 	var eng server.Engine
-	if sx != nil {
-		eng = sx
-		if storage.Faults != nil {
-			sx.SetFaultsEnabled(true)
+	if *shardIndex >= 0 {
+		if shf.Shards < 2 {
+			fail(fmt.Errorf("-shard-index %d needs -shards >= 2", *shardIndex))
 		}
+		if rf.Enabled {
+			fail(fmt.Errorf("-recal is not supported in shard-node mode (nodes are read-only)"))
+		}
+		assign, err := mcost.ParseShardAssignment(shf.Assign)
+		if err != nil {
+			fail(err)
+		}
+		node, err := mcost.BuildShardNode(d.Space, d.Objects, tf.Options(storage),
+			mcost.ShardOptions{Shards: shf.Shards, Assign: assign}, *shardIndex)
+		if err != nil {
+			fail(err)
+		}
+		eng = node
+		fmt.Printf("shard node %d/%d: %d objects, %d nodes, height %d (read-only; /v1/model exported)\n",
+			*shardIndex, shf.Shards, eng.Size(), eng.NumNodes(), eng.Height())
 	} else {
-		eng = ix
-		if storage.Faults != nil {
-			ix.SetFaultsEnabled(true)
+		ix, sx, err := cliutil.Build(d, tf.Options(storage), shf)
+		if err != nil {
+			fail(err)
 		}
-	}
-	if err := rf.Apply(ix, sx, d, tf.Seed); err != nil {
-		fail(err)
-	}
-	fmt.Printf("engine: %d objects, %d nodes, height %d\n", eng.Size(), eng.NumNodes(), eng.Height())
-	if rf.Enabled {
-		rc := rf.Config(tf.Seed).Effective()
-		fmt.Printf("recalibration: on (window %d, band %g); /v1/insert and /v1/delete keep the model live\n",
-			rc.Window, rc.Band)
+		if sx != nil {
+			eng = sx
+			if storage.Faults != nil {
+				sx.SetFaultsEnabled(true)
+			}
+		} else {
+			eng = ix
+			if storage.Faults != nil {
+				ix.SetFaultsEnabled(true)
+			}
+		}
+		if err := rf.Apply(ix, sx, d, tf.Seed); err != nil {
+			fail(err)
+		}
+		fmt.Printf("engine: %d objects, %d nodes, height %d\n", eng.Size(), eng.NumNodes(), eng.Height())
+		if rf.Enabled {
+			rc := rf.Config(tf.Seed).Effective()
+			fmt.Printf("recalibration: on (window %d, band %g); /v1/insert and /v1/delete keep the model live\n",
+				rc.Window, rc.Band)
+		}
 	}
 
 	dec, err := server.DecoderFor(d.Objects[0], d.Space.Bound)
@@ -133,10 +178,8 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	handler.Store(srv.Handler())
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
-	done := make(chan error, 1)
-	go func() { done <- httpSrv.ListenAndServe() }()
 	fmt.Printf("serving on %s (admission: %g node reads/s, %g dist calcs/s; batch window %v)\n",
 		*addr, *nodeRate, *distRate, *batchWindow)
 	if cache != nil {

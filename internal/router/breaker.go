@@ -1,0 +1,100 @@
+package router
+
+import (
+	"sync"
+	"time"
+
+	"mcost/internal/obs"
+)
+
+// Per-endpoint circuit breaker. Failures — query-path errors and failed
+// health probes alike — accumulate; at the threshold the breaker opens
+// and the endpoint stops receiving work for a cooldown, after which a
+// single half-open probe decides between closing (success) and another
+// full cooldown (failure). The router's health loop supplies a steady
+// stream of cheap probes, so a recovered node closes its breaker within
+// one polling interval even with no query traffic.
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "?"
+	}
+}
+
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	opens     *obs.Counter // shared router.breaker_opens counter
+
+	mu        sync.Mutex
+	state     breakerState
+	fails     int
+	openUntil time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration, opens *obs.Counter) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, opens: opens}
+}
+
+// allow reports whether a request may be sent through this endpoint
+// now. An open breaker whose cooldown has expired transitions to
+// half-open and admits the caller as its probe.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed, breakerHalfOpen:
+		return true
+	default: // open
+		if now.Before(b.openUntil) {
+			return false
+		}
+		b.state = breakerHalfOpen
+		return true
+	}
+}
+
+// success records a completed request or health probe: the breaker
+// closes and the failure streak resets.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+// failure records a failed request or probe. A half-open breaker
+// reopens immediately; a closed one opens at the threshold.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.fails >= b.threshold) {
+		b.state = breakerOpen
+		b.openUntil = now.Add(b.cooldown)
+		b.fails = 0
+		b.opens.Inc()
+	}
+}
+
+// snapshot returns the current state for /healthz reporting.
+func (b *breaker) snapshot() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

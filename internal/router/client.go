@@ -1,0 +1,144 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"mcost/internal/server"
+	"mcost/internal/shard"
+)
+
+// The wire layer between router and shard nodes. Match objects stay
+// json.RawMessage end to end: the router never re-encodes what a node
+// returned, so distances and coordinates reach the client bit-identical
+// to what the shard tree computed.
+
+// nodeMatch is one match as a shard node returns it.
+type nodeMatch struct {
+	OID      uint64          `json:"oid"`
+	Distance float64         `json:"distance"`
+	Object   json.RawMessage `json:"object"`
+}
+
+// nodeResponse is a shard node's 200 body (the server.QueryResponse
+// shape, with objects kept raw).
+type nodeResponse struct {
+	Matches   []nodeMatch     `json:"matches"`
+	Partial   bool            `json:"partial,omitempty"`
+	Degraded  string          `json:"degraded,omitempty"`
+	Predicted server.CostJSON `json:"predicted"`
+	Cached    bool            `json:"cached,omitempty"`
+	BatchSize int             `json:"batch_size"`
+	QueuedMS  float64         `json:"queued_ms"`
+}
+
+// nodeError classifies a failed shard call: transient failures (network
+// errors, timeouts, 5xx, 429 sheds) are worth a retry or a failover;
+// permanent ones (4xx) are not — the node understood the request and
+// rejected it.
+type nodeError struct {
+	status    int // 0 for transport errors
+	code      string
+	msg       string
+	transient bool
+}
+
+func (e *nodeError) Error() string {
+	if e.status == 0 {
+		return e.msg
+	}
+	return fmt.Sprintf("%d %s: %s", e.status, e.code, e.msg)
+}
+
+// postQuery sends one query body to one node endpoint and decodes the
+// result. timeout bounds this single attempt.
+func (rt *Router) postQuery(ctx context.Context, base, path string, body []byte, timeout time.Duration) (*nodeResponse, *nodeError) {
+	actx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, &nodeError{msg: err.Error(), transient: false}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	res, err := rt.client.Do(req)
+	if err != nil {
+		return nil, &nodeError{msg: err.Error(), transient: true}
+	}
+	defer res.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(res.Body, rt.maxNodeBody))
+	if err != nil {
+		return nil, &nodeError{msg: err.Error(), transient: true}
+	}
+	if res.StatusCode != http.StatusOK {
+		var apiErr server.ErrorResponse
+		code := "http_error"
+		if json.Unmarshal(raw, &apiErr) == nil && apiErr.Code != "" {
+			code = apiErr.Code
+		}
+		return nil, &nodeError{
+			status: res.StatusCode, code: code, msg: apiErr.Error,
+			// 429 sheds and every 5xx are worth another attempt; other 4xx
+			// mean the node rejected a request it understood.
+			transient: res.StatusCode >= 500 || res.StatusCode == http.StatusTooManyRequests,
+		}
+	}
+	var out nodeResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, &nodeError{msg: fmt.Sprintf("bad node response: %v", err), transient: true}
+	}
+	return &out, nil
+}
+
+// fetchSummary GETs one endpoint's /v1/model and decodes the shard
+// summary.
+func fetchSummary(ctx context.Context, client *http.Client, base string, timeout time.Duration) (*shard.Summary, error) {
+	actx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, base+"/v1/model", nil)
+	if err != nil {
+		return nil, err
+	}
+	res, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(res.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if res.StatusCode != http.StatusOK {
+		var apiErr server.ErrorResponse
+		if json.Unmarshal(raw, &apiErr) == nil && apiErr.Code != "" {
+			return nil, fmt.Errorf("%s/v1/model: %d %s: %s", base, res.StatusCode, apiErr.Code, apiErr.Error)
+		}
+		return nil, fmt.Errorf("%s/v1/model: status %d", base, res.StatusCode)
+	}
+	var sum shard.Summary
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		return nil, fmt.Errorf("%s/v1/model: %v", base, err)
+	}
+	return &sum, nil
+}
+
+// probeHealth GETs one endpoint's /healthz; 200 means routable.
+func probeHealth(ctx context.Context, client *http.Client, base string, timeout time.Duration) bool {
+	actx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	res, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer res.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(res.Body, 1<<16))
+	return res.StatusCode == http.StatusOK
+}

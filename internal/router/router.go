@@ -1,0 +1,940 @@
+// Package router is the distributed scatter-gather tier: a thin HTTP
+// router fronting N shard nodes (mcost-serve -shard-index), each
+// holding one partition of a shared deterministic assignment. At boot
+// the router fetches every shard's F̂/L-MCM summary from GET /v1/model
+// and reconstructs the per-shard predictors locally, so each incoming
+// query is priced per shard before any network call. The predictions
+// drive everything the tier does: shards whose pivot-ball lower bound
+// proves them irrelevant are skipped without being contacted, per-shard
+// timeouts are seeded from predicted cost × slack (an expensive shard
+// earns a longer leash than a trivial one), and requests are hedged to
+// a replica only when the predicted cost is below a threshold —
+// duplicating work is only rational when the work is cheap. Failures
+// degrade, never cascade: transient errors retry with capped
+// exponential backoff and jitter, per-endpoint circuit breakers (fed by
+// a /healthz polling loop and query-path outcomes) stop traffic to dead
+// nodes, and when a shard stays unreachable the router returns a typed
+// partial result ("degraded": true with shards_failed) built from the
+// shards that answered — merged in the same canonical order as the
+// in-process ShardedIndex, so a healthy tier is bit-identical to one
+// process holding all the data.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"mcost/internal/core"
+	"mcost/internal/metric"
+	"mcost/internal/obs"
+	"mcost/internal/server"
+	"mcost/internal/shard"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultSlackFactor     = 4.0
+	DefaultNSPerNodeRead   = 100_000 // 100µs per predicted node read
+	DefaultNSPerDistCalc   = 1_000   // 1µs per predicted distance
+	DefaultMinShardTimeout = 1 * time.Second
+	DefaultMaxShardTimeout = 10 * time.Second
+	DefaultMaxRetries      = 2
+	DefaultRetryBase       = 10 * time.Millisecond
+	DefaultRetryMax        = 200 * time.Millisecond
+	DefaultBreakerFails    = 3
+	DefaultBreakerCooldown = 1 * time.Second
+	DefaultHealthInterval  = 250 * time.Millisecond
+	DefaultHealthTimeout   = 500 * time.Millisecond
+	DefaultModelTimeout    = 10 * time.Second
+	DefaultMaxNodeBody     = 64 << 20
+)
+
+// Config assembles a Router.
+type Config struct {
+	// Shards lists the node endpoints per shard: Shards[i] holds the
+	// base URLs ("http://host:port") of the nodes serving shard i,
+	// primary first, replicas after. Every shard needs at least one
+	// endpoint (required).
+	Shards [][]string
+	// Client performs all node HTTP calls (nil uses a dedicated client;
+	// per-call timeouts come from contexts, not the client).
+	Client *http.Client
+	// Registry receives the router.* metrics (nil allocates one).
+	Registry *obs.Registry
+	// MaxBodyBytes caps incoming request bodies (0 picks the server
+	// default).
+	MaxBodyBytes int64
+	// SlackFactor scales predicted cost into the per-shard timeout
+	// (0 picks DefaultSlackFactor).
+	SlackFactor float64
+	// NSPerNodeRead / NSPerDistCalc convert the L-MCM prediction into
+	// nanoseconds for timeout seeding (0 picks the defaults).
+	NSPerNodeRead float64
+	NSPerDistCalc float64
+	// MinShardTimeout / MaxShardTimeout clamp the seeded timeout: the
+	// floor absorbs network and queueing overhead the cost model does
+	// not price; the ceiling bounds how long a shard can stall a
+	// response (0 picks the defaults).
+	MinShardTimeout time.Duration
+	MaxShardTimeout time.Duration
+	// HedgeMaxNodes enables prediction-aware hedging: a shard call whose
+	// predicted node reads are at or below this threshold is duplicated
+	// to a replica (when one is routable) after HedgeDelay, and the
+	// first success wins. Zero disables hedging — duplicating expensive
+	// work is how overload spreads.
+	HedgeMaxNodes float64
+	// HedgeDelay is how long the primary runs alone before the hedge
+	// fires (0 picks a quarter of the shard's seeded timeout).
+	HedgeDelay time.Duration
+	// MaxRetries bounds retries after the first attempt of each shard
+	// call (negative disables retries; 0 picks DefaultMaxRetries).
+	MaxRetries int
+	// RetryBase / RetryMax shape the capped exponential backoff between
+	// attempts; each sleep gets up to one RetryBase of jitter (0 picks
+	// the defaults).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// BreakerFails is the consecutive-failure threshold that opens an
+	// endpoint's circuit breaker; BreakerCooldown is how long it stays
+	// open before a half-open probe (0 picks the defaults).
+	BreakerFails    int
+	BreakerCooldown time.Duration
+	// HealthInterval paces the /healthz polling loop over every
+	// endpoint (0 picks the default; negative disables the loop —
+	// breakers then see only query-path outcomes).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one health probe (0 picks the default).
+	HealthTimeout time.Duration
+	// ModelTimeout bounds each boot-time /v1/model fetch (0 picks the
+	// default).
+	ModelTimeout time.Duration
+	// Seed seeds the retry jitter (0 seeds from the clock).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SlackFactor <= 0 {
+		c.SlackFactor = DefaultSlackFactor
+	}
+	if c.NSPerNodeRead <= 0 {
+		c.NSPerNodeRead = DefaultNSPerNodeRead
+	}
+	if c.NSPerDistCalc <= 0 {
+		c.NSPerDistCalc = DefaultNSPerDistCalc
+	}
+	if c.MinShardTimeout <= 0 {
+		c.MinShardTimeout = DefaultMinShardTimeout
+	}
+	if c.MaxShardTimeout <= 0 {
+		c.MaxShardTimeout = DefaultMaxShardTimeout
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = DefaultMaxRetries
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = DefaultRetryBase
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = DefaultRetryMax
+	}
+	if c.BreakerFails <= 0 {
+		c.BreakerFails = DefaultBreakerFails
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = DefaultHealthInterval
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = DefaultHealthTimeout
+	}
+	if c.ModelTimeout <= 0 {
+		c.ModelTimeout = DefaultModelTimeout
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = server.DefaultMaxBodyBytes
+	}
+	return c
+}
+
+// endpoint is one node address serving a shard, with its breaker.
+type endpoint struct {
+	base string
+	brk  *breaker
+}
+
+// shardState is everything the router knows about one shard: the
+// reconstructed L-MCM predictor, the pivot ball for pruning, and the
+// endpoints that can answer for it.
+type shardState struct {
+	index     int
+	model     *core.MTreeModel
+	pivot     metric.Object
+	radius    float64
+	size      int
+	endpoints []*endpoint
+	latency   *obs.Hist
+}
+
+// allowed returns the endpoints whose breakers admit a request now, in
+// configuration order (primary first).
+func (st *shardState) allowed(now time.Time) []*endpoint {
+	out := make([]*endpoint, 0, len(st.endpoints))
+	for _, ep := range st.endpoints {
+		if ep.brk.allow(now) {
+			out = append(out, ep)
+		}
+	}
+	return out
+}
+
+// priceRange is the shard's L-MCM range prediction — the same term the
+// node itself computes, because the summary round-trips the model
+// exactly.
+func (st *shardState) priceRange(radius float64) core.CostEstimate {
+	return st.model.RangeL(radius)
+}
+
+// priceNN is the shard's L-MCM k-NN prediction with k clamped to the
+// shard size, mirroring Shard.priceNN.
+func (st *shardState) priceNN(k int) core.CostEstimate {
+	if k > st.size {
+		k = st.size
+	}
+	if k < 1 {
+		return core.CostEstimate{}
+	}
+	return st.model.NNL(k)
+}
+
+// Router is the scatter-gather tier. Create with New, expose with
+// Handler, Close to stop the health loop.
+type Router struct {
+	cfg         Config
+	client      *http.Client
+	reg         *obs.Registry
+	space       *metric.Space
+	decode      server.ObjectDecoder
+	shards      []*shardState
+	totalSize   int
+	maxNodeBody int64
+
+	jmu  sync.Mutex
+	jrng *rand.Rand
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	cRequests      *obs.Counter
+	cRejected      *obs.Counter
+	cErrors        *obs.Counter
+	cDegraded      *obs.Counter
+	cShardCalls    *obs.Counter
+	cShardFailures *obs.Counter
+	cShardsSkipped *obs.Counter
+	cRetries       *obs.Counter
+	cHedges        *obs.Counter
+	cHedgesWon     *obs.Counter
+	cHedgesLost    *obs.Counter
+	cBreakerOpens  *obs.Counter
+}
+
+// New fetches every shard's model summary, validates that the summaries
+// describe one coherent assignment, reconstructs the per-shard
+// predictors, and starts the health loop. It fails if any shard has no
+// reachable endpoint — a router that cannot price every shard cannot
+// promise the canonical merge.
+func New(ctx context.Context, cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("router: no shards configured")
+	}
+	for i, eps := range cfg.Shards {
+		if len(eps) == 0 {
+			return nil, fmt.Errorf("router: shard %d has no endpoints", i)
+		}
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rt := &Router{
+		cfg:            cfg,
+		client:         client,
+		reg:            reg,
+		maxNodeBody:    DefaultMaxNodeBody,
+		jrng:           rand.New(rand.NewSource(seed)),
+		stop:           make(chan struct{}),
+		cRequests:      reg.Counter("router.requests"),
+		cRejected:      reg.Counter("router.rejected"),
+		cErrors:        reg.Counter("router.errors"),
+		cDegraded:      reg.Counter("router.degraded"),
+		cShardCalls:    reg.Counter("router.shard_calls"),
+		cShardFailures: reg.Counter("router.shard_failures"),
+		cShardsSkipped: reg.Counter("router.shards_skipped"),
+		cRetries:       reg.Counter("router.retries"),
+		cHedges:        reg.Counter("router.hedges"),
+		cHedgesWon:     reg.Counter("router.hedges_won"),
+		cHedgesLost:    reg.Counter("router.hedges_lost"),
+		cBreakerOpens:  reg.Counter("router.breaker_opens"),
+	}
+
+	var first *shard.Summary
+	for i, eps := range cfg.Shards {
+		sum, err := rt.fetchShardSummary(ctx, eps)
+		if err != nil {
+			return nil, fmt.Errorf("router: shard %d: %w", i, err)
+		}
+		if sum.Shard != i {
+			return nil, fmt.Errorf("router: endpoint group %d serves shard %d; check -shard-index wiring", i, sum.Shard)
+		}
+		if sum.Shards != len(cfg.Shards) {
+			return nil, fmt.Errorf("router: shard %d was built for %d shards, router fronts %d", i, sum.Shards, len(cfg.Shards))
+		}
+		if first == nil {
+			first = sum
+			space, err := metric.FromSpec(sum.Space)
+			if err != nil {
+				return nil, fmt.Errorf("router: shard %d: %w", i, err)
+			}
+			rt.space = space
+			switch sum.ObjectKind {
+			case "vector":
+				rt.decode = server.VectorDecoder(sum.Dim)
+			case "string":
+				rt.decode = server.StringDecoder(int(sum.Space.Bound))
+			default:
+				return nil, fmt.Errorf("router: shard %d: unknown object kind %q", i, sum.ObjectKind)
+			}
+		} else if sum.Space != first.Space || sum.ObjectKind != first.ObjectKind ||
+			sum.Dim != first.Dim || sum.Assign != first.Assign {
+			return nil, fmt.Errorf("router: shard %d disagrees with shard 0 about the space or assignment", i)
+		}
+		model, err := sum.Model()
+		if err != nil {
+			return nil, fmt.Errorf("router: shard %d: %w", i, err)
+		}
+		pivot, err := sum.PivotObject()
+		if err != nil {
+			return nil, fmt.Errorf("router: shard %d: %w", i, err)
+		}
+		st := &shardState{
+			index:   i,
+			model:   model,
+			pivot:   pivot,
+			radius:  sum.Radius,
+			size:    sum.Size,
+			latency: reg.Hist(fmt.Sprintf("router.shard_latency_ms.s%d", i), 40, 0, 2000),
+		}
+		for _, base := range eps {
+			st.endpoints = append(st.endpoints, &endpoint{
+				base: base,
+				brk:  newBreaker(cfg.BreakerFails, cfg.BreakerCooldown, rt.cBreakerOpens),
+			})
+		}
+		rt.shards = append(rt.shards, st)
+		rt.totalSize += sum.Size
+	}
+
+	if cfg.HealthInterval > 0 {
+		rt.wg.Add(1)
+		go rt.healthLoop()
+	}
+	return rt, nil
+}
+
+// fetchShardSummary tries each endpoint of a shard group until one
+// serves /v1/model.
+func (rt *Router) fetchShardSummary(ctx context.Context, eps []string) (*shard.Summary, error) {
+	var lastErr error
+	for _, base := range eps {
+		sum, err := fetchSummary(ctx, rt.client, base, rt.cfg.ModelTimeout)
+		if err == nil {
+			return sum, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// Close stops the health loop. In-flight requests finish on their own.
+func (rt *Router) Close() {
+	rt.closeOnce.Do(func() { close(rt.stop) })
+	rt.wg.Wait()
+}
+
+// Registry returns the router's metrics registry.
+func (rt *Router) Registry() *obs.Registry { return rt.reg }
+
+// Shards returns the number of shards the router fronts.
+func (rt *Router) Shards() int { return len(rt.shards) }
+
+// Size returns the total object count across shards.
+func (rt *Router) Size() int { return rt.totalSize }
+
+// Handler returns the route mux.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/range", rt.handleQuery(false))
+	mux.HandleFunc("/v1/nn", rt.handleQuery(true))
+	mux.HandleFunc("/v1/stats", rt.handleStats)
+	mux.HandleFunc("/healthz", rt.handleHealth)
+	return mux
+}
+
+// healthLoop probes every endpoint's /healthz on a fixed cadence and
+// feeds the outcomes to the breakers: a dead node's breaker opens even
+// with no query traffic, and a recovered node closes within one
+// interval.
+func (rt *Router) healthLoop() {
+	defer rt.wg.Done()
+	t := time.NewTicker(rt.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.probeAll()
+		}
+	}
+}
+
+func (rt *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, st := range rt.shards {
+		for _, ep := range st.endpoints {
+			wg.Add(1)
+			go func(ep *endpoint) {
+				defer wg.Done()
+				if probeHealth(context.Background(), rt.client, ep.base, rt.cfg.HealthTimeout) {
+					ep.brk.success()
+				} else {
+					ep.brk.failure(time.Now())
+				}
+			}(ep)
+		}
+	}
+	wg.Wait()
+}
+
+// Match is one merged result on the router's wire: the object bytes are
+// exactly what the shard node returned.
+type Match struct {
+	OID      uint64          `json:"oid"`
+	Distance float64         `json:"distance"`
+	Object   json.RawMessage `json:"object"`
+}
+
+// QueryResponse is the 200 body of the router's /v1/range and /v1/nn.
+type QueryResponse struct {
+	Matches []Match `json:"matches"`
+	// Partial mirrors a node-level degradation (budget or deadline
+	// stop inside a shard): every match is valid, completeness within a
+	// shard was traded away.
+	Partial bool `json:"partial,omitempty"`
+	// Degraded reports shard-level loss: one or more shards failed
+	// every attempt and their results are missing. ShardsFailed lists
+	// them; ShardsSkipped lists shards the pivot lower bound proved
+	// irrelevant (a proof, not a degradation).
+	Degraded      bool  `json:"degraded,omitempty"`
+	ShardsFailed  []int `json:"shards_failed,omitempty"`
+	ShardsSkipped []int `json:"shards_skipped,omitempty"`
+	ShardsQueried int   `json:"shards_queried"`
+	// Hedged counts shard calls that fired a hedge for this request.
+	Hedged int `json:"hedged,omitempty"`
+	// Predicted is the summed L-MCM prediction over all shards — the
+	// same figure the in-process ShardedIndex would quote.
+	Predicted server.CostJSON `json:"predicted"`
+}
+
+// errorBody is every non-200 router body.
+type errorBody struct {
+	Code         string `json:"code"`
+	Error        string `json:"error"`
+	ShardsFailed []int  `json:"shards_failed,omitempty"`
+}
+
+// routeRequest is one decoded query plus the raw bytes forwarded to
+// the shards.
+type routeRequest struct {
+	q      metric.Object
+	raw    json.RawMessage
+	radius float64
+	k      int
+}
+
+// decodeQuery strictly validates the router request body, mirroring the
+// node server's discipline: typed 4xx errors, nothing coerced.
+func (rt *Router) decodeQuery(r io.Reader, nn bool) (routeRequest, int, string, string) {
+	var out routeRequest
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var raw struct {
+		Query  json.RawMessage `json:"query"`
+		Radius *float64        `json:"radius"`
+		K      *int            `json:"k"`
+	}
+	if err := dec.Decode(&raw); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return out, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit)
+		}
+		return out, http.StatusBadRequest, "bad_json", fmt.Sprintf("invalid request body: %v", err)
+	}
+	if dec.More() {
+		return out, http.StatusBadRequest, "bad_json", "trailing data after request body"
+	}
+	if len(raw.Query) == 0 {
+		return out, http.StatusBadRequest, "missing_query", "request has no \"query\" field"
+	}
+	q, err := rt.decode(raw.Query)
+	if err != nil {
+		return out, http.StatusBadRequest, "bad_query", err.Error()
+	}
+	out.q = q
+	out.raw = raw.Query
+	if nn {
+		if raw.Radius != nil {
+			return out, http.StatusBadRequest, "bad_k", "\"radius\" is not a k-NN parameter; POST /v1/range instead"
+		}
+		if raw.K == nil {
+			return out, http.StatusBadRequest, "missing_k", "k-NN request has no \"k\" field"
+		}
+		k := *raw.K
+		if k <= 0 {
+			return out, http.StatusBadRequest, "bad_k", fmt.Sprintf("k must be positive, got %d", k)
+		}
+		if k > rt.totalSize {
+			return out, http.StatusBadRequest, "bad_k", fmt.Sprintf("k = %d exceeds the maximum %d", k, rt.totalSize)
+		}
+		out.k = k
+		return out, 0, "", ""
+	}
+	if raw.K != nil {
+		return out, http.StatusBadRequest, "bad_radius", "\"k\" is not a range parameter; POST /v1/nn instead"
+	}
+	if raw.Radius == nil {
+		return out, http.StatusBadRequest, "missing_radius", "range request has no \"radius\" field"
+	}
+	rad := *raw.Radius
+	if math.IsNaN(rad) || math.IsInf(rad, 0) {
+		return out, http.StatusBadRequest, "bad_radius", "radius must be finite"
+	}
+	if rad < 0 {
+		return out, http.StatusBadRequest, "bad_radius", fmt.Sprintf("radius must be non-negative, got %g", rad)
+	}
+	out.radius = rad
+	return out, 0, "", ""
+}
+
+// shardPlan is one shard's share of a scatter: what to send, how long
+// to wait, and whether the predicted cost earns a hedge.
+type shardPlan struct {
+	st      *shardState
+	body    []byte
+	est     core.CostEstimate
+	timeout time.Duration
+}
+
+// timeoutFor seeds a shard timeout from its predicted cost: cost
+// converted to nanoseconds, scaled by slack, clamped.
+func (rt *Router) timeoutFor(est core.CostEstimate) time.Duration {
+	ns := (est.Nodes*rt.cfg.NSPerNodeRead + est.Dists*rt.cfg.NSPerDistCalc) * rt.cfg.SlackFactor
+	d := time.Duration(ns) * time.Nanosecond
+	if d < rt.cfg.MinShardTimeout {
+		d = rt.cfg.MinShardTimeout
+	}
+	if d > rt.cfg.MaxShardTimeout {
+		d = rt.cfg.MaxShardTimeout
+	}
+	return d
+}
+
+// rangeLB mirrors Set.rangeLB: the pivot-ball lower bound on the
+// distance from q to any member of the shard.
+func (rt *Router) rangeLB(st *shardState, q metric.Object) float64 {
+	if st.pivot == nil {
+		return 0
+	}
+	lb := rt.space.Distance(q, st.pivot) - st.radius
+	if lb < 0 {
+		return 0
+	}
+	return lb
+}
+
+// handleQuery prices, prunes, scatters, and gathers one query.
+func (rt *Router) handleQuery(nn bool) http.HandlerFunc {
+	path := "/v1/range"
+	if nn {
+		path = "/v1/nn"
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		rt.cRequests.Inc()
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			rt.reject(w, http.StatusMethodNotAllowed, "method_not_allowed", "query endpoints accept POST only")
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes)
+		req, status, code, msg := rt.decodeQuery(r.Body, nn)
+		if status != 0 {
+			rt.reject(w, status, code, msg)
+			return
+		}
+
+		// Price every shard and plan the scatter. The response quotes the
+		// full sum (what the in-process engine would predict); skipped
+		// shards still contribute to the quote but not to the fan-out.
+		var total core.CostEstimate
+		var skipped []int
+		var plans []shardPlan
+		for _, st := range rt.shards {
+			var est core.CostEstimate
+			if nn {
+				est = st.priceNN(req.k)
+			} else {
+				est = st.priceRange(req.radius)
+			}
+			total.Nodes += est.Nodes
+			total.Dists += est.Dists
+			if !nn && rt.rangeLB(st, req.q) > req.radius {
+				skipped = append(skipped, st.index)
+				rt.cShardsSkipped.Inc()
+				continue
+			}
+			body, err := shardBody(req, nn, st.size)
+			if err != nil {
+				rt.cErrors.Inc()
+				rt.reject(w, http.StatusInternalServerError, "internal", err.Error())
+				return
+			}
+			plans = append(plans, shardPlan{st: st, body: body, est: est, timeout: rt.timeoutFor(est)})
+		}
+
+		resp := QueryResponse{
+			Matches:       []Match{},
+			ShardsSkipped: skipped,
+			ShardsQueried: len(plans),
+			Predicted:     server.CostJSON{NodeReads: total.Nodes, DistCalcs: total.Dists},
+		}
+		if len(plans) == 0 {
+			rt.writeJSON(w, http.StatusOK, resp)
+			return
+		}
+
+		// Scatter. Each shard runs its own hedge/retry state machine;
+		// results land in plan order, which is shard order.
+		results := make([]*nodeResponse, len(plans))
+		failures := make([]error, len(plans))
+		hedged := make([]int, len(plans))
+		var wg sync.WaitGroup
+		for pi := range plans {
+			wg.Add(1)
+			go func(pi int) {
+				defer wg.Done()
+				results[pi], hedged[pi], failures[pi] = rt.queryShard(r.Context(), path, plans[pi])
+			}(pi)
+		}
+		wg.Wait()
+
+		// Gather. Range results concatenate in shard order; k-NN results
+		// merge by (distance, OID) and truncate — the canonical orders the
+		// in-process Set uses, so the healthy path is bit-identical.
+		var failed []int
+		for pi, plan := range plans {
+			if failures[pi] != nil {
+				failed = append(failed, plan.st.index)
+				continue
+			}
+			res := results[pi]
+			if res.Partial {
+				resp.Partial = true
+			}
+			resp.Hedged += hedged[pi]
+			for _, m := range res.Matches {
+				resp.Matches = append(resp.Matches, Match{OID: m.OID, Distance: m.Distance, Object: m.Object})
+			}
+		}
+		if len(failed) == len(plans) {
+			rt.cErrors.Inc()
+			rt.writeJSON(w, http.StatusServiceUnavailable, errorBody{
+				Code:         "all_shards_failed",
+				Error:        fmt.Sprintf("all %d queried shards failed; first error: %v", len(plans), failures[0]),
+				ShardsFailed: failed,
+			})
+			return
+		}
+		if nn {
+			sort.Slice(resp.Matches, func(i, j int) bool {
+				if resp.Matches[i].Distance != resp.Matches[j].Distance {
+					return resp.Matches[i].Distance < resp.Matches[j].Distance
+				}
+				return resp.Matches[i].OID < resp.Matches[j].OID
+			})
+			if len(resp.Matches) > req.k {
+				resp.Matches = resp.Matches[:req.k]
+			}
+		}
+		if len(failed) > 0 {
+			resp.Degraded = true
+			resp.ShardsFailed = failed
+			rt.cDegraded.Inc()
+		}
+		rt.writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// shardBody builds the per-shard request body. The query bytes are
+// forwarded verbatim; a k above the shard's size is clamped to it —
+// same answer, and it keeps the node's own MaxK validation happy.
+func shardBody(req routeRequest, nn bool, shardSize int) ([]byte, error) {
+	if nn {
+		k := req.k
+		if k > shardSize {
+			k = shardSize
+		}
+		return json.Marshal(struct {
+			Query json.RawMessage `json:"query"`
+			K     int             `json:"k"`
+		}{req.raw, k})
+	}
+	return json.Marshal(struct {
+		Query  json.RawMessage `json:"query"`
+		Radius float64         `json:"radius"`
+	}{req.raw, req.radius})
+}
+
+var errNoEndpoints = &nodeError{code: "breaker_open", msg: "no routable endpoint (all breakers open)", transient: true}
+
+// queryShard runs one shard's share to completion: hedged first
+// attempt, then retries with capped exponential backoff over whichever
+// endpoints the breakers still admit. Returns the node response, how
+// many hedges fired, and the final error if every attempt failed.
+func (rt *Router) queryShard(ctx context.Context, path string, p shardPlan) (*nodeResponse, int, error) {
+	var lastErr error = errNoEndpoints
+	hedges := 0
+	for attempt := 0; attempt <= rt.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			rt.cRetries.Inc()
+			if !rt.backoff(ctx, attempt) {
+				return nil, hedges, ctx.Err()
+			}
+		}
+		eps := p.st.allowed(time.Now())
+		if len(eps) == 0 {
+			lastErr = errNoEndpoints
+			continue
+		}
+		primary := eps[attempt%len(eps)]
+		var hedge *endpoint
+		if len(eps) >= 2 && rt.cfg.HedgeMaxNodes > 0 && p.est.Nodes <= rt.cfg.HedgeMaxNodes {
+			hedge = eps[(attempt+1)%len(eps)]
+		}
+		res, fired, err := rt.attemptHedged(ctx, path, p, primary, hedge)
+		hedges += fired
+		if err == nil {
+			return res, hedges, nil
+		}
+		lastErr = err
+		var nerr *nodeError
+		if errors.As(err, &nerr) && !nerr.transient {
+			break
+		}
+		if ctx.Err() != nil {
+			return nil, hedges, ctx.Err()
+		}
+	}
+	return nil, hedges, lastErr
+}
+
+// backoff sleeps the capped exponential delay (plus jitter) before
+// retry number attempt; false means the request context died first.
+func (rt *Router) backoff(ctx context.Context, attempt int) bool {
+	d := rt.cfg.RetryBase << (attempt - 1)
+	if d > rt.cfg.RetryMax {
+		d = rt.cfg.RetryMax
+	}
+	rt.jmu.Lock()
+	j := time.Duration(rt.jrng.Int63n(int64(rt.cfg.RetryBase) + 1))
+	rt.jmu.Unlock()
+	t := time.NewTimer(d + j)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// attemptHedged runs one attempt against the primary endpoint, firing
+// the hedge to a replica after the hedge delay if the primary has not
+// answered. First success wins and cancels the loser; a canceled loser
+// is not charged to its breaker. Returns (response, hedgesFired, err).
+func (rt *Router) attemptHedged(ctx context.Context, path string, p shardPlan, primary, hedge *endpoint) (*nodeResponse, int, error) {
+	type report struct {
+		res    *nodeResponse
+		err    *nodeError
+		hedged bool
+		lost   bool // canceled because the other leg won
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan report, 2)
+	run := func(ep *endpoint, hedgedLeg bool) {
+		start := time.Now()
+		res, nerr := rt.postQuery(actx, ep.base, path, p.body, p.timeout)
+		if nerr != nil && actx.Err() != nil && ctx.Err() == nil {
+			// The other leg won and we were canceled: not a node failure.
+			ch <- report{hedged: hedgedLeg, lost: true}
+			return
+		}
+		p.st.latency.Observe(time.Since(start).Seconds() * 1000)
+		rt.cShardCalls.Inc()
+		if nerr != nil {
+			ep.brk.failure(time.Now())
+			rt.cShardFailures.Inc()
+		} else {
+			ep.brk.success()
+		}
+		ch <- report{res: res, err: nerr, hedged: hedgedLeg}
+	}
+
+	go run(primary, false)
+	outstanding := 1
+	fired := 0
+	var hedgeC <-chan time.Time
+	if hedge != nil {
+		delay := rt.cfg.HedgeDelay
+		if delay <= 0 {
+			delay = p.timeout / 4
+		}
+		timer := time.NewTimer(delay)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+	var firstErr *nodeError
+	for {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			rt.cHedges.Inc()
+			fired = 1
+			go run(hedge, true)
+			outstanding++
+		case rep := <-ch:
+			if rep.lost {
+				outstanding--
+				if outstanding == 0 {
+					// Only reachable when both legs raced to the cancel; the
+					// winner's report was already consumed.
+					return nil, fired, firstErr
+				}
+				continue
+			}
+			if rep.err == nil {
+				if fired == 1 {
+					if rep.hedged {
+						rt.cHedgesWon.Inc()
+					} else {
+						rt.cHedgesLost.Inc()
+					}
+				}
+				cancel()
+				return rep.res, fired, nil
+			}
+			if firstErr == nil {
+				firstErr = rep.err
+			}
+			outstanding--
+			if outstanding == 0 {
+				return nil, fired, firstErr
+			}
+		}
+	}
+}
+
+// HealthResponse is the router's /healthz body: per-endpoint breaker
+// states grouped by shard.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Shards  int    `json:"shards"`
+	Objects int    `json:"objects"`
+	// Breakers[i][j] is the state of shard i's endpoint j: "closed",
+	// "open", or "half-open".
+	Breakers [][]string `json:"breakers"`
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{
+		Status:  "ok",
+		Shards:  len(rt.shards),
+		Objects: rt.totalSize,
+	}
+	for _, st := range rt.shards {
+		states := make([]string, len(st.endpoints))
+		for j, ep := range st.endpoints {
+			states[j] = ep.brk.snapshot().String()
+		}
+		resp.Breakers = append(resp.Breakers, states)
+	}
+	rt.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStats serves the router.* registry as the canonical obs
+// envelope, same as the node servers.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		rt.reject(w, http.StatusMethodNotAllowed, "method_not_allowed", "stats endpoint accepts GET only")
+		return
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteEnvelope(&buf, rt.reg, nil); err != nil {
+		rt.cErrors.Inc()
+		rt.reject(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (rt *Router) reject(w http.ResponseWriter, status int, code, msg string) {
+	if status != http.StatusInternalServerError {
+		rt.cRejected.Inc()
+	}
+	rt.writeJSON(w, status, errorBody{Code: code, Error: msg})
+}
+
+func (rt *Router) writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -63,6 +63,15 @@ type RecalReporter interface {
 	RecalStats() (recal.Stats, bool)
 }
 
+// ModelReporter is the optional model-export surface: an engine that
+// can describe its cost model on the wire (a shard node's F̂/L-MCM
+// summary) gets GET /v1/model mounted, which the scatter-gather router
+// fetches at boot to price, prune, and hedge per shard. *shard.Node
+// satisfies it.
+type ModelReporter interface {
+	ModelSummary() (json.RawMessage, error)
+}
+
 // ObjectDecoder decodes the "query" field of a request into a metric
 // object, rejecting anything the engine's space cannot compare. A
 // decoder must validate strictly: wrong shapes and non-finite values

@@ -8,8 +8,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mcost/internal/budget"
@@ -27,6 +29,15 @@ const DefaultBudgetSlack = 4.0
 
 // DefaultMaxBodyBytes caps request bodies (1 MiB).
 const DefaultMaxBodyBytes = 1 << 20
+
+// DefaultWedgeThreshold is how long a write may hold (or wait on) the
+// writer lock before /healthz starts reporting the node wedged.
+const DefaultWedgeThreshold = 5 * time.Second
+
+// retryJitterFrac spreads each 429's retry_after_ms over
+// [base, base·(1+frac)] so a recovering node is not hit by every shed
+// client on the same tick.
+const retryJitterFrac = 0.25
 
 // Config assembles a Server.
 type Config struct {
@@ -60,6 +71,18 @@ type Config struct {
 	// Debug mounts http.DefaultServeMux under /debug/ — net/http/pprof
 	// and expvar when the binary imports them.
 	Debug bool
+	// NotReady starts the server unready: /healthz answers 503
+	// "building" until SetReady(true). Embedders that construct the
+	// server before the engine finishes warming use this so a router's
+	// health loop does not route to them early.
+	NotReady bool
+	// WedgeThreshold is how long a write may hold or wait on the writer
+	// lock before /healthz reports 503 "wedged" (0 picks
+	// DefaultWedgeThreshold; negative disables the check).
+	WedgeThreshold time.Duration
+	// JitterSeed seeds the 429 retry_after_ms jitter (0 seeds from the
+	// clock; fixed seeds make shed-storm tests reproducible).
+	JitterSeed int64
 }
 
 // Server is the cost-aware HTTP serving layer. Create with New, expose
@@ -81,6 +104,19 @@ type Server struct {
 	maxBody int64
 	maxK    int
 	debug   bool
+	model   ModelReporter
+	clock   func() time.Time
+
+	// Readiness and liveness state behind /healthz: ready flips once
+	// the engine is warm; writes tracks in-flight writers so a wedged
+	// writer lock surfaces as 503 instead of an eternally-"ok" node.
+	ready       atomic.Bool
+	wedgeThresh time.Duration
+	writes      writeTracker
+
+	// jrng jitters 429 retry_after_ms (guarded by jmu).
+	jmu  sync.Mutex
+	jrng *rand.Rand
 
 	cRequests  *obs.Counter
 	cAdmitted  *obs.Counter
@@ -122,31 +158,47 @@ func New(cfg Config) (*Server, error) {
 	if maxK <= 0 {
 		maxK = cfg.Engine.Size()
 	}
-	s := &Server{
-		base:       cfg.Engine,
-		dec:        cfg.Decode,
-		adm:        NewAdmitter(cfg.Admission, cfg.Clock),
-		cache:      cfg.Cache,
-		reg:        reg,
-		slack:      slack,
-		maxBody:    maxBody,
-		maxK:       maxK,
-		debug:      cfg.Debug,
-		cRequests:  reg.Counter("server.requests"),
-		cAdmitted:  reg.Counter("server.admitted"),
-		cShed:      reg.Counter("server.shed"),
-		cRejected:  reg.Counter("server.rejected"),
-		cPartial:   reg.Counter("server.partial"),
-		cErrors:    reg.Counter("server.errors"),
-		cPredNode:  reg.Counter("server.predicted_node_reads"),
-		cPredDist:  reg.Counter("server.predicted_dist_calcs"),
-		cCacheHit:  reg.Counter("server.cache_hits"),
-		cCacheMiss: reg.Counter("server.cache_misses"),
-		cProbeDist: reg.Counter("server.cache_probe_dists"),
-		cSavedNode: reg.Counter("server.cache_saved_node_reads"),
-		cInserts:   reg.Counter("server.inserts"),
-		cDeletes:   reg.Counter("server.deletes"),
+	wedge := cfg.WedgeThreshold
+	if wedge == 0 {
+		wedge = DefaultWedgeThreshold
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	jseed := cfg.JitterSeed
+	if jseed == 0 {
+		jseed = clock().UnixNano()
+	}
+	s := &Server{
+		base:        cfg.Engine,
+		dec:         cfg.Decode,
+		adm:         NewAdmitter(cfg.Admission, cfg.Clock),
+		cache:       cfg.Cache,
+		reg:         reg,
+		slack:       slack,
+		maxBody:     maxBody,
+		maxK:        maxK,
+		debug:       cfg.Debug,
+		clock:       clock,
+		wedgeThresh: wedge,
+		jrng:        rand.New(rand.NewSource(jseed)),
+		cRequests:   reg.Counter("server.requests"),
+		cAdmitted:   reg.Counter("server.admitted"),
+		cShed:       reg.Counter("server.shed"),
+		cRejected:   reg.Counter("server.rejected"),
+		cPartial:    reg.Counter("server.partial"),
+		cErrors:     reg.Counter("server.errors"),
+		cPredNode:   reg.Counter("server.predicted_node_reads"),
+		cPredDist:   reg.Counter("server.predicted_dist_calcs"),
+		cCacheHit:   reg.Counter("server.cache_hits"),
+		cCacheMiss:  reg.Counter("server.cache_misses"),
+		cProbeDist:  reg.Counter("server.cache_probe_dists"),
+		cSavedNode:  reg.Counter("server.cache_saved_node_reads"),
+		cInserts:    reg.Counter("server.inserts"),
+		cDeletes:    reg.Counter("server.deletes"),
+	}
+	s.ready.Store(!cfg.NotReady)
 	// A mutable engine gets the readers-writer guard: queries (pricing
 	// and batch dispatch) share the read side, /v1/insert and /v1/delete
 	// take the write side. Read-only engines keep the zero-cost path.
@@ -155,9 +207,16 @@ func New(cfg Config) (*Server, error) {
 		s.mut = mut
 		s.eng = &lockedEngine{eng: cfg.Engine, mu: &s.wmu}
 	}
+	if mr, ok := cfg.Engine.(ModelReporter); ok {
+		s.model = mr
+	}
 	s.bat = NewBatcher(s.eng, cfg.Batch, reg, cfg.Clock)
 	return s, nil
 }
+
+// SetReady flips the readiness /healthz reports: false returns the node
+// to 503 "building", true marks it routable.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
 // Registry returns the server's metrics registry (the one /v1/stats
 // serves).
@@ -174,6 +233,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/insert", s.handleWrite(true))
 	mux.HandleFunc("/v1/delete", s.handleWrite(false))
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/model", s.handleModel)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	if s.debug {
 		mux.Handle("/debug/", http.DefaultServeMux)
@@ -402,11 +462,9 @@ func (s *Server) handleQuery(nn bool) http.HandlerFunc {
 		if !dec.Admit {
 			s.cShed.Inc()
 			cost := costJSON(est)
-			retryMS := dec.RetryAfter.Milliseconds()
-			if retryMS < 1 {
-				retryMS = 1
-			}
-			w.Header().Set("Retry-After", fmt.Sprintf("%d", (dec.RetryAfter+time.Second-1)/time.Second))
+			retryMS := s.jitterRetryMS(dec.RetryAfter.Milliseconds())
+			retryAfter := time.Duration(retryMS) * time.Millisecond
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", (retryAfter+time.Second-1)/time.Second))
 			s.writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
 				Code:          "overloaded",
 				Error:         "predicted cost exceeds the server's admission budget; back off and retry",
@@ -481,23 +539,109 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(buf.Bytes())
 }
 
-// HealthResponse is the /healthz body.
+// jitterRetryMS spreads a 429's backoff over [base, base·(1+frac)]:
+// clients shed together must not all retry on the same tick against a
+// node that is just recovering.
+func (s *Server) jitterRetryMS(base int64) int64 {
+	if base < 1 {
+		base = 1
+	}
+	span := int64(float64(base) * retryJitterFrac)
+	if span <= 0 {
+		return base
+	}
+	s.jmu.Lock()
+	j := s.jrng.Int63n(span + 1)
+	s.jmu.Unlock()
+	return base + j
+}
+
+// HealthResponse is the /healthz body. Status distinguishes readiness
+// from liveness: "ok" (200) means route to me; "building" (503) means
+// the index is not warm yet; "wedged" (503) means a write has held or
+// waited on the writer lock past the threshold, so queries would queue
+// behind it — a router's health loop should fail over instead.
 type HealthResponse struct {
 	Status   string `json:"status"`
-	Objects  int    `json:"objects"`
-	Nodes    int    `json:"nodes"`
-	Height   int    `json:"height"`
-	PageSize int    `json:"page_size"`
+	Ready    bool   `json:"ready"`
+	Objects  int    `json:"objects,omitempty"`
+	Nodes    int    `json:"nodes,omitempty"`
+	Height   int    `json:"height,omitempty"`
+	PageSize int    `json:"page_size,omitempty"`
+	// WedgedMS reports how long the oldest in-flight write has been
+	// holding or waiting on the writer lock (only set when wedged).
+	WedgedMS float64 `json:"wedged_ms,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "building"})
+		return
+	}
+	if s.wedgeThresh > 0 {
+		if age := s.writes.oldest(s.clock()); age > s.wedgeThresh {
+			s.writeJSON(w, http.StatusServiceUnavailable, HealthResponse{
+				Status: "wedged", Ready: true, WedgedMS: age.Seconds() * 1000,
+			})
+			return
+		}
+	}
 	s.writeJSON(w, http.StatusOK, HealthResponse{
 		Status:   "ok",
+		Ready:    true,
 		Objects:  s.eng.Size(),
 		Nodes:    s.eng.NumNodes(),
 		Height:   s.eng.Height(),
 		PageSize: s.eng.PageSize(),
 	})
+}
+
+// handleModel serves the engine's wire-exportable model summary — the
+// per-shard F̂/L-MCM state a scatter-gather router prices and prunes
+// with. Engines without one (plain trees) answer a typed 404.
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.reject(w, &apiError{status: http.StatusMethodNotAllowed, code: "method_not_allowed",
+			msg: "model endpoint accepts GET only"})
+		return
+	}
+	if s.model == nil {
+		s.reject(w, &apiError{status: http.StatusNotFound, code: "no_model",
+			msg: "this engine does not export a model summary"})
+		return
+	}
+	raw, err := s.model.ModelSummary()
+	if err != nil {
+		s.cErrors.Inc()
+		s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{Code: "internal", Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(raw)
+}
+
+// BootingHandler answers for a node whose engine is still building:
+// /healthz says 503 "building" and every other route 503s with a typed
+// error. Binaries listen with it immediately and swap in the real
+// handler when the build completes, so health loops see the node early
+// but never route work to it.
+func BootingHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeBootJSON(w, HealthResponse{Status: "building"})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeBootJSON(w, ErrorResponse{Code: "building", Error: "index is still building; retry shortly"})
+	})
+	return mux
+}
+
+func writeBootJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 func (s *Server) reject(w http.ResponseWriter, aerr *apiError) {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	"mcost/internal/budget"
 	"mcost/internal/core"
@@ -70,6 +71,51 @@ func (l *lockedEngine) Height() int {
 }
 
 func (l *lockedEngine) PageSize() int { return l.eng.PageSize() }
+
+// writeTracker remembers when each in-flight write entered the write
+// path (before it takes the writer lock), so /healthz can tell a live
+// node from one wedged behind a stuck writer: if the oldest tracked
+// write is older than the wedge threshold, queries are queueing behind
+// the lock and the node should stop advertising itself healthy.
+type writeTracker struct {
+	mu     sync.Mutex
+	next   uint64
+	active map[uint64]time.Time
+}
+
+// begin records a write entering the write path and returns its token.
+func (t *writeTracker) begin(now time.Time) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.active == nil {
+		t.active = make(map[uint64]time.Time)
+	}
+	id := t.next
+	t.next++
+	t.active[id] = now
+	return id
+}
+
+// end clears a finished write.
+func (t *writeTracker) end(id uint64) {
+	t.mu.Lock()
+	delete(t.active, id)
+	t.mu.Unlock()
+}
+
+// oldest returns the age of the longest-running in-flight write (zero
+// when none are active).
+func (t *writeTracker) oldest(now time.Time) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var max time.Duration
+	for _, start := range t.active {
+		if age := now.Sub(start); age > max {
+			max = age
+		}
+	}
+	return max
+}
 
 // InsertResponse is the 200 body of /v1/insert.
 type InsertResponse struct {
@@ -163,12 +209,14 @@ func (s *Server) handleWrite(insert bool) http.HandlerFunc {
 			return
 		}
 		if insert {
+			wid := s.writes.begin(s.clock())
 			s.wmu.Lock()
 			oid, err := s.mut.Insert(req.obj)
 			if err == nil && s.cache != nil {
 				s.cache.BumpEpoch()
 			}
 			s.wmu.Unlock()
+			s.writes.end(wid)
 			if err != nil {
 				s.cErrors.Inc()
 				s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{Code: "internal", Error: err.Error()})
@@ -178,12 +226,14 @@ func (s *Server) handleWrite(insert bool) http.HandlerFunc {
 			s.writeJSON(w, http.StatusOK, InsertResponse{OID: oid, Size: s.eng.Size()})
 			return
 		}
+		wid := s.writes.begin(s.clock())
 		s.wmu.Lock()
 		err := s.mut.Delete(req.obj, req.oid)
 		if err == nil && s.cache != nil {
 			s.cache.BumpEpoch()
 		}
 		s.wmu.Unlock()
+		s.writes.end(wid)
 		if err != nil {
 			if errors.Is(err, mtree.ErrNotFound) {
 				s.reject(w, &apiError{status: http.StatusNotFound, code: "not_found", msg: err.Error()})

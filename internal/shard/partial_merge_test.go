@@ -1,0 +1,181 @@
+package shard
+
+import (
+	"sort"
+	"testing"
+
+	"mcost/internal/dataset"
+	"mcost/internal/metric"
+	"mcost/internal/mtree"
+	"mcost/internal/pager"
+)
+
+// Determinism of the partial merge when a subset of shards errors: one
+// shard is mounted on fault-injected storage that fails every read, the
+// others stay healthy. The merged partial result must be identical at
+// any worker count, the error must be the lowest-shard error (here the
+// only one), and the partial must equal the clean result with the
+// failed shard's contribution removed — the merge contract the
+// distributed router depends on.
+
+// faultySetFixture builds a 3-shard set where only shard `bad` sits on
+// a fault-injected page stack. The returned toggle arms and disarms the
+// faults; disarmed, the set answers cleanly from the same trees.
+func faultySetFixture(t *testing.T, bad int) (*Set, *dataset.Dataset, func(on bool)) {
+	t.Helper()
+	d := dataset.PaperClustered(900, 6, 9001)
+	codec, err := mtree.CodecFor(d.Objects[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faulty *pager.Faulty
+	set, err := Build(d.Space, d.Objects, Options{
+		Shards: 3,
+		Assign: Pivot,
+		Seed:   11,
+		TreeOptions: func(i int) (mtree.Options, error) {
+			var mo mtree.Options // Space/PageSize/Seed are filled by the build
+			if i != bad {
+				return mo, nil
+			}
+			stack, err := pager.NewMemStack(pager.StackOptions{
+				PageSize: mtree.PhysPageSize(4096),
+				Retry:    pager.RetryOptions{Attempts: 1},
+				Faults:   &pager.FaultConfig{Seed: 5, ReadErrorRate: 1},
+			})
+			if err != nil {
+				return mo, err
+			}
+			stack.Faulty.SetEnabled(false) // build must succeed
+			faulty = stack.Faulty
+			mo.Pager = stack.Top
+			mo.Codec = codec
+			return mo, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty == nil {
+		t.Fatalf("shard %d never asked for tree options", bad)
+	}
+	return set, d, faulty.SetEnabled
+}
+
+func TestPartialMergeDeterministicUnderShardErrors(t *testing.T) {
+	const bad = 1
+	set, d, arm := faultySetFixture(t, bad)
+	qs := dataset.PaperClusteredQueries(8, 6, 9001).Queries
+	badOIDs := make(map[uint64]bool)
+	for _, oid := range set.Shards()[bad].OIDs {
+		badOIDs[oid] = true
+	}
+
+	nnErrors := 0
+	for _, q := range qs {
+		const radius = 18.0
+		const k = 12
+
+		// Clean pass: same trees, faults disarmed.
+		arm(false)
+		cleanRange, err := set.Range(q, radius, QueryOptions{UseParentDist: true})
+		if err != nil {
+			t.Fatalf("clean range: %v", err)
+		}
+		var wantRange []mtree.Match
+		for _, m := range cleanRange {
+			if !badOIDs[m.OID] {
+				wantRange = append(wantRange, m)
+			}
+		}
+		wantNN := cleanNNWithout(t, set, d, q, k, bad)
+
+		// Faulty passes at several worker counts: identical partials,
+		// identical error, every time.
+		arm(true)
+		var firstErr, firstNNErr string
+		for _, workers := range []int{1, 2, 8} {
+			got, err := set.Range(q, radius, QueryOptions{UseParentDist: true, Workers: workers})
+			if err == nil {
+				t.Fatalf("workers=%d: range on a failing shard returned no error", workers)
+			}
+			if firstErr == "" {
+				firstErr = err.Error()
+			} else if err.Error() != firstErr {
+				t.Errorf("workers=%d: error changed: %q vs %q", workers, err.Error(), firstErr)
+			}
+			if !matchesEqual(got, wantRange) {
+				t.Errorf("workers=%d: partial range diverged: got %d matches, want %d", workers, len(got), len(wantRange))
+			}
+
+			// k-NN may legitimately skip the failing shard (lower bound
+			// beyond the running k-th distance), in which case there is no
+			// error — but the result must equal the canonical healthy merge
+			// either way, and the outcome must not depend on workers.
+			gotNN, nnErr := set.NN(q, k, QueryOptions{UseParentDist: true, Workers: workers})
+			if workers == 1 {
+				firstNNErr = errString(nnErr)
+				if nnErr != nil {
+					nnErrors++
+				}
+			} else if errString(nnErr) != firstNNErr {
+				t.Errorf("workers=%d: NN error changed: %q vs %q", workers, errString(nnErr), firstNNErr)
+			}
+			if !matchesEqual(gotNN, wantNN) {
+				t.Errorf("workers=%d: partial NN diverged: got %d matches, want %d", workers, len(gotNN), len(wantNN))
+			}
+		}
+	}
+	if nnErrors == 0 {
+		t.Error("no query ever visited the failing shard for k-NN; the error path went untested")
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// cleanNNWithout computes the expected partial k-NN: the canonical
+// (distance, OID) merge of the healthy shards' local top-k, faults
+// disarmed.
+func cleanNNWithout(t *testing.T, set *Set, d *dataset.Dataset, q metric.Object, k, bad int) []mtree.Match {
+	t.Helper()
+	var all []mtree.Match
+	for i, sh := range set.Shards() {
+		if i == bad {
+			continue
+		}
+		kk := k
+		if n := sh.Tree.Size(); kk > n {
+			kk = n
+		}
+		ms, err := sh.Tree.NN(q, kk, mtree.QueryOptions{UseParentDist: true})
+		if err != nil {
+			t.Fatalf("clean shard %d NN: %v", i, err)
+		}
+		for _, m := range ms {
+			m.OID = sh.OIDs[m.OID]
+			all = append(all, m)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return less(all[i], all[j]) })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func matchesEqual(a, b []mtree.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].OID != b[i].OID || a[i].Distance != b[i].Distance {
+			return false
+		}
+	}
+	return true
+}

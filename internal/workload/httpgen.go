@@ -68,6 +68,12 @@ type HTTPReport struct {
 	// OK counts complete 200 responses, Partial the budget- or
 	// deadline-degraded 200s, Shed the typed 429s.
 	OK, Partial, Shed int
+	// Degraded counts 200 responses a scatter-gather router marked
+	// shard-degraded ("degraded": true with shards_failed) — results
+	// missing one or more failed shards. Orthogonal to the OK/Partial
+	// split: a degraded response still counts in OK or Partial, so the
+	// Requests identity holds.
+	Degraded int
 	// Errors counts transport failures and any other status.
 	Errors int
 	// Invalid counts range responses carrying a match beyond the
@@ -94,6 +100,17 @@ type wireQueryResponse struct {
 	Matches []wireMatch `json:"matches"`
 	Partial bool        `json:"partial"`
 	Cached  bool        `json:"cached"`
+	// Degraded is a bool on the router's wire (shard-level loss) and a
+	// cause string on a node's (budget/deadline), so it stays raw here
+	// and degradedFlag interprets it.
+	Degraded json.RawMessage `json:"degraded"`
+}
+
+// degradedFlag reports whether a raw "degraded" field marks a
+// router-style shard-degraded response (boolean true). Node-style cause
+// strings ride with "partial": true and are already counted as Partial.
+func degradedFlag(raw json.RawMessage) bool {
+	return string(raw) == "true"
 }
 
 type wireErrorResponse struct {
@@ -244,6 +261,7 @@ func RunHTTP(baseURL string, w *Workload, queryPool []metric.Object, opt HTTPOpt
 				rep.Errors += res.errs
 				rep.Invalid += res.invalid
 				rep.CacheHits += res.cached
+				rep.Degraded += res.degraded
 				rep.Inserts += res.inserts
 				rep.Deletes += res.deletes
 				rep.BackoffTotal += sleep
@@ -261,6 +279,7 @@ func RunHTTP(baseURL string, w *Workload, queryPool []metric.Object, opt HTTPOpt
 // issueResult is one request's contribution to the report.
 type issueResult struct {
 	ok, partial, shed, errs, invalid, cached int
+	degraded                                 int
 	inserts, deletes                         int
 	backoff                                  time.Duration
 }
@@ -315,6 +334,9 @@ func issue(client *http.Client, baseURL string, r httpRequest, stack *oidStack) 
 		}
 		if qr.Cached {
 			out.cached = 1
+		}
+		if degradedFlag(qr.Degraded) {
+			out.degraded = 1
 		}
 		if r.class.K == 0 {
 			// Degraded or not, a range response may only contain true
