@@ -34,12 +34,18 @@ func (sx *ShardedIndex) Space() *Space { return sx.space }
 // out[i] is exactly what Range(qs[i], radius) returns, but each node is
 // fetched at most once per batch, so node reads amortize.
 func (ix *Index) RangeBatch(qs []Object, radius float64) ([][]Match, error) {
+	if err := validateQueries(ix.space, ix.sample, qs); err != nil {
+		return nil, err
+	}
 	return ix.tree.RangeBatch(qs, radius, mtree.QueryOptions{UseParentDist: true})
 }
 
 // NNBatch answers a batch of k-NN queries in one shared traversal;
 // out[i] holds query i's k nearest neighbors, closest first.
 func (ix *Index) NNBatch(qs []Object, k int) ([][]Match, error) {
+	if err := validateQueries(ix.space, ix.sample, qs); err != nil {
+		return nil, err
+	}
 	return ix.tree.NNBatch(qs, k, mtree.QueryOptions{UseParentDist: true})
 }
 
@@ -51,6 +57,9 @@ func (ix *Index) NNBatch(qs []Object, k int) ([][]Match, error) {
 // With recalibration enabled, every execution feeds its trace back into
 // the bias window — predicted versus observed, joined per level.
 func (ix *Index) RangeBatchTraced(ctx context.Context, qs []Object, radius float64, b QueryBudget, tr *QueryTrace) ([][]Match, error) {
+	if err := validateQueries(ix.space, ix.sample, qs); err != nil {
+		return nil, err
+	}
 	if ix.rc == nil {
 		return ix.tree.RangeBatchCtx(ctx, qs, radius, mtree.QueryOptions{UseParentDist: true, Budget: b, Trace: tr})
 	}
@@ -72,6 +81,9 @@ func (ix *Index) RangeBatchTraced(ctx context.Context, qs []Object, radius float
 // NNBatchTraced is NNBatch honoring ctx, a batch-wide budget, and an
 // optional trace (see RangeBatchTraced).
 func (ix *Index) NNBatchTraced(ctx context.Context, qs []Object, k int, b QueryBudget, tr *QueryTrace) ([][]Match, error) {
+	if err := validateQueries(ix.space, ix.sample, qs); err != nil {
+		return nil, err
+	}
 	if ix.rc == nil {
 		return ix.tree.NNBatchCtx(ctx, qs, k, mtree.QueryOptions{UseParentDist: true, Budget: b, Trace: tr})
 	}
@@ -118,12 +130,18 @@ func (sx *ShardedIndex) tracedOpt(ctx context.Context, b QueryBudget, tr *QueryT
 // RangeBatchTraced is RangeBatch honoring ctx, a per-shard batch budget,
 // and an optional trace merged in shard order.
 func (sx *ShardedIndex) RangeBatchTraced(ctx context.Context, qs []Object, radius float64, b QueryBudget, tr *QueryTrace) ([][]Match, error) {
+	if err := validateQueries(sx.space, sx.sample, qs); err != nil {
+		return nil, err
+	}
 	return sx.set.RangeBatch(qs, radius, sx.tracedOpt(ctx, b, tr))
 }
 
 // NNBatchTraced is NNBatch honoring ctx, a per-shard batch budget, and
 // an optional trace merged in shard order.
 func (sx *ShardedIndex) NNBatchTraced(ctx context.Context, qs []Object, k int, b QueryBudget, tr *QueryTrace) ([][]Match, error) {
+	if err := validateQueries(sx.space, sx.sample, qs); err != nil {
+		return nil, err
+	}
 	return sx.set.NNBatch(qs, k, sx.tracedOpt(ctx, b, tr))
 }
 

@@ -41,6 +41,10 @@ func main() {
 		trace   = flag.Bool("trace", false, "with -metrics-out, embed the merged raw query trace in the JSON (residuals experiment)")
 	)
 	flag.Parse()
+	if err := tf.ValidateLayout(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	if *list {
 		fmt.Println(strings.Join(experiments.Names(), "\n"))

@@ -56,6 +56,9 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := tf.ValidateLayout(); err != nil {
+		fail(err)
+	}
 	storage := stf.Options(nil)
 	budgetSlack, timeout := &bf.Slack, &bf.Timeout
 

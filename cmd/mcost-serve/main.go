@@ -73,6 +73,9 @@ func main() {
 		debug       = flag.Bool("debug", false, "mount net/http/pprof and expvar (including the metrics registry at /debug/vars) under /debug/")
 	)
 	flag.Parse()
+	if err := tf.ValidateLayout(); err != nil {
+		fail(err)
+	}
 
 	reg := mcost.NewMetricsRegistry()
 	if *debug {
@@ -146,7 +149,7 @@ func main() {
 		}
 	}
 
-	dec, err := server.DecoderFor(d.Objects[0], d.Space.Bound)
+	dec, err := server.DecoderForSpace(d.Space, d.Objects[0])
 	if err != nil {
 		fail(err)
 	}

@@ -59,6 +59,7 @@ type TreeFlags struct {
 	PageSize int
 	Seed     int64
 	Workers  int
+	Layout   string
 }
 
 // RegisterTree registers the tree flags on fs; seed is the
@@ -68,12 +69,30 @@ func RegisterTree(fs *flag.FlagSet, seed int64) *TreeFlags {
 	fs.IntVar(&f.PageSize, "pagesize", 4096, "M-tree node size in bytes")
 	fs.Int64Var(&f.Seed, "seed", seed, "random seed")
 	fs.IntVar(&f.Workers, "workers", 0, "worker goroutines for estimation and query batches (0 = all CPUs); results are identical at any count")
+	fs.StringVar(&f.Layout, "layout", "memory", "node layout for query serving: memory | arena | arena-mmap; arena freezes the tree into flat columnar slabs with batched distance kernels (bit-identical results), arena-mmap serves them from a memory-mapped slab file")
 	return f
 }
 
 // Options assembles the build options over the given storage stack.
 func (f *TreeFlags) Options(storage mcost.StorageOptions) mcost.Options {
-	return mcost.Options{PageSize: f.PageSize, Seed: f.Seed, Workers: f.Workers, Storage: storage}
+	opt := mcost.Options{PageSize: f.PageSize, Seed: f.Seed, Workers: f.Workers, Storage: storage}
+	switch f.Layout {
+	case "arena":
+		opt.Arena = mcost.ArenaOptions{Enabled: true}
+	case "arena-mmap":
+		opt.Arena = mcost.ArenaOptions{Enabled: true, Mmap: true}
+	}
+	return opt
+}
+
+// ValidateLayout rejects unknown -layout spellings early, before a
+// build silently runs without the arena.
+func (f *TreeFlags) ValidateLayout() error {
+	switch f.Layout {
+	case "", "memory", "arena", "arena-mmap":
+		return nil
+	}
+	return fmt.Errorf("unknown -layout %q (memory | arena | arena-mmap)", f.Layout)
 }
 
 // ShardFlags select the sharded engine (-shards, -shard-assign,

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mcost/internal/dataset"
+)
+
+// The k-clamping convention (PR 9 bugfix): every k-taking estimator
+// treats k <= 0 as k = 1 and k > n as k = n, so degenerate requests can
+// never push NaN or Inf into admission budgets or router timeouts.
+
+func finiteEstimate(t *testing.T, name string, e CostEstimate) {
+	t.Helper()
+	if math.IsNaN(e.Nodes) || math.IsInf(e.Nodes, 0) || math.IsNaN(e.Dists) || math.IsInf(e.Dists, 0) {
+		t.Fatalf("%s produced a non-finite estimate: %+v", name, e)
+	}
+	if e.Nodes < 0 || e.Dists < 0 {
+		t.Fatalf("%s produced a negative estimate: %+v", name, e)
+	}
+}
+
+func TestCostModelClampsK(t *testing.T) {
+	fx := newFixture(t, dataset.PaperClustered(80, 5, 3), 2048)
+	m := fx.model
+	n := m.N()
+
+	type kEst struct {
+		name string
+		f    func(k int) CostEstimate
+	}
+	ests := []kEst{
+		{"NNN", m.NNN},
+		{"NNL", m.NNL},
+		{"NNViaExpectedDist", m.NNViaExpectedDist},
+		{"NNViaR1", m.NNViaR1},
+	}
+	for _, est := range ests {
+		low := est.f(1)
+		for _, k := range []int{0, -1, -100} {
+			got := est.f(k)
+			finiteEstimate(t, est.name, got)
+			if got != low {
+				t.Errorf("%s(%d) = %+v, want the k=1 estimate %+v", est.name, k, got, low)
+			}
+		}
+		high := est.f(n)
+		finiteEstimate(t, est.name, high)
+		for _, k := range []int{n + 1, 10 * n, 1 << 30} {
+			got := est.f(k)
+			finiteEstimate(t, est.name, got)
+			if got != high {
+				t.Errorf("%s(%d) = %+v, want the k=n estimate %+v", est.name, k, got, high)
+			}
+		}
+	}
+
+	bound := m.F().Bound()
+	for _, k := range []int{-3, 0, 1, n, n + 7, 1 << 30} {
+		d := m.ExpectedNNDist(k)
+		if math.IsNaN(d) || d < 0 || d > bound {
+			t.Errorf("ExpectedNNDist(%d) = %v, want finite in [0, %v]", k, d, bound)
+		}
+		q := m.NNDistQuantile(k, 0.9)
+		if math.IsNaN(q) || q < 0 || q > bound {
+			t.Errorf("NNDistQuantile(%d, 0.9) = %v, want finite in [0, %v]", k, q, bound)
+		}
+		p := m.NNDistCDF(k, bound)
+		if math.IsNaN(p) || p < 0 || p > 1+1e-12 {
+			t.Errorf("NNDistCDF(%d, bound) = %v, want a probability", k, p)
+		}
+	}
+	if d0, d1 := m.ExpectedNNDist(0), m.ExpectedNNDist(1); d0 != d1 {
+		t.Errorf("ExpectedNNDist(0) = %v, want the k=1 value %v", d0, d1)
+	}
+	if dn, dBig := m.ExpectedNNDist(n), m.ExpectedNNDist(n+999); dn != dBig {
+		t.Errorf("ExpectedNNDist(n+999) = %v, want the k=n value %v", dBig, dn)
+	}
+}

@@ -114,11 +114,27 @@ func (m *MTreeModel) RangeObjects(rq float64) float64 {
 	return float64(m.stats.Size) * m.f.CDF(rq)
 }
 
+// clampK bounds a requested neighbor count to the valid [1, n] window.
+// The estimators receive k straight from user-facing APIs; k <= 0 or
+// k > n would otherwise feed degenerate binomial tails (and from there
+// NaN/Inf radii) into admission budgets and router timeouts, so every
+// k-taking method clamps first. The convention: k <= 0 prices as k = 1,
+// k > n prices as the full scan that retrieving all n objects implies.
+func (m *MTreeModel) clampK(k int) int {
+	if k < 1 {
+		return 1
+	}
+	if n := m.stats.Size; k > n {
+		return n
+	}
+	return k
+}
+
 // NNDistCDF evaluates P_{Q,k}(r) = Pr{nn_{Q,k} <= r}: the probability
 // that at least k of the n objects fall within distance r of the query
 // (Eq. 9), computed from the binomial tail in log space.
 func (m *MTreeModel) NNDistCDF(k int, r float64) float64 {
-	return numeric.BinomialTail(m.stats.Size, k, m.f.CDF(r))
+	return numeric.BinomialTail(m.stats.Size, m.clampK(k), m.f.CDF(r))
 }
 
 // ExpectedNNDist predicts E[nn_{Q,k}], the expected distance of the k-th
@@ -176,7 +192,7 @@ func (m *MTreeModel) NNViaExpectedDist(k int) CostEstimate {
 // r(k), the radius whose expected result cardinality is k — the paper's
 // third NN estimator (r(1) for k=1).
 func (m *MTreeModel) NNViaR1(k int) CostEstimate {
-	return m.RangeL(m.RadiusForExpectedObjects(float64(k)))
+	return m.RangeL(m.RadiusForExpectedObjects(float64(m.clampK(k))))
 }
 
 // binomTail is numeric.BinomialTail, aliased locally so model variants

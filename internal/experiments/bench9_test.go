@@ -1,0 +1,40 @@
+package experiments
+
+import "testing"
+
+func TestRunBench9(t *testing.T) {
+	r, err := RunBench9(quickCfg())
+	if err != nil {
+		t.Fatal(err) // includes any result divergence between engines
+	}
+	if len(r.Rows) != 10 { // 5 engines × {range, nn}
+		t.Fatalf("got %d rows, want 10", len(r.Rows))
+	}
+	byKey := map[string]Bench9Row{}
+	for _, row := range r.Rows {
+		byKey[row.Engine+"/"+row.Kind] = row
+	}
+	for _, kind := range []string{"range", "nn"} {
+		loop := byKey["loop/"+kind]
+		// The deterministic columns are the bit-identity contract: the
+		// per-query layouts do exactly the store traversal's work.
+		for _, eng := range []string{"loop-paged", "arena", "arena-mmap"} {
+			row := byKey[eng+"/"+kind]
+			if row.NodeReadsPerQuery != loop.NodeReadsPerQuery ||
+				row.DistCalcsPerQuery != loop.DistCalcsPerQuery ||
+				row.ResultsPerQuery != loop.ResultsPerQuery {
+				t.Errorf("%s/%s cost columns %+v diverge from loop %+v", eng, kind, row, loop)
+			}
+		}
+		// The batch engine amortizes node reads but computes the same
+		// distances and results.
+		batch := byKey["arena-batch/"+kind]
+		if batch.NodeReadsPerQuery >= loop.NodeReadsPerQuery {
+			t.Errorf("arena-batch/%s reads %.1f nodes/q, loop %.1f — batching must amortize",
+				kind, batch.NodeReadsPerQuery, loop.NodeReadsPerQuery)
+		}
+		if batch.DistCalcsPerQuery != loop.DistCalcsPerQuery || batch.ResultsPerQuery != loop.ResultsPerQuery {
+			t.Errorf("arena-batch/%s work columns diverge from loop", kind)
+		}
+	}
+}

@@ -251,7 +251,7 @@ func TestRegistryAndNames(t *testing.T) {
 	}
 	for _, want := range []string{"table1", "hv", "fig1", "fig2", "fig3", "fig4", "fig5", "vptree",
 		"nnk", "complex", "multiview", "fractal", "join", "ablation-bias", "hmcm", "statsfree", "hverr", "cache",
-		"ablation-pruning", "ablation-bins", "ablation-sampling", "ablation-build", "bench4", "bench6"} {
+		"ablation-pruning", "ablation-bins", "ablation-sampling", "ablation-build", "bench4", "bench6", "bench9"} {
 		if _, ok := reg[want]; !ok {
 			t.Errorf("missing experiment %q", want)
 		}

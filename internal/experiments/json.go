@@ -64,6 +64,13 @@ func JSONRegistry() map[string]JSONRunner {
 			}
 			return r, nil
 		},
+		"bench9": func(cfg Config) (interface{}, error) {
+			r, err := RunBench9(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r, nil
+		},
 		"recal": func(cfg Config) (interface{}, error) {
 			r, err := RunRecal(cfg)
 			if err != nil {

@@ -132,6 +132,13 @@ func Registry() map[string]Runner {
 			}
 			return r.Table().Render(w)
 		},
+		"bench9": func(cfg Config, w io.Writer) error {
+			r, err := RunBench9(cfg)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(w)
+		},
 		"hmcm": func(cfg Config, w io.Writer) error {
 			r, err := RunHMCM(cfg)
 			if err != nil {

@@ -82,6 +82,16 @@ func (c *Counter) Distance(a, b Object) float64 {
 // Count returns the number of distances computed so far.
 func (c *Counter) Count() int64 { return c.n.Load() }
 
+// AddN credits n distance computations performed outside Distance.
+// Hot paths that compute distances directly against an arena slab batch
+// their counting through AddN — one atomic add per node instead of one
+// per distance — so the totals still match the per-call accounting.
+func (c *Counter) AddN(n int64) {
+	if n != 0 {
+		c.n.Add(n)
+	}
+}
+
 // Reset zeroes the counter and returns the previous value.
 func (c *Counter) Reset() int64 { return c.n.Swap(0) }
 

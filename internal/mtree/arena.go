@@ -1,0 +1,212 @@
+package mtree
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mcost/internal/metric"
+	"mcost/internal/pager"
+)
+
+// Arena is a frozen, flat, columnar view of the whole tree: routing
+// radii, parent distances, child indices, and OIDs live in contiguous
+// typed slabs, vector coordinates in one aligned float64 slab, and
+// nodes are identified by dense indices in DFS preorder (root = 0).
+// Queries over an arena never touch the node store — no per-node
+// decode, no pager mutex, no per-entry Decode allocation — yet produce
+// bit-identical results, traces, and counter totals to the store-backed
+// traversal: the traversal order, pruning tests, and floating-point
+// expressions are exact mirrors of query.go/batch.go.
+//
+// An arena is a read-only snapshot. Tree mutations (Insert, Delete,
+// BulkLoad, Restore) thaw it automatically; FreezeArena rebuilds it.
+type Arena struct {
+	space   *metric.Space
+	counter *metric.Counter // shared with the owning tree
+	reads   *atomic.Int64   // the owning tree's arena node-read counter
+	bound   float64
+
+	kind arenaKind
+	dim  int // vector dimension when kind == arenaVector
+
+	// Per-node slabs, indexed by dense node index.
+	leaf  []bool
+	start []int32 // first entry index of node i
+	end   []int32 // one past the last entry index of node i
+
+	// Per-entry slabs, indexed by dense entry index.
+	parentDist []float64
+	radius     []float64
+	child      []int32 // dense child node index; -1 for leaf entries
+	oid        []uint64
+	objs       []metric.Object // result objects (leaf entries; routing objects too)
+	vecs       []float64       // kind == arenaVector: entry e at [e*dim, (e+1)*dim)
+	strs       []string        // kind == arenaEdit / arenaHamming
+
+	vecK metric.VecKernel // kind == arenaVector
+
+	// mapping is the live memory map behind the slabs when the arena was
+	// loaded via ArenaConfig.Mmap. It is intentionally NOT unmapped on
+	// thaw: vector result objects are views into it, so unmapping while
+	// any result may still be referenced would be a use-after-free. Close
+	// releases it explicitly once the caller knows no results survive.
+	mapping *pager.Mapping
+
+	scratch sync.Pool // *arenaScratch
+}
+
+// arenaKind selects the distance kernel dispatched on the hot path.
+type arenaKind uint8
+
+const (
+	arenaGeneric arenaKind = iota // space.Distance on boxed objects
+	arenaVector                   // Lp slab kernel over vecs
+	arenaEdit                     // prefix-shared Levenshtein over strs
+	arenaHamming                  // SWAR Hamming over strs
+)
+
+// ArenaConfig configures FreezeArena.
+type ArenaConfig struct {
+	// Mmap serializes the frozen slabs into a file and memory-maps it
+	// read-only, so concurrent shard goroutines (and separate processes
+	// mapping the same file) share one physical copy of the pages with
+	// no cache mutex. Only vector, edit, and hamming spaces have a slab
+	// file format; other domains must freeze in-memory.
+	Mmap bool
+	// Path is the slab file for Mmap. Empty means a private temp file,
+	// removed from the filesystem once mapped.
+	Path string
+}
+
+// FreezeArena builds the arena snapshot of the current tree and routes
+// all subsequent queries through it. The tree must be non-empty.
+func (t *Tree) FreezeArena(cfg ArenaConfig) error {
+	if t.root == pager.InvalidPage {
+		return errors.New("mtree: cannot freeze an empty tree")
+	}
+	a, err := buildArena(t)
+	if err != nil {
+		return err
+	}
+	if cfg.Mmap {
+		if err := a.remap(cfg.Path); err != nil {
+			return err
+		}
+	}
+	t.arena = a
+	return nil
+}
+
+// ThawArena detaches the arena; queries go back through the node store.
+// A memory-mapped arena's mapping stays alive (see Arena.mapping).
+func (t *Tree) ThawArena() { t.arena = nil }
+
+// Arena returns the attached arena, or nil when queries run through the
+// node store.
+func (t *Tree) Arena() *Arena { return t.arena }
+
+// NumNodes returns the number of tree nodes captured in the arena.
+func (a *Arena) NumNodes() int { return len(a.leaf) }
+
+// Mapped reports whether the arena's slabs are backed by a memory map.
+func (a *Arena) Mapped() bool { return a.mapping != nil }
+
+// Close releases the memory map behind an mmap-backed arena. Callers
+// must guarantee no Match.Object returned by this arena is referenced
+// afterwards: vector results are views into the map. In-memory arenas
+// Close to a no-op.
+func (a *Arena) Close() error {
+	m := a.mapping
+	if m == nil {
+		return nil
+	}
+	a.mapping = nil
+	return m.Close()
+}
+
+// buildArena walks the tree in DFS preorder through the store's
+// uncounted peek and lays every node out flat. In memory mode the
+// result objects are the very boxes the store holds, so arena results
+// are pointer-identical to store results; in paged mode they are the
+// decoded copies peek produced (decoding always copies — see codec.go).
+func buildArena(t *Tree) (*Arena, error) {
+	a := &Arena{
+		space:   t.counter.Space(), // accelerated view; bit-identical distances
+		counter: t.counter,
+		reads:   &t.arenaReads,
+		bound:   t.opt.Space.Bound,
+		kind:    arenaGeneric,
+	}
+	a.scratch.New = func() any { return &arenaScratch{} }
+
+	root, err := t.store.peek(t.root)
+	if err != nil {
+		return nil, err
+	}
+	if len(root.entries) > 0 {
+		switch s := root.entries[0].Object.(type) {
+		case metric.Vector:
+			if k := metric.VecKernelFor(t.opt.Space.Name); k != nil {
+				a.kind, a.dim, a.vecK = arenaVector, len(s), k
+			}
+		case string:
+			switch t.opt.Space.Name {
+			case "edit":
+				a.kind = arenaEdit
+			case "hamming":
+				a.kind = arenaHamming
+			}
+		}
+	}
+
+	var walk func(id pager.PageID) (int32, error)
+	walk = func(id pager.PageID) (int32, error) {
+		n, err := t.store.peek(id)
+		if err != nil {
+			return 0, err
+		}
+		ni := int32(len(a.leaf))
+		base := int32(len(a.oid))
+		a.leaf = append(a.leaf, n.leaf)
+		a.start = append(a.start, base)
+		a.end = append(a.end, base+int32(len(n.entries)))
+		for i := range n.entries {
+			e := &n.entries[i]
+			a.parentDist = append(a.parentDist, e.ParentDist)
+			a.radius = append(a.radius, e.Radius)
+			a.oid = append(a.oid, e.OID)
+			a.child = append(a.child, -1)
+			a.objs = append(a.objs, e.Object)
+			switch a.kind {
+			case arenaVector:
+				v, ok := e.Object.(metric.Vector)
+				if !ok || len(v) != a.dim {
+					return 0, fmt.Errorf("mtree: arena freeze: entry object %T does not match %d-dimensional vector layout", e.Object, a.dim)
+				}
+				a.vecs = append(a.vecs, v...)
+			case arenaEdit, arenaHamming:
+				s, ok := e.Object.(string)
+				if !ok {
+					return 0, fmt.Errorf("mtree: arena freeze: entry object %T in a string space", e.Object)
+				}
+				a.strs = append(a.strs, s)
+			}
+		}
+		if !n.leaf {
+			for i := range n.entries {
+				ci, err := walk(n.entries[i].Child)
+				if err != nil {
+					return 0, err
+				}
+				a.child[base+int32(i)] = ci
+			}
+		}
+		return ni, nil
+	}
+	if _, err := walk(t.root); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

@@ -1,0 +1,466 @@
+package mtree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mcost/internal/budget"
+	"mcost/internal/metric"
+)
+
+// Arena traversals. Each function here is a line-for-line mirror of its
+// store-backed twin in query.go / batch.go: same visit order, same
+// pruning tests in the same order, same floating-point expressions,
+// same trace calls, same budget-guard calls. The differences are purely
+// mechanical — node fetch becomes slab indexing, the per-distance
+// atomic increment becomes one batched Counter.AddN per node, and the
+// container/heap priority queues become hand-rolled heaps over pooled
+// scratch slices (the sift algorithms are copied from container/heap,
+// so tie-breaking pop order is identical). Any behavioral edit to the
+// store-backed traversals must be replicated here; the equivalence
+// matrix in arena_test.go and at the repo root enforces the contract.
+
+// arenaScratch is the pooled per-query state: the decoded query, the
+// priority queues, and the prefix-shared edit-distance rows. Reusing it
+// across queries is what makes the hot paths allocation-free.
+type arenaScratch struct {
+	q    metric.Object
+	qv   []float64 // kind == arenaVector
+	qs   string    // kind == arenaEdit / arenaHamming
+	lev  *metric.PrefixLev
+	pq   []arenaNNItem
+	best []Match
+}
+
+func (a *Arena) getScratch(q metric.Object) *arenaScratch {
+	sc := a.scratch.Get().(*arenaScratch)
+	sc.q = q
+	switch a.kind {
+	case arenaVector:
+		sc.qv = []float64(q.(metric.Vector))
+	case arenaEdit:
+		qs := q.(string)
+		if sc.lev == nil {
+			sc.lev = metric.NewPrefixLev(qs)
+		} else {
+			sc.lev.Reset(qs)
+		}
+		sc.qs = qs
+	case arenaHamming:
+		sc.qs = q.(string)
+	}
+	return sc
+}
+
+func (a *Arena) putScratch(sc *arenaScratch) {
+	sc.q = nil
+	sc.qv = nil
+	sc.qs = ""
+	sc.pq = sc.pq[:0]
+	sc.best = sc.best[:0]
+	a.scratch.Put(sc)
+}
+
+// entryDist computes d(query, entry e) through the kind's kernel. The
+// kernels are bit-identical to space.Distance (see metric/kernels.go),
+// so pruning decisions downstream cannot diverge from the store path.
+func (a *Arena) entryDist(sc *arenaScratch, e int32) float64 {
+	switch a.kind {
+	case arenaVector:
+		off := int(e) * a.dim
+		return a.vecK(sc.qv, a.vecs[off:off+a.dim])
+	case arenaHamming:
+		return metric.HammingRaw(sc.qs, a.strs[e])
+	case arenaEdit:
+		return float64(sc.lev.Dist(a.strs[e]))
+	default:
+		return a.space.Distance(sc.q, a.objs[e])
+	}
+}
+
+// rangeRun mirrors Tree.rangeSearch after validation and StartRange.
+func (a *Arena) rangeRun(g *budget.Guard, q metric.Object, radius float64, opt QueryOptions) ([]Match, error) {
+	sc := a.getScratch(q)
+	out, err := a.rangeAt(0, radius, math.NaN(), 1, opt, g, sc, nil)
+	a.putScratch(sc)
+	return out, err
+}
+
+// RangeAppend runs a range query over the arena, appending matches to
+// dst and returning the extended slice. With dst capacity in place this
+// is the zero-allocation hot path the CI gate pins (0 allocs/op for
+// vector spaces). Results, order, traces, and counters are identical to
+// Tree.Range.
+func (a *Arena) RangeAppend(dst []Match, q metric.Object, radius float64, opt QueryOptions) ([]Match, error) {
+	if q == nil {
+		return dst, errors.New("mtree: nil query object")
+	}
+	if radius < 0 {
+		return dst, fmt.Errorf("mtree: negative radius %g", radius)
+	}
+	opt.Trace.StartRange(radius)
+	sc := a.getScratch(q)
+	out, err := a.rangeAt(0, radius, math.NaN(), 1, opt, nil, sc, dst)
+	a.putScratch(sc)
+	return out, err
+}
+
+// rangeAt mirrors Tree.rangeAt over slab indices.
+func (a *Arena) rangeAt(ni int32, radius, distQP float64, level int, opt QueryOptions, g *budget.Guard, sc *arenaScratch, out []Match) ([]Match, error) {
+	if err := g.BeforeFetch(); err != nil {
+		return out, err
+	}
+	a.reads.Add(1)
+	opt.Trace.Visit(level)
+	leaf := a.leaf[ni]
+	dists := 0
+	for e, hi := a.start[ni], a.end[ni]; e < hi; e++ {
+		bound := radius
+		if !leaf {
+			bound += a.radius[e]
+		}
+		if opt.UseParentDist && !math.IsNaN(distQP) && !math.IsNaN(a.parentDist[e]) {
+			if math.Abs(distQP-a.parentDist[e]) > bound {
+				opt.Trace.PruneParent(level)
+				continue
+			}
+		}
+		d := a.entryDist(sc, e)
+		dists++
+		opt.Trace.Dist(level)
+		if err := g.OnDist(); err != nil {
+			a.counter.AddN(int64(dists))
+			return out, err
+		}
+		if d > bound {
+			if !leaf {
+				opt.Trace.PruneRadius(level)
+			}
+			continue
+		}
+		if leaf {
+			out = append(out, Match{Object: a.objs[e], OID: a.oid[e], Distance: d})
+		} else {
+			// Flush before recursing so mid-query counter reads observe the
+			// same prefix totals as the per-call accounting.
+			a.counter.AddN(int64(dists))
+			dists = 0
+			var err error
+			out, err = a.rangeAt(a.child[e], radius, d, level+1, opt, g, sc, out)
+			if err != nil {
+				return out, err
+			}
+		}
+	}
+	a.counter.AddN(int64(dists))
+	return out, nil
+}
+
+// arenaNNItem mirrors nnQueueItem with a dense node index.
+type arenaNNItem struct {
+	node  int32
+	level int32
+	dMin  float64
+	distQ float64
+}
+
+// The heap helpers replicate container/heap's up/down exactly so push
+// and pop sequences — and therefore tie order — match query.go.
+
+func nnqPush(h []arenaNNItem, x arenaNNItem) []arenaNNItem {
+	h = append(h, x)
+	j := len(h) - 1
+	for {
+		i := (j - 1) / 2
+		if i == j || !(h[j].dMin < h[i].dMin) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	return h
+}
+
+func nnqPop(h []arenaNNItem) ([]arenaNNItem, arenaNNItem) {
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	nnqDown(h, 0, n)
+	x := h[n]
+	return h[:n], x
+}
+
+func nnqDown(h []arenaNNItem, i, n int) {
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].dMin < h[j1].dMin {
+			j = j2
+		}
+		if !(h[j].dMin < h[i].dMin) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+// bestLess is resultHeap.Less: max distance on top, OID tie-break.
+func bestLess(x, y Match) bool {
+	if x.Distance != y.Distance {
+		return x.Distance > y.Distance
+	}
+	return x.OID > y.OID
+}
+
+func bestPush(h []Match, x Match) []Match {
+	h = append(h, x)
+	j := len(h) - 1
+	for {
+		i := (j - 1) / 2
+		if i == j || !bestLess(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	return h
+}
+
+// bestPop removes the heap top (the current k-th best).
+func bestPop(h []Match) []Match {
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	bestDown(h, 0, n)
+	return h[:n]
+}
+
+func bestDown(h []Match, i, n int) {
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && bestLess(h[j2], h[j1]) {
+			j = j2
+		}
+		if !bestLess(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+// drainBest mirrors resultHeap.drain: successive pops come out in
+// decreasing order and fill the output back to front, yielding
+// increasing (distance, OID) order. It appends to dst and leaves the
+// heap storage reusable.
+func drainBest(dst []Match, h []Match) []Match {
+	base := len(dst)
+	for n := len(h); n > 0; n = len(h) {
+		h[0], h[n-1] = h[n-1], h[0]
+		bestDown(h, 0, n-1)
+		dst = append(dst, h[n-1])
+		h = h[:n-1]
+	}
+	for i, j := base, len(dst)-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+	return dst
+}
+
+// arenaRK mirrors the rk closure in nnSearchFetch as a plain function.
+func arenaRK(best []Match, k int, bound, stopRadius float64) float64 {
+	r := bound
+	if len(best) >= k {
+		r = best[0].Distance
+	}
+	if stopRadius < r {
+		return stopRadius
+	}
+	return r
+}
+
+// nnRun mirrors Tree.nnSearch after validation and StartNN. A non-nil
+// visited slice (len == NumNodes) gives NNBatch's memo semantics: the
+// first access to a node in the batch is guarded, counted, and traced;
+// later accesses are free.
+func (a *Arena) nnRun(g *budget.Guard, q metric.Object, k int, stopRadius float64, opt QueryOptions, visited []bool) ([]Match, error) {
+	sc := a.getScratch(q)
+	out, err := a.nnLoop(g, k, stopRadius, opt, sc, visited, nil)
+	a.putScratch(sc)
+	return out, err
+}
+
+// NNAppend runs a k-NN query over the arena, appending the neighbors
+// (closest first) to dst. Like RangeAppend it is allocation-free once
+// dst and the pooled scratch are warm. Results are identical to
+// Tree.NN.
+func (a *Arena) NNAppend(dst []Match, q metric.Object, k int, opt QueryOptions) ([]Match, error) {
+	if q == nil {
+		return dst, errors.New("mtree: nil query object")
+	}
+	if k <= 0 {
+		return dst, fmt.Errorf("mtree: k = %d", k)
+	}
+	opt.Trace.StartNN(k)
+	sc := a.getScratch(q)
+	out, err := a.nnLoop(nil, k, math.Inf(1), opt, sc, nil, dst)
+	a.putScratch(sc)
+	return out, err
+}
+
+// nnLoop mirrors Tree.nnSearchFetch.
+func (a *Arena) nnLoop(g *budget.Guard, k int, stopRadius float64, opt QueryOptions, sc *arenaScratch, visited []bool, dst []Match) ([]Match, error) {
+	// No defer here: a deferred closure would force pq/best onto the
+	// heap and break the allocation-free contract. Every return site
+	// drains best into dst and hands the (possibly regrown) storage back
+	// to the scratch explicitly.
+	pq := sc.pq[:0]
+	best := sc.best[:0]
+	pq = append(pq, arenaNNItem{node: 0, level: 1, dMin: 0, distQ: math.NaN()})
+	for len(pq) > 0 {
+		var item arenaNNItem
+		pq, item = nnqPop(pq)
+		if item.dMin > arenaRK(best, k, a.bound, stopRadius) {
+			break
+		}
+		if visited == nil || !visited[item.node] {
+			if err := g.BeforeFetch(); err != nil {
+				dst = drainBest(dst, best)
+				sc.pq, sc.best = pq[:0], best[:0]
+				return dst, err
+			}
+			a.reads.Add(1)
+			opt.Trace.Visit(int(item.level))
+			if visited != nil {
+				visited[item.node] = true
+			}
+		}
+		leaf := a.leaf[item.node]
+		dists := 0
+		for e, hi := a.start[item.node], a.end[item.node]; e < hi; e++ {
+			bound := arenaRK(best, k, a.bound, stopRadius)
+			if !leaf {
+				bound += a.radius[e]
+			}
+			if opt.UseParentDist && !math.IsNaN(item.distQ) && !math.IsNaN(a.parentDist[e]) {
+				if math.Abs(item.distQ-a.parentDist[e]) > bound {
+					opt.Trace.PruneParent(int(item.level))
+					continue
+				}
+			}
+			d := a.entryDist(sc, e)
+			dists++
+			opt.Trace.Dist(int(item.level))
+			if err := g.OnDist(); err != nil {
+				a.counter.AddN(int64(dists))
+				dst = drainBest(dst, best)
+				sc.pq, sc.best = pq[:0], best[:0]
+				return dst, err
+			}
+			if leaf {
+				if d <= arenaRK(best, k, a.bound, stopRadius) {
+					best = bestPush(best, Match{Object: a.objs[e], OID: a.oid[e], Distance: d})
+					if len(best) > k {
+						best = bestPop(best)
+					}
+				}
+				continue
+			}
+			dMin := d - a.radius[e]
+			if dMin < 0 {
+				dMin = 0
+			}
+			if dMin <= arenaRK(best, k, a.bound, stopRadius) {
+				pq = nnqPush(pq, arenaNNItem{node: a.child[e], dMin: dMin, distQ: d, level: item.level + 1})
+			} else {
+				opt.Trace.PruneRadius(int(item.level))
+			}
+		}
+		a.counter.AddN(int64(dists))
+	}
+	dst = drainBest(dst, best)
+	sc.pq, sc.best = pq[:0], best[:0]
+	return dst, nil
+}
+
+// rangeBatchRun mirrors rangeBatchRun.visit from batch.go, after
+// validation and StartRangeBatch.
+func (a *Arena) rangeBatchRun(g *budget.Guard, qs []metric.Object, radius float64, opt QueryOptions, out [][]Match) error {
+	scs := make([]*arenaScratch, len(qs))
+	for i, q := range qs {
+		scs[i] = a.getScratch(q)
+	}
+	defer func() {
+		for _, sc := range scs {
+			a.putScratch(sc)
+		}
+	}()
+	active := make([]int, len(qs))
+	dQP := make([]float64, len(qs))
+	for i := range qs {
+		active[i] = i
+		dQP[i] = math.NaN()
+	}
+	return a.batchVisit(0, 1, active, dQP, radius, opt, g, scs, out)
+}
+
+func (a *Arena) batchVisit(ni int32, level int, active []int, dQP []float64, radius float64, opt QueryOptions, g *budget.Guard, scs []*arenaScratch, out [][]Match) error {
+	if err := g.BeforeFetch(); err != nil {
+		return err
+	}
+	a.reads.Add(1)
+	opt.Trace.Visit(level)
+	leaf := a.leaf[ni]
+	dists := 0
+	for e, hi := a.start[ni], a.end[ni]; e < hi; e++ {
+		bound := radius
+		if !leaf {
+			bound += a.radius[e]
+		}
+		var childActive []int
+		var childD []float64
+		for j, qi := range active {
+			if opt.UseParentDist && !math.IsNaN(dQP[j]) && !math.IsNaN(a.parentDist[e]) {
+				if math.Abs(dQP[j]-a.parentDist[e]) > bound {
+					opt.Trace.PruneParent(level)
+					continue
+				}
+			}
+			d := a.entryDist(scs[qi], e)
+			dists++
+			opt.Trace.Dist(level)
+			if err := g.OnDist(); err != nil {
+				a.counter.AddN(int64(dists))
+				return err
+			}
+			if d > bound {
+				if !leaf {
+					opt.Trace.PruneRadius(level)
+				}
+				continue
+			}
+			if leaf {
+				out[qi] = append(out[qi], Match{Object: a.objs[e], OID: a.oid[e], Distance: d})
+			} else {
+				childActive = append(childActive, qi)
+				childD = append(childD, d)
+			}
+		}
+		if len(childActive) > 0 {
+			a.counter.AddN(int64(dists))
+			dists = 0
+			if err := a.batchVisit(a.child[e], level+1, childActive, childD, radius, opt, g, scs, out); err != nil {
+				return err
+			}
+		}
+	}
+	a.counter.AddN(int64(dists))
+	return nil
+}

@@ -60,6 +60,10 @@ func (t *Tree) rangeBatch(g *budget.Guard, qs []metric.Object, radius float64, o
 		return out, nil
 	}
 	opt.Trace.StartRangeBatch(radius, len(qs))
+	if a := t.arena; a != nil {
+		err := a.rangeBatchRun(g, qs, radius, opt, out)
+		return out, err
+	}
 	b := &rangeBatchRun{t: t, qs: qs, radius: radius, opt: opt, g: g, out: out}
 	active := make([]int, len(qs))
 	dQP := make([]float64, len(qs))
@@ -171,6 +175,20 @@ func (t *Tree) nnBatch(g *budget.Guard, qs []metric.Object, k int, opt QueryOpti
 		return out, nil
 	}
 	opt.Trace.StartNNBatch(k, len(qs))
+	if a := t.arena; a != nil {
+		// The visited slice is the arena's node memo: the first access per
+		// batch is guarded, counted, and traced; later accesses are free —
+		// exactly batchFetcher's semantics.
+		visited := make([]bool, a.NumNodes())
+		for qi, q := range qs {
+			ms, err := a.nnRun(g, q, k, math.Inf(1), opt, visited)
+			out[qi] = ms
+			if err != nil {
+				return out, err
+			}
+		}
+		return out, nil
+	}
 	fetch := t.batchFetcher(g, opt.Trace)
 	for qi, q := range qs {
 		ms, err := t.nnSearchFetch(fetch, g, q, k, math.Inf(1), opt)

@@ -22,6 +22,7 @@ func (t *Tree) BulkLoad(objs []metric.Object) error {
 	if t.size != 0 {
 		return errors.New("mtree: BulkLoad requires an empty tree")
 	}
+	t.ThawArena()
 	if len(objs) == 0 {
 		return nil
 	}

@@ -81,6 +81,9 @@ func (t *Tree) rangeSearch(g *budget.Guard, q metric.Object, radius float64, opt
 		return nil, nil
 	}
 	opt.Trace.StartRange(radius)
+	if a := t.arena; a != nil {
+		return a.rangeRun(g, q, radius, opt)
+	}
 	var out []Match
 	err := t.rangeAt(t.root, q, radius, math.NaN(), 1, opt, g, &out)
 	return out, err
@@ -270,6 +273,9 @@ func (t *Tree) nnSearch(g *budget.Guard, q metric.Object, k int, stopRadius floa
 		return nil, nil
 	}
 	opt.Trace.StartNN(k)
+	if a := t.arena; a != nil {
+		return a.nnRun(g, q, k, stopRadius, opt, nil)
+	}
 	return t.nnSearchFetch(t.queryFetcher(g, opt.Trace), g, q, k, stopRadius, opt)
 }
 

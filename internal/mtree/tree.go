@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"mcost/internal/metric"
 	"mcost/internal/obs"
@@ -124,6 +125,13 @@ type Tree struct {
 	height  int
 	size    int
 	nextOID uint64
+
+	// arena, when non-nil, is the frozen columnar snapshot queries run
+	// against instead of the node store (see FreezeArena). Mutations
+	// thaw it. arenaReads counts its logical node accesses so NodeReads
+	// stays one number whichever engine served the query.
+	arena      *Arena
+	arenaReads atomic.Int64
 }
 
 // New creates an empty M-tree.
@@ -142,8 +150,12 @@ func New(opt Options) (*Tree, error) {
 		return nil, fmt.Errorf("mtree: MinUtil %g outside [0, 0.5]", opt.MinUtil)
 	}
 	t := &Tree{
-		opt:     opt,
-		counter: metric.NewCounter(opt.Space),
+		opt: opt,
+		// Accelerate substitutes bit-identical fast implementations for
+		// the canonical string metrics (SWAR Hamming, pooled-row
+		// Levenshtein); spaces it does not recognize pass through
+		// untouched, so counted distances never change value.
+		counter: metric.NewCounter(metric.Accelerate(opt.Space)),
 		rng:     rand.New(rand.NewSource(opt.Seed)),
 		root:    pager.InvalidPage,
 	}
@@ -183,8 +195,8 @@ func (t *Tree) Space() *metric.Space { return t.opt.Space }
 func (t *Tree) DistanceCount() int64 { return t.counter.Count() }
 
 // NodeReads returns the number of node accesses since the last
-// ResetCounters.
-func (t *Tree) NodeReads() int64 { return t.store.reads() }
+// ResetCounters, summed across the store-backed and arena read paths.
+func (t *Tree) NodeReads() int64 { return t.store.reads() + t.arenaReads.Load() }
 
 // ResetCounters zeroes the distance-computation and node-read counters,
 // typically called after building and before measuring a query workload.
@@ -200,6 +212,7 @@ func (t *Tree) NodeReads() int64 { return t.store.reads() }
 func (t *Tree) ResetCounters() {
 	t.counter.Reset()
 	t.store.resetReads()
+	t.arenaReads.Store(0)
 }
 
 // dist computes (and counts) one distance.
@@ -232,6 +245,7 @@ func (t *Tree) Insert(obj metric.Object) error {
 	if obj == nil {
 		return errors.New("mtree: nil object")
 	}
+	t.ThawArena() // any structural change invalidates the frozen snapshot
 	if err := t.ensureCodec(obj); err != nil {
 		return err
 	}

@@ -1,0 +1,28 @@
+//go:build !unix
+
+package pager
+
+import "os"
+
+// Mapping is a read-only view of a file's contents. Platforms without
+// a memory-map syscall read the file into memory instead — the slab
+// views work identically, only the cross-process page sharing is lost.
+type Mapping struct {
+	Data   []byte
+	mapped bool
+}
+
+// MapFile reads path into memory.
+func MapFile(path string) (*Mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{Data: data}, nil
+}
+
+// Close releases the buffer. Safe to call twice.
+func (m *Mapping) Close() error {
+	m.Data = nil
+	return nil
+}

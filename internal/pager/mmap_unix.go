@@ -1,0 +1,55 @@
+//go:build unix
+
+package pager
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Mapping is a read-only view of a file's contents. On unix it is a
+// shared memory map: every goroutine — and every process mapping the
+// same file — reads the same physical pages straight from the page
+// cache, with no lock and no copy. Close unmaps; the caller must
+// guarantee no slice derived from Data is referenced afterwards.
+type Mapping struct {
+	Data   []byte
+	mapped bool
+}
+
+// MapFile maps path read-only.
+func MapFile(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Mapping{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("pager: %s too large to map (%d bytes)", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("pager: mmap %s: %w", path, err)
+	}
+	return &Mapping{Data: data, mapped: true}, nil
+}
+
+// Close releases the mapping. Safe to call twice.
+func (m *Mapping) Close() error {
+	if !m.mapped || m.Data == nil {
+		m.Data = nil
+		return nil
+	}
+	data := m.Data
+	m.Data, m.mapped = nil, false
+	return syscall.Munmap(data)
+}

@@ -117,7 +117,29 @@ func StringDecoder(maxLen int) ObjectDecoder {
 	}
 }
 
+// BitStringDecoder returns a decoder for fixed-length string spaces
+// (Hamming): the query must be a JSON string of exactly n bytes.
+// Hamming distance panics on length mismatch, so anything shorter or
+// longer must die here as a typed 4xx, never reach a distance call.
+func BitStringDecoder(n int) ObjectDecoder {
+	return func(raw json.RawMessage) (metric.Object, error) {
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, fmt.Errorf("query must be a string: %v", err)
+		}
+		if len(s) != n {
+			return nil, fmt.Errorf("query is %d bytes, index holds fixed-length strings of %d", len(s), n)
+		}
+		if !utf8.ValidString(s) {
+			return nil, fmt.Errorf("query is not valid UTF-8")
+		}
+		return s, nil
+	}
+}
+
 // DecoderFor infers the right decoder from a sample indexed object.
+// Prefer DecoderForSpace, which also distinguishes fixed-length
+// (Hamming) from bounded-length (edit) string spaces.
 func DecoderFor(sample metric.Object, bound float64) (ObjectDecoder, error) {
 	switch o := sample.(type) {
 	case metric.Vector:
@@ -127,4 +149,18 @@ func DecoderFor(sample metric.Object, bound float64) (ObjectDecoder, error) {
 	default:
 		return nil, fmt.Errorf("server: no decoder for object type %T", sample)
 	}
+}
+
+// DecoderForSpace infers the strictest decoder the space admits from a
+// sample indexed object. Unlike DecoderFor, a Hamming space gets a
+// fixed-length decoder keyed to the sample's length, so a mismatched
+// query is a 400 instead of a panic inside the distance function.
+func DecoderForSpace(space *metric.Space, sample metric.Object) (ObjectDecoder, error) {
+	if space == nil {
+		return nil, fmt.Errorf("server: nil space")
+	}
+	if s, ok := sample.(string); ok && space.Name == "hamming" {
+		return BitStringDecoder(len(s)), nil
+	}
+	return DecoderFor(sample, space.Bound)
 }

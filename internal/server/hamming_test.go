@@ -1,0 +1,106 @@
+package server
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+
+	"mcost"
+	"mcost/internal/metric"
+)
+
+// The PR 9 boundary-validation regression: metric.Hamming panics on
+// length-mismatched strings, and the generic StringDecoder only caps
+// length — so before DecoderForSpace a short query on a Hamming index
+// turned into a 500 via panic. These tests pin the fixed behavior: a
+// wrong-length query is a typed 400 before any distance call.
+
+func buildHammingServer(t *testing.T, dim int) *Server {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	objs := make([]mcost.Object, 200)
+	for i := range objs {
+		b := make([]byte, dim)
+		for j := range b {
+			b[j] = byte('0' + rng.Intn(2))
+		}
+		objs[i] = string(b)
+	}
+	space := metric.HammingSpace(dim)
+	ix, err := mcost.Build(space, objs, mcost.Options{Seed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecoderForSpace(space, objs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Engine: ix, Decode: dec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestHammingServerRejectsWrongLength(t *testing.T) {
+	const dim = 16
+	s := buildHammingServer(t, dim)
+
+	ok := strings.Repeat("01", dim/2)
+	body, _ := json.Marshal(map[string]interface{}{"query": ok, "radius": 4.0})
+	rec := post(t, s.Handler(), "/v1/range", string(body))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("valid bit-string query: status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	for name, q := range map[string]string{
+		"short": strings.Repeat("0", dim-1),
+		"long":  strings.Repeat("0", dim+1),
+		"empty": "",
+	} {
+		body, _ := json.Marshal(map[string]interface{}{"query": q, "radius": 4.0})
+		rec := post(t, s.Handler(), "/v1/range", string(body))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s query: status %d, want 400 (body %s)", name, rec.Code, rec.Body.String())
+		}
+		var resp ErrorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("%s query: error body is not JSON: %v", name, err)
+		}
+		if resp.Code != "bad_query" {
+			t.Errorf("%s query: error code %q, want bad_query", name, resp.Code)
+		}
+		body, _ = json.Marshal(map[string]interface{}{"query": q, "k": 3})
+		rec = post(t, s.Handler(), "/v1/nn", string(body))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s NN query: status %d, want 400", name, rec.Code)
+		}
+	}
+}
+
+func TestDecoderForSpaceSelection(t *testing.T) {
+	ham, err := DecoderForSpace(metric.HammingSpace(8), strings.Repeat("0", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ham(json.RawMessage(`"0101"`)); err == nil {
+		t.Error("hamming decoder accepted a short string")
+	}
+	if _, err := ham(json.RawMessage(`"01010101"`)); err != nil {
+		t.Errorf("hamming decoder rejected an exact-length string: %v", err)
+	}
+	// Edit spaces keep the bounded-length decoder: shorter is fine.
+	ed, err := DecoderForSpace(metric.EditSpace(10), "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ed(json.RawMessage(`"hi"`)); err != nil {
+		t.Errorf("edit decoder rejected a short string: %v", err)
+	}
+	if _, err := ed(json.RawMessage(`"` + strings.Repeat("x", 11) + `"`)); err == nil {
+		t.Error("edit decoder accepted an over-bound string")
+	}
+}

@@ -102,6 +102,11 @@ type Options struct {
 	// storage stack (pager, codec, metrics). Space, PageSize, and Seed
 	// are overwritten by Build to keep shards consistent.
 	TreeOptions func(i int) (mtree.Options, error)
+	// Arena, when non-nil, freezes each shard tree into the flat
+	// columnar arena after its build (see mtree.Tree.FreezeArena).
+	// With Mmap and a non-empty Path, shard i writes its slab to
+	// "<Path>.<i>" so shards never share a file.
+	Arena *mtree.ArenaConfig
 }
 
 func (o Options) withDefaults() Options {
@@ -381,6 +386,15 @@ func buildShard(space *metric.Space, objects []metric.Object, members []int, i i
 	}
 	if err != nil {
 		return nil, err
+	}
+	if opt.Arena != nil {
+		cfg := *opt.Arena
+		if cfg.Mmap && cfg.Path != "" {
+			cfg.Path = fmt.Sprintf("%s.%d", cfg.Path, i)
+		}
+		if err := tr.FreezeArena(cfg); err != nil {
+			return nil, fmt.Errorf("shard %d: freezing arena: %w", i, err)
+		}
 	}
 	stats, err := tr.CollectStats()
 	if err != nil {

@@ -105,8 +105,11 @@ func Build(objs []metric.Object, opt Options) (*Tree, error) {
 		return nil, fmt.Errorf("vptree: BucketSize = %d, need >= 1", opt.BucketSize)
 	}
 	t := &Tree{
-		opt:     opt,
-		counter: metric.NewCounter(opt.Space),
+		opt: opt,
+		// Accelerate swaps in the batched kernels (SWAR Hamming, pooled
+		// Levenshtein rows) for the canonical metrics; bit-identical by
+		// contract, so traces and counters are unchanged.
+		counter: metric.NewCounter(metric.Accelerate(opt.Space)),
 		size:    len(objs),
 	}
 	items := make([]bucketItem, len(objs))

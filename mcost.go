@@ -94,12 +94,40 @@ type Options struct {
 	// Storage selects the fault-tolerant paged storage stack; the zero
 	// value keeps the fast in-memory node store.
 	Storage StorageOptions
+	// Arena freezes the built tree into the flat columnar node layout
+	// for query serving (see ArenaOptions).
+	Arena ArenaOptions
+}
+
+// ArenaOptions opts the built index into the arena read path: the tree
+// is frozen into a flat columnar layout (routing radii, parent
+// distances, child pointers, and objects in typed slabs) that queries
+// traverse with batched distance kernels and zero per-query heap
+// allocations. Results, traces, and cost counters are bit-identical to
+// the store-backed traversal. Insert and Delete thaw the arena — the
+// index transparently falls back to the store path until it is frozen
+// again.
+type ArenaOptions struct {
+	// Enabled freezes the tree at Build. Ignored when fault injection
+	// is configured (faults target the paged read path, which the
+	// arena would bypass).
+	Enabled bool
+	// Mmap serves the frozen slabs from a memory-mapped file, so
+	// concurrent shard goroutines share read-only pages without the
+	// page-cache mutex. Vector, edit, and hamming spaces only.
+	Mmap bool
+	// Path is the slab file for Mmap (empty = a private unlinked temp
+	// file). Sharded builds derive one file per shard from it.
+	Path string
 }
 
 // Index is a built M-tree together with its fitted cost model.
 type Index struct {
 	space *Space
-	tree  *mtree.Tree
+	// sample is one indexed object, kept as the reference shape for
+	// query validation (dimension, bit-string length, object type).
+	sample Object
+	tree   *mtree.Tree
 	stack *pager.Stack // non-nil only with StorageOptions enabled
 	f     *histogram.Histogram
 	stats *mtree.Stats
@@ -143,6 +171,11 @@ func Build(space *Space, objects []Object, opt Options) (*Index, error) {
 		return nil, err
 	}
 	ix.stack = stack
+	if opt.Arena.Enabled && opt.Storage.Faults == nil {
+		if err := tree.FreezeArena(mtree.ArenaConfig{Mmap: opt.Arena.Mmap, Path: opt.Arena.Path}); err != nil {
+			return nil, fmt.Errorf("mcost: freezing arena: %w", err)
+		}
+	}
 	return ix, nil
 }
 
@@ -165,7 +198,28 @@ func finishIndex(space *Space, tree *mtree.Tree, objects []Object, opt Options) 
 	if err != nil {
 		return nil, err
 	}
-	return &Index{space: space, tree: tree, f: f, stats: stats, model: model}, nil
+	return &Index{space: space, sample: objects[0], tree: tree, f: f, stats: stats, model: model}, nil
+}
+
+// ErrInvalidQuery is returned (wrapped) by every query entry point when
+// the query object cannot be compared by the index's space — wrong
+// type, wrong vector dimension, non-finite coordinates, or a
+// length-mismatched bit string. The check runs before any distance
+// call, so a malformed query is a typed error, never a panic inside a
+// distance function. Match with errors.Is.
+var ErrInvalidQuery = metric.ErrInvalidQuery
+
+func (ix *Index) validateQuery(q Object) error {
+	return metric.ValidateQuery(ix.space, ix.sample, q)
+}
+
+func validateQueries(s *Space, sample Object, qs []Object) error {
+	for i, q := range qs {
+		if err := metric.ValidateQuery(s, sample, q); err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // Size returns the number of indexed objects.
@@ -180,11 +234,17 @@ func (ix *Index) NumNodes() int { return ix.tree.NumNodes() }
 // Range returns all objects within radius of q. The parent-distance
 // optimization is enabled: real queries should be as fast as possible.
 func (ix *Index) Range(q Object, radius float64) ([]Match, error) {
+	if err := ix.validateQuery(q); err != nil {
+		return nil, err
+	}
 	return ix.tree.Range(q, radius, mtree.QueryOptions{UseParentDist: true})
 }
 
 // NN returns the k nearest neighbors of q, closest first.
 func (ix *Index) NN(q Object, k int) ([]Match, error) {
+	if err := ix.validateQuery(q); err != nil {
+		return nil, err
+	}
 	return ix.tree.NN(q, k, mtree.QueryOptions{UseParentDist: true})
 }
 
@@ -432,6 +492,9 @@ func TuneNodeSize(space *Space, objects []Object, sizes []int, radius float64, d
 // to the exact NN. This is the probably-approximately-correct use of the
 // model the paper's optimizer framing invites.
 func (ix *Index) NNApprox(q Object, k int, confidence float64) ([]Match, error) {
+	if err := ix.validateQuery(q); err != nil {
+		return nil, err
+	}
 	stop := ix.model.NNDistQuantile(k, confidence)
 	return ix.tree.NNWithStop(q, k, stop, mtree.QueryOptions{UseParentDist: true})
 }

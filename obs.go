@@ -31,11 +31,17 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // RangeTraced is Range with per-level trace recording into tr (which
 // may be nil, degrading to exactly Range).
 func (ix *Index) RangeTraced(q Object, radius float64, tr *QueryTrace) ([]Match, error) {
+	if err := ix.validateQuery(q); err != nil {
+		return nil, err
+	}
 	return ix.tree.Range(q, radius, mtree.QueryOptions{UseParentDist: true, Trace: tr})
 }
 
 // NNTraced is NN with per-level trace recording into tr (which may be
 // nil, degrading to exactly NN).
 func (ix *Index) NNTraced(q Object, k int, tr *QueryTrace) ([]Match, error) {
+	if err := ix.validateQuery(q); err != nil {
+		return nil, err
+	}
 	return ix.tree.NN(q, k, mtree.QueryOptions{UseParentDist: true, Trace: tr})
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 
+	"mcost/internal/metric"
 	"mcost/internal/mtree"
 	"mcost/internal/pager"
 	"mcost/internal/recal"
@@ -49,8 +50,11 @@ type ShardOptions struct {
 // Like Index it supports concurrent read-only queries. OIDs in results
 // are global: the object's index in the slice given to BuildSharded.
 type ShardedIndex struct {
-	space   *Space
-	set     *shard.Set
+	space *Space
+	// sample is one indexed object, the reference shape for query
+	// validation (see Index.sample).
+	sample Object
+	set    *shard.Set
 	stacks  []*pager.Stack // per shard; nil entries when storage is off
 	workers int
 }
@@ -69,6 +73,10 @@ func BuildSharded(space *Space, objects []Object, opt Options, so ShardOptions) 
 		return nil, errors.New("mcost: no objects")
 	}
 	stacks := make([]*pager.Stack, so.Shards)
+	var arena *mtree.ArenaConfig
+	if opt.Arena.Enabled && opt.Storage.Faults == nil {
+		arena = &mtree.ArenaConfig{Mmap: opt.Arena.Mmap, Path: opt.Arena.Path}
+	}
 	set, err := shard.Build(space, objects, shard.Options{
 		Shards:        so.Shards,
 		Assign:        so.Assign,
@@ -78,6 +86,7 @@ func BuildSharded(space *Space, objects []Object, opt Options, so ShardOptions) 
 		Seed:          opt.Seed,
 		Workers:       opt.Workers,
 		Incremental:   opt.Incremental,
+		Arena:         arena,
 		TreeOptions: func(i int) (mtree.Options, error) {
 			mo, stack, err := buildStorage(space, objects[0], opt)
 			if err != nil {
@@ -90,7 +99,7 @@ func BuildSharded(space *Space, objects []Object, opt Options, so ShardOptions) 
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedIndex{space: space, set: set, stacks: stacks, workers: opt.Workers}, nil
+	return &ShardedIndex{space: space, sample: objects[0], set: set, stacks: stacks, workers: opt.Workers}, nil
 }
 
 func (sx *ShardedIndex) qopt() shard.QueryOptions {
@@ -115,12 +124,18 @@ func (sx *ShardedIndex) PageSize() int { return sx.set.PageSize() }
 // Range returns all objects within radius of q, concatenated in shard
 // order.
 func (sx *ShardedIndex) Range(q Object, radius float64) ([]Match, error) {
+	if err := metric.ValidateQuery(sx.space, sx.sample, q); err != nil {
+		return nil, err
+	}
 	return sx.set.Range(q, radius, sx.qopt())
 }
 
 // NN returns the k nearest neighbors of q, closest first (ties broken
 // by global OID).
 func (sx *ShardedIndex) NN(q Object, k int) ([]Match, error) {
+	if err := metric.ValidateQuery(sx.space, sx.sample, q); err != nil {
+		return nil, err
+	}
 	return sx.set.NN(q, k, sx.qopt())
 }
 
@@ -128,18 +143,27 @@ func (sx *ShardedIndex) NN(q Object, k int) ([]Match, error) {
 // matches. Within each shard the whole batch shares one traversal, so
 // node reads amortize across the batch.
 func (sx *ShardedIndex) RangeBatch(qs []Object, radius float64) ([][]Match, error) {
+	if err := validateQueries(sx.space, sx.sample, qs); err != nil {
+		return nil, err
+	}
 	return sx.set.RangeBatch(qs, radius, sx.qopt())
 }
 
 // NNBatch answers a batch of k-NN queries; out[i] holds query i's
 // neighbors, closest first.
 func (sx *ShardedIndex) NNBatch(qs []Object, k int) ([][]Match, error) {
+	if err := validateQueries(sx.space, sx.sample, qs); err != nil {
+		return nil, err
+	}
 	return sx.set.NNBatch(qs, k, sx.qopt())
 }
 
 // RangeCtx is Range honoring ctx and a per-shard budget; partial
 // results accompany a typed error (see QueryBudget).
 func (sx *ShardedIndex) RangeCtx(ctx context.Context, q Object, radius float64, b QueryBudget) ([]Match, error) {
+	if err := metric.ValidateQuery(sx.space, sx.sample, q); err != nil {
+		return nil, err
+	}
 	opt := sx.qopt()
 	opt.Ctx = ctx
 	opt.Budget = b
@@ -148,6 +172,9 @@ func (sx *ShardedIndex) RangeCtx(ctx context.Context, q Object, radius float64, 
 
 // NNCtx is NN honoring ctx and a per-shard budget.
 func (sx *ShardedIndex) NNCtx(ctx context.Context, q Object, k int, b QueryBudget) ([]Match, error) {
+	if err := metric.ValidateQuery(sx.space, sx.sample, q); err != nil {
+		return nil, err
+	}
 	opt := sx.qopt()
 	opt.Ctx = ctx
 	opt.Budget = b
@@ -157,6 +184,9 @@ func (sx *ShardedIndex) NNCtx(ctx context.Context, q Object, k int, b QueryBudge
 // RangeBatchCtx is RangeBatch honoring ctx and a per-shard batch
 // budget.
 func (sx *ShardedIndex) RangeBatchCtx(ctx context.Context, qs []Object, radius float64, b QueryBudget) ([][]Match, error) {
+	if err := validateQueries(sx.space, sx.sample, qs); err != nil {
+		return nil, err
+	}
 	opt := sx.qopt()
 	opt.Ctx = ctx
 	opt.Budget = b
@@ -165,6 +195,9 @@ func (sx *ShardedIndex) RangeBatchCtx(ctx context.Context, qs []Object, radius f
 
 // NNBatchCtx is NNBatch honoring ctx and a per-shard batch budget.
 func (sx *ShardedIndex) NNBatchCtx(ctx context.Context, qs []Object, k int, b QueryBudget) ([][]Match, error) {
+	if err := validateQueries(sx.space, sx.sample, qs); err != nil {
+		return nil, err
+	}
 	opt := sx.qopt()
 	opt.Ctx = ctx
 	opt.Budget = b

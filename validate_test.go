@@ -1,0 +1,110 @@
+package mcost
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mcost/internal/metric"
+)
+
+// Facade boundary validation (PR 9): every query entry point rejects
+// objects the space cannot compare with a typed ErrInvalidQuery before
+// any distance call — previously a wrong-length Hamming query panicked
+// inside the distance function.
+
+func TestIndexRejectsInvalidQueries(t *testing.T) {
+	space := VectorSpace("L2", 4)
+	objs := randomVectors(100, 4, 3)
+	ix, err := Build(space, objs, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []struct {
+		name string
+		q    Object
+	}{
+		{"nil", nil},
+		{"wrong dim", metric.Vector{1, 2}},
+		{"wrong type", "not a vector"},
+		{"nan coordinate", metric.Vector{0, math.NaN(), 0, 0}},
+		{"inf coordinate", metric.Vector{0, 0, math.Inf(1), 0}},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ix.Range(tc.q, 0.5); !errors.Is(err, ErrInvalidQuery) {
+				t.Errorf("Range: err = %v, want ErrInvalidQuery", err)
+			}
+			if _, err := ix.NN(tc.q, 3); !errors.Is(err, ErrInvalidQuery) {
+				t.Errorf("NN: err = %v, want ErrInvalidQuery", err)
+			}
+			if _, err := ix.NNApprox(tc.q, 3, 0.9); !errors.Is(err, ErrInvalidQuery) {
+				t.Errorf("NNApprox: err = %v, want ErrInvalidQuery", err)
+			}
+			if _, err := ix.RangeTraced(tc.q, 0.5, nil); !errors.Is(err, ErrInvalidQuery) {
+				t.Errorf("RangeTraced: err = %v, want ErrInvalidQuery", err)
+			}
+			if _, err := ix.NNTraced(tc.q, 3, nil); !errors.Is(err, ErrInvalidQuery) {
+				t.Errorf("NNTraced: err = %v, want ErrInvalidQuery", err)
+			}
+			// One bad query poisons the whole batch, before any traversal.
+			qs := []Object{objs[0], tc.q, objs[1]}
+			if _, err := ix.RangeBatch(qs, 0.5); !errors.Is(err, ErrInvalidQuery) {
+				t.Errorf("RangeBatch: err = %v, want ErrInvalidQuery", err)
+			}
+			if _, err := ix.NNBatch(qs, 3); !errors.Is(err, ErrInvalidQuery) {
+				t.Errorf("NNBatch: err = %v, want ErrInvalidQuery", err)
+			}
+			if _, err := ix.RangeBatchTraced(context.Background(), qs, 0.5, QueryBudget{}, nil); !errors.Is(err, ErrInvalidQuery) {
+				t.Errorf("RangeBatchTraced: err = %v, want ErrInvalidQuery", err)
+			}
+			if _, err := ix.NNBatchTraced(context.Background(), qs, 3, QueryBudget{}, nil); !errors.Is(err, ErrInvalidQuery) {
+				t.Errorf("NNBatchTraced: err = %v, want ErrInvalidQuery", err)
+			}
+		})
+	}
+}
+
+func TestHammingFacadeRejectsWrongLength(t *testing.T) {
+	const dim = 12
+	rng := rand.New(rand.NewSource(5))
+	objs := make([]Object, 80)
+	for i := range objs {
+		b := make([]byte, dim)
+		for j := range b {
+			b[j] = byte('0' + rng.Intn(2))
+		}
+		objs[i] = string(b)
+	}
+	space := metric.HammingSpace(dim)
+	ix, err := Build(space, objs, Options{Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The regression: this used to panic inside metric.Hamming.
+	if _, err := ix.Range("01", 3); !errors.Is(err, ErrInvalidQuery) {
+		t.Fatalf("short hamming query: err = %v, want ErrInvalidQuery", err)
+	}
+	if _, err := ix.NN("0101010101010101010101", 3); !errors.Is(err, ErrInvalidQuery) {
+		t.Fatalf("long hamming query: err = %v, want ErrInvalidQuery", err)
+	}
+	if ms, err := ix.NN(objs[0].(string), 1); err != nil || len(ms) != 1 || ms[0].Distance != 0 {
+		t.Fatalf("exact-length query must work: %v %v", ms, err)
+	}
+
+	sx, err := BuildSharded(space, objs, Options{Seed: 5, Workers: 1}, ShardOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sx.Range("01", 3); !errors.Is(err, ErrInvalidQuery) {
+		t.Fatalf("sharded short hamming query: err = %v, want ErrInvalidQuery", err)
+	}
+	if _, err := sx.NNBatch([]Object{objs[0], "01"}, 2); !errors.Is(err, ErrInvalidQuery) {
+		t.Fatalf("sharded batch with bad query: err = %v, want ErrInvalidQuery", err)
+	}
+	if _, err := sx.NNCtx(context.Background(), "01", 2, QueryBudget{}); !errors.Is(err, ErrInvalidQuery) {
+		t.Fatalf("sharded NNCtx with bad query: err = %v, want ErrInvalidQuery", err)
+	}
+}
