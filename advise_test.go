@@ -1,0 +1,313 @@
+package mcost
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sort"
+	"testing"
+
+	"mcost/internal/advisor"
+)
+
+// canonOrder sorts a copy of matches into the canonical (distance, OID)
+// order every engine's sorted surface uses.
+func canonOrder(ms []Match) []Match {
+	out := append([]Match(nil), ms...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].OID < out[j].OID
+	})
+	return out
+}
+
+func matchesEqual(t *testing.T, label string, got, want []Match) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d matches, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].OID != want[i].OID || got[i].Distance != want[i].Distance {
+			t.Fatalf("%s: match %d = (%d, %v), want (%d, %v)",
+				label, i, got[i].OID, got[i].Distance, want[i].OID, want[i].Distance)
+		}
+	}
+}
+
+func TestHardnessProfilePopulated(t *testing.T) {
+	space := VectorSpace("L2", 4)
+	objs := randomVectors(800, 4, 3)
+	ix, err := Build(space, objs, Options{Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ix.Hardness()
+	if p.N != 800 {
+		t.Fatalf("profile N = %d", p.N)
+	}
+	if p.ScanDists != 800 {
+		t.Fatalf("profile ScanDists = %g", p.ScanDists)
+	}
+	if p.ScanNodes <= 0 {
+		t.Fatalf("profile ScanNodes = %g", p.ScanNodes)
+	}
+	if !(p.Concentration > 0) || !(p.IntrinsicDim > 0) {
+		t.Fatalf("concentration %g, intrinsic dim %g", p.Concentration, p.IntrinsicDim)
+	}
+	if p.Hardness() != p.IntrinsicDim {
+		t.Fatalf("Hardness() = %g, IntrinsicDim = %g", p.Hardness(), p.IntrinsicDim)
+	}
+}
+
+func TestSetEngineModeValidation(t *testing.T) {
+	ix, err := Build(VectorSpace("L2", 3), randomVectors(100, 3, 5), Options{Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.EngineMode() != EngineTree {
+		t.Fatalf("default mode %q", ix.EngineMode())
+	}
+	if err := ix.SetEngineMode("turbo"); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	for _, m := range []EngineMode{EngineScan, EngineAuto, EngineTree} {
+		if err := ix.SetEngineMode(m); err != nil {
+			t.Fatalf("SetEngineMode(%q): %v", m, err)
+		}
+		if ix.EngineMode() != m {
+			t.Fatalf("mode %q after SetEngineMode(%q)", ix.EngineMode(), m)
+		}
+	}
+	if _, err := ParseEngineMode("warp"); err == nil {
+		t.Fatal("ParseEngineMode accepted garbage")
+	}
+	if m, err := ParseEngineMode(""); err != nil || m != EngineTree {
+		t.Fatalf("ParseEngineMode(\"\") = %q, %v", m, err)
+	}
+}
+
+// TestScanModeBitIdenticalToTree routes the priced/batched surface
+// through the scan and checks the results agree with the tree's, in
+// canonical order, and that pricing switches to the scan's fixed cost.
+func TestScanModeBitIdenticalToTree(t *testing.T) {
+	space := VectorSpace("L2", 5)
+	objs := randomVectors(900, 5, 11)
+	ix, err := Build(space, objs, Options{Seed: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []Object{objs[7], objs[400], Vector{0.5, 0.5, 0.5, 0.5, 0.5}}
+	const radius = 0.45
+
+	treeSets, err := ix.RangeBatch(qs, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.SetEngineMode(EngineScan); err != nil {
+		t.Fatal(err)
+	}
+	defer ix.SetEngineMode(EngineTree)
+
+	est := ix.PriceRange(radius)
+	if est.Nodes != float64(ix.Hardness().ScanNodes) || est.Dists != 900 {
+		t.Fatalf("scan-mode price = %+v, profile scan cost = (%g, %g)",
+			est, ix.Hardness().ScanNodes, ix.Hardness().ScanDists)
+	}
+
+	scanSets, err := ix.RangeBatchTraced(context.Background(), qs, radius, QueryBudget{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		matchesEqual(t, "range", scanSets[i], canonOrder(treeSets[i]))
+	}
+
+	treeNN, err := ix.NNBatch(qs, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanNN, err := ix.NNBatchTraced(context.Background(), qs, 9, QueryBudget{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		matchesEqual(t, "nn", scanNN[i], treeNN[i])
+	}
+
+	// A starved budget yields the typed partial error through the same
+	// surface.
+	_, err = ix.RangeBatchTraced(context.Background(), qs, radius, QueryBudget{MaxDistCalcs: 10}, nil)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("starved scan returned %v", err)
+	}
+}
+
+// TestAutoExecutesPlannedEngine checks RangeAuto/NNAuto return exactly
+// what the decided engine returns when run directly.
+func TestAutoExecutesPlannedEngine(t *testing.T) {
+	space := VectorSpace("L2", 4)
+	objs := randomVectors(700, 4, 17)
+	ix, err := Build(space, objs, Options{Seed: 17, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Vector{0.4, 0.6, 0.5, 0.5}
+	for _, radius := range []float64{0.05, 0.3, space.Bound} {
+		got, d, err := ix.RangeAuto(q, radius)
+		if err != nil {
+			t.Fatalf("RangeAuto(%g): %v", radius, err)
+		}
+		if d.Engine != advisor.EngineTree && d.Engine != advisor.EngineScan {
+			t.Fatalf("decision engine %q", d.Engine)
+		}
+		if c := d.Predicted(); c.Nodes+c.Dists > d.PredictedTree.Nodes+d.PredictedTree.Dists ||
+			c.Nodes+c.Dists > d.PredictedScan.Nodes+d.PredictedScan.Dists {
+			t.Fatalf("chosen cost %+v not the cheapest of tree %+v / scan %+v",
+				c, d.PredictedTree, d.PredictedScan)
+		}
+		direct, err := ix.Range(q, radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Engine == advisor.EngineScan {
+			direct = canonOrder(direct)
+		}
+		matchesEqual(t, "auto range", got, direct)
+	}
+
+	for _, k := range []int{1, 5, 700} {
+		got, d, err := ix.NNAuto(q, k)
+		if err != nil {
+			t.Fatalf("NNAuto(%d): %v", k, err)
+		}
+		direct, err := ix.NN(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matchesEqual(t, "auto nn", got, direct)
+		if d.Reason == "" {
+			t.Fatal("empty decision reason")
+		}
+	}
+
+	if _, err := ix.PlanRange(math.NaN()); !errors.Is(err, ErrBadPlanQuery) {
+		t.Fatalf("NaN radius planned: %v", err)
+	}
+	if _, err := ix.PlanNN(0); !errors.Is(err, ErrBadPlanQuery) {
+		t.Fatalf("k=0 planned: %v", err)
+	}
+}
+
+// TestShardedAutoAndScanMode exercises the sharded planner surface:
+// fan-out naming, scan-mode bit-identity with global OIDs, and the
+// merged-histogram profile.
+func TestShardedAutoAndScanMode(t *testing.T) {
+	space := VectorSpace("L2", 4)
+	objs := randomVectors(600, 4, 23)
+	sx, err := BuildSharded(space, objs, Options{Seed: 23, Workers: 1},
+		ShardOptions{Shards: 3, Assign: ShardPivot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sx.Hardness()
+	if p.N != 600 || p.ScanDists != 600 {
+		t.Fatalf("sharded profile N=%d ScanDists=%g", p.N, p.ScanDists)
+	}
+
+	q := Vector{0.5, 0.5, 0.5, 0.5}
+	got, d, err := sx.RangeAuto(q, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Engine != advisor.EngineFanout && d.Engine != advisor.EngineScan {
+		t.Fatalf("sharded decision engine %q", d.Engine)
+	}
+	direct, err := sx.Range(q, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Engine == advisor.EngineScan {
+		direct = canonOrder(direct)
+	}
+	matchesEqual(t, "sharded auto range", got, direct)
+
+	nnGot, _, err := sx.NNAuto(q, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nnDirect, err := sx.NN(q, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchesEqual(t, "sharded auto nn", nnGot, nnDirect)
+
+	// Scan mode over the sharded surface: canonical order, global OIDs.
+	if err := sx.SetEngineMode(EngineScan); err != nil {
+		t.Fatal(err)
+	}
+	scanSets, err := sx.RangeBatchTraced(context.Background(), []Object{q}, 0.3, QueryBudget{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchesEqual(t, "sharded scan mode", scanSets[0], canonOrder(direct))
+	est := sx.PriceRange(0.3)
+	if est.Dists != 600 {
+		t.Fatalf("sharded scan price dists = %g", est.Dists)
+	}
+}
+
+// TestHardnessMonotoneInHypercubeDimension walks the curse: the facade
+// hardness score must grow strictly with the dimension of a uniform
+// hypercube while the concentration ratio σ/μ falls.
+func TestHardnessMonotoneInHypercubeDimension(t *testing.T) {
+	prevHard, prevConc := -1.0, math.Inf(1)
+	for _, dim := range []int{2, 8, 32} {
+		ix, err := Build(VectorSpace("L2", dim), randomVectors(400, dim, 7), Options{Seed: 7, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := ix.Hardness()
+		if p.Hardness() <= prevHard {
+			t.Fatalf("D=%d hardness %.2f not above previous %.2f", dim, p.Hardness(), prevHard)
+		}
+		if p.Concentration >= prevConc {
+			t.Fatalf("D=%d concentration %.4f not below previous %.4f", dim, p.Concentration, prevConc)
+		}
+		prevHard, prevConc = p.Hardness(), p.Concentration
+	}
+}
+
+// TestInsertDeleteKeepScanInSync mutates the index and checks scan-mode
+// results still agree with the tree afterwards.
+func TestInsertDeleteKeepScanInSync(t *testing.T) {
+	space := VectorSpace("L2", 3)
+	objs := randomVectors(300, 3, 31)
+	ix, err := Build(space, objs, Options{Seed: 31, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := randomVectors(20, 3, 32)
+	for _, o := range extra {
+		if _, err := ix.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Delete(objs[5], 5); err != nil {
+		t.Fatal(err)
+	}
+	q := Vector{0.5, 0.5, 0.5}
+	tree, err := ix.Range(q, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.SetEngineMode(EngineScan); err != nil {
+		t.Fatal(err)
+	}
+	scan, err := ix.RangeBatchTraced(context.Background(), []Object{q}, 0.4, QueryBudget{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchesEqual(t, "post-churn", scan[0], canonOrder(tree))
+}

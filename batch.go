@@ -3,6 +3,7 @@ package mcost
 import (
 	"context"
 
+	"mcost/internal/advisor"
 	"mcost/internal/mtree"
 	"mcost/internal/obs"
 	"mcost/internal/shard"
@@ -60,6 +61,12 @@ func (ix *Index) RangeBatchTraced(ctx context.Context, qs []Object, radius float
 	if err := validateQueries(ix.space, ix.sample, qs); err != nil {
 		return nil, err
 	}
+	// Engine-mode routing: a scan execution never feeds the
+	// recalibrator — its observations would teach the tree model a
+	// scan's cost profile.
+	if ix.engineForRange(radius) == advisor.EngineScan {
+		return ix.scan.RangeBatchCtx(ctx, qs, radius, mtree.QueryOptions{Budget: b, Trace: tr})
+	}
 	if ix.rc == nil {
 		return ix.tree.RangeBatchCtx(ctx, qs, radius, mtree.QueryOptions{UseParentDist: true, Budget: b, Trace: tr})
 	}
@@ -73,7 +80,7 @@ func (ix *Index) RangeBatchTraced(ctx context.Context, qs []Object, radius float
 	// would teach the window a downward bias that admission then
 	// amplifies.
 	if err == nil {
-		ix.rc.ObserveRange(ix.model.RangeLByLevel(radius), ix.PriceRange(radius), own)
+		ix.rc.ObserveRange(ix.model.RangeLByLevel(radius), ix.priceTreeRange(radius), own)
 	}
 	return sets, err
 }
@@ -84,6 +91,9 @@ func (ix *Index) NNBatchTraced(ctx context.Context, qs []Object, k int, b QueryB
 	if err := validateQueries(ix.space, ix.sample, qs); err != nil {
 		return nil, err
 	}
+	if ix.engineForNN(k) == advisor.EngineScan {
+		return ix.scan.NNBatchCtx(ctx, qs, k, mtree.QueryOptions{Budget: b, Trace: tr})
+	}
 	if ix.rc == nil {
 		return ix.tree.NNBatchCtx(ctx, qs, k, mtree.QueryOptions{UseParentDist: true, Budget: b, Trace: tr})
 	}
@@ -91,28 +101,46 @@ func (ix *Index) NNBatchTraced(ctx context.Context, qs []Object, k int, b QueryB
 	sets, err := ix.tree.NNBatchCtx(ctx, qs, k, mtree.QueryOptions{UseParentDist: true, Budget: b, Trace: own})
 	tr.Merge(own)
 	if err == nil {
-		ix.rc.ObserveNN(ix.model.NNL(k), ix.PriceNN(k), own)
+		ix.rc.ObserveNN(ix.model.NNL(k), ix.priceTreeNN(k), own)
 	}
 	return sets, err
 }
 
 // PriceRange prices one range query for admission control: the
-// level-based model's (L-MCM, Eq. 15-16) predicted node reads and
-// distance computations. The serving layer admits queries against a
-// token bucket of this currency rather than a request count, so an
-// expensive query consumes proportionally more of the capacity. With
-// recalibration enabled the price carries the per-level bias
-// correction, so admission tracks what queries actually spend.
+// predicted node reads and distance computations of whatever engine
+// the current mode would run it on — the tree's level-based model
+// (L-MCM, Eq. 15-16, bias-corrected under recalibration) or the scan's
+// fixed page-and-distance cost. The serving layer admits queries
+// against a token bucket of this currency rather than a request count,
+// so an expensive query consumes proportionally more of the capacity.
 func (ix *Index) PriceRange(radius float64) CostEstimate {
+	if ix.engineForRange(radius) == advisor.EngineScan {
+		return ix.scanEstimate()
+	}
+	return ix.priceTreeRange(radius)
+}
+
+// priceTreeRange is the tree-only price: L-MCM, bias-corrected when
+// recalibration is enabled. The advisor compares it against the scan.
+func (ix *Index) priceTreeRange(radius float64) CostEstimate {
 	if ix.rc != nil {
 		return ix.rc.CorrectRange(ix.model.RangeLByLevel(radius))
 	}
 	return ix.model.RangeL(radius)
 }
 
-// PriceNN prices one k-NN query for admission control (L-MCM,
-// Eq. 17-18), bias-corrected when recalibration is enabled.
+// PriceNN prices one k-NN query for admission control at the engine the
+// current mode would run it on (see PriceRange).
 func (ix *Index) PriceNN(k int) CostEstimate {
+	if ix.engineForNN(k) == advisor.EngineScan {
+		return ix.scanEstimate()
+	}
+	return ix.priceTreeNN(k)
+}
+
+// priceTreeNN is the tree-only price (L-MCM, Eq. 17-18),
+// bias-corrected when recalibration is enabled.
+func (ix *Index) priceTreeNN(k int) CostEstimate {
 	if ix.rc != nil {
 		return ix.rc.CorrectNN(ix.model.NNL(k))
 	}
@@ -133,6 +161,9 @@ func (sx *ShardedIndex) RangeBatchTraced(ctx context.Context, qs []Object, radiu
 	if err := validateQueries(sx.space, sx.sample, qs); err != nil {
 		return nil, err
 	}
+	if sx.engineForRange(radius) == advisor.EngineScan {
+		return sx.scan.RangeBatchCtx(ctx, qs, radius, mtree.QueryOptions{Budget: b, Trace: tr})
+	}
 	return sx.set.RangeBatch(qs, radius, sx.tracedOpt(ctx, b, tr))
 }
 
@@ -142,15 +173,30 @@ func (sx *ShardedIndex) NNBatchTraced(ctx context.Context, qs []Object, k int, b
 	if err := validateQueries(sx.space, sx.sample, qs); err != nil {
 		return nil, err
 	}
+	if sx.engineForNN(k) == advisor.EngineScan {
+		return sx.scan.NNBatchCtx(ctx, qs, k, mtree.QueryOptions{Budget: b, Trace: tr})
+	}
 	return sx.set.NNBatch(qs, k, sx.tracedOpt(ctx, b, tr))
 }
 
-// PriceRange prices one range query against the sharded index: the
-// summed per-shard L-MCM predictions (see Index.PriceRange).
+// PriceRange prices one range query against the sharded index at the
+// engine the current mode would run it on: the summed per-shard L-MCM
+// predictions for the fan-out, or the scan's fixed cost (see
+// Index.PriceRange).
 func (sx *ShardedIndex) PriceRange(radius float64) CostEstimate {
+	if sx.engineForRange(radius) == advisor.EngineScan {
+		return sx.scanEstimate()
+	}
 	return sx.set.PredictRange(radius)
 }
 
-// PriceNN prices one k-NN query: the summed per-shard L-MCM predictions,
-// an upper bound since shard pruning only reduces the real cost.
-func (sx *ShardedIndex) PriceNN(k int) CostEstimate { return sx.set.PredictNN(k) }
+// PriceNN prices one k-NN query at the engine the current mode would
+// run it on; the fan-out price is the summed per-shard L-MCM
+// predictions, an upper bound since shard pruning only reduces the
+// real cost.
+func (sx *ShardedIndex) PriceNN(k int) CostEstimate {
+	if sx.engineForNN(k) == advisor.EngineScan {
+		return sx.scanEstimate()
+	}
+	return sx.set.PredictNN(k)
+}

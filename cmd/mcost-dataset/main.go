@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -93,8 +94,20 @@ func printStats(d *dataset.Dataset) {
 	for _, p := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
 		fmt.Printf("F^-1(%.2f)  %.4f\n", p, f.Quantile(p))
 	}
-	if d2, err := distdist.CorrelationDimension(f, 0, 0); err == nil {
+	fmt.Printf("std dist   %.4f\n", f.Std())
+	if mean := f.Mean(); mean > 0 {
+		fmt.Printf("sigma/mu   %.4f\n", f.Std()/mean)
+	}
+	// A degenerate histogram (point-mass distances) has no correlation
+	// dimension; say so instead of silently dropping the line, and
+	// surface real estimation failures rather than swallowing them.
+	switch d2, err := distdist.CorrelationDimension(f, 0, 0); {
+	case err == nil:
 		fmt.Printf("corr dim   %.2f\n", d2)
+	case errors.Is(err, distdist.ErrDegenerate):
+		fmt.Printf("corr dim   n/a (%v)\n", err)
+	default:
+		fail(err)
 	}
 }
 

@@ -43,6 +43,7 @@ func main() {
 		bf  = cliutil.RegisterBudget(fs, true)
 		cf  = cliutil.RegisterCache(fs, 0)
 		rf  = cliutil.RegisterRecal(fs)
+		ef  = cliutil.RegisterEngine(fs, "tree")
 
 		queryStr = flag.String("query", "", "query word (string datasets)")
 		queryVec = flag.String("qvec", "", "query vector, comma-separated (vector datasets)")
@@ -113,6 +114,16 @@ func main() {
 	}
 	if err := rf.Apply(ix, nil, d, tf.Seed); err != nil {
 		fail(err)
+	}
+	if err := ef.Apply(ix, nil); err != nil {
+		fail(err)
+	}
+	if ix.EngineMode() != mcost.EngineTree {
+		if *explain {
+			fail(fmt.Errorf("-explain walks the M-tree; drop -engine %s", ef.Mode))
+		}
+		runEngineMode(ix, q, *radius, *k, *show, bf.Slack, bf.Timeout, *trace)
+		return
 	}
 
 	if *explain && *radius >= 0 {
@@ -249,6 +260,99 @@ func main() {
 	if *dbgAddr != "" {
 		fmt.Printf("\nquery done; debug server still serving on http://%s — Ctrl-C to exit\n", *dbgAddr)
 		select {}
+	}
+}
+
+// runEngineMode answers the query through the mode-aware priced surface
+// — the same path the serving layer executes — so -engine scan runs the
+// linear scan and -engine auto runs whichever engine the advisor plans.
+// Results are bit-identical to running the chosen engine directly.
+func runEngineMode(ix *mcost.Index, q mcost.Object, radius float64, k int, show int, slack float64, timeout time.Duration, trace bool) {
+	hard := ix.Hardness()
+	fmt.Printf("hardness: intrinsic dim %.2f, concentration %.4f, crossover radius %g, crossover k %d\n",
+		hard.Hardness(), hard.Concentration, hard.CrossoverRadius, hard.CrossoverK)
+	var (
+		d    mcost.PlanDecision
+		perr error
+		pred mcost.CostEstimate
+	)
+	if radius >= 0 {
+		d, perr = ix.PlanRange(radius)
+		pred = ix.PriceRange(radius)
+	} else {
+		d, perr = ix.PlanNN(k)
+		pred = ix.PriceNN(k)
+	}
+	if perr != nil {
+		fail(perr)
+	}
+	fmt.Printf("plan: %s\n", d.Reason)
+	fmt.Printf("engine mode %s: priced at %.1f node reads, %.1f distance computations\n",
+		ix.EngineMode(), pred.Nodes, pred.Dists)
+
+	var qb mcost.QueryBudget
+	if slack > 0 {
+		qb = mcost.QueryBudget{
+			MaxNodeReads: int64(math.Ceil(pred.Nodes * slack)),
+			MaxDistCalcs: int64(math.Ceil(pred.Dists * slack)),
+		}
+		fmt.Printf("budget: %d node reads, %d distance computations (prediction x %.1f)\n",
+			qb.MaxNodeReads, qb.MaxDistCalcs, slack)
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	var qtr *mcost.QueryTrace
+	if trace {
+		qtr = mcost.NewQueryTrace()
+	}
+
+	ix.ResetCosts()
+	var (
+		sets [][]mcost.Match
+		err  error
+	)
+	if radius >= 0 {
+		sets, err = ix.RangeBatchTraced(ctx, []mcost.Object{q}, radius, qb, qtr)
+	} else {
+		sets, err = ix.NNBatchTraced(ctx, []mcost.Object{q}, k, qb, qtr)
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, mcost.ErrBudgetExceeded),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		fmt.Printf("DEGRADED: %v — returning the partial result set\n", err)
+	default:
+		fail(err)
+	}
+	nodes, dists := ix.Costs()
+	fmt.Printf("measured: %d node reads, %d distance computations\n\n", nodes, dists)
+	if trace {
+		out, jerr := json.MarshalIndent(qtr, "", "  ")
+		if jerr != nil {
+			fail(jerr)
+		}
+		fmt.Printf("query trace:\n%s\n\n", out)
+	}
+
+	var matches []mcost.Match
+	if len(sets) > 0 {
+		matches = sets[0]
+	}
+	fmt.Printf("%d results", len(matches))
+	if len(matches) > show {
+		fmt.Printf(" (showing %d)", show)
+	}
+	fmt.Println(":")
+	for i, m := range matches {
+		if i >= show {
+			break
+		}
+		fmt.Printf("  %2d. d=%-8.3f %v\n", i+1, m.Distance, m.Object)
 	}
 }
 

@@ -52,6 +52,7 @@ func main() {
 		brkFails    = flag.Int("breaker-fails", router.DefaultBreakerFails, "consecutive failures that open an endpoint's circuit breaker")
 		brkCooldown = flag.Duration("breaker-cooldown", router.DefaultBreakerCooldown, "how long an open breaker blocks traffic before a half-open probe")
 		healthEvery = flag.Duration("health-interval", router.DefaultHealthInterval, "cadence of the /healthz polling loop over every endpoint (negative = off)")
+		planCeiling = flag.Float64("plan-ceiling", 0, "reject a query when even its cheapest per-shard plan (tree share or linear scan, whichever is cheaper, summed over shards) prices above this many node reads + distance computations (typed 422 plan_rejected; 0 = no ceiling)")
 		modelWait   = flag.Duration("model-wait", 30*time.Second, "keep retrying the boot-time /v1/model fetches this long while nodes build")
 		seed        = flag.Int64("seed", 0, "retry-jitter seed (0 = from the clock)")
 	)
@@ -90,6 +91,7 @@ func main() {
 		BreakerFails:    *brkFails,
 		BreakerCooldown: *brkCooldown,
 		HealthInterval:  *healthEvery,
+		PlanCeiling:     *planCeiling,
 		Seed:            *seed,
 	}
 	if *retries <= 0 {

@@ -55,6 +55,7 @@ func main() {
 		stf = cliutil.RegisterStorage(fs)
 		cf  = cliutil.RegisterCache(fs, 0)
 		rf  = cliutil.RegisterRecal(fs)
+		ef  = cliutil.RegisterEngine(fs, "auto")
 
 		addr       = flag.String("addr", ":8080", "listen address")
 		shardIndex = flag.Int("shard-index", -1, "serve only this shard of the -shards partition (node mode: read-only, exports /v1/model for mcost-router; -1 = serve everything)")
@@ -141,7 +142,19 @@ func main() {
 		if err := rf.Apply(ix, sx, d, tf.Seed); err != nil {
 			fail(err)
 		}
-		fmt.Printf("engine: %d objects, %d nodes, height %d\n", eng.Size(), eng.NumNodes(), eng.Height())
+		if err := ef.Apply(ix, sx); err != nil {
+			fail(err)
+		}
+		fmt.Printf("engine: %d objects, %d nodes, height %d (mode %s)\n",
+			eng.Size(), eng.NumNodes(), eng.Height(), ef.Mode)
+		var hard mcost.HardnessProfile
+		if sx != nil {
+			hard = sx.Hardness()
+		} else {
+			hard = ix.Hardness()
+		}
+		fmt.Printf("hardness: intrinsic dim %.2f, concentration %.4f, crossover radius %g, crossover k %d\n",
+			hard.Hardness(), hard.Concentration, hard.CrossoverRadius, hard.CrossoverK)
 		if rf.Enabled {
 			rc := rf.Config(tf.Seed).Effective()
 			fmt.Printf("recalibration: on (window %d, band %g); /v1/insert and /v1/delete keep the model live\n",
@@ -172,6 +185,7 @@ func main() {
 		},
 		Batch:        server.BatchConfig{Window: *batchWindow, MaxBatch: *maxBatch},
 		Cache:        cache,
+		PlanCeiling:  ef.Ceiling,
 		BudgetSlack:  slack,
 		MaxBodyBytes: *maxBody,
 		MaxK:         *maxK,

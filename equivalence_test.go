@@ -1,0 +1,175 @@
+package mcost
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mcost/internal/dataset"
+)
+
+// The canonical tie-break audit for the planner's engine set: scan,
+// tree, arena, and sharded execution must return bit-identical
+// (distance, OID)-ordered results on the equivalence-matrix datasets
+// (vectors under L2, words under edit distance, bit strings under
+// Hamming), and budget-exhausted partials must be deterministic subsets
+// of the full answer with the typed error attached.
+
+type equivCase struct {
+	name    string
+	space   *Space
+	objects []Object
+	queries []Object
+	radius  float64
+	k       int
+}
+
+func equivCases(t *testing.T) []equivCase {
+	t.Helper()
+	vecSpace := VectorSpace("L2", 6)
+	vecs := randomVectors(400, 6, 41)
+	vq := append([]Object{vecs[3], vecs[200]}, randomVectors(4, 6, 42)...)
+	words := dataset.Words(300, 4)
+	wq := append([]Object{words.Objects[3], words.Objects[200]}, dataset.WordQueries(4, 5).Queries...)
+	bits := dataset.HDC(250, 64, 43)
+	bq := append([]Object{bits.Objects[3], bits.Objects[200]}, dataset.HDCQueries(4, 64, 43).Queries...)
+	return []equivCase{
+		{"vectors-L2", vecSpace, vecs, vq, 0.9, 7},
+		{"words-edit", words.Space, words.Objects, wq, 3, 7},
+		{"bits-hamming", bits.Space, bits.Objects, bq, 26, 7},
+	}
+}
+
+// equivEngine is one engine's batched, budget-capable surface.
+type equivEngine struct {
+	name string
+	// canonical reports whether the engine's range results already come
+	// in (distance, OID) order; unsorted traversal-order results are
+	// canonicalized before comparison.
+	canonical bool
+	run       func(ctx context.Context, qs []Object, radius float64, k int, qb QueryBudget) ([][]Match, [][]Match, error)
+}
+
+func batchRun(ix interface {
+	RangeBatchTraced(ctx context.Context, qs []Object, radius float64, qb QueryBudget, tr *QueryTrace) ([][]Match, error)
+	NNBatchTraced(ctx context.Context, qs []Object, k int, qb QueryBudget, tr *QueryTrace) ([][]Match, error)
+}) func(ctx context.Context, qs []Object, radius float64, k int, qb QueryBudget) ([][]Match, [][]Match, error) {
+	return func(ctx context.Context, qs []Object, radius float64, k int, qb QueryBudget) ([][]Match, [][]Match, error) {
+		rng, err := ix.RangeBatchTraced(ctx, qs, radius, qb, nil)
+		if err != nil {
+			return rng, nil, err
+		}
+		nn, err := ix.NNBatchTraced(ctx, qs, k, qb, nil)
+		return rng, nn, err
+	}
+}
+
+func equivEngines(t *testing.T, c equivCase) []equivEngine {
+	t.Helper()
+	opt := Options{Seed: 7, Workers: 1}
+	tree, err := Build(c.space, c.objects, opt)
+	if err != nil {
+		t.Fatalf("%s: tree build: %v", c.name, err)
+	}
+	arenaOpt := opt
+	arenaOpt.Arena.Enabled = true
+	arena, err := Build(c.space, c.objects, arenaOpt)
+	if err != nil {
+		t.Fatalf("%s: arena build: %v", c.name, err)
+	}
+	scan, err := Build(c.space, c.objects, opt)
+	if err != nil {
+		t.Fatalf("%s: scan build: %v", c.name, err)
+	}
+	if err := scan.SetEngineMode(EngineScan); err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := BuildSharded(c.space, c.objects, opt, ShardOptions{Shards: 3, Assign: ShardPivot})
+	if err != nil {
+		t.Fatalf("%s: sharded build: %v", c.name, err)
+	}
+	return []equivEngine{
+		{name: "tree", run: batchRun(tree)},
+		{name: "arena", run: batchRun(arena)},
+		{name: "scan", canonical: true, run: batchRun(scan)},
+		{name: "sharded", run: batchRun(sharded)},
+	}
+}
+
+// TestEngineMatrixBitIdentical runs every engine over every dataset of
+// the matrix and compares full results in the canonical order.
+func TestEngineMatrixBitIdentical(t *testing.T) {
+	for _, c := range equivCases(t) {
+		engines := equivEngines(t, c)
+		var refRange, refNN [][]Match
+		for _, eng := range engines {
+			rng, nn, err := eng.run(context.Background(), c.queries, c.radius, c.k, QueryBudget{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", c.name, eng.name, err)
+			}
+			if !eng.canonical {
+				for i := range rng {
+					rng[i] = canonOrder(rng[i])
+				}
+			}
+			if refRange == nil {
+				refRange, refNN = rng, nn
+				// The reference must not be vacuous: the query sets embed
+				// dataset members, so self-matches are guaranteed.
+				total := 0
+				for _, ms := range rng {
+					total += len(ms)
+				}
+				if total == 0 {
+					t.Fatalf("%s: no range matches at radius %g", c.name, c.radius)
+				}
+				continue
+			}
+			for i := range c.queries {
+				matchesEqual(t, c.name+"/"+eng.name+"/range", rng[i], refRange[i])
+				matchesEqual(t, c.name+"/"+eng.name+"/nn", nn[i], refNN[i])
+			}
+		}
+	}
+}
+
+// TestEngineMatrixBudgetPartials starves every engine with the same
+// tight budget twice: the typed error must surface, the partial must be
+// deterministic across runs, and every partial match must appear (same
+// OID, same distance) in the engine's full answer.
+func TestEngineMatrixBudgetPartials(t *testing.T) {
+	for _, c := range equivCases(t) {
+		engines := equivEngines(t, c)
+		for _, eng := range engines {
+			full, _, err := eng.run(context.Background(), c.queries, c.radius, c.k, QueryBudget{})
+			if err != nil {
+				t.Fatalf("%s/%s: full run: %v", c.name, eng.name, err)
+			}
+			starved := QueryBudget{MaxDistCalcs: 25}
+			p1, _, err1 := eng.run(context.Background(), c.queries, c.radius, c.k, starved)
+			p2, _, err2 := eng.run(context.Background(), c.queries, c.radius, c.k, starved)
+			if !errors.Is(err1, ErrBudgetExceeded) || !errors.Is(err2, ErrBudgetExceeded) {
+				t.Fatalf("%s/%s: starved runs returned %v / %v, want ErrBudgetExceeded", c.name, eng.name, err1, err2)
+			}
+			if len(p1) != len(p2) {
+				t.Fatalf("%s/%s: partial run shapes differ: %d vs %d", c.name, eng.name, len(p1), len(p2))
+			}
+			for i := range p1 {
+				matchesEqual(t, c.name+"/"+eng.name+"/partial-determinism", p2[i], p1[i])
+				for _, m := range p1[i] {
+					found := false
+					for _, fm := range full[i] {
+						if fm.OID == m.OID && fm.Distance == m.Distance {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatalf("%s/%s: partial match (oid %d, d %v) absent from the full result",
+							c.name, eng.name, m.OID, m.Distance)
+					}
+				}
+			}
+		}
+	}
+}

@@ -30,10 +30,10 @@ type DatasetFlags struct {
 // defaults.
 func RegisterDataset(fs *flag.FlagSet, kind string, n, dim int) *DatasetFlags {
 	f := &DatasetFlags{}
-	fs.StringVar(&f.Kind, "dataset", kind, "clustered | uniform | words")
+	fs.StringVar(&f.Kind, "dataset", kind, "clustered | uniform | words | hdc | heavytail")
 	fs.StringVar(&f.File, "file", "", "load dataset from file instead of generating")
 	fs.IntVar(&f.N, "n", n, "dataset size")
-	fs.IntVar(&f.Dim, "dim", dim, "dimensionality (vector datasets)")
+	fs.IntVar(&f.Dim, "dim", dim, "dimensionality (vector datasets; codeword bits for hdc)")
 	return f
 }
 
@@ -49,6 +49,17 @@ func (f *DatasetFlags) Load(seed int64) (*dataset.Dataset, error) {
 		return dataset.Uniform(f.N, f.Dim, seed), nil
 	case "words":
 		return dataset.Words(f.N, seed), nil
+	case "hdc":
+		// The curse-by-construction workload: Hamming codewords whose
+		// distances concentrate binomially. -dim sets the codeword width;
+		// the classic HDC regime is 10,000 bits.
+		bits := f.Dim
+		if bits <= 0 {
+			bits = 10_000
+		}
+		return dataset.HDC(f.N, bits, seed), nil
+	case "heavytail":
+		return dataset.HeavyTailClustered(f.N, f.Dim, 10, seed), nil
 	default:
 		return nil, fmt.Errorf("unknown dataset kind %q", f.Kind)
 	}
@@ -238,6 +249,39 @@ func (f *RecalFlags) Apply(ix *mcost.Index, sx *mcost.ShardedIndex, d *dataset.D
 		return sx.EnableRecalibration(cfg)
 	}
 	return ix.EnableRecalibration(cfg, d.Objects)
+}
+
+// EngineFlags select the serving engine and the planner ceiling
+// (-engine, -plan-ceiling).
+type EngineFlags struct {
+	Mode    string
+	Ceiling float64
+}
+
+// RegisterEngine registers the engine flags on fs; mode is the
+// command-specific default ("tree" preserves the pre-advisor
+// behavior, "auto" plans per query).
+func RegisterEngine(fs *flag.FlagSet, mode string) *EngineFlags {
+	f := &EngineFlags{}
+	fs.StringVar(&f.Mode, "engine", mode, "query engine: tree | scan | auto; auto prices every query on both the M-tree (L-MCM) and the linear scan and runs the cheaper one")
+	fs.Float64Var(&f.Ceiling, "plan-ceiling", 0, "reject a query when even its cheapest plan prices above this many node reads + distance computations (serving layer answers a typed 422 plan_rejected; 0 = no ceiling)")
+	return f
+}
+
+// Apply parses -engine and sets the mode on whichever engine Build
+// returned.
+func (f *EngineFlags) Apply(ix *mcost.Index, sx *mcost.ShardedIndex) error {
+	mode, err := mcost.ParseEngineMode(f.Mode)
+	if err != nil {
+		return err
+	}
+	if sx != nil {
+		return sx.SetEngineMode(mode)
+	}
+	if ix != nil {
+		return ix.SetEngineMode(mode)
+	}
+	return nil
 }
 
 // BudgetFlags bound query execution by the cost model (-budget-slack,

@@ -1,0 +1,162 @@
+// Curse-walking dataset families: generators whose hardness the
+// breakdown-aware planner must track as they walk toward the
+// concentration point — growing-dimension uniform hypercubes (already
+// covered by Uniform with rising dim), hyperdimensional-computing (HDC)
+// Hamming codewords whose pairwise distances concentrate binomially
+// around B/2, and a heavy-tailed clustered family whose cluster
+// populations and spreads follow power laws instead of the paper's
+// uniform 10-cluster mix.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mcost/internal/metric"
+)
+
+// splitSeed derives object index i's private seed from the dataset seed
+// by splitmix64 mixing — each object's stream is a pure function of
+// (seed, i), so any prefix (or any single object) can be regenerated
+// without drawing the whole dataset.
+func splitSeed(seed int64, index uint64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(index+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// hdcQueryStream offsets the split index so query codewords never share
+// a stream with indexed objects under the same seed.
+const hdcQueryStream = uint64(1) << 62
+
+// HDCObject generates the index-th codeword of the HDC dataset with the
+// given seed: a bit string of '0'/'1' characters drawn from the
+// object's own split seed. HDC(n, bits, seed).Objects[i] ==
+// HDCObject(seed, i, bits) for every i < n, at any n.
+func HDCObject(seed int64, index, bits int) string {
+	rng := rand.New(rand.NewSource(splitSeed(seed, uint64(index))))
+	b := make([]byte, bits)
+	var word uint64
+	for j := range b {
+		if j%64 == 0 {
+			word = rng.Uint64()
+		}
+		b[j] = '0' + byte(word&1)
+		word >>= 1
+	}
+	return string(b)
+}
+
+// HDC returns n random hyperdimensional-computing codewords of the
+// given width (the classic HDC regime is bits = 10,000) under the
+// Hamming metric. Random codewords concentrate sharply — pairwise
+// distances are Binomial(bits, ½), so σ/μ ≈ 1/√bits — which makes this
+// the workload where metric-tree pruning dies by construction and the
+// planner must route to the scan. Each object draws from its own split
+// seed (see HDCObject), so the generator is prefix-stable in n.
+func HDC(n, bits int, seed int64) *Dataset {
+	if bits <= 0 {
+		panic(fmt.Sprintf("dataset: HDC bits = %d", bits))
+	}
+	objs := make([]metric.Object, n)
+	for i := range objs {
+		objs[i] = HDCObject(seed, i, bits)
+	}
+	return &Dataset{
+		Name:    fmt.Sprintf("hdc-B%d-n%d", bits, n),
+		Space:   metric.HammingSpace(bits),
+		Objects: objs,
+	}
+}
+
+// HDCQueries draws nq fresh HDC codewords from a query stream disjoint
+// from the dataset's object streams under the same seed.
+func HDCQueries(nq, bits int, seed int64) *QueryWorkload {
+	qs := make([]metric.Object, nq)
+	for i := range qs {
+		rng := rand.New(rand.NewSource(splitSeed(seed, hdcQueryStream+uint64(i))))
+		b := make([]byte, bits)
+		var word uint64
+		for j := range b {
+			if j%64 == 0 {
+				word = rng.Uint64()
+			}
+			b[j] = '0' + byte(word&1)
+			word >>= 1
+		}
+		qs[i] = string(b)
+	}
+	return &QueryWorkload{Name: "hdc-queries", Queries: qs}
+}
+
+// Heavy-tail parameters: cluster populations follow Zipf(1) over the
+// cluster rank, and each point's spread multiplies the base sigma by a
+// Pareto(alpha) factor capped at heavyTailCap — dense cores with long
+// straggler tails, unlike the uniform-population Gaussian clusters of
+// the paper's Table 1.
+const (
+	heavyTailSigma = 0.05
+	heavyTailAlpha = 2.0
+	heavyTailCap   = 8.0
+)
+
+// HeavyTailClustered returns n points around `clusters` centers (shared
+// with Clustered's center derivation, so the biased query model still
+// holds) where both the cluster populations and the per-point spreads
+// are heavy-tailed. Coordinates are clamped into the unit cube, metric
+// L∞.
+func HeavyTailClustered(n, dim, clusters int, seed int64) *Dataset {
+	if clusters <= 0 {
+		panic(fmt.Sprintf("dataset: clusters = %d", clusters))
+	}
+	objs := heavyTailPoints(n, dim, clusters, seed, seed+1)
+	return &Dataset{
+		Name:    fmt.Sprintf("heavytail-D%d-n%d", dim, n),
+		Space:   metric.VectorSpace("Linf", dim),
+		Objects: objs,
+	}
+}
+
+// HeavyTailClusteredQueries draws nq queries from the heavy-tailed
+// distribution with the same centers as a dataset built from seed, on a
+// disjoint point stream.
+func HeavyTailClusteredQueries(nq, dim, clusters int, seed int64) *QueryWorkload {
+	objs := heavyTailPoints(nq, dim, clusters, seed, seed+9973)
+	return &QueryWorkload{Name: "heavytail-queries", Queries: objs}
+}
+
+func heavyTailPoints(n, dim, clusters int, centerSeed, pointSeed int64) []metric.Object {
+	centers := clusterCenters(dim, clusters, centerSeed)
+	// Zipf(1) population weights over cluster rank, as a sampling CDF.
+	cdf := make([]float64, clusters)
+	var sum float64
+	for c := range cdf {
+		sum += 1 / float64(c+1)
+		cdf[c] = sum
+	}
+	rng := rand.New(rand.NewSource(pointSeed))
+	objs := make([]metric.Object, n)
+	for i := range objs {
+		u := rng.Float64() * sum
+		c := 0
+		for c < clusters-1 && u > cdf[c] {
+			c++
+		}
+		// Pareto-scaled spread: most points hug the core, a heavy tail
+		// strays far; the cap keeps the clamp from flattening everything
+		// onto the cube faces.
+		tail := math.Pow(1-rng.Float64(), -1/heavyTailAlpha)
+		if tail > heavyTailCap {
+			tail = heavyTailCap
+		}
+		sigma := heavyTailSigma * tail
+		v := make(metric.Vector, dim)
+		for j := range v {
+			v[j] = clamp01(centers[c][j] + rng.NormFloat64()*sigma)
+		}
+		objs[i] = v
+	}
+	return objs
+}

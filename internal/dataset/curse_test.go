@@ -1,0 +1,98 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+
+	"mcost/internal/metric"
+)
+
+// TestHDCSeedSplitDeterminism pins the per-object seed splitting: every
+// codeword is a pure function of (seed, index), so prefixes are stable
+// under growing n and single objects regenerate in isolation.
+func TestHDCSeedSplitDeterminism(t *testing.T) {
+	const bits = 256
+	small := HDC(40, bits, 9)
+	large := HDC(160, bits, 9)
+	if err := small.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range small.Objects {
+		if small.Objects[i] != large.Objects[i] {
+			t.Fatalf("object %d differs between n=40 and n=160 builds", i)
+		}
+		if got := HDCObject(9, i, bits); got != small.Objects[i].(string) {
+			t.Fatalf("HDCObject(9, %d) does not regenerate the dataset object", i)
+		}
+	}
+	other := HDC(40, bits, 10)
+	same := 0
+	for i := range small.Objects {
+		if small.Objects[i] == other.Objects[i] {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Fatalf("%d/40 codewords identical across different seeds", same)
+	}
+	for _, o := range small.Objects {
+		s := o.(string)
+		if len(s) != bits {
+			t.Fatalf("codeword length %d, want %d", len(s), bits)
+		}
+		for _, ch := range s {
+			if ch != '0' && ch != '1' {
+				t.Fatalf("non-bit character %q in codeword", ch)
+			}
+		}
+	}
+	if small.Space.Name != "hamming" || small.Space.Bound != bits {
+		t.Fatalf("space %q bound %g", small.Space.Name, small.Space.Bound)
+	}
+}
+
+// TestHDCQueriesDisjointStream checks the query stream is deterministic
+// and never replays an object stream under the same seed.
+func TestHDCQueriesDisjointStream(t *testing.T) {
+	const bits = 256
+	d := HDC(30, bits, 9)
+	q1 := HDCQueries(30, bits, 9)
+	q2 := HDCQueries(30, bits, 9)
+	if !reflect.DeepEqual(q1.Queries, q2.Queries) {
+		t.Fatal("query generation is not deterministic")
+	}
+	for i := range q1.Queries {
+		if q1.Queries[i] == d.Objects[i] {
+			t.Fatalf("query %d equals indexed object %d: streams collide", i, i)
+		}
+	}
+}
+
+// TestHeavyTailClusteredDeterministic pins the heavy-tailed family:
+// deterministic for a seed, coordinates inside the unit cube, centers
+// shared with the query generator's seed.
+func TestHeavyTailClusteredDeterministic(t *testing.T) {
+	a := HeavyTailClustered(500, 8, 10, 11)
+	b := HeavyTailClustered(500, 8, 10, 11)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Objects, b.Objects) {
+		t.Fatal("generation is not deterministic")
+	}
+	for i, o := range a.Objects {
+		for j, x := range o.(metric.Vector) {
+			if x < 0 || x > 1 {
+				t.Fatalf("object %d coordinate %d = %g outside [0,1]", i, j, x)
+			}
+		}
+	}
+	q := HeavyTailClusteredQueries(100, 8, 10, 11)
+	for i := range q.Queries {
+		for _, o := range a.Objects {
+			if reflect.DeepEqual(q.Queries[i], o) {
+				t.Fatalf("query %d coincides with an indexed object", i)
+			}
+		}
+	}
+}

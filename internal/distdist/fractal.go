@@ -8,6 +8,16 @@ import (
 	"mcost/internal/histogram"
 )
 
+// ErrDegenerate is the sentinel wrapped by every CorrelationDimension
+// failure caused by the histogram's shape rather than by the caller's
+// arguments: all mass collapsed into a single bin, a zero-distance
+// dataset whose informative range is empty, or a fit whose slope is not
+// finite. Match with errors.Is. Callers that merely *report* D2 (stats
+// printers, hardness profiles) should treat a degenerate histogram as
+// "no estimate", never as dimension 0 — a point-mass distance
+// distribution carries no scaling information at all.
+var ErrDegenerate = errors.New("degenerate distance distribution")
+
 // CorrelationDimension estimates the correlation fractal dimension D2 of
 // the dataset from its distance distribution: for self-similar data the
 // correlation integral obeys F(r) ∝ r^D2 at small radii, so D2 is the
@@ -18,12 +28,17 @@ import (
 // [rMin, rMax].
 //
 // Pass rMin = rMax = 0 to fit over the histogram's informative range:
-// from the first radius with F > 0 up to the median distance.
+// from the first radius with F > 0 up to the median distance. If that
+// range is empty — all mass in one bin, so the CDF jumps from 0 to 1
+// with no scaling region, as happens for zero-distance datasets or
+// constant-distance (equilateral) spaces — the error matches
+// ErrDegenerate. The returned dimension is always finite on success.
 func CorrelationDimension(f *histogram.Histogram, rMin, rMax float64) (float64, error) {
 	if f == nil {
 		return 0, errors.New("distdist: nil histogram")
 	}
-	if rMin == 0 && rMax == 0 {
+	auto := rMin == 0 && rMax == 0
+	if auto {
 		rMax = f.Quantile(0.5)
 		// First edge with positive mass.
 		for i := 0; i < f.Bins(); i++ {
@@ -34,6 +49,14 @@ func CorrelationDimension(f *histogram.Histogram, rMin, rMax float64) (float64, 
 		}
 		if rMin == 0 {
 			rMin = rMax / 100
+		}
+		if !(rMin > 0) || !(rMax > rMin) {
+			// The whole CDF rises inside one bin: there is no interval
+			// [first-mass edge, median] to fit over. This is the shape a
+			// zero-distance dataset or an all-mass-in-one-bin histogram
+			// produces; the generic bad-range error below would misreport
+			// it as a caller mistake.
+			return 0, fmt.Errorf("distdist: empty auto-range [%g, %g]: %w", rMin, rMax, ErrDegenerate)
 		}
 	}
 	if !(rMin > 0) || !(rMax > rMin) || rMax > f.Bound() {
@@ -59,11 +82,18 @@ func CorrelationDimension(f *histogram.Histogram, rMin, rMax float64) (float64, 
 		n++
 	}
 	if n < 2 {
-		return 0, errors.New("distdist: not enough positive-mass points for the fit")
+		return 0, fmt.Errorf("distdist: fewer than 2 positive-mass points in [%g, %g]: %w", rMin, rMax, ErrDegenerate)
 	}
 	den := float64(n)*sxx - sx*sx
 	if den == 0 {
-		return 0, errors.New("distdist: degenerate fit")
+		return 0, fmt.Errorf("distdist: zero-variance fit abscissa: %w", ErrDegenerate)
 	}
-	return (float64(n)*sxy - sx*sy) / den, nil
+	d2 := (float64(n)*sxy - sx*sy) / den
+	if math.IsNaN(d2) || math.IsInf(d2, 0) {
+		// A near-singular normal equation (rMin within floating noise of
+		// rMax, or a CDF that underflowed the log) can survive the den==0
+		// check yet still blow up the slope.
+		return 0, fmt.Errorf("distdist: non-finite slope from the log-log fit: %w", ErrDegenerate)
+	}
+	return d2, nil
 }

@@ -1,0 +1,95 @@
+package distdist
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mcost/internal/histogram"
+)
+
+// The degenerate-histogram hardening: every shape whose CDF carries no
+// scaling information must yield a typed error matching ErrDegenerate
+// and a zero (finite) dimension — never NaN, ±Inf, or a generic error
+// the caller cannot distinguish from passing a bad range. Before the
+// fix these paths returned untyped fmt.Errorf errors (errors.Is fails),
+// so each subtest is a fail-on-pre-fix regression.
+func TestCorrelationDimensionDegenerate(t *testing.T) {
+	pointMass := func(t *testing.T, v float64, bins int, bound float64, discrete bool) *histogram.Histogram {
+		t.Helper()
+		samples := make([]float64, 100)
+		for i := range samples {
+			samples[i] = v
+		}
+		f, err := histogram.FromSamples(samples, bins, bound, discrete)
+		if err != nil {
+			t.Fatalf("FromSamples: %v", err)
+		}
+		return f
+	}
+
+	cases := []struct {
+		name string
+		f    *histogram.Histogram
+	}{
+		// A zero-distance dataset (all objects identical): every sampled
+		// pair lands in bin 0, the auto-range collapses below the first
+		// positive-mass edge.
+		{"zero-distance dataset", pointMass(t, 0, 100, 1, false)},
+		// All mass in one interior bin (constant-distance "equilateral"
+		// space): the CDF jumps 0→1 inside a single bin, the median sits
+		// below that bin's upper edge, so the informative range is empty.
+		{"all mass in one bin", pointMass(t, 0.555, 100, 1, false)},
+		// Same shape on a discrete metric: every distance equal to 3.
+		{"discrete point mass", pointMass(t, 3, 25, 25, true)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d2, err := CorrelationDimension(tc.f, 0, 0)
+			if err == nil {
+				t.Fatalf("want error, got D2 = %v", d2)
+			}
+			if !errors.Is(err, ErrDegenerate) {
+				t.Fatalf("error %v does not match ErrDegenerate", err)
+			}
+			if math.IsNaN(d2) || math.IsInf(d2, 0) {
+				t.Fatalf("non-finite D2 %v alongside the error", d2)
+			}
+		})
+	}
+}
+
+// An explicitly-passed bad range stays a caller error, distinct from the
+// degenerate-histogram sentinel: misuse and bad data must not alias.
+func TestCorrelationDimensionBadRangeNotDegenerate(t *testing.T) {
+	f, err := histogram.FromSamples([]float64{0.1, 0.2, 0.3, 0.4, 0.5}, 100, 1, false)
+	if err != nil {
+		t.Fatalf("FromSamples: %v", err)
+	}
+	if _, err := CorrelationDimension(f, 0.5, 0.1); err == nil || errors.Is(err, ErrDegenerate) {
+		t.Fatalf("inverted range: want a plain range error, got %v", err)
+	}
+	if _, err := CorrelationDimension(f, 0.1, 99); err == nil || errors.Is(err, ErrDegenerate) {
+		t.Fatalf("range beyond the bound: want a plain range error, got %v", err)
+	}
+}
+
+// A healthy histogram keeps returning a finite, positive dimension —
+// the hardening must not reject real distributions.
+func TestCorrelationDimensionStillFitsHealthyShapes(t *testing.T) {
+	samples := make([]float64, 2000)
+	for i := range samples {
+		samples[i] = 0.9 * float64(i+1) / float64(len(samples))
+	}
+	f, err := histogram.FromSamples(samples, 100, 1, false)
+	if err != nil {
+		t.Fatalf("FromSamples: %v", err)
+	}
+	d2, err := CorrelationDimension(f, 0, 0)
+	if err != nil {
+		t.Fatalf("CorrelationDimension: %v", err)
+	}
+	if !(d2 > 0) || math.IsInf(d2, 0) {
+		t.Fatalf("want finite positive D2 for a linear CDF, got %v", d2)
+	}
+}

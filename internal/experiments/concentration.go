@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mcost/internal/advisor"
+	"mcost/internal/dataset"
+	"mcost/internal/metric"
+	"mcost/internal/mtree"
+)
+
+// Concentration reproduces the "concentration kills pruning" curve the
+// breakdown-aware planner is built on: uniform hypercubes of growing
+// dimension D walk F̂ toward Pestov's concentration point, the measured
+// node-read fraction of the tree climbs toward 1, and at the crossover
+// the advisor's per-query decision flips from tree to scan. Every row
+// records the hardness profile (D₂, σ/μ, intrinsic dimension), both
+// predictions, both engines' measured costs, and the decision — all
+// deterministic for a fixed Config, so the BENCH_10.json artifact
+// byte-reproduces.
+
+// concentrationDims is the D-sweep: doubling dimensions from the easy
+// regime to far past the breakdown point.
+var concentrationDims = []int{2, 4, 8, 16, 32, 64}
+
+// ConcentrationRow is one (dimension, query kind) measurement.
+type ConcentrationRow struct {
+	Dim  int    `json:"dim"`
+	Kind string `json:"kind"` // range | nn
+	// Radius is set for range rows (the radius the model prices at ~10
+	// result objects), K for nn rows.
+	Radius float64 `json:"radius,omitempty"`
+	K      int     `json:"k,omitempty"`
+	// The hardness profile of this dimension's dataset.
+	D2              float64 `json:"d2"`
+	D2Valid         bool    `json:"d2_valid"`
+	Concentration   float64 `json:"concentration"`
+	IntrinsicDim    float64 `json:"intrinsic_dim"`
+	CrossoverRadius float64 `json:"crossover_radius"`
+	CrossoverK      int     `json:"crossover_k"`
+	// Decision is the advisor's choice for this query on this dataset.
+	Decision string `json:"decision"`
+	// Predicted costs for both plans (per query).
+	PredTreeNodes float64 `json:"pred_tree_nodes"`
+	PredTreeDists float64 `json:"pred_tree_dists"`
+	PredScanNodes float64 `json:"pred_scan_nodes"`
+	PredScanDists float64 `json:"pred_scan_dists"`
+	// Measured per-query costs of actually running both engines.
+	MeasTreeNodes float64 `json:"meas_tree_nodes"`
+	MeasTreeDists float64 `json:"meas_tree_dists"`
+	MeasScanNodes float64 `json:"meas_scan_nodes"`
+	MeasScanDists float64 `json:"meas_scan_dists"`
+	// NodeReadFraction is the measured tree node reads over the tree's
+	// node count — the pruning-death curve, climbing toward 1 with D.
+	NodeReadFraction float64 `json:"node_read_fraction"`
+}
+
+// chosenMeasured returns the measured nodes+dists of the engine the
+// advisor picked.
+func (r ConcentrationRow) chosenMeasured() float64 {
+	if r.Decision == string(advisor.EngineScan) {
+		return r.MeasScanNodes + r.MeasScanDists
+	}
+	return r.MeasTreeNodes + r.MeasTreeDists
+}
+
+// cheapestMeasured returns the measured nodes+dists of the cheaper
+// engine in hindsight.
+func (r ConcentrationRow) cheapestMeasured() float64 {
+	tree := r.MeasTreeNodes + r.MeasTreeDists
+	scan := r.MeasScanNodes + r.MeasScanDists
+	if tree < scan {
+		return tree
+	}
+	return scan
+}
+
+// ConcentrationResult is the full D-sweep.
+type ConcentrationResult struct {
+	N       int                `json:"n"`
+	Queries int                `json:"queries"`
+	Dims    []int              `json:"dims"`
+	Rows    []ConcentrationRow `json:"rows"`
+}
+
+func (r *ConcentrationResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("BENCH 10: concentration kills pruning (uniform hypercubes, n=%d)", r.N),
+		Columns: []string{"dim", "kind", "r/k", "D2", "sigma/mu", "rho",
+			"decision", "pred tree", "pred scan", "meas tree", "meas scan", "read frac"},
+	}
+	for _, row := range r.Rows {
+		rk := fmt.Sprintf("k=%d", row.K)
+		if row.Kind == "range" {
+			rk = fmt.Sprintf("r=%.3f", row.Radius)
+		}
+		d2 := "n/a"
+		if row.D2Valid {
+			d2 = f2(row.D2)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", row.Dim), row.Kind, rk, d2,
+			f4(row.Concentration), f1(row.IntrinsicDim), row.Decision,
+			f1(row.PredTreeNodes + row.PredTreeDists),
+			f1(row.PredScanNodes + row.PredScanDists),
+			f1(row.MeasTreeNodes + row.MeasTreeDists),
+			f1(row.MeasScanNodes + row.MeasScanDists),
+			f3(row.NodeReadFraction),
+		})
+	}
+	return t
+}
+
+// RunConcentration executes the D-sweep.
+func RunConcentration(cfg Config) (*ConcentrationResult, error) {
+	cfg = cfg.withDefaults()
+	res := &ConcentrationResult{N: cfg.N, Queries: cfg.Queries, Dims: concentrationDims}
+	for _, dim := range concentrationDims {
+		d := dataset.Uniform(cfg.N, dim, cfg.Seed)
+		b, err := buildFor(d, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("concentration D=%d: %w", dim, err)
+		}
+		scan, err := mtree.NewScan(d.Space, d.Objects, cfg.PageSize)
+		if err != nil {
+			return nil, fmt.Errorf("concentration D=%d: %w", dim, err)
+		}
+		pred := advisor.ModelPredictor{Model: b.model}
+		prof := advisor.ComputeProfile(b.f, d.N(), scan.Pages(), d.Space.Bound, pred)
+		queries := dataset.Uniform(cfg.Queries, dim, cfg.Seed+101).Objects
+
+		base := ConcentrationRow{
+			Dim: dim, D2: prof.D2, D2Valid: prof.D2Valid,
+			Concentration: prof.Concentration, IntrinsicDim: prof.IntrinsicDim,
+			CrossoverRadius: prof.CrossoverRadius, CrossoverK: prof.CrossoverK,
+			PredScanNodes: prof.ScanNodes, PredScanDists: prof.ScanDists,
+		}
+
+		radius := b.model.RadiusForExpectedObjects(10)
+		row := base
+		row.Kind, row.Radius = "range", radius
+		dec, err := advisor.Plan(pred, prof, advisor.Query{Kind: advisor.KindRange, Radius: radius})
+		if err != nil {
+			return nil, fmt.Errorf("concentration D=%d: %w", dim, err)
+		}
+		row.Decision = string(dec.Engine)
+		row.PredTreeNodes, row.PredTreeDists = dec.PredictedTree.Nodes, dec.PredictedTree.Dists
+		row.MeasTreeNodes, row.MeasTreeDists, _, err = b.measureRange(queries, radius)
+		if err != nil {
+			return nil, fmt.Errorf("concentration D=%d: %w", dim, err)
+		}
+		row.MeasScanNodes, row.MeasScanDists, err = measureScan(scan, queries, func(q metric.Object) error {
+			_, err := scan.Range(q, radius, mtree.QueryOptions{})
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("concentration D=%d: %w", dim, err)
+		}
+		row.NodeReadFraction = row.MeasTreeNodes / float64(b.tr.NumNodes())
+		res.Rows = append(res.Rows, row)
+
+		const k = 10
+		row = base
+		row.Kind, row.K = "nn", k
+		dec, err = advisor.Plan(pred, prof, advisor.Query{Kind: advisor.KindNN, K: k})
+		if err != nil {
+			return nil, fmt.Errorf("concentration D=%d: %w", dim, err)
+		}
+		row.Decision = string(dec.Engine)
+		row.PredTreeNodes, row.PredTreeDists = dec.PredictedTree.Nodes, dec.PredictedTree.Dists
+		row.MeasTreeNodes, row.MeasTreeDists, _, err = b.measureNN(queries, k)
+		if err != nil {
+			return nil, fmt.Errorf("concentration D=%d: %w", dim, err)
+		}
+		row.MeasScanNodes, row.MeasScanDists, err = measureScan(scan, queries, func(q metric.Object) error {
+			_, err := scan.NN(q, k, mtree.QueryOptions{})
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("concentration D=%d: %w", dim, err)
+		}
+		row.NodeReadFraction = row.MeasTreeNodes / float64(b.tr.NumNodes())
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// measureScan runs one query per pool entry through the scan engine and
+// returns the metered per-query averages (which are exact for a scan:
+// every query reads every page and prices every object).
+func measureScan(s *mtree.Scan, queries []metric.Object, run func(q metric.Object) error) (nodes, dists float64, err error) {
+	s.ResetCounters()
+	for _, q := range queries {
+		if err := run(q); err != nil {
+			return 0, 0, err
+		}
+	}
+	nq := float64(len(queries))
+	return float64(s.NodeReads()) / nq, float64(s.DistanceCount()) / nq, nil
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+func concentrationFixture(t *testing.T) *ConcentrationResult {
+	t.Helper()
+	r, err := RunConcentration(Config{N: 600, Queries: 24, Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestConcentrationAdvisorFlipsAtCrossover is the planner's acceptance
+// gate on the D-sweep: the advisor picks tree in the easy regime, scan
+// past the breakdown point, and for every dimension the engine it picks
+// costs within 10% of the cheaper engine's actual node reads + distance
+// computations.
+func TestConcentrationAdvisorFlipsAtCrossover(t *testing.T) {
+	r := concentrationFixture(t)
+	if len(r.Rows) != 2*len(concentrationDims) {
+		t.Fatalf("%d rows for %d dims", len(r.Rows), len(concentrationDims))
+	}
+	for _, row := range r.Rows {
+		chosen, cheapest := row.chosenMeasured(), row.cheapestMeasured()
+		if cheapest <= 0 {
+			t.Fatalf("D=%d %s: zero measured cost", row.Dim, row.Kind)
+		}
+		if chosen > 1.10*cheapest {
+			t.Fatalf("D=%d %s: advisor picked %s costing %.1f, cheapest engine costs %.1f (%.0f%% over the 10%% bound)",
+				row.Dim, row.Kind, row.Decision, chosen, cheapest, 100*(chosen/cheapest-1))
+		}
+	}
+	var first, last *ConcentrationRow
+	for i := range r.Rows {
+		if r.Rows[i].Kind != "range" {
+			continue
+		}
+		if first == nil {
+			first = &r.Rows[i]
+		}
+		last = &r.Rows[i]
+	}
+	if first.Decision != "tree" {
+		t.Fatalf("D=%d planned %q, want tree in the easy regime", first.Dim, first.Decision)
+	}
+	if last.Decision != "scan" {
+		t.Fatalf("D=%d planned %q, want scan past the breakdown point", last.Dim, last.Decision)
+	}
+}
+
+// TestConcentrationHardnessMonotone pins the satellite property: the
+// hardness score (intrinsic dimension ρ = μ²/2σ²) grows monotonically
+// with hypercube dimension while σ/μ falls, and the tree's measured
+// node-read fraction climbs toward 1.
+func TestConcentrationHardnessMonotone(t *testing.T) {
+	r := concentrationFixture(t)
+	var prev *ConcentrationRow
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		if row.Kind != "range" {
+			continue
+		}
+		if row.NodeReadFraction <= 0 || row.NodeReadFraction > 1 {
+			t.Fatalf("D=%d: node-read fraction %g outside (0,1]", row.Dim, row.NodeReadFraction)
+		}
+		if prev != nil {
+			if row.IntrinsicDim <= prev.IntrinsicDim {
+				t.Fatalf("hardness not monotone: D=%d rho %.2f, D=%d rho %.2f",
+					prev.Dim, prev.IntrinsicDim, row.Dim, row.IntrinsicDim)
+			}
+			if row.Concentration >= prev.Concentration {
+				t.Fatalf("concentration not falling: D=%d %.4f, D=%d %.4f",
+					prev.Dim, prev.Concentration, row.Dim, row.Concentration)
+			}
+		}
+		prev = row
+	}
+	lastFrac := 0.0
+	for _, row := range r.Rows {
+		if row.Kind == "range" && row.Dim == concentrationDims[len(concentrationDims)-1] {
+			lastFrac = row.NodeReadFraction
+		}
+	}
+	if lastFrac < 0.9 {
+		t.Fatalf("D=64 node-read fraction %.3f: pruning should be dead", lastFrac)
+	}
+}
+
+// TestConcentrationDeterministic reruns the sweep and demands identical
+// results — the BENCH_10.json reproducibility contract.
+func TestConcentrationDeterministic(t *testing.T) {
+	a := concentrationFixture(t)
+	b := concentrationFixture(t)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two runs with one Config differ")
+	}
+}

@@ -78,6 +78,13 @@ func JSONRegistry() map[string]JSONRunner {
 			}
 			return r, nil
 		},
+		"concentration": func(cfg Config) (interface{}, error) {
+			r, err := RunConcentration(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r, nil
+		},
 	}
 }
 

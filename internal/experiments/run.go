@@ -202,6 +202,13 @@ func Registry() map[string]Runner {
 			}
 			return r.T.Render(w)
 		},
+		"concentration": func(cfg Config, w io.Writer) error {
+			r, err := RunConcentration(cfg)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(w)
+		},
 	}
 }
 

@@ -385,6 +385,37 @@ func (h *Histogram) Mean() float64 {
 	return integral
 }
 
+// Std returns the standard deviation of the distance implied by the
+// histogram's shape — the σ of the concentration ratio σ/μ that flags
+// high intrinsic dimension (as μ grows and σ shrinks, every pairwise
+// distance looks alike and metric pruning stops working). Bin mass is
+// taken uniform within each bin for continuous histograms and at the
+// bin's distance value for discrete ones, matching Mean's conventions.
+func (h *Histogram) Std() float64 {
+	mean := h.Mean()
+	var sq float64 // E[X^2]
+	prev := 0.0
+	for i := range h.cum {
+		mass := h.cum[i] - prev
+		if mass > 0 {
+			if h.discrete {
+				v := h.Edge(i)
+				sq += mass * v * v
+			} else {
+				a := float64(i) * h.width
+				b := h.Edge(i)
+				sq += mass * (a*a + a*b + b*b) / 3
+			}
+		}
+		prev = h.cum[i]
+	}
+	v := sq - mean*mean
+	if v < 0 {
+		v = 0 // floating noise on (near-)point-mass histograms
+	}
+	return math.Sqrt(v)
+}
+
 // Edge returns the upper edge of bin i (0-based): (i+1)*width.
 func (h *Histogram) Edge(i int) float64 { return float64(i+1) * h.width }
 

@@ -118,6 +118,12 @@ type Config struct {
 	// ModelTimeout bounds each boot-time /v1/model fetch (0 picks the
 	// default).
 	ModelTimeout time.Duration
+	// PlanCeiling rejects queries whose cheapest plan — per shard the
+	// cheaper of the tree fan-out share and a linear scan of the shard,
+	// summed — prices above this many node reads + distance computations,
+	// with a typed 422 plan_rejected. Zero disables the ceiling. Requires
+	// shard summaries carrying scan_pages (nodes built with the planner).
+	PlanCeiling float64
 	// Seed seeds the retry jitter (0 seeds from the clock).
 	Seed int64
 }
@@ -186,6 +192,7 @@ type shardState struct {
 	pivot     metric.Object
 	radius    float64
 	size      int
+	scanPages int // 0 when the node's summary predates the planner
 	endpoints []*endpoint
 	latency   *obs.Hist
 }
@@ -221,6 +228,12 @@ func (st *shardState) priceNN(k int) core.CostEstimate {
 	return st.model.NNL(k)
 }
 
+// priceScan is the shard's linear-scan cost: every page read, every
+// object compared. Valid only when the summary carried scan_pages.
+func (st *shardState) priceScan() core.CostEstimate {
+	return core.CostEstimate{Nodes: float64(st.scanPages), Dists: float64(st.size)}
+}
+
 // Router is the scatter-gather tier. Create with New, expose with
 // Handler, Close to stop the health loop.
 type Router struct {
@@ -252,6 +265,13 @@ type Router struct {
 	cHedgesWon     *obs.Counter
 	cHedgesLost    *obs.Counter
 	cBreakerOpens  *obs.Counter
+	cPlanTree      *obs.Counter
+	cPlanScan      *obs.Counter
+	cPlanRejected  *obs.Counter
+
+	// canPlan is true when every shard summary carried scan_pages, so
+	// the router can price the scan side of each shard's plan.
+	canPlan bool
 }
 
 // New fetches every shard's model summary, validates that the summaries
@@ -300,6 +320,10 @@ func New(ctx context.Context, cfg Config) (*Router, error) {
 		cHedgesWon:     reg.Counter("router.hedges_won"),
 		cHedgesLost:    reg.Counter("router.hedges_lost"),
 		cBreakerOpens:  reg.Counter("router.breaker_opens"),
+		cPlanTree:      reg.Counter("router.plan_tree"),
+		cPlanScan:      reg.Counter("router.plan_scan"),
+		cPlanRejected:  reg.Counter("router.plan_rejected"),
+		canPlan:        true,
 	}
 
 	var first *shard.Summary
@@ -342,12 +366,16 @@ func New(ctx context.Context, cfg Config) (*Router, error) {
 			return nil, fmt.Errorf("router: shard %d: %w", i, err)
 		}
 		st := &shardState{
-			index:   i,
-			model:   model,
-			pivot:   pivot,
-			radius:  sum.Radius,
-			size:    sum.Size,
-			latency: reg.Hist(fmt.Sprintf("router.shard_latency_ms.s%d", i), 40, 0, 2000),
+			index:     i,
+			model:     model,
+			pivot:     pivot,
+			radius:    sum.Radius,
+			size:      sum.Size,
+			scanPages: sum.ScanPages,
+			latency:   reg.Hist(fmt.Sprintf("router.shard_latency_ms.s%d", i), 40, 0, 2000),
+		}
+		if sum.ScanPages <= 0 {
+			rt.canPlan = false
 		}
 		for _, base := range eps {
 			st.endpoints = append(st.endpoints, &endpoint{
@@ -469,6 +497,23 @@ type QueryResponse struct {
 	// Predicted is the summed L-MCM prediction over all shards — the
 	// same figure the in-process ShardedIndex would quote.
 	Predicted server.CostJSON `json:"predicted"`
+	// Plan is the router's per-shard plan from the round-tripped models
+	// (absent when any shard's summary predates the planner).
+	Plan *RoutePlan `json:"plan,omitempty"`
+}
+
+// RoutePlan is the router's breakdown-aware view of one query: per
+// shard, the cheaper of the tree fan-out share and a linear scan of
+// that shard, decided from the round-tripped models alone.
+type RoutePlan struct {
+	// Engines[i] is shard i's cheaper engine, "tree" or "scan".
+	Engines []string `json:"engines"`
+	// PredictedTree and PredictedScan are the summed all-tree and
+	// all-scan alternatives; Cheapest sums each shard's cheaper side —
+	// the figure the plan ceiling is enforced against.
+	PredictedTree server.CostJSON `json:"predicted_tree"`
+	PredictedScan server.CostJSON `json:"predicted_scan"`
+	Cheapest      server.CostJSON `json:"cheapest"`
 }
 
 // errorBody is every non-200 router body.
@@ -611,7 +656,8 @@ func (rt *Router) handleQuery(nn bool) http.HandlerFunc {
 		// Price every shard and plan the scatter. The response quotes the
 		// full sum (what the in-process engine would predict); skipped
 		// shards still contribute to the quote but not to the fan-out.
-		var total core.CostEstimate
+		var total, totalScan, cheapest core.CostEstimate
+		var planEngines []string
 		var skipped []int
 		var plans []shardPlan
 		for _, st := range rt.shards {
@@ -623,6 +669,24 @@ func (rt *Router) handleQuery(nn bool) http.HandlerFunc {
 			}
 			total.Nodes += est.Nodes
 			total.Dists += est.Dists
+			if rt.canPlan {
+				// Per-shard plan choice from the round-tripped models: the
+				// cheaper of this shard's tree share and its linear scan.
+				scan := st.priceScan()
+				totalScan.Nodes += scan.Nodes
+				totalScan.Dists += scan.Dists
+				if est.Nodes+est.Dists <= scan.Nodes+scan.Dists {
+					cheapest.Nodes += est.Nodes
+					cheapest.Dists += est.Dists
+					planEngines = append(planEngines, "tree")
+					rt.cPlanTree.Inc()
+				} else {
+					cheapest.Nodes += scan.Nodes
+					cheapest.Dists += scan.Dists
+					planEngines = append(planEngines, "scan")
+					rt.cPlanScan.Inc()
+				}
+			}
 			if !nn && rt.rangeLB(st, req.q) > req.radius {
 				skipped = append(skipped, st.index)
 				rt.cShardsSkipped.Inc()
@@ -636,12 +700,27 @@ func (rt *Router) handleQuery(nn bool) http.HandlerFunc {
 			}
 			plans = append(plans, shardPlan{st: st, body: body, est: est, timeout: rt.timeoutFor(est)})
 		}
+		if rt.canPlan && rt.cfg.PlanCeiling > 0 && cheapest.Nodes+cheapest.Dists > rt.cfg.PlanCeiling {
+			rt.cPlanRejected.Inc()
+			rt.reject(w, http.StatusUnprocessableEntity, "plan_rejected",
+				fmt.Sprintf("cheapest plan prices at %.0f node reads + distance computations across %d shards, above the ceiling %.0f",
+					cheapest.Nodes+cheapest.Dists, len(rt.shards), rt.cfg.PlanCeiling))
+			return
+		}
 
 		resp := QueryResponse{
 			Matches:       []Match{},
 			ShardsSkipped: skipped,
 			ShardsQueried: len(plans),
 			Predicted:     server.CostJSON{NodeReads: total.Nodes, DistCalcs: total.Dists},
+		}
+		if rt.canPlan {
+			resp.Plan = &RoutePlan{
+				Engines:       planEngines,
+				PredictedTree: server.CostJSON{NodeReads: total.Nodes, DistCalcs: total.Dists},
+				PredictedScan: server.CostJSON{NodeReads: totalScan.Nodes, DistCalcs: totalScan.Dists},
+				Cheapest:      server.CostJSON{NodeReads: cheapest.Nodes, DistCalcs: cheapest.Dists},
+			}
 		}
 		if len(plans) == 0 {
 			rt.writeJSON(w, http.StatusOK, resp)

@@ -63,6 +63,12 @@ type Config struct {
 	MaxBodyBytes int64
 	// MaxK caps k-NN requests (0 picks the indexed object count).
 	MaxK int
+	// PlanCeiling rejects queries whose cheapest plan — node reads plus
+	// distance computations of whichever engine the advisor would pick —
+	// prices above it, with a typed 422 plan_rejected. Zero disables the
+	// ceiling. Requires a planning engine (one satisfying Planner);
+	// otherwise it is ignored.
+	PlanCeiling float64
 	// Registry receives the server metrics (nil allocates a fresh one).
 	Registry *obs.Registry
 	// Clock is a test hook for the admission bucket and queue timing
@@ -105,6 +111,8 @@ type Server struct {
 	maxK    int
 	debug   bool
 	model   ModelReporter
+	planner Planner
+	ceiling float64
 	clock   func() time.Time
 
 	// Readiness and liveness state behind /healthz: ready flips once
@@ -132,6 +140,11 @@ type Server struct {
 	cSavedNode *obs.Counter
 	cInserts   *obs.Counter
 	cDeletes   *obs.Counter
+
+	// Plan decision counters (only move when the engine is a Planner).
+	cPlanTree     *obs.Counter
+	cPlanScan     *obs.Counter
+	cPlanRejected *obs.Counter
 }
 
 // New validates cfg and assembles the server.
@@ -197,6 +210,7 @@ func New(cfg Config) (*Server, error) {
 		cSavedNode:  reg.Counter("server.cache_saved_node_reads"),
 		cInserts:    reg.Counter("server.inserts"),
 		cDeletes:    reg.Counter("server.deletes"),
+		ceiling:     cfg.PlanCeiling,
 	}
 	s.ready.Store(!cfg.NotReady)
 	// A mutable engine gets the readers-writer guard: queries (pricing
@@ -209,6 +223,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if mr, ok := cfg.Engine.(ModelReporter); ok {
 		s.model = mr
+	}
+	if pl, ok := cfg.Engine.(Planner); ok {
+		s.planner = pl
+		s.cPlanTree = reg.Counter("server.plan_tree")
+		s.cPlanScan = reg.Counter("server.plan_scan")
+		s.cPlanRejected = reg.Counter("server.plan_rejected")
 	}
 	s.bat = NewBatcher(s.eng, cfg.Batch, reg, cfg.Clock)
 	return s, nil
@@ -276,6 +296,10 @@ type QueryResponse struct {
 	// zero on a cache hit — the query never reached the batcher.
 	BatchSize int     `json:"batch_size"`
 	QueuedMS  float64 `json:"queued_ms"`
+	// Plan is the advisor's engine choice with both priced alternatives
+	// (only present on planning engines, and absent on cache hits — a
+	// cached answer runs on no engine at all).
+	Plan *PlanJSON `json:"plan,omitempty"`
 }
 
 // ErrorResponse is every non-200 body.
@@ -458,6 +482,30 @@ func (s *Server) handleQuery(nn bool) http.HandlerFunc {
 			s.cCacheMiss.Inc()
 		}
 
+		// Plan after the cache (a hit executes nothing, so the ceiling
+		// has nothing to guard) and before admission: a query whose
+		// cheapest plan already exceeds the operator's ceiling must not
+		// drain bucket tokens on its way to a rejection.
+		var plan *PlanJSON
+		if s.planner != nil {
+			d, aerr := s.planQuery(nn, req)
+			if aerr != nil {
+				if aerr.code == "plan_rejected" {
+					s.cPlanRejected.Inc()
+					s.cRejected.Inc()
+					best := d.Predicted()
+					cost := costJSON(best)
+					s.writeJSON(w, aerr.status, ErrorResponse{
+						Code: aerr.code, Error: aerr.msg, PredictedCost: &cost,
+					})
+					return
+				}
+				s.reject(w, aerr)
+				return
+			}
+			plan = planJSON(d)
+		}
+
 		dec := s.adm.Admit(est)
 		if !dec.Admit {
 			s.cShed.Inc()
@@ -481,6 +529,7 @@ func (s *Server) handleQuery(nn bool) http.HandlerFunc {
 			Predicted: costJSON(est),
 			BatchSize: res.batchSize,
 			QueuedMS:  res.queued.Seconds() * 1000,
+			Plan:      plan,
 		}
 		switch {
 		case res.err == nil:
@@ -528,6 +577,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.refreshRecalGauges()
+	s.refreshAdvisorGauges()
 	var buf bytes.Buffer
 	if err := obs.WriteEnvelope(&buf, s.reg, nil); err != nil {
 		s.cErrors.Inc()

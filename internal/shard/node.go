@@ -94,6 +94,11 @@ type Summary struct {
 	// aggregates — together the full L-MCM input.
 	FHat   *histogram.Histogram `json:"f_hat"`
 	Levels []mtree.LevelStat    `json:"levels"`
+	// ScanPages is the page count of a full linear scan of this shard —
+	// the node-read side of the scan plan a breakdown-aware router
+	// compares the tree prediction against (0 on summaries from nodes
+	// that predate the planner; routers then skip plan reporting).
+	ScanPages int `json:"scan_pages,omitempty"`
 }
 
 // Summarize exports the shard's model summary. index and total locate
@@ -117,6 +122,9 @@ func (sh *Shard) Summarize(space *metric.Space, index, total int, assign Assignm
 		Space:  spec,
 		FHat:   sh.F,
 		Levels: stats.Levels,
+	}
+	if pages, err := mtree.ScanPages(sh.Objects[0], sh.Tree.Size(), sh.Tree.PageSize()); err == nil {
+		sum.ScanPages = pages
 	}
 	switch o := sh.Objects[0].(type) {
 	case metric.Vector:

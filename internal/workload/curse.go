@@ -1,0 +1,35 @@
+package workload
+
+import "fmt"
+
+// Curse builds the curse-walking query mix for a dataset whose hardness
+// profile puts the tree/scan cost crossover at crossoverRadius (the
+// advisor's Profile.CrossoverRadius; negative when the tree wins across
+// the whole metric bound, 0 when it loses everywhere). The mix
+// straddles the breakdown point on purpose: range classes below, at,
+// and above the crossover, plus a point-lookup and a deep k-NN class,
+// so a run exercises both regimes of the planner and the
+// largest-remainder apportionment covers tiny-weight classes.
+//
+// bound is the metric's d+ and n the dataset size; when the crossover
+// sentinel carries no usable radius the range radii fall back to fixed
+// fractions of the bound.
+func Curse(crossoverRadius, bound float64, n int) *Workload {
+	below, at, above := bound/8, bound/2, bound
+	if crossoverRadius > 0 && crossoverRadius < bound {
+		below = crossoverRadius / 2
+		at = crossoverRadius
+		above = crossoverRadius + (bound-crossoverRadius)/2
+	}
+	deepK := n / 10
+	if deepK < 1 {
+		deepK = 1
+	}
+	return &Workload{Classes: []QueryClass{
+		{Name: fmt.Sprintf("below-crossover-r%.3g", below), Weight: 4, Radius: below},
+		{Name: fmt.Sprintf("at-crossover-r%.3g", at), Weight: 2, Radius: at},
+		{Name: fmt.Sprintf("past-crossover-r%.3g", above), Weight: 1, Radius: above},
+		{Name: "nn-lookup", Weight: 2, K: 1},
+		{Name: fmt.Sprintf("nn-deep-k%d", deepK), Weight: 1, K: deepK},
+	}}
+}

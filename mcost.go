@@ -136,6 +136,13 @@ type Index struct {
 	// every Insert/Delete, bias correction from recent traces, periodic
 	// refits. Enabled by EnableRecalibration.
 	rc *recal.Recalibrator
+	// scan is the first-class linear-scan engine over the same objects
+	// (write-through on Insert/Delete); profile is the dataset's
+	// indexing-hardness profile; mode selects which engine the
+	// priced/batched surface uses. See advise.go.
+	scan    *mtree.Scan
+	profile HardnessProfile
+	mode    EngineMode
 }
 
 // Build indexes the objects and fits the cost model: it constructs the
@@ -198,7 +205,11 @@ func finishIndex(space *Space, tree *mtree.Tree, objects []Object, opt Options) 
 	if err != nil {
 		return nil, err
 	}
-	return &Index{space: space, sample: objects[0], tree: tree, f: f, stats: stats, model: model}, nil
+	ix := &Index{space: space, sample: objects[0], tree: tree, f: f, stats: stats, model: model}
+	if err := ix.buildPlanner(objects); err != nil {
+		return nil, err
+	}
+	return ix, nil
 }
 
 // ErrInvalidQuery is returned (wrapped) by every query entry point when
@@ -251,12 +262,16 @@ func (ix *Index) NN(q Object, k int) ([]Match, error) {
 // Costs returns the node reads and distance computations accumulated
 // since the last ResetCosts — the two cost dimensions of the paper.
 func (ix *Index) Costs() (nodeReads, distances int64) {
-	return ix.tree.NodeReads(), ix.tree.DistanceCount()
+	return ix.tree.NodeReads() + ix.scan.NodeReads(),
+		ix.tree.DistanceCount() + ix.scan.DistanceCount()
 }
 
 // ResetCosts zeroes the cost counters (typically after Build, before a
 // measured workload).
-func (ix *Index) ResetCosts() { ix.tree.ResetCounters() }
+func (ix *Index) ResetCosts() {
+	ix.tree.ResetCounters()
+	ix.scan.ResetCounters()
+}
 
 // PredictRange predicts range-query costs with the node-based model
 // N-MCM (Eq. 6-7 of the paper). The prediction models a search without
@@ -334,6 +349,7 @@ func (ix *Index) Delete(obj Object, oid uint64) error {
 	if err := ix.tree.Delete(obj, oid); err != nil {
 		return err
 	}
+	ix.scan.Remove(oid)
 	if ix.rc != nil {
 		ix.rc.ObserveDelete(obj)
 		return ix.maybeRecalRefresh()
@@ -356,6 +372,7 @@ func (ix *Index) RefreshModel() error {
 	}
 	ix.stats = stats
 	ix.model = model
+	ix.refreshProfile()
 	return nil
 }
 
@@ -367,6 +384,7 @@ func (ix *Index) Insert(obj Object) (uint64, error) {
 	if err := ix.tree.Insert(obj); err != nil {
 		return 0, err
 	}
+	ix.scan.Insert(obj, oid)
 	if ix.rc != nil {
 		ix.rc.ObserveInsert(obj)
 		if err := ix.maybeRecalRefresh(); err != nil {
@@ -427,6 +445,7 @@ func (ix *Index) maybeRecalRefresh() error {
 	ix.stats = stats
 	ix.model = model
 	ix.rc.MarkRefreshed()
+	ix.refreshProfile()
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 
+	"mcost/internal/histogram"
 	"mcost/internal/metric"
 	"mcost/internal/mtree"
 	"mcost/internal/pager"
@@ -57,6 +58,13 @@ type ShardedIndex struct {
 	set    *shard.Set
 	stacks  []*pager.Stack // per shard; nil entries when storage is off
 	workers int
+	// scan is the linear-scan engine over all objects with global OIDs;
+	// f the merged dataset-level F̂; profile the hardness profile; mode
+	// the serving engine mode. See advise.go.
+	scan    *mtree.Scan
+	f       *histogram.Histogram
+	profile HardnessProfile
+	mode    EngineMode
 }
 
 // BuildSharded partitions the objects into so.Shards shards and builds
@@ -99,7 +107,11 @@ func BuildSharded(space *Space, objects []Object, opt Options, so ShardOptions) 
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedIndex{space: space, sample: objects[0], set: set, stacks: stacks, workers: opt.Workers}, nil
+	sx := &ShardedIndex{space: space, sample: objects[0], set: set, stacks: stacks, workers: opt.Workers}
+	if err := sx.buildPlanner(objects); err != nil {
+		return nil, err
+	}
+	return sx, nil
 }
 
 func (sx *ShardedIndex) qopt() shard.QueryOptions {
@@ -216,13 +228,19 @@ func (sx *ShardedIndex) PredictRange(radius float64) CostEstimate {
 func (sx *ShardedIndex) PredictNN(k int) CostEstimate { return sx.set.PredictNN(k) }
 
 // Costs returns node reads and distance computations accumulated since
-// the last ResetCosts, summed over shards and including the pivot
-// distances spent ordering and pruning shards.
-func (sx *ShardedIndex) Costs() (nodeReads, distances int64) { return sx.set.Costs() }
+// the last ResetCosts, summed over shards (including the pivot
+// distances spent ordering and pruning shards) and the scan engine.
+func (sx *ShardedIndex) Costs() (nodeReads, distances int64) {
+	n, d := sx.set.Costs()
+	return n + sx.scan.NodeReads(), d + sx.scan.DistanceCount()
+}
 
 // ResetCosts zeroes the counters behind Costs and ShardsSkipped. Must
 // not race with in-flight queries.
-func (sx *ShardedIndex) ResetCosts() { sx.set.ResetCosts() }
+func (sx *ShardedIndex) ResetCosts() {
+	sx.set.ResetCosts()
+	sx.scan.ResetCounters()
+}
 
 // ShardsSkipped returns the shard visits avoided by lower-bound pruning
 // since the last ResetCosts.
@@ -261,11 +279,24 @@ func (sx *ShardedIndex) RunWorkload(w *Workload, queryPool []Object, opt Workloa
 // rotation under ShardRoundRobin) and returns its new global OID.
 // Writes follow the tree contract: not safe concurrent with queries or
 // with each other.
-func (sx *ShardedIndex) Insert(obj Object) (uint64, error) { return sx.set.Insert(obj) }
+func (sx *ShardedIndex) Insert(obj Object) (uint64, error) {
+	oid, err := sx.set.Insert(obj)
+	if err != nil {
+		return 0, err
+	}
+	sx.scan.Insert(obj, oid)
+	return oid, nil
+}
 
 // Delete removes the object stored under the global OID (see
 // Index.Delete for the identity check).
-func (sx *ShardedIndex) Delete(obj Object, oid uint64) error { return sx.set.Delete(obj, oid) }
+func (sx *ShardedIndex) Delete(obj Object, oid uint64) error {
+	if err := sx.set.Delete(obj, oid); err != nil {
+		return err
+	}
+	sx.scan.Remove(oid)
+	return nil
+}
 
 // EnableRecalibration attaches one online recalibrator per shard (see
 // Index.EnableRecalibration); predictions and the k-NN shard ordering
